@@ -1,0 +1,54 @@
+"""Shared fixtures and report plumbing for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and
+
+* prints its report (run ``pytest benchmarks/ --benchmark-only -s`` to see them),
+* writes the same report to ``benchmarks/reports/<name>.txt`` so the numbers quoted
+  in ``EXPERIMENTS.md`` can be refreshed from the artifacts.
+
+Expensive reference simulations are cached per session via the shared simulator
+fixture, so benchmarks that touch the same cases do not re-simulate.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.characterization import default_library
+from repro.experiments.reference import ReferenceSimulator
+
+REPORT_DIRECTORY = Path(__file__).resolve().parent / "reports"
+
+
+def full_sweep_requested() -> bool:
+    """True when the REPRO_FULL environment variable asks for the complete sweep."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The shipped pre-characterized cell library."""
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    """A session-wide caching reference simulator (the HSPICE stand-in)."""
+    return ReferenceSimulator()
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Callable that persists a named benchmark report and echoes it to stdout."""
+    REPORT_DIRECTORY.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = REPORT_DIRECTORY / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return write

@@ -1,0 +1,62 @@
+"""Ablation benchmark: lumped-ladder versus distributed-limit admittance moments.
+
+The Eq. 3 rational admittance can be fitted to the moments of a coarse lumped
+ladder or to the distributed (high segment count) limit.  This benchmark quantifies
+the effect of that choice on the fitted coefficients and on the resulting Ceff1 /
+two-ramp timing numbers for the Figure 1 case.
+"""
+
+from repro.core import ModelingOptions, model_driver_output
+from repro.experiments import FIGURE1_CASE
+from repro.interconnect import admittance_moments, fit_rational_admittance
+from repro.units import to_fF, to_ps
+
+SEGMENT_CHOICES = (1, 3, 10, 50, 600)
+
+
+def run_ablation(library):
+    case = FIGURE1_CASE
+    cell = library.get(case.driver_size)
+    rows = []
+    for segments in SEGMENT_CHOICES:
+        moments = admittance_moments(case.line, 0.0, n_segments=segments)
+        fit = fit_rational_admittance(moments)
+        model = model_driver_output(cell, case.input_slew, case.line,
+                                    options=ModelingOptions(moment_segments=segments,
+                                                            force_two_ramp=True))
+        rows.append({
+            "segments": segments,
+            "b1": fit.b1,
+            "b2": fit.b2,
+            "ceff1_fF": to_fF(model.ceff1),
+            "delay_ps": to_ps(model.delay()),
+            "slew_ps": to_ps(model.slew()),
+        })
+    return rows
+
+
+def format_report(rows):
+    lines = ["Ablation: admittance-moment segmentation (Figure 1 case)",
+             f"{'segments':>9s} {'b1':>12s} {'b2':>12s} {'Ceff1 [fF]':>11s} "
+             f"{'delay [ps]':>11s} {'slew [ps]':>10s}"]
+    for row in rows:
+        lines.append(f"{row['segments']:9d} {row['b1']:12.3e} {row['b2']:12.3e} "
+                     f"{row['ceff1_fF']:11.1f} {row['delay_ps']:11.2f} "
+                     f"{row['slew_ps']:10.1f}")
+    return "\n".join(lines)
+
+
+def test_moment_segmentation_ablation(benchmark, library, report_writer):
+    rows = benchmark.pedantic(lambda: run_ablation(library), rounds=1, iterations=1)
+    report_writer("ablation_moments", format_report(rows))
+
+    by_segments = {row["segments"]: row for row in rows}
+    distributed = by_segments[600]
+    # A moderately segmented ladder (10+) is already indistinguishable from the
+    # distributed limit for timing purposes.
+    assert abs(by_segments[50]["delay_ps"] - distributed["delay_ps"]) < 0.5
+    assert abs(by_segments[50]["ceff1_fF"] - distributed["ceff1_fF"]) \
+        < 0.03 * distributed["ceff1_fF"]
+    # A single lumped segment is a visibly different load model.
+    assert abs(by_segments[1]["ceff1_fF"] - distributed["ceff1_fF"]) \
+        > 0.05 * distributed["ceff1_fF"]

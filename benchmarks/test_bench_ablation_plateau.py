@@ -1,0 +1,70 @@
+"""Ablation benchmark: the Eq. 8 plateau correction.
+
+DESIGN.md calls out the plateau handling as a distinct design choice.  This
+benchmark re-runs a set of inductive Table 1 cases with the plateau correction
+enabled and disabled and reports the slew accuracy of both variants — the
+correction should reduce the average slew error (the plateau stretches the visible
+transition) while leaving the 50% delay essentially unchanged.
+"""
+
+import numpy as np
+
+from repro.analysis import percent_error
+from repro.core import ModelingOptions, model_driver_output
+from repro.experiments import TABLE1_CASES
+from repro.units import to_ps
+
+CASES = [TABLE1_CASES[i].case for i in (0, 2, 5, 7, 14)]
+
+
+def run_ablation(library, simulator):
+    rows = []
+    for case in CASES:
+        cell = library.get(case.driver_size)
+        reference = simulator.simulate_case(case)
+        with_plateau = model_driver_output(cell, case.input_slew, case.line,
+                                           options=ModelingOptions(plateau_correction=True))
+        without_plateau = model_driver_output(cell, case.input_slew, case.line,
+                                              options=ModelingOptions(plateau_correction=False))
+        rows.append({
+            "case": case.name,
+            "reference_slew_ps": to_ps(reference.near_slew()),
+            "slew_error_with": percent_error(with_plateau.slew(), reference.near_slew()),
+            "slew_error_without": percent_error(without_plateau.slew(),
+                                                reference.near_slew()),
+            "delay_error_with": percent_error(with_plateau.delay(),
+                                              reference.near_delay()),
+            "delay_error_without": percent_error(without_plateau.delay(),
+                                                 reference.near_delay()),
+        })
+    return rows
+
+
+def format_report(rows):
+    lines = ["Ablation: Eq. 8 plateau correction (slew / delay errors in %)",
+             f"{'case':34s} {'slew w/':>9s} {'slew w/o':>9s} {'delay w/':>9s} {'delay w/o':>10s}"]
+    for row in rows:
+        lines.append(f"{row['case']:34s} {row['slew_error_with']:+9.1f} "
+                     f"{row['slew_error_without']:+9.1f} {row['delay_error_with']:+9.1f} "
+                     f"{row['delay_error_without']:+10.1f}")
+    mean_with = np.mean([abs(r["slew_error_with"]) for r in rows])
+    mean_without = np.mean([abs(r["slew_error_without"]) for r in rows])
+    lines.append(f"mean |slew error|: with correction {mean_with:.1f}%  "
+                 f"without {mean_without:.1f}%")
+    return "\n".join(lines)
+
+
+def test_plateau_correction_ablation(benchmark, library, simulator, report_writer):
+    rows = benchmark.pedantic(lambda: run_ablation(library, simulator),
+                              rounds=1, iterations=1)
+    report_writer("ablation_plateau", format_report(rows))
+
+    mean_with = np.mean([abs(r["slew_error_with"]) for r in rows])
+    mean_without = np.mean([abs(r["slew_error_without"]) for r in rows])
+    # The correction must help on average (it is the reason Eq. 8 exists) ...
+    assert mean_with < mean_without
+    # ... without perturbing the 50% delay (the delay is set by the first ramp).
+    for row in rows:
+        assert abs(row["delay_error_with"] - row["delay_error_without"]) < 1.0
+    # Without the correction the slew is systematically under-estimated.
+    assert np.mean([r["slew_error_without"] for r in rows]) < 0.0

@@ -1,0 +1,23 @@
+"""Benchmark: reproduce Figure 1 (inductive driver-output waveform, 5 mm / 75X).
+
+The figure's content is the step-plateau-reflection structure of the driver output;
+the report quantifies the observed initial step height against the Eq. 1 breakpoint
+and locates the plateau at one round-trip time of flight.
+"""
+
+from repro.experiments import figure1_driver_waveform
+
+
+def test_figure1_driver_output_waveform(benchmark, library, simulator, report_writer):
+    result = benchmark.pedantic(
+        lambda: figure1_driver_waveform(library=library, simulator=simulator),
+        rounds=1, iterations=1)
+
+    report_writer("figure1", result.format_report())
+
+    # The waveform must exhibit the inductive signature the paper builds on: an
+    # initial step that lands in the vicinity of the Eq. 1 breakpoint prediction.
+    assert 0.45 < result.initial_step_fraction < 0.85
+    assert abs(result.initial_step_fraction - result.breakpoint_prediction) < 0.2
+    # Plateau sits within the first two times of flight of the transition.
+    assert result.plateau_window[0] < 2.0 * result.time_of_flight

@@ -1,0 +1,31 @@
+"""Benchmark: reproduce Figure 3 (single-Ceff approximations fail on inductive loads).
+
+The 7 mm / 75X case is modeled with a single effective capacitance obtained by
+equating charge (a) over the full transition and (b) only up to the 50% point.  The
+paper's point: neither choice captures both the fast initial step and the long
+inductive tail, so delay and slew cannot be simultaneously accurate.
+"""
+
+from repro.analysis import percent_error
+from repro.experiments import figure3_single_ceff_comparison
+
+
+def test_figure3_single_ceff_limitations(benchmark, library, simulator, report_writer):
+    result = benchmark.pedantic(
+        lambda: figure3_single_ceff_comparison(library=library, simulator=simulator),
+        rounds=1, iterations=1)
+
+    report_writer("figure3", result.format_report())
+
+    reference_delay = result.reference_delay
+    reference_slew = result.reference_slew
+    full = result.full_charge_model
+    half = result.half_charge_model
+
+    # The 100%-charge Ceff badly overestimates the delay (it misses the initial step).
+    assert percent_error(full.delay(), reference_delay) > 25.0
+    # Both single-Ceff variants underestimate the slew (they miss the long tail).
+    assert percent_error(full.slew(), reference_slew) < -20.0
+    assert percent_error(half.slew(), reference_slew) < -20.0
+    # The 50%-charge variant sees less of the load than the 100% variant.
+    assert half.ceff1 < full.ceff1

@@ -1,0 +1,25 @@
+"""Benchmark: reproduce Figure 4 (construction of the two-ramp model).
+
+Shows the quantities the figure annotates: the Ceff1/Tr1 initial ramp, the Ceff2/Tr2
+second ramp, the plateau duration 2*tf - Tr1, and the Eq. 8 modified second ramp.
+"""
+
+from repro.experiments import figure4_two_ramp_construction
+
+
+def test_figure4_two_ramp_construction(benchmark, library, report_writer):
+    result = benchmark.pedantic(
+        lambda: figure4_two_ramp_construction(library=library),
+        rounds=1, iterations=1)
+
+    report_writer("figure4", result.format_report())
+
+    model = result.model
+    assert model.is_two_ramp
+    # The initial ramp is fast (it only charges the shielded near capacitance) ...
+    assert model.ceff1 < 0.6 * model.total_capacitance
+    # ... the second ramp is much slower ...
+    assert model.tr2 > 1.5 * model.tr1
+    # ... and the plateau correction only ever lengthens it (Eq. 8).
+    assert model.tr2_effective >= model.tr2
+    assert model.plateau >= 0.0

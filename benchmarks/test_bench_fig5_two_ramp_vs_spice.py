@@ -1,0 +1,27 @@
+"""Benchmark: reproduce Figure 5 (two-ramp model vs reference driver-output waveforms).
+
+Two printed cases — 3 mm / 1.2 um / 75X / 75 ps and 5 mm / 1.6 um / 100X / 100 ps —
+are simulated at transistor level and overlaid with the two-ramp model.  The report
+prints the per-case delay/slew errors and the maximum waveform deviation.
+"""
+
+from repro.experiments import figure5_model_vs_reference
+
+
+def test_figure5_two_ramp_vs_reference(benchmark, library, simulator, report_writer):
+    result = benchmark.pedantic(
+        lambda: figure5_model_vs_reference(library=library, simulator=simulator),
+        rounds=1, iterations=1)
+
+    report_writer("figure5", result.format_report())
+
+    assert len(result.cases) == 2
+    for case_result in result.cases:
+        assert case_result.model.is_two_ramp
+        # "The overall shape, including the breakpoint and key delay points, matches
+        # well with SPICE": delay within ~10%, slew within ~15% on these two cases.
+        assert abs(case_result.delay_error()) < 12.0
+        assert abs(case_result.slew_error()) < 16.0
+        # The two-ramp approximation cannot follow post-breakpoint oscillations, but
+        # it must not deviate by more than ~25% of the supply anywhere.
+        assert case_result.max_waveform_error < 0.45

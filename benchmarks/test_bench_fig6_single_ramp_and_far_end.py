@@ -1,0 +1,29 @@
+"""Benchmark: reproduce Figure 6 (weak-driver single ramp; near/far-end validation).
+
+Left panel: a 25X driver on a 4 mm line is below the inductance criteria, a single
+effective capacitance suffices.  Right panel: for an inductive 4 mm / 0.8 um / 75X
+case, the two-ramp source applied to the line reproduces the transistor-level
+far-end response.
+"""
+
+from repro.experiments import figure6_single_ramp_and_far_end
+
+
+def test_figure6_single_ramp_and_far_end(benchmark, library, simulator, report_writer):
+    result = benchmark.pedantic(
+        lambda: figure6_single_ramp_and_far_end(library=library, simulator=simulator),
+        rounds=1, iterations=1)
+
+    report_writer("figure6", result.format_report())
+
+    # Left panel: the screening criteria must classify the 25X case as non-inductive
+    # and the single-ramp model must stay accurate.
+    assert not result.single_ramp_model.is_two_ramp
+    assert abs(result.single_ramp_delay_error()) < 12.0
+    assert abs(result.single_ramp_slew_error()) < 20.0
+
+    # Right panel: far-end delay/slew from the modeled two-ramp source track the
+    # transistor-level far end ("a good match was seen for the far end waveforms").
+    assert result.far_end_model.is_two_ramp
+    assert abs(result.far_end_delay_error()) < 10.0
+    assert abs(result.far_end_slew_error()) < 15.0

@@ -1,0 +1,62 @@
+"""Benchmark: reproduce the paper's screening observation (Section 6).
+
+"With a 0.18 um technology, we found that inductive effects were particularly
+significant in long (>= 3 mm) and wider wires (>= 1.6 um) driven by fast inverters
+(75X and larger)."  This benchmark sweeps the geometry / driver grid with the
+analytic extractor and the Eq. 9 criteria and checks that classification.
+"""
+
+from repro.core import model_driver_output
+from repro.interconnect import RLCLine, WireGeometry
+from repro.tech import generic_180nm
+from repro.units import mm, ps, um
+
+
+def run_screening(library):
+    tech = generic_180nm()
+    lengths = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
+    widths = (0.8, 1.6, 2.5, 3.5)
+    drivers = (25.0, 75.0, 125.0)
+    classification = {}
+    for driver in drivers:
+        cell = library.get(driver)
+        for width in widths:
+            for length in lengths:
+                line = RLCLine.from_geometry(WireGeometry(length=mm(length),
+                                                          width=um(width)), tech)
+                model = model_driver_output(cell, ps(100), line)
+                classification[(driver, width, length)] = model.is_two_ramp
+    return classification
+
+
+def format_report(classification):
+    lines = ["Inductance screening map (## = two-ramp / inductive, .. = single ramp)"]
+    drivers = sorted({k[0] for k in classification})
+    widths = sorted({k[1] for k in classification})
+    lengths = sorted({k[2] for k in classification})
+    for driver in drivers:
+        lines.append(f"driver {driver:g}X        " +
+                     "".join(f"{length:>5.0f}mm" for length in lengths))
+        for width in widths:
+            cells = "".join("     ##" if classification[(driver, width, length)]
+                            else "     .." for length in lengths)
+            lines.append(f"  width {width:3.1f}um {cells}")
+    return "\n".join(lines)
+
+
+def test_inductance_screening_map(benchmark, library, report_writer):
+    classification = benchmark.pedantic(lambda: run_screening(library),
+                                        rounds=1, iterations=1)
+    report_writer("screening", format_report(classification))
+
+    # Paper's observation: long + wide + strong driver => inductive.
+    assert classification[(75.0, 1.6, 5.0)]
+    assert classification[(125.0, 2.5, 6.0)]
+    assert classification[(75.0, 1.6, 3.0)]
+    # Weak drivers never qualify.
+    assert not any(classification[(25.0, width, length)]
+                   for width in (0.8, 1.6, 2.5, 3.5)
+                   for length in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0))
+    # Very short lines are screened out even with strong drivers (time-of-flight check).
+    assert not classification[(75.0, 1.6, 1.0)]
+    assert not classification[(125.0, 3.5, 1.0)]

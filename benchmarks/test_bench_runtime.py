@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the computational kernels.
+
+These use pytest-benchmark's statistics properly (multiple rounds) to track the
+cost of the pieces a timing tool would run per net: moment extraction, the rational
+fit, the Ceff iterations, the full modeling flow, and — for scale — one reference
+transient time step of the simulator substrate.
+"""
+
+import pytest
+
+from repro.core import ModelingOptions, iterate_ceff1, model_driver_output
+from repro.experiments import FIGURE1_CASE
+from repro.interconnect import admittance_moments, fit_rational_admittance
+from repro.units import ps
+
+
+@pytest.fixture(scope="module")
+def case():
+    return FIGURE1_CASE
+
+
+def test_benchmark_admittance_moments(benchmark, case):
+    """Moment extraction in the distributed limit (600 pi segments)."""
+    result = benchmark(lambda: admittance_moments(case.line, 0.0))
+    assert result[1] > 0
+
+
+def test_benchmark_rational_fit(benchmark, case):
+    moments = admittance_moments(case.line, 0.0)
+    fit = benchmark(lambda: fit_rational_admittance(moments))
+    assert fit.total_capacitance > 0
+
+
+def test_benchmark_ceff1_iteration(benchmark, library, case):
+    cell = library.get(case.driver_size)
+    admittance = fit_rational_admittance(admittance_moments(case.line, 0.0))
+    result = benchmark(lambda: iterate_ceff1(cell, case.input_slew, admittance, 0.57))
+    assert result.ceff > 0
+
+
+def test_benchmark_full_modeling_flow(benchmark, library, case):
+    """The complete per-net cost of the paper's flow (what an STA tool would pay)."""
+    cell = library.get(case.driver_size)
+    options = ModelingOptions()
+    model = benchmark(lambda: model_driver_output(cell, case.input_slew, case.line,
+                                                  options=options))
+    assert model.is_two_ramp
+
+
+def test_benchmark_reference_simulation(benchmark, simulator, case):
+    """One full transistor-level reference run (the cost the model avoids)."""
+    def run():
+        simulator.clear_cache()
+        return simulator.simulate_case(case)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.near_delay() > 0

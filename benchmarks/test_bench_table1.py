@@ -1,0 +1,34 @@
+"""Benchmark: reproduce the paper's Table 1 (15 inductive cases).
+
+For every printed case the reference transistor-level simulation, the two-ramp
+model, and the one-ramp single-Ceff baseline are compared at the driver output.
+Expected shape (matching the paper): two-ramp errors in the single digits, one-ramp
+delay errors large and positive, one-ramp slew errors large and negative, both
+growing with line width.
+"""
+
+from repro.experiments import run_table1
+
+
+def test_table1_reproduction(benchmark, library, simulator, report_writer):
+    result = benchmark.pedantic(
+        lambda: run_table1(library=library, simulator=simulator),
+        rounds=1, iterations=1)
+
+    report_writer("table1", result.format_report())
+
+    two_ramp_delay = result.two_ramp_delay_summary
+    two_ramp_slew = result.two_ramp_slew_summary
+    one_ramp_delay = result.one_ramp_delay_summary
+    one_ramp_slew = result.one_ramp_slew_summary
+
+    # Paper: two-ramp average errors 6% (delay) / 11.1% (slew) over its sweep; on the
+    # Table 1 cases the reproduced model must stay in the same regime.
+    assert two_ramp_delay.mean_abs_error < 12.0
+    assert two_ramp_slew.mean_abs_error < 15.0
+    # Paper: one-ramp delay errors +27% .. +129%, slew errors -17% .. -73%.
+    assert one_ramp_delay.mean_abs_error > 25.0
+    assert one_ramp_slew.mean_abs_error > 20.0
+    # Signs of the baseline failure match the paper.
+    assert all(c.one_ramp_delay_error > 0 for c in result.comparisons)
+    assert all(c.one_ramp_slew_error < 0 for c in result.comparisons)

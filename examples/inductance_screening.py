@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Map where on-chip inductance matters (paper Section 5, Eq. 9).
+
+Sweeps line length, width and driver strength with the analytic parasitic
+extractor, runs the modeling flow's screening criteria for each combination, and
+prints a table showing which cases need the two-ramp model.  The expected picture
+(paper Section 6): inductance is significant for long (>= 3 mm), wide (>= 1.6 um)
+wires driven by strong (>= 75X) inverters.
+
+Run with ``python examples/inductance_screening.py``.
+"""
+
+from __future__ import annotations
+
+from repro import RLCLine, WireGeometry, default_library, generic_180nm, model_driver_output
+from repro.units import mm, ps, um
+
+LENGTHS_MM = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
+WIDTHS_UM = (0.8, 1.6, 2.5, 3.5)
+DRIVERS = (25, 75, 125)
+INPUT_SLEW = ps(100)
+
+
+def main() -> None:
+    tech = generic_180nm()
+    library = default_library()
+
+    print("two-ramp (inductive) = '##', single-ramp (RC-like) = '..'")
+    for driver in DRIVERS:
+        cell = library.get(driver)
+        print(f"\ndriver = {driver}X  (rows: width in um, columns: length in mm)")
+        header = "        " + "".join(f"{length:>6.0f}" for length in LENGTHS_MM)
+        print(header)
+        for width in WIDTHS_UM:
+            row = [f"{width:5.1f}um "]
+            for length in LENGTHS_MM:
+                geometry = WireGeometry(length=mm(length), width=um(width))
+                line = RLCLine.from_geometry(geometry, tech)
+                model = model_driver_output(cell, INPUT_SLEW, line)
+                row.append("    ##" if model.is_two_ramp else "    ..")
+            print("".join(row))
+
+    print("\nexample detail (5 mm, 1.6 um, 75X):")
+    line = RLCLine.from_geometry(WireGeometry(length=mm(5), width=um(1.6)), tech)
+    model = model_driver_output(library.get(75), INPUT_SLEW, line)
+    print(model.inductance_report.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Reproduce the shape of the paper's Figure 1 and overlay the two-ramp model.
+
+The 5 mm, 1.6 um wide line driven by a 75X inverter shows the classic inductive
+driver-output signature: a fast initial step to roughly the breakpoint voltage, a
+plateau while the wave travels to the far end and back, and a second rise when the
+reflection returns.  The script prints an ASCII rendering of the simulated waveform
+with the two-ramp model next to it, plus the quantities a reader would take from
+the figure.
+
+Run with ``python examples/inductive_waveform.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import default_library, model_driver_output
+from repro.experiments import FIGURE1_CASE, ReferenceSimulator
+from repro.units import ps, to_ps
+
+
+def ascii_plot(times_ps, reference_volts, model_volts, vdd, *, width=61) -> str:
+    """A crude two-series ASCII plot: '#' = reference, 'o' = two-ramp model."""
+    lines = []
+    for t, ref_v, mod_v in zip(times_ps, reference_volts, model_volts):
+        ref_col = int(round((width - 1) * min(max(ref_v / vdd, 0.0), 1.1) / 1.1))
+        mod_col = int(round((width - 1) * min(max(mod_v / vdd, 0.0), 1.1) / 1.1))
+        row = [" "] * width
+        row[ref_col] = "#"
+        row[mod_col] = "o" if row[mod_col] == " " else "@"
+        lines.append(f"{t:7.0f} ps |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    case = FIGURE1_CASE
+    library = default_library()
+    cell = library.get(case.driver_size)
+    simulator = ReferenceSimulator()
+
+    print(f"simulating {case.describe()} ...")
+    reference = simulator.simulate_case(case)
+    model = model_driver_output(cell, case.input_slew, case.line, case.load_capacitance)
+
+    print(model.describe())
+    print()
+    print(f"observed initial step ~ {reference.initial_step_fraction():.2f} * Vdd, "
+          f"Eq.1 breakpoint f = {model.breakpoint_fraction:.2f}")
+    print(f"time of flight {to_ps(case.line.time_of_flight):.1f} ps "
+          f"(plateau lasts roughly one round trip)")
+    print()
+
+    t0 = reference.reference_time
+    sample_times = np.arange(0.0, to_ps(reference.near.t_end - t0), 10.0)
+    reference_volts = [reference.near.value_at(t0 + ps(t)) for t in sample_times]
+    modeled = model.two_ramp()
+    model_volts = [modeled.value(ps(t)) for t in sample_times]
+    print("driver output waveform ('#' reference simulation, 'o' two-ramp model):")
+    print(ascii_plot(sample_times, reference_volts, model_volts, reference.vdd))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: model a driver output for an inductive on-chip line.
+
+This is the paper's headline flow in ~20 lines:
+
+1. describe the wire (here: the 5 mm, 1.6 um line of the paper's Figure 1,
+   using its printed parasitics),
+2. pick a characterized driver from the shipped library (a 75X inverter),
+3. run the effective-capacitance two-ramp modeling flow,
+4. compare the modeled delay/slew against a transistor-level reference simulation.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import RLCLine, default_library, model_driver_output
+from repro.experiments import ReferenceSimulator
+from repro.units import mm, nH, pF, ps, to_ps
+
+
+def main() -> None:
+    # 1. The interconnect load: total R, L, C of a 5 mm global wire plus its length.
+    line = RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
+                   length=mm(5))
+    print(f"line: {line.describe()}")
+
+    # 2. A pre-characterized 75X inverter driver (NLDM-style delay/slew tables).
+    library = default_library()
+    cell = library.get(75)
+    print(f"driver: {cell.describe()}")
+
+    # 3. The paper's flow: admittance moments -> breakpoint -> Ceff1/Ceff2 -> two ramps.
+    model = model_driver_output(cell, input_slew=ps(100), line=line)
+    print()
+    print(model.describe())
+    print()
+    print(model.inductance_report.describe())
+
+    # 4. Validate against the transistor-level reference simulator (HSPICE stand-in).
+    print("\nrunning transistor-level reference simulation ...")
+    simulator = ReferenceSimulator()
+    reference = simulator.simulate(cell.driver_size, ps(100), line)
+    ref_delay = to_ps(reference.near_delay())
+    ref_slew = to_ps(reference.near_slew())
+    model_delay = to_ps(model.delay())
+    model_slew = to_ps(model.slew())
+    print(f"reference : delay {ref_delay:6.1f} ps   slew {ref_slew:6.1f} ps")
+    print(f"two-ramp  : delay {model_delay:6.1f} ps ({100 * (model_delay - ref_delay) / ref_delay:+.1f}%)"
+          f"   slew {model_slew:6.1f} ps ({100 * (model_slew - ref_slew) / ref_slew:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

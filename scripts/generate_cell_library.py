@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Generate the shipped pre-characterized cell library.
+
+Characterizes the driver sizes used by the paper's experiments (25X to 125X) over
+the default (input slew, load) grid with the circuit simulator and writes one JSON
+file per cell into ``src/repro/data/cells``.  Re-run this script after changing the
+technology or the MOSFET model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.characterization import (CellLibrary, CharacterizationGrid,
+                                    characterize_inverter, shipped_data_directory)
+from repro.tech import InverterSpec, generic_180nm
+
+DEFAULT_SIZES = (25.0, 50.0, 75.0, 100.0, 125.0)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=float, nargs="+", default=list(DEFAULT_SIZES),
+                        help="driver sizes (X) to characterize")
+    parser.add_argument("--output", type=Path, default=shipped_data_directory(),
+                        help="output directory for the JSON files")
+    parser.add_argument("--coarse", action="store_true",
+                        help="use the small test grid instead of the full grid")
+    args = parser.parse_args(argv)
+
+    tech = generic_180nm()
+    grid = CharacterizationGrid.coarse() if args.coarse else CharacterizationGrid.default()
+    library = CellLibrary(tech=tech)
+
+    for size in args.sizes:
+        spec = InverterSpec(tech=tech, size=size)
+        start = time.time()
+        print(f"characterizing {spec.describe()} ...", flush=True)
+        cell = characterize_inverter(spec, grid=grid)
+        library.add(cell)
+        print(f"  done in {time.time() - start:.1f} s "
+              f"(Rs_rise @ max load = "
+              f"{cell.driver_resistance(cell.input_slews[2], cell.max_load):.1f} ohm)",
+              flush=True)
+
+    output = library.save_to_directory(args.output)
+    print(f"wrote {len(library)} cells to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

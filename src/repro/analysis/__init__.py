@@ -1,0 +1,12 @@
+"""Waveform analysis and accuracy metrics."""
+
+from .metrics import AccuracySummary, percent_error, signed_percent_errors, summarize_errors
+from .waveform import Waveform
+
+__all__ = [
+    "Waveform",
+    "AccuracySummary",
+    "percent_error",
+    "signed_percent_errors",
+    "summarize_errors",
+]

@@ -1,0 +1,84 @@
+"""Error metrics used when comparing model predictions against reference simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "percent_error",
+    "signed_percent_errors",
+    "AccuracySummary",
+    "summarize_errors",
+]
+
+
+def percent_error(model: float, reference: float) -> float:
+    """Signed percent error of ``model`` relative to ``reference``.
+
+    Matches the convention of the paper's Table 1: ``(model - reference) / reference``
+    expressed in percent.  Raises ``ZeroDivisionError`` if the reference is zero.
+    """
+    if reference == 0:
+        raise ZeroDivisionError("reference value is zero; percent error undefined")
+    return 100.0 * (model - reference) / reference
+
+
+def signed_percent_errors(models: Sequence[float], references: Sequence[float]) -> np.ndarray:
+    """Vectorized :func:`percent_error` over parallel sequences."""
+    m = np.asarray(models, dtype=float)
+    r = np.asarray(references, dtype=float)
+    if m.shape != r.shape:
+        raise ValueError("models and references must have the same shape")
+    if np.any(r == 0):
+        raise ZeroDivisionError("at least one reference value is zero")
+    return 100.0 * (m - r) / r
+
+
+@dataclass
+class AccuracySummary:
+    """Aggregate statistics over a population of signed percent errors.
+
+    Mirrors how the paper reports Figure 7: mean absolute error plus the fraction of
+    cases under the 5 % and 10 % absolute-error thresholds.
+    """
+
+    errors_percent: np.ndarray = field(repr=False)
+    mean_abs_error: float = 0.0
+    max_abs_error: float = 0.0
+    median_abs_error: float = 0.0
+    fraction_under_5pct: float = 0.0
+    fraction_under_10pct: float = 0.0
+    count: int = 0
+
+    @classmethod
+    def from_errors(cls, errors_percent: Iterable[float]) -> "AccuracySummary":
+        err = np.asarray(list(errors_percent), dtype=float)
+        if err.size == 0:
+            raise ValueError("cannot summarize an empty error population")
+        abs_err = np.abs(err)
+        return cls(
+            errors_percent=err,
+            mean_abs_error=float(abs_err.mean()),
+            max_abs_error=float(abs_err.max()),
+            median_abs_error=float(np.median(abs_err)),
+            fraction_under_5pct=float(np.mean(abs_err < 5.0)),
+            fraction_under_10pct=float(np.mean(abs_err < 10.0)),
+            count=int(err.size),
+        )
+
+    def describe(self, label: str = "error") -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"{label}: n={self.count} mean|e|={self.mean_abs_error:.1f}% "
+            f"median|e|={self.median_abs_error:.1f}% max|e|={self.max_abs_error:.1f}% "
+            f"<5%: {100 * self.fraction_under_5pct:.0f}% of cases, "
+            f"<10%: {100 * self.fraction_under_10pct:.0f}% of cases"
+        )
+
+
+def summarize_errors(models: Sequence[float], references: Sequence[float]) -> AccuracySummary:
+    """Convenience wrapper: signed percent errors then :class:`AccuracySummary`."""
+    return AccuracySummary.from_errors(signed_percent_errors(models, references))

@@ -1,0 +1,234 @@
+"""Waveform container and measurement utilities.
+
+A :class:`Waveform` is an immutable pair of monotonically increasing time points
+and the corresponding signal values.  It provides the measurements used throughout
+the library and the paper's evaluation:
+
+* value interpolation at arbitrary times,
+* threshold-crossing times (first / last, rising / falling),
+* 50% delay relative to a reference time or reference waveform,
+* transition time (slew) between two fractional thresholds,
+* basic arithmetic and resampling for comparisons between model and simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..constants import DELAY_THRESHOLD, SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
+from ..errors import WaveformError
+
+__all__ = ["Waveform"]
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A sampled signal ``value(time)`` with strictly increasing time points."""
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]) -> None:
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.ndim != 1 or v.ndim != 1:
+            raise WaveformError("times and values must be one-dimensional")
+        if t.size != v.size:
+            raise WaveformError(
+                f"times ({t.size}) and values ({v.size}) must have the same length"
+            )
+        if t.size < 2:
+            raise WaveformError("a waveform needs at least two samples")
+        if np.any(np.diff(t) <= 0):
+            raise WaveformError("time points must be strictly increasing")
+        object.__setattr__(self, "times", t)
+        object.__setattr__(self, "values", v)
+
+    # --- basic accessors ---------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def t_start(self) -> float:
+        """First time point."""
+        return float(self.times[0])
+
+    @property
+    def t_end(self) -> float:
+        """Last time point."""
+        return float(self.times[-1])
+
+    @property
+    def v_min(self) -> float:
+        """Minimum sampled value."""
+        return float(self.values.min())
+
+    @property
+    def v_max(self) -> float:
+        """Maximum sampled value."""
+        return float(self.values.max())
+
+    @property
+    def v_final(self) -> float:
+        """Last sampled value."""
+        return float(self.values[-1])
+
+    def value_at(self, time: float | np.ndarray) -> float | np.ndarray:
+        """Linearly interpolated value at ``time`` (clamped to the end values)."""
+        result = np.interp(time, self.times, self.values)
+        if np.isscalar(time):
+            return float(result)
+        return result
+
+    # --- crossings -----------------------------------------------------------------
+    def crossing_times(self, level: float, *, rising: bool | None = None) -> np.ndarray:
+        """All times at which the waveform crosses ``level``.
+
+        Parameters
+        ----------
+        level:
+            Threshold value in the same units as ``values``.
+        rising:
+            If ``True`` only low-to-high crossings are returned, if ``False`` only
+            high-to-low crossings, if ``None`` every crossing is returned.
+        """
+        v = self.values
+        t = self.times
+        below = v < level
+        crossings = []
+        for i in range(len(v) - 1):
+            v0, v1 = v[i], v[i + 1]
+            if v0 == level:
+                direction_up = v1 > v0
+                if rising is None or rising == direction_up:
+                    crossings.append(t[i])
+                continue
+            if below[i] != below[i + 1]:
+                direction_up = v1 > v0
+                if rising is not None and rising != direction_up:
+                    continue
+                frac = (level - v0) / (v1 - v0)
+                crossings.append(t[i] + frac * (t[i + 1] - t[i]))
+        return np.asarray(crossings, dtype=float)
+
+    def time_at_level(self, level: float, *, rising: bool | None = None,
+                      which: str = "first") -> float:
+        """Time of the first or last crossing of ``level``.
+
+        Raises :class:`WaveformError` when the waveform never crosses the level.
+        """
+        crossings = self.crossing_times(level, rising=rising)
+        if crossings.size == 0:
+            raise WaveformError(
+                f"waveform never crosses level {level!r} "
+                f"(range {self.v_min:.4g} .. {self.v_max:.4g})"
+            )
+        if which == "first":
+            return float(crossings[0])
+        if which == "last":
+            return float(crossings[-1])
+        raise ValueError("which must be 'first' or 'last'")
+
+    # --- timing measurements ---------------------------------------------------------
+    def delay(self, vdd: float, *, reference_time: float = 0.0,
+              threshold: float = DELAY_THRESHOLD, rising: bool | None = None,
+              which: str = "first") -> float:
+        """Delay from ``reference_time`` to the ``threshold * vdd`` crossing."""
+        return self.time_at_level(threshold * vdd, rising=rising, which=which) - reference_time
+
+    def slew(self, vdd: float, *, low: float = SLEW_LOW_THRESHOLD,
+             high: float = SLEW_HIGH_THRESHOLD, rising: bool = True) -> float:
+        """Transition time between the ``low`` and ``high`` fractional thresholds.
+
+        For a rising edge this is ``t(high*vdd) - t(low*vdd)`` using the first
+        crossing of the low threshold and the first crossing of the high threshold
+        after it; for a falling edge the roles are exchanged.
+        """
+        if not 0.0 <= low < high <= 1.0:
+            raise WaveformError(f"invalid slew thresholds low={low}, high={high}")
+        if rising:
+            t_low = self.time_at_level(low * vdd, rising=True, which="first")
+            highs = self.crossing_times(high * vdd, rising=True)
+            highs = highs[highs >= t_low]
+            if highs.size == 0:
+                raise WaveformError("waveform never reaches the high slew threshold")
+            return float(highs[0] - t_low)
+        t_high = self.time_at_level(high * vdd, rising=False, which="first")
+        lows = self.crossing_times(low * vdd, rising=False)
+        lows = lows[lows >= t_high]
+        if lows.size == 0:
+            raise WaveformError("waveform never reaches the low slew threshold")
+        return float(lows[0] - t_high)
+
+    def ramp_time(self, vdd: float, *, low: float = SLEW_LOW_THRESHOLD,
+                  high: float = SLEW_HIGH_THRESHOLD, rising: bool = True) -> float:
+        """Equivalent full-swing (0 to 100%) ramp time inferred from a measured slew."""
+        return self.slew(vdd, low=low, high=high, rising=rising) / (high - low)
+
+    # --- transformations --------------------------------------------------------------
+    def shifted(self, dt: float) -> "Waveform":
+        """Return a copy shifted in time by ``dt``."""
+        return Waveform(self.times + dt, self.values.copy())
+
+    def scaled(self, factor: float) -> "Waveform":
+        """Return a copy with values multiplied by ``factor``."""
+        return Waveform(self.times.copy(), self.values * factor)
+
+    def clipped(self, t_start: float, t_end: float) -> "Waveform":
+        """Return the sub-waveform between ``t_start`` and ``t_end`` (inclusive)."""
+        if t_end <= t_start:
+            raise WaveformError("t_end must be greater than t_start")
+        mask = (self.times >= t_start) & (self.times <= t_end)
+        if mask.sum() < 2:
+            raise WaveformError("clip window contains fewer than two samples")
+        return Waveform(self.times[mask], self.values[mask])
+
+    def resampled(self, times: Iterable[float]) -> "Waveform":
+        """Return the waveform re-interpolated onto ``times``."""
+        t = np.asarray(list(times), dtype=float)
+        return Waveform(t, np.interp(t, self.times, self.values))
+
+    def max_abs_difference(self, other: "Waveform", *, n_points: int = 2000) -> float:
+        """Maximum absolute difference against ``other`` over the overlapping window."""
+        t0 = max(self.t_start, other.t_start)
+        t1 = min(self.t_end, other.t_end)
+        if t1 <= t0:
+            raise WaveformError("waveforms do not overlap in time")
+        grid = np.linspace(t0, t1, n_points)
+        return float(np.max(np.abs(self.value_at(grid) - other.value_at(grid))))
+
+    def rms_difference(self, other: "Waveform", *, n_points: int = 2000) -> float:
+        """Root-mean-square difference against ``other`` over the overlapping window."""
+        t0 = max(self.t_start, other.t_start)
+        t1 = min(self.t_end, other.t_end)
+        if t1 <= t0:
+            raise WaveformError("waveforms do not overlap in time")
+        grid = np.linspace(t0, t1, n_points)
+        diff = self.value_at(grid) - other.value_at(grid)
+        return float(np.sqrt(np.mean(diff * diff)))
+
+    # --- constructors ------------------------------------------------------------------
+    @classmethod
+    def from_function(cls, func, t_start: float, t_end: float, n_points: int = 1000) -> "Waveform":
+        """Sample ``func(t)`` uniformly on ``[t_start, t_end]``."""
+        t = np.linspace(t_start, t_end, n_points)
+        return cls(t, np.array([func(ti) for ti in t], dtype=float))
+
+    @classmethod
+    def saturated_ramp(cls, vdd: float, ramp_time: float, *, delay: float = 0.0,
+                       t_end: float | None = None, rising: bool = True) -> "Waveform":
+        """A single saturated ramp from 0 to ``vdd`` (or ``vdd`` to 0) over ``ramp_time``."""
+        if ramp_time <= 0:
+            raise WaveformError("ramp_time must be positive")
+        end = t_end if t_end is not None else delay + 2.0 * ramp_time
+        end = max(end, delay + ramp_time * 1.0001)
+        times = np.array([min(0.0, delay), delay, delay + ramp_time, end])
+        times = np.unique(times)
+        if rising:
+            values = np.clip((times - delay) / ramp_time, 0.0, 1.0) * vdd
+        else:
+            values = vdd - np.clip((times - delay) / ramp_time, 0.0, 1.0) * vdd
+        return cls(times, values)

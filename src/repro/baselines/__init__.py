@@ -1,0 +1,14 @@
+"""Baseline driver-output models the paper's evaluation compares against."""
+
+from .one_ramp import (half_charge_ceff_model, single_ceff_model,
+                       total_capacitance_model)
+from .rc_pi import RcPiBaseline, rc_equivalent_line, rc_pi_baseline
+
+__all__ = [
+    "single_ceff_model",
+    "half_charge_ceff_model",
+    "total_capacitance_model",
+    "RcPiBaseline",
+    "rc_pi_baseline",
+    "rc_equivalent_line",
+]

@@ -1,0 +1,66 @@
+"""RC (inductance-free) baseline built on the O'Brien/Savarino pi-model.
+
+Before inductance mattered, the standard flow was: reduce the RC load to a pi-model
+from its first three admittance moments, then find a single effective capacitance by
+charge matching (Qian/Pillage).  This module provides that flow so the experiments
+can quantify what is lost when inductance is ignored altogether — both the moments
+and the reduced load drop the ``L`` terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..characterization.cell import CellCharacterization
+from ..constants import CEFF_MAX_ITERATIONS, CEFF_REL_TOL
+from ..errors import ModelingError
+from ..interconnect.admittance import PiModel, fit_pi_model
+from ..interconnect.moments import admittance_moments
+from ..interconnect.rlc_line import RLCLine
+from ..core.iteration import CeffIterationResult, iterate_ceff1
+
+__all__ = ["RcPiBaseline", "rc_pi_baseline"]
+
+
+@dataclass(frozen=True)
+class RcPiBaseline:
+    """Result of the RC pi-model effective-capacitance baseline."""
+
+    pi_model: PiModel
+    ceff: float
+    ramp_time: float
+    gate_delay: float
+    iteration: CeffIterationResult
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        return (f"RC pi baseline: {self.pi_model.describe()}  "
+                f"Ceff={self.ceff * 1e15:.1f}fF Tr={self.ramp_time * 1e12:.1f}ps "
+                f"delay={self.gate_delay * 1e12:.1f}ps")
+
+
+def rc_equivalent_line(line: RLCLine) -> RLCLine:
+    """The same line with its inductance made negligible (RC-only view)."""
+    negligible_inductance = 1e-6 * line.inductance
+    return RLCLine(resistance=line.resistance, inductance=negligible_inductance,
+                   capacitance=line.capacitance, length=line.length)
+
+
+def rc_pi_baseline(cell: CellCharacterization, input_slew: float, line: RLCLine,
+                   load_capacitance: float = 0.0, *, transition: str = "rise",
+                   rel_tol: float = CEFF_REL_TOL,
+                   max_iterations: int = CEFF_MAX_ITERATIONS) -> RcPiBaseline:
+    """Classic RC effective capacitance of the line, ignoring inductance entirely."""
+    if input_slew <= 0:
+        raise ModelingError("input slew must be positive")
+    rc_line = rc_equivalent_line(line)
+    moments = admittance_moments(rc_line, load_capacitance, order=6)
+    pi_model = fit_pi_model(moments)
+    admittance = pi_model.as_rational()
+    iteration = iterate_ceff1(cell, input_slew, admittance, 1.0, transition=transition,
+                              rel_tol=rel_tol, max_iterations=max_iterations)
+    gate_delay = cell.delay(input_slew, iteration.ceff, transition=transition)
+    return RcPiBaseline(pi_model=pi_model, ceff=iteration.ceff,
+                        ramp_time=iteration.ramp_time, gate_delay=gate_delay,
+                        iteration=iteration)

@@ -1,0 +1,20 @@
+"""Cell (driver) characterization: tables, simulation-driven characterization, library."""
+
+from .cell import CellCharacterization
+from .characterize import (CharacterizationGrid, characterize_inverter,
+                           simulate_driver_with_load)
+from .driver_resistance import resistance_from_waveform
+from .library import CellLibrary, default_library, shipped_data_directory
+from .tables import LookupTable2D
+
+__all__ = [
+    "LookupTable2D",
+    "CellCharacterization",
+    "CharacterizationGrid",
+    "characterize_inverter",
+    "simulate_driver_with_load",
+    "resistance_from_waveform",
+    "CellLibrary",
+    "default_library",
+    "shipped_data_directory",
+]

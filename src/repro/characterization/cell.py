@@ -1,0 +1,159 @@
+"""Characterized cell data: the library view of a driver.
+
+A :class:`CellCharacterization` is exactly the information a static timing library
+keeps per cell arc — 50% delay and output transition time tables indexed by input
+slew and capacitive load — plus the driver on-resistance table the paper's flow
+needs to compute the breakpoint voltage.  The two-ramp model consumes drivers only
+through this interface, which is what makes the approach "library compatible".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
+from ..errors import CharacterizationError
+from ..tech.inverter import InverterSpec
+from ..tech.technology import Technology, generic_180nm
+from .tables import LookupTable2D
+
+__all__ = ["CellCharacterization"]
+
+
+@dataclass
+class CellCharacterization:
+    """Pre-characterized timing data of one driver (inverter) cell."""
+
+    cell_name: str
+    driver_size: float
+    vdd: float
+    input_capacitance: float
+    slew_low: float
+    slew_high: float
+    delay_rise: LookupTable2D  #: 50% input -> 50% output delay, output rising [s]
+    transition_rise: LookupTable2D  #: measured low-to-high output transition [s]
+    delay_fall: LookupTable2D
+    transition_fall: LookupTable2D
+    resistance_rise: LookupTable2D  #: pull-up on-resistance vs (input slew, load) [ohm]
+    resistance_fall: LookupTable2D  #: pull-down on-resistance vs (input slew, load) [ohm]
+    technology_name: str = "generic-180nm"
+    metadata: Dict = field(default_factory=dict)
+
+    # --- lookups ------------------------------------------------------------------
+    def _tables(self, transition: str):
+        if transition == "rise":
+            return self.delay_rise, self.transition_rise, self.resistance_rise
+        if transition == "fall":
+            return self.delay_fall, self.transition_fall, self.resistance_fall
+        raise CharacterizationError(f"transition must be 'rise' or 'fall', got {transition!r}")
+
+    def delay(self, input_slew: float, load: float, *, transition: str = "rise") -> float:
+        """50% input to 50% output delay [s] for the given input slew and load."""
+        delay_table, _, _ = self._tables(transition)
+        return delay_table.lookup(input_slew, load)
+
+    def output_transition(self, input_slew: float, load: float, *,
+                          transition: str = "rise") -> float:
+        """Measured output transition time (slew_low to slew_high thresholds) [s]."""
+        _, transition_table, _ = self._tables(transition)
+        return transition_table.lookup(input_slew, load)
+
+    def ramp_time(self, input_slew: float, load: float, *, transition: str = "rise") -> float:
+        """Equivalent full-swing (0 to 100%) ramp time of the output [s].
+
+        This is the ``Tr`` the paper's two-ramp equations consume: the measured
+        threshold-to-threshold transition scaled to the full supply swing.
+        """
+        measured = self.output_transition(input_slew, load, transition=transition)
+        return measured / (self.slew_high - self.slew_low)
+
+    def driver_resistance(self, input_slew: float, load: float, *,
+                          transition: str = "rise") -> float:
+        """Driver on-resistance [ohm] extracted at the given input slew and load."""
+        _, _, resistance_table = self._tables(transition)
+        return resistance_table.lookup(input_slew, load)
+
+    # --- axes ----------------------------------------------------------------------
+    @property
+    def input_slews(self) -> np.ndarray:
+        """Characterized input-slew axis [s]."""
+        return self.delay_rise.row_axis
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Characterized capacitive-load axis [F]."""
+        return self.delay_rise.column_axis
+
+    @property
+    def max_load(self) -> float:
+        """Largest characterized load [F]."""
+        return float(self.loads[-1])
+
+    def spec(self, tech: Optional[Technology] = None) -> InverterSpec:
+        """Reconstruct the :class:`InverterSpec` this cell was characterized from."""
+        return InverterSpec(tech=tech if tech is not None else generic_180nm(),
+                            size=self.driver_size)
+
+    # --- serialization -------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation."""
+        return {
+            "cell_name": self.cell_name,
+            "driver_size": self.driver_size,
+            "vdd": self.vdd,
+            "input_capacitance": self.input_capacitance,
+            "slew_low": self.slew_low,
+            "slew_high": self.slew_high,
+            "technology_name": self.technology_name,
+            "metadata": self.metadata,
+            "delay_rise": self.delay_rise.to_dict(),
+            "transition_rise": self.transition_rise.to_dict(),
+            "delay_fall": self.delay_fall.to_dict(),
+            "transition_fall": self.transition_fall.to_dict(),
+            "resistance_rise": self.resistance_rise.to_dict(),
+            "resistance_fall": self.resistance_fall.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CellCharacterization":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            cell_name=data["cell_name"],
+            driver_size=data["driver_size"],
+            vdd=data["vdd"],
+            input_capacitance=data["input_capacitance"],
+            slew_low=data.get("slew_low", SLEW_LOW_THRESHOLD),
+            slew_high=data.get("slew_high", SLEW_HIGH_THRESHOLD),
+            technology_name=data.get("technology_name", "generic-180nm"),
+            metadata=data.get("metadata", {}),
+            delay_rise=LookupTable2D.from_dict(data["delay_rise"]),
+            transition_rise=LookupTable2D.from_dict(data["transition_rise"]),
+            delay_fall=LookupTable2D.from_dict(data["delay_fall"]),
+            transition_fall=LookupTable2D.from_dict(data["transition_fall"]),
+            resistance_rise=LookupTable2D.from_dict(data["resistance_rise"]),
+            resistance_fall=LookupTable2D.from_dict(data["resistance_fall"]),
+        )
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the characterization to a JSON file and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=1))
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "CellCharacterization":
+        """Load a characterization previously written with :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def describe(self) -> str:
+        """Human-readable summary of the characterized grid."""
+        slews_ps = ", ".join(f"{s * 1e12:.0f}" for s in self.input_slews)
+        loads_ff = ", ".join(f"{c * 1e15:.0f}" for c in self.loads)
+        return (f"{self.cell_name}: vdd={self.vdd}V  slews[ps]=({slews_ps})  "
+                f"loads[fF]=({loads_ff})")

@@ -1,0 +1,187 @@
+"""Simulation-driven cell characterization.
+
+This is the library-characterization step the paper assumes has already happened:
+for every (input slew, capacitive load) grid point the driver is simulated with the
+circuit engine and its 50% delay, output transition time and on-resistance are
+recorded.  The result is a :class:`~repro.characterization.cell.CellCharacterization`
+that the two-ramp modeling flow consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.waveform import Waveform
+from ..circuit.netlist import Circuit
+from ..circuit.sources import RampSource
+from ..circuit.transient import TransientOptions, run_transient
+from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
+from ..errors import CharacterizationError
+from ..tech.inverter import InverterSpec, add_inverter
+from ..units import fF, ps
+from .cell import CellCharacterization
+from .driver_resistance import resistance_from_waveform
+from .tables import LookupTable2D
+
+__all__ = ["CharacterizationGrid", "characterize_inverter", "simulate_driver_with_load"]
+
+
+@dataclass(frozen=True)
+class CharacterizationGrid:
+    """The (input slew, load) grid a cell is characterized over."""
+
+    input_slews: Tuple[float, ...]
+    loads: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.input_slews) < 2 or len(self.loads) < 2:
+            raise CharacterizationError("the grid needs at least 2 x 2 points")
+        if any(s <= 0 for s in self.input_slews) or any(c <= 0 for c in self.loads):
+            raise CharacterizationError("grid values must be positive")
+        if list(self.input_slews) != sorted(self.input_slews) or \
+                list(self.loads) != sorted(self.loads):
+            raise CharacterizationError("grid axes must be sorted ascending")
+
+    @classmethod
+    def default(cls) -> "CharacterizationGrid":
+        """The grid used for the shipped cell library.
+
+        Input slews span the paper's 50-200 ps sweep with margin; loads span a few
+        fF up to beyond the largest line capacitance in the experiments (~2 pF).
+        """
+        slews = tuple(ps(v) for v in (20.0, 50.0, 100.0, 150.0, 200.0, 300.0))
+        loads = tuple(fF(v) for v in (10.0, 30.0, 75.0, 150.0, 300.0, 600.0, 1000.0,
+                                      1600.0, 2400.0))
+        return cls(input_slews=slews, loads=loads)
+
+    @classmethod
+    def coarse(cls) -> "CharacterizationGrid":
+        """A small grid for fast tests."""
+        slews = tuple(ps(v) for v in (50.0, 150.0, 300.0))
+        loads = tuple(fF(v) for v in (30.0, 150.0, 600.0, 1600.0))
+        return cls(input_slews=slews, loads=loads)
+
+
+@dataclass(frozen=True)
+class DriverMeasurement:
+    """Raw measurements of one characterization simulation."""
+
+    delay: float
+    transition: float
+    resistance: float
+    waveform: Waveform
+    input_waveform: Waveform
+
+
+def _simulation_timestep(input_slew: float, time_constant: float) -> float:
+    """A time step fine enough for the fastest feature of the run."""
+    dt = min(input_slew / 80.0, max(time_constant / 80.0, ps(0.05)))
+    return float(np.clip(dt, ps(0.05), ps(1.0)))
+
+
+def simulate_driver_with_load(spec: InverterSpec, input_slew: float, load: float, *,
+                              transition: str = "rise",
+                              slew_low: float = SLEW_LOW_THRESHOLD,
+                              slew_high: float = SLEW_HIGH_THRESHOLD) -> DriverMeasurement:
+    """Simulate one inverter driving a purely capacitive ``load`` and measure it.
+
+    ``transition`` selects the *output* edge: "rise" applies a falling input ramp.
+    Returns delays relative to the input's 50% crossing.
+    """
+    if transition not in ("rise", "fall"):
+        raise CharacterizationError("transition must be 'rise' or 'fall'")
+    tech = spec.tech
+    vdd = tech.vdd
+    t_delay = ps(20.0)
+
+    circuit = Circuit(f"char_{spec.size:g}x")
+    circuit.voltage_source("vdd", "0", vdd, name="Vdd")
+    if transition == "rise":
+        stimulus = RampSource(vdd, 0.0, input_slew, t_delay=t_delay)
+    else:
+        stimulus = RampSource(0.0, vdd, input_slew, t_delay=t_delay)
+    circuit.voltage_source("in", "0", stimulus, name="Vin")
+    add_inverter(circuit, spec, "in", "out")
+    circuit.capacitor("out", "0", load, name="Cload")
+
+    total_load = load + spec.output_parasitic_capacitance
+    time_constant = spec.estimated_resistance() * total_load
+    t_stop = t_delay + input_slew + max(10.0 * time_constant, ps(200.0))
+    dt = _simulation_timestep(input_slew, time_constant)
+    if t_stop / dt > 40000:
+        dt = t_stop / 40000
+
+    result = run_transient(circuit, t_stop,
+                           options=TransientOptions(dt=dt, store_branch_currents=False))
+    output = result.waveform("out")
+    input_wave = result.waveform("in")
+
+    t_input_50 = t_delay + 0.5 * input_slew
+    rising = transition == "rise"
+    delay = output.time_at_level(0.5 * vdd, rising=rising, which="first") - t_input_50
+    measured_transition = output.slew(vdd, low=slew_low, high=slew_high, rising=rising)
+    resistance = resistance_from_waveform(output, vdd, total_load, rising=rising)
+    return DriverMeasurement(delay=delay, transition=measured_transition,
+                             resistance=resistance, waveform=output,
+                             input_waveform=input_wave)
+
+
+def characterize_inverter(spec: InverterSpec, *, grid: Optional[CharacterizationGrid] = None,
+                          slew_low: float = SLEW_LOW_THRESHOLD,
+                          slew_high: float = SLEW_HIGH_THRESHOLD,
+                          transitions: Iterable[str] = ("rise", "fall"),
+                          cell_name: Optional[str] = None) -> CellCharacterization:
+    """Characterize an inverter over a (slew, load) grid using the circuit simulator."""
+    grid = grid if grid is not None else CharacterizationGrid.default()
+    transitions = tuple(transitions)
+    if not transitions:
+        raise CharacterizationError("at least one transition direction is required")
+
+    shape = (len(grid.input_slews), len(grid.loads))
+    tables = {}
+    for direction in ("rise", "fall"):
+        tables[direction] = {
+            "delay": np.zeros(shape),
+            "transition": np.zeros(shape),
+            "resistance": np.zeros(shape),
+        }
+
+    for direction in transitions:
+        for i, slew in enumerate(grid.input_slews):
+            for j, load in enumerate(grid.loads):
+                measurement = simulate_driver_with_load(
+                    spec, slew, load, transition=direction,
+                    slew_low=slew_low, slew_high=slew_high)
+                tables[direction]["delay"][i, j] = measurement.delay
+                tables[direction]["transition"][i, j] = measurement.transition
+                tables[direction]["resistance"][i, j] = measurement.resistance
+
+    # When only one direction was characterized, mirror it so both table sets exist.
+    characterized = set(transitions)
+    for direction, other in (("rise", "fall"), ("fall", "rise")):
+        if direction not in characterized:
+            tables[direction] = tables[other]
+
+    def _table(direction: str, kind: str) -> LookupTable2D:
+        return LookupTable2D(grid.input_slews, grid.loads, tables[direction][kind])
+
+    name = cell_name or f"inv_{spec.size:g}x"
+    return CellCharacterization(
+        cell_name=name,
+        driver_size=spec.size,
+        vdd=spec.tech.vdd,
+        input_capacitance=spec.input_capacitance,
+        slew_low=slew_low,
+        slew_high=slew_high,
+        technology_name=spec.tech.name,
+        metadata={"characterized_transitions": list(transitions)},
+        delay_rise=_table("rise", "delay"),
+        transition_rise=_table("rise", "transition"),
+        delay_fall=_table("fall", "delay"),
+        transition_fall=_table("fall", "transition"),
+        resistance_rise=_table("rise", "resistance"),
+        resistance_fall=_table("fall", "resistance"),
+    )

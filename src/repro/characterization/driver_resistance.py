@@ -1,0 +1,55 @@
+"""Driver on-resistance extraction.
+
+The paper (Section 5) models the driver's on-resistance the way Thevenin gate models
+do: the tail of the output transition into a capacitive load is treated as an RC
+exponential, and the time between the 50% and 90% crossings gives the resistance::
+
+    t_90 - t_50 = Rs * C * ln( (Vdd - 0.5*Vdd) / (Vdd - 0.9*Vdd) ) = Rs * C * ln(5)
+
+The resistance is evaluated at the *total* load capacitance (the paper observes the
+breakpoint voltage is insensitive to using the effective capacitance instead).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.waveform import Waveform
+from ..errors import CharacterizationError
+
+__all__ = ["resistance_from_waveform", "EXPONENTIAL_FIT_FACTOR"]
+
+#: ``ln(0.5 / 0.1)`` — the number of RC time constants between 50% and 90%.
+EXPONENTIAL_FIT_FACTOR = math.log(5.0)
+
+
+def resistance_from_waveform(waveform: Waveform, vdd: float, load_capacitance: float,
+                             *, rising: bool = True) -> float:
+    """Driver on-resistance from the 50%-to-90% segment of a capacitive-load waveform.
+
+    Parameters
+    ----------
+    waveform:
+        The simulated driver output into a purely capacitive load.
+    vdd:
+        Supply voltage.
+    load_capacitance:
+        The capacitance the driver was loaded with during the measurement.
+    rising:
+        ``True`` for a rising output (pull-up resistance), ``False`` for falling.
+    """
+    if vdd <= 0:
+        raise CharacterizationError("vdd must be positive")
+    if load_capacitance <= 0:
+        raise CharacterizationError("load capacitance must be positive")
+    if rising:
+        t_half = waveform.time_at_level(0.5 * vdd, rising=True)
+        t_ninety = waveform.time_at_level(0.9 * vdd, rising=True)
+    else:
+        t_half = waveform.time_at_level(0.5 * vdd, rising=False)
+        t_ninety = waveform.time_at_level(0.1 * vdd, rising=False)
+    interval = t_ninety - t_half
+    if interval <= 0:
+        raise CharacterizationError(
+            "output waveform reaches 90% before 50%; cannot fit an exponential")
+    return interval / (load_capacitance * EXPONENTIAL_FIT_FACTOR)

@@ -1,0 +1,102 @@
+"""Two-dimensional look-up tables with bilinear interpolation.
+
+Gate characterization data (50% delay and output transition time versus input slew
+and output load) is stored in the same shape as NLDM-style liberty tables.  Lookups
+bilinearly interpolate inside the characterized grid and linearly extrapolate
+outside it, which the effective-capacitance iteration relies on when the effective
+load drops below the smallest characterized capacitance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import CharacterizationError
+
+__all__ = ["LookupTable2D"]
+
+
+class LookupTable2D:
+    """A value grid indexed by two strictly increasing axes (rows x columns)."""
+
+    def __init__(self, row_axis: Sequence[float], column_axis: Sequence[float],
+                 values: Sequence[Sequence[float]], *, row_name: str = "input_slew",
+                 column_name: str = "load") -> None:
+        rows = np.asarray(row_axis, dtype=float)
+        cols = np.asarray(column_axis, dtype=float)
+        grid = np.asarray(values, dtype=float)
+        if rows.ndim != 1 or cols.ndim != 1:
+            raise CharacterizationError("table axes must be one-dimensional")
+        if rows.size < 2 or cols.size < 2:
+            raise CharacterizationError("each table axis needs at least two points")
+        if np.any(np.diff(rows) <= 0) or np.any(np.diff(cols) <= 0):
+            raise CharacterizationError("table axes must be strictly increasing")
+        if grid.shape != (rows.size, cols.size):
+            raise CharacterizationError(
+                f"value grid shape {grid.shape} does not match axes "
+                f"({rows.size}, {cols.size})")
+        if not np.all(np.isfinite(grid)):
+            raise CharacterizationError("table values must be finite")
+        self.row_axis = rows
+        self.column_axis = cols
+        self.values = grid
+        self.row_name = row_name
+        self.column_name = column_name
+
+    # --- lookup ------------------------------------------------------------------
+    @staticmethod
+    def _cell_index(axis: np.ndarray, value: float) -> int:
+        """Index of the lower grid point of the cell used for (extra)interpolation."""
+        idx = int(np.searchsorted(axis, value)) - 1
+        return min(max(idx, 0), axis.size - 2)
+
+    def lookup(self, row_value: float, column_value: float) -> float:
+        """Bilinear interpolation at (row_value, column_value), extrapolating at edges."""
+        i = self._cell_index(self.row_axis, row_value)
+        j = self._cell_index(self.column_axis, column_value)
+        r0, r1 = self.row_axis[i], self.row_axis[i + 1]
+        c0, c1 = self.column_axis[j], self.column_axis[j + 1]
+        tr = (row_value - r0) / (r1 - r0)
+        tc = (column_value - c0) / (c1 - c0)
+        v00 = self.values[i, j]
+        v01 = self.values[i, j + 1]
+        v10 = self.values[i + 1, j]
+        v11 = self.values[i + 1, j + 1]
+        return float((1 - tr) * ((1 - tc) * v00 + tc * v01)
+                     + tr * ((1 - tc) * v10 + tc * v11))
+
+    def __call__(self, row_value: float, column_value: float) -> float:
+        return self.lookup(row_value, column_value)
+
+    def column_slice(self, row_value: float) -> np.ndarray:
+        """Values interpolated along the row axis for every column grid point."""
+        return np.array([self.lookup(row_value, c) for c in self.column_axis])
+
+    @property
+    def shape(self) -> tuple:
+        """(rows, columns) of the value grid."""
+        return self.values.shape
+
+    # --- serialization ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation."""
+        return {
+            "row_name": self.row_name,
+            "column_name": self.column_name,
+            "row_axis": self.row_axis.tolist(),
+            "column_axis": self.column_axis.tolist(),
+            "values": self.values.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LookupTable2D":
+        """Inverse of :meth:`to_dict`."""
+        return cls(data["row_axis"], data["column_axis"], data["values"],
+                   row_name=data.get("row_name", "input_slew"),
+                   column_name=data.get("column_name", "load"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LookupTable2D({self.row_name} x {self.column_name}, "
+                f"shape={self.values.shape})")

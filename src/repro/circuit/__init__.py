@@ -1,0 +1,51 @@
+"""A compact SPICE-like circuit simulation substrate.
+
+This package provides the reference ("golden") simulation capability that the paper
+obtained from HSPICE: netlist construction, DC operating point, transient analysis
+with Newton-Raphson for MOSFET drivers, and AC analysis for admittance measurements.
+"""
+
+from .ac import ACResult, ac_analysis, driving_point_admittance
+from .dc import DCSolution, dc_operating_point
+from .elements import (Capacitor, CurrentSource, Element, Inductor, Resistor,
+                       TwoTerminal, VoltageSource)
+from .mna import MnaIndex, StampAccumulator
+from .mosfet import Mosfet, MosfetEvaluation, MosfetParameters
+from .netlist import GROUND, Circuit
+from .sources import (DCSource, PulseSource, PWLSource, RampSource, SourceFunction,
+                      as_source)
+from .spice_io import netlist_to_spice, source_to_spice
+from .transient import TransientOptions, TransientResult, run_transient
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "Element",
+    "TwoTerminal",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Mosfet",
+    "MosfetParameters",
+    "MosfetEvaluation",
+    "SourceFunction",
+    "DCSource",
+    "RampSource",
+    "PWLSource",
+    "PulseSource",
+    "as_source",
+    "MnaIndex",
+    "StampAccumulator",
+    "dc_operating_point",
+    "DCSolution",
+    "run_transient",
+    "TransientOptions",
+    "TransientResult",
+    "ac_analysis",
+    "ACResult",
+    "driving_point_admittance",
+    "netlist_to_spice",
+    "source_to_spice",
+]

@@ -1,0 +1,184 @@
+"""Small-signal AC analysis.
+
+The AC engine builds a complex MNA system per frequency: resistors stamp their
+conductance, capacitors stamp ``j*omega*C``, inductors keep a branch current with
+``v - j*omega*L*i = 0``, and MOSFETs (when present) are linearized around a DC
+operating point.  Independent sources contribute their *AC magnitude*, supplied per
+source name — all other sources are zeroed (voltage sources become shorts, current
+sources become opens), as in SPICE.
+
+The main consumer inside this library is the numerical validation of driving-point
+admittance moments: :func:`driving_point_admittance` measures ``Y(j*omega)`` of a
+one-port directly from the simulator so the moment-based rational fit (paper Eq. 3)
+can be checked against "measurement".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+from scipy.sparse import linalg as spla
+
+from ..errors import SimulationError
+from .dc import DCSolution, dc_operating_point
+from .elements import Capacitor, CurrentSource, Inductor, Resistor, VoltageSource
+from .mna import MnaIndex, StampAccumulator
+from .mosfet import Mosfet
+from .netlist import Circuit
+
+__all__ = ["ACResult", "ac_analysis", "driving_point_admittance"]
+
+
+@dataclass
+class ACResult:
+    """Complex node voltages and branch currents per analysis frequency."""
+
+    frequencies: np.ndarray
+    node_names: Sequence[str]
+    branch_names: Sequence[str]
+    _voltages: np.ndarray  # (n_freq, n_nodes) complex
+    _currents: np.ndarray  # (n_freq, n_branches) complex
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex voltage phasor of ``node`` across frequencies."""
+        if node not in self.node_names:
+            return np.zeros_like(self.frequencies, dtype=complex)
+        return self._voltages[:, list(self.node_names).index(node)]
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        """Complex branch-current phasor of a voltage source or inductor."""
+        if element_name not in self.branch_names:
+            raise SimulationError(f"{element_name!r} has no branch current")
+        return self._currents[:, list(self.branch_names).index(element_name)]
+
+
+def _complex_stamps(circuit: Circuit, index: MnaIndex, omega: float,
+                    ac_magnitudes: Dict[str, float],
+                    op: Optional[DCSolution]) -> tuple:
+    """Assemble the complex MNA matrix and RHS for one angular frequency."""
+    size = index.size
+    rows, cols, vals = [], [], []
+    rhs = np.zeros(size, dtype=complex)
+
+    def add(i, j, value):
+        if i is None or j is None:
+            return
+        rows.append(i)
+        cols.append(j)
+        vals.append(value)
+
+    def add_conductance(pos, neg, value):
+        add(pos, pos, value)
+        add(neg, neg, value)
+        add(pos, neg, -value)
+        add(neg, pos, -value)
+
+    for resistor in circuit.elements_of_type(Resistor):
+        add_conductance(index.node(resistor.node_pos), index.node(resistor.node_neg),
+                        resistor.conductance)
+    for cap in circuit.elements_of_type(Capacitor):
+        add_conductance(index.node(cap.node_pos), index.node(cap.node_neg),
+                        1j * omega * cap.capacitance)
+    for inductor in circuit.elements_of_type(Inductor):
+        pos = index.node(inductor.node_pos)
+        neg = index.node(inductor.node_neg)
+        branch = index.branch(inductor)
+        add(pos, branch, 1.0)
+        add(neg, branch, -1.0)
+        add(branch, pos, 1.0)
+        add(branch, neg, -1.0)
+        add(branch, branch, -1j * omega * inductor.inductance)
+    for vsource in circuit.elements_of_type(VoltageSource):
+        pos = index.node(vsource.node_pos)
+        neg = index.node(vsource.node_neg)
+        branch = index.branch(vsource)
+        add(pos, branch, 1.0)
+        add(neg, branch, -1.0)
+        add(branch, pos, 1.0)
+        add(branch, neg, -1.0)
+        rhs[branch] += ac_magnitudes.get(vsource.name, 0.0)
+    for isource in circuit.elements_of_type(CurrentSource):
+        magnitude = ac_magnitudes.get(isource.name, 0.0)
+        pos = index.node(isource.node_pos)
+        neg = index.node(isource.node_neg)
+        if pos is not None:
+            rhs[pos] -= magnitude
+        if neg is not None:
+            rhs[neg] += magnitude
+    for mosfet in circuit.elements_of_type(Mosfet):
+        if op is None:
+            raise SimulationError(
+                "AC analysis of a circuit with MOSFETs requires a DC operating point")
+        d = index.node(mosfet.drain)
+        g = index.node(mosfet.gate)
+        s = index.node(mosfet.source)
+        vd = op.voltage(mosfet.drain)
+        vg = op.voltage(mosfet.gate)
+        vs = op.voltage(mosfet.source)
+        small_signal = mosfet.evaluate(vd, vg, vs)
+        add(d, d, small_signal.di_dvd)
+        add(d, g, small_signal.di_dvg)
+        add(d, s, small_signal.di_dvs)
+        add(s, d, -small_signal.di_dvd)
+        add(s, g, -small_signal.di_dvg)
+        add(s, s, -small_signal.di_dvs)
+
+    from scipy import sparse
+
+    matrix = sparse.coo_matrix((vals, (rows, cols)), shape=(size, size),
+                               dtype=complex).tocsc()
+    return matrix, rhs
+
+
+def ac_analysis(circuit: Circuit, frequencies: Sequence[float],
+                ac_magnitudes: Dict[str, float], *,
+                operating_point: Optional[DCSolution] = None) -> ACResult:
+    """Run an AC sweep over ``frequencies`` (Hz).
+
+    ``ac_magnitudes`` maps source names to their AC amplitude; unlisted sources are
+    zeroed.  When the circuit contains MOSFETs and ``operating_point`` is not given,
+    a DC operating point is computed first.
+    """
+    freq = np.asarray(list(frequencies), dtype=float)
+    if freq.size == 0:
+        raise SimulationError("at least one analysis frequency is required")
+    if np.any(freq < 0):
+        raise SimulationError("analysis frequencies must be non-negative")
+    index = MnaIndex(circuit)
+    op = operating_point
+    if op is None and circuit.elements_of_type(Mosfet):
+        op = dc_operating_point(circuit)
+
+    voltages = np.zeros((freq.size, index.n_nodes), dtype=complex)
+    currents = np.zeros((freq.size, index.n_branches), dtype=complex)
+    for k, f in enumerate(freq):
+        omega = 2.0 * np.pi * f
+        matrix, rhs = _complex_stamps(circuit, index, omega, ac_magnitudes, op)
+        try:
+            solution = spla.spsolve(matrix, rhs)
+        except RuntimeError as exc:
+            raise SimulationError(f"AC solve failed at {f} Hz: {exc}") from exc
+        voltages[k] = solution[:index.n_nodes]
+        currents[k] = solution[index.n_nodes:]
+    return ACResult(frequencies=freq, node_names=index.node_names,
+                    branch_names=index.branch_names, _voltages=voltages,
+                    _currents=currents)
+
+
+def driving_point_admittance(circuit: Circuit, source_name: str,
+                             frequencies: Sequence[float]) -> np.ndarray:
+    """Measure the driving-point admittance seen by voltage source ``source_name``.
+
+    The circuit must contain a voltage source with that name connected across the
+    port of interest.  Returns the complex admittance ``Y(j*omega) = I_delivered / V``
+    for each frequency.
+    """
+    element = circuit.element(source_name)
+    if not isinstance(element, VoltageSource):
+        raise SimulationError(f"{source_name!r} is not a voltage source")
+    result = ac_analysis(circuit, frequencies, {source_name: 1.0})
+    # The MNA branch current flows from the + terminal through the source, so the
+    # current delivered into the external network is its negative.
+    return -result.branch_current(source_name)

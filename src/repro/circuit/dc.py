@@ -1,0 +1,166 @@
+"""DC operating-point analysis.
+
+Capacitors are opened, inductors are shorted (their branch current remains an
+unknown so series inductors in ladders stay well-posed), sources take their value
+at a chosen time (default ``t = 0``), and nonlinear devices are resolved with
+Newton-Raphson.  If plain Newton fails, the engine falls back to source stepping
+(ramping all independent sources from a fraction of their value up to 100%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy.sparse import linalg as spla
+
+from ..constants import NEWTON_ITOL, NEWTON_MAX_ITERATIONS, NEWTON_VTOL
+from ..errors import ConvergenceError, SimulationError
+from .elements import CurrentSource, Inductor, Resistor, VoltageSource
+from .mna import MnaIndex, StampAccumulator
+from .mosfet import Mosfet
+from .netlist import Circuit
+
+__all__ = ["DCSolution", "dc_operating_point"]
+
+
+@dataclass(frozen=True)
+class DCSolution:
+    """Result of a DC operating-point analysis."""
+
+    node_voltages: Dict[str, float]
+    branch_currents: Dict[str, float]
+
+    def voltage(self, node: str) -> float:
+        """Voltage of ``node`` (0.0 for ground or unknown nodes)."""
+        return self.node_voltages.get(node, 0.0)
+
+    def current(self, element_name: str) -> float:
+        """Branch current of a voltage source or inductor."""
+        return self.branch_currents[element_name]
+
+
+def _linear_stamps(circuit: Circuit, index: MnaIndex, source_scale: float,
+                   time: float) -> StampAccumulator:
+    """Stamps of all linear elements for the DC system."""
+    acc = StampAccumulator(index.size)
+    for resistor in circuit.elements_of_type(Resistor):
+        acc.add_conductance(index.node(resistor.node_pos), index.node(resistor.node_neg),
+                            resistor.conductance)
+    for inductor in circuit.elements_of_type(Inductor):
+        pos = index.node(inductor.node_pos)
+        neg = index.node(inductor.node_neg)
+        branch = index.branch(inductor)
+        acc.add_entry(pos, branch, 1.0)
+        acc.add_entry(neg, branch, -1.0)
+        acc.add_entry(branch, pos, 1.0)
+        acc.add_entry(branch, neg, -1.0)
+        # branch equation: v_pos - v_neg = 0  (ideal short at DC)
+    for vsource in circuit.elements_of_type(VoltageSource):
+        pos = index.node(vsource.node_pos)
+        neg = index.node(vsource.node_neg)
+        branch = index.branch(vsource)
+        acc.add_entry(pos, branch, 1.0)
+        acc.add_entry(neg, branch, -1.0)
+        acc.add_entry(branch, pos, 1.0)
+        acc.add_entry(branch, neg, -1.0)
+        acc.add_rhs(branch, source_scale * vsource.value(time))
+    for isource in circuit.elements_of_type(CurrentSource):
+        value = source_scale * isource.value(time)
+        acc.add_rhs(index.node(isource.node_pos), -value)
+        acc.add_rhs(index.node(isource.node_neg), value)
+    return acc
+
+
+def _mosfet_stamps(circuit: Circuit, index: MnaIndex, x: np.ndarray) -> StampAccumulator:
+    """Newton companion stamps for every MOSFET, linearized at ``x``."""
+    acc = StampAccumulator(index.size)
+    for mosfet in circuit.elements_of_type(Mosfet):
+        d = index.node(mosfet.drain)
+        g = index.node(mosfet.gate)
+        s = index.node(mosfet.source)
+        vd = 0.0 if d is None else x[d]
+        vg = 0.0 if g is None else x[g]
+        vs = 0.0 if s is None else x[s]
+        op = mosfet.evaluate(vd, vg, vs)
+        rhs_const = op.ids - op.di_dvd * vd - op.di_dvg * vg - op.di_dvs * vs
+        acc.add_entry(d, d, op.di_dvd)
+        acc.add_entry(d, g, op.di_dvg)
+        acc.add_entry(d, s, op.di_dvs)
+        acc.add_entry(s, d, -op.di_dvd)
+        acc.add_entry(s, g, -op.di_dvg)
+        acc.add_entry(s, s, -op.di_dvs)
+        acc.add_rhs(d, -rhs_const)
+        acc.add_rhs(s, rhs_const)
+    return acc
+
+
+def _newton_solve(circuit: Circuit, index: MnaIndex, source_scale: float, time: float,
+                  x0: np.ndarray, vtol: float, itol: float,
+                  max_iterations: int) -> Optional[np.ndarray]:
+    """One Newton solve; returns ``None`` when it fails to converge."""
+    linear = _linear_stamps(circuit, index, source_scale, time)
+    a_linear = linear.matrix()
+    b_linear = linear.rhs
+    has_mosfets = bool(circuit.elements_of_type(Mosfet))
+    if not has_mosfets:
+        try:
+            return spla.spsolve(a_linear.tocsc(), b_linear)
+        except RuntimeError:
+            return None
+
+    x = x0.copy()
+    n_nodes = index.n_nodes
+    for _ in range(max_iterations):
+        mos = _mosfet_stamps(circuit, index, x)
+        matrix = (a_linear + mos.matrix()).tocsc()
+        try:
+            x_new = spla.splu(matrix).solve(b_linear + mos.rhs)
+        except RuntimeError:
+            return None
+        delta = x_new - x
+        dv_max = float(np.max(np.abs(delta[:n_nodes]))) if n_nodes else 0.0
+        di_max = float(np.max(np.abs(delta[n_nodes:]))) if index.n_branches else 0.0
+        if dv_max > 1.0:
+            x = x + delta * (1.0 / dv_max)
+            continue
+        x = x_new
+        if dv_max < vtol and di_max < itol:
+            return x
+    return None
+
+
+def dc_operating_point(circuit: Circuit, *, time: float = 0.0,
+                       newton_vtol: float = NEWTON_VTOL, newton_itol: float = NEWTON_ITOL,
+                       max_iterations: int = NEWTON_MAX_ITERATIONS) -> DCSolution:
+    """Compute the DC operating point of ``circuit`` with sources evaluated at ``time``.
+
+    Raises :class:`~repro.errors.ConvergenceError` when the solution cannot be found
+    even with source stepping.
+    """
+    index = MnaIndex(circuit)
+    x = np.zeros(index.size)
+
+    solution = _newton_solve(circuit, index, 1.0, time, x, newton_vtol, newton_itol,
+                             max_iterations)
+    if solution is None:
+        # Source stepping: ramp the sources up, reusing each solution as the next guess.
+        guess = np.zeros(index.size)
+        for scale in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            stepped = _newton_solve(circuit, index, scale, time, guess, newton_vtol,
+                                    newton_itol, max_iterations * 2)
+            if stepped is None:
+                raise ConvergenceError(
+                    f"DC operating point failed to converge at source scale {scale}")
+            guess = stepped
+        solution = guess
+
+    if solution is None or not np.all(np.isfinite(solution)):
+        raise SimulationError("DC operating point produced a non-finite solution")
+
+    node_voltages = {name: float(solution[i]) for i, name in enumerate(index.node_names)}
+    node_voltages[circuit.ground] = 0.0
+    branch_currents = {name: float(solution[index.branch(name)])
+                       for name in index.branch_names}
+    return DCSolution(node_voltages=node_voltages, branch_currents=branch_currents)

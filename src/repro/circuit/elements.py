@@ -1,0 +1,126 @@
+"""Linear circuit elements.
+
+Each element knows its terminal node names and its defining value.  The MNA
+assembly code in :mod:`repro.circuit.mna` and the analysis engines translate these
+into matrix stamps; elements themselves stay declarative so that circuits are easy
+to build, inspect, and export.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import CircuitError
+from .sources import SourceFunction, as_source
+
+__all__ = [
+    "Element",
+    "TwoTerminal",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+]
+
+
+class Element:
+    """Base class of all circuit elements."""
+
+    #: True when the element requires an MNA branch-current unknown.
+    needs_branch_current: bool = False
+    #: True when the element's stamp depends on the solution vector (nonlinear).
+    is_nonlinear: bool = False
+
+    def __init__(self, name: str, nodes: Tuple[str, ...]) -> None:
+        if not name:
+            raise CircuitError("element name must be non-empty")
+        self.name = name
+        self.nodes = tuple(nodes)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes!r})"
+
+
+class TwoTerminal(Element):
+    """An element with a positive and a negative terminal."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str) -> None:
+        super().__init__(name, (node_pos, node_neg))
+
+    @property
+    def node_pos(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def node_neg(self) -> str:
+        return self.nodes[1]
+
+
+class Resistor(TwoTerminal):
+    """Linear resistor."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, resistance: float) -> None:
+        super().__init__(name, node_pos, node_neg)
+        if resistance <= 0:
+            raise CircuitError(f"resistor {name}: resistance must be positive, got {resistance}")
+        self.resistance = float(resistance)
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+
+class Capacitor(TwoTerminal):
+    """Linear capacitor with an optional initial voltage."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, capacitance: float,
+                 *, initial_voltage: float = 0.0) -> None:
+        super().__init__(name, node_pos, node_neg)
+        if capacitance < 0:
+            raise CircuitError(f"capacitor {name}: capacitance must be non-negative")
+        self.capacitance = float(capacitance)
+        self.initial_voltage = float(initial_voltage)
+
+
+class Inductor(TwoTerminal):
+    """Linear inductor with an optional initial current.
+
+    The inductor branch current is an MNA unknown, which keeps the DC case (where the
+    inductor is a short) and mutual coupling well-posed.
+    """
+
+    needs_branch_current = True
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, inductance: float,
+                 *, initial_current: float = 0.0) -> None:
+        super().__init__(name, node_pos, node_neg)
+        if inductance <= 0:
+            raise CircuitError(f"inductor {name}: inductance must be positive")
+        self.inductance = float(inductance)
+        self.initial_current = float(initial_current)
+
+
+class VoltageSource(TwoTerminal):
+    """Independent voltage source driven by a :class:`SourceFunction`."""
+
+    needs_branch_current = True
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, source) -> None:
+        super().__init__(name, node_pos, node_neg)
+        self.source: SourceFunction = as_source(source)
+
+    def value(self, time: float) -> float:
+        return self.source.value(time)
+
+
+class CurrentSource(TwoTerminal):
+    """Independent current source; positive current flows from node_pos to node_neg
+    through the source (i.e. it pulls current out of node_pos)."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, source) -> None:
+        super().__init__(name, node_pos, node_neg)
+        self.source: SourceFunction = as_source(source)
+
+    def value(self, time: float) -> float:
+        return self.source.value(time)

@@ -1,0 +1,128 @@
+"""Modified Nodal Analysis (MNA) index mapping and stamp accumulation.
+
+The MNA unknown vector is::
+
+    x = [ v(node_1) ... v(node_N)  i(branch_1) ... i(branch_M) ]
+
+where branches are the elements that require a current unknown (voltage sources and
+inductors).  :class:`MnaIndex` owns the mapping from node / element names to vector
+positions; :class:`StampAccumulator` collects matrix triplets and right-hand-side
+contributions and produces a ``scipy.sparse`` matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import CircuitError
+from .elements import Element
+from .netlist import Circuit
+
+__all__ = ["MnaIndex", "StampAccumulator"]
+
+
+class MnaIndex:
+    """Maps circuit nodes and current-carrying branches to MNA vector indices."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.node_names: Tuple[str, ...] = circuit.node_names
+        self._node_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)
+        }
+        branch_elements = [e for e in circuit.elements if e.needs_branch_current]
+        self.branch_names: Tuple[str, ...] = tuple(e.name for e in branch_elements)
+        offset = len(self.node_names)
+        self._branch_index: Dict[str, int] = {
+            name: offset + i for i, name in enumerate(self.branch_names)
+        }
+        self.n_nodes = len(self.node_names)
+        self.n_branches = len(self.branch_names)
+        self.size = self.n_nodes + self.n_branches
+
+    def node(self, name: str) -> Optional[int]:
+        """Index of a node, or ``None`` for the ground node."""
+        if name == self.circuit.ground:
+            return None
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise CircuitError(f"unknown node {name!r}") from None
+
+    def branch(self, element: "Element | str") -> int:
+        """Index of the branch-current unknown of ``element``."""
+        name = element if isinstance(element, str) else element.name
+        try:
+            return self._branch_index[name]
+        except KeyError:
+            raise CircuitError(
+                f"element {name!r} does not carry a branch-current unknown"
+            ) from None
+
+    def voltage_of(self, solution: np.ndarray, node: str) -> float:
+        """Node voltage from a solution vector (0.0 for ground)."""
+        idx = self.node(node)
+        if idx is None:
+            return 0.0
+        return float(solution[idx])
+
+    def branch_current_of(self, solution: np.ndarray, element: "Element | str") -> float:
+        """Branch current from a solution vector."""
+        return float(solution[self.branch(element)])
+
+
+class StampAccumulator:
+    """Collects sparse-matrix triplets and RHS contributions for one MNA system."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._rows: List[int] = []
+        self._cols: List[int] = []
+        self._vals: List[float] = []
+        self.rhs = np.zeros(size, dtype=float)
+
+    # --- raw entries -------------------------------------------------------------
+    def add_entry(self, row: Optional[int], col: Optional[int], value: float) -> None:
+        """Add ``value`` at (row, col); entries referencing ground (None) are dropped."""
+        if row is None or col is None or value == 0.0:
+            return
+        self._rows.append(row)
+        self._cols.append(col)
+        self._vals.append(value)
+
+    def add_rhs(self, row: Optional[int], value: float) -> None:
+        """Add ``value`` to the right-hand side at ``row`` (ignored for ground)."""
+        if row is None or value == 0.0:
+            return
+        self.rhs[row] += value
+
+    # --- common stamps ---------------------------------------------------------------
+    def add_conductance(self, node_pos: Optional[int], node_neg: Optional[int],
+                        conductance: float) -> None:
+        """Standard two-terminal conductance stamp."""
+        self.add_entry(node_pos, node_pos, conductance)
+        self.add_entry(node_neg, node_neg, conductance)
+        self.add_entry(node_pos, node_neg, -conductance)
+        self.add_entry(node_neg, node_pos, -conductance)
+
+    def add_current_injection(self, node_pos: Optional[int], node_neg: Optional[int],
+                              current: float) -> None:
+        """A constant current ``current`` injected *into* node_pos and out of node_neg."""
+        self.add_rhs(node_pos, current)
+        self.add_rhs(node_neg, -current)
+
+    # --- assembly ----------------------------------------------------------------------
+    def matrix(self) -> sparse.csc_matrix:
+        """Assemble the accumulated triplets into a CSC matrix."""
+        return sparse.coo_matrix(
+            (self._vals, (self._rows, self._cols)), shape=(self.size, self.size)
+        ).tocsc()
+
+    def triplets(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return copies of the accumulated (rows, cols, values) arrays."""
+        return (np.asarray(self._rows, dtype=int), np.asarray(self._cols, dtype=int),
+                np.asarray(self._vals, dtype=float))

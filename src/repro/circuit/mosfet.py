@@ -1,0 +1,218 @@
+"""MOSFET device model for the circuit simulator.
+
+The paper characterizes drivers with a commercial 0.18 µm technology in HSPICE.
+As a substitute, this module implements the **alpha-power-law MOSFET model**
+(Sakurai & Newton), which captures the velocity-saturated I-V behaviour of
+short-channel devices with a handful of parameters and is smooth enough for
+reliable Newton-Raphson convergence:
+
+* saturation current       ``Id_sat = W * beta * (Vgs - Vth)^alpha * (1 + lambda*Vds)``
+* saturation drain voltage ``Vd_sat = kv * (Vgs - Vth)^(alpha/2)``
+* triode current           ``Id = Id_sat * (2 - Vds/Vd_sat) * (Vds/Vd_sat)``
+
+Gate and junction capacitances are modeled as fixed linear capacitances
+proportional to the device width (gate, drain, source, gate-drain overlap), which
+is sufficient for the waveform features the two-ramp model must capture (Miller
+kink at the driver output, finite drive resistance, realistic input loading).
+
+The :meth:`Mosfet.evaluate` method returns the drain-terminal current together
+with its partial derivatives with respect to the *actual node voltages*, so the
+transient engine can stamp the Newton companion model without any polarity- or
+region-specific logic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import CircuitError
+from .elements import Element
+
+__all__ = ["MosfetParameters", "Mosfet", "MosfetEvaluation"]
+
+
+@dataclass(frozen=True)
+class MosfetParameters:
+    """Alpha-power-law parameters for one device polarity.
+
+    All current-related parameters are normalized per meter of device width so a
+    device instance only needs its width.  ``vth`` is a positive magnitude for both
+    polarities.
+    """
+
+    polarity: str  #: "nmos" or "pmos"
+    vth: float  #: threshold voltage magnitude [V]
+    alpha: float  #: velocity-saturation index (2.0 = long-channel square law)
+    beta: float  #: drive strength [A / (m * V^alpha)]
+    lambda_: float  #: channel-length modulation [1/V]
+    kv: float  #: Vdsat coefficient [V^(1 - alpha/2)]
+    c_gate_per_width: float  #: total gate capacitance per width [F/m]
+    c_drain_per_width: float  #: drain junction + overlap capacitance per width [F/m]
+    c_source_per_width: float  #: source junction + overlap capacitance per width [F/m]
+    g_min: float = 1e-9  #: minimum drain-source conductance [S] for robustness
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise CircuitError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+        if self.vth <= 0 or self.beta <= 0 or self.alpha <= 0 or self.kv <= 0:
+            raise CircuitError("MOSFET parameters must be positive")
+
+    @property
+    def is_nmos(self) -> bool:
+        return self.polarity == "nmos"
+
+
+@dataclass(frozen=True)
+class MosfetEvaluation:
+    """Drain-terminal current and its derivatives w.r.t. the node voltages.
+
+    ``ids`` is the current flowing *into the drain terminal* and out of the source
+    terminal (therefore negative for a PMOS pulling its output high).
+    """
+
+    ids: float
+    di_dvd: float
+    di_dvg: float
+    di_dvs: float
+    region: str
+
+
+class Mosfet(Element):
+    """A MOSFET instance connected to (drain, gate, source) nodes.
+
+    The body terminal is tied to the source; body effect is not modeled, which is
+    acceptable for static CMOS inverters whose sources sit on the rails.
+    """
+
+    is_nonlinear = True
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 params: MosfetParameters, width: float) -> None:
+        super().__init__(name, (drain, gate, source))
+        if width <= 0:
+            raise CircuitError(f"mosfet {name}: width must be positive")
+        self.params = params
+        self.width = float(width)
+
+    @property
+    def drain(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def gate(self) -> str:
+        return self.nodes[1]
+
+    @property
+    def source(self) -> str:
+        return self.nodes[2]
+
+    # --- capacitances -----------------------------------------------------------
+    @property
+    def c_gate(self) -> float:
+        """Total gate capacitance [F] (gate to source rail)."""
+        return self.params.c_gate_per_width * self.width
+
+    @property
+    def c_drain(self) -> float:
+        """Drain junction/overlap capacitance [F] (drain to source rail)."""
+        return self.params.c_drain_per_width * self.width
+
+    @property
+    def c_source(self) -> float:
+        """Source junction/overlap capacitance [F]."""
+        return self.params.c_source_per_width * self.width
+
+    @property
+    def c_gd_overlap(self) -> float:
+        """Gate-to-drain overlap (Miller) capacitance [F], taken as 20% of Cgate."""
+        return 0.2 * self.c_gate
+
+    # --- I-V model -------------------------------------------------------------------
+    def _forward_current(self, vgs: float, vds: float) -> Tuple[float, float, float, str]:
+        """Alpha-power current for an NMOS-frame device with ``vds >= 0``.
+
+        Returns ``(i, di/dvgs, di/dvds, region)``.
+        """
+        p = self.params
+        vov = vgs - p.vth
+        if vov <= 0.0:
+            return 0.0, 0.0, 0.0, "cutoff"
+
+        w = self.width
+        i_sat = w * p.beta * vov ** p.alpha
+        disat_dvgs = w * p.beta * p.alpha * vov ** (p.alpha - 1.0)
+        vd_sat = p.kv * vov ** (p.alpha / 2.0)
+        dvdsat_dvgs = p.kv * (p.alpha / 2.0) * vov ** (p.alpha / 2.0 - 1.0)
+        clm = 1.0 + p.lambda_ * vds
+
+        if vds >= vd_sat:
+            i = i_sat * clm
+            di_dvds = i_sat * p.lambda_
+            di_dvgs = disat_dvgs * clm
+            return i, di_dvgs, di_dvds, "saturation"
+
+        x = vds / vd_sat
+        shape = x * (2.0 - x)
+        i = i_sat * shape * clm
+        dshape_dvds = (2.0 - 2.0 * x) / vd_sat
+        dshape_dvdsat = (-2.0 * x + 2.0 * x * x) / vd_sat
+        di_dvds = clm * i_sat * dshape_dvds + i_sat * shape * p.lambda_
+        di_dvgs = clm * (disat_dvgs * shape + i_sat * dshape_dvdsat * dvdsat_dvgs)
+        return i, di_dvgs, di_dvds, "triode"
+
+    def evaluate(self, v_drain: float, v_gate: float, v_source: float) -> MosfetEvaluation:
+        """Drain-terminal current and node-voltage derivatives at the given bias."""
+        p = self.params
+        sign = 1.0 if p.is_nmos else -1.0
+        # Map to an equivalent NMOS frame: for PMOS all node voltages are negated.
+        vd = sign * v_drain
+        vg = sign * v_gate
+        vs = sign * v_source
+
+        if vd >= vs:
+            i, dig, did, region = self._forward_current(vg - vs, vd - vs)
+            di_dvd = did
+            di_dvg = dig
+            di_dvs = -(dig + did)
+        else:
+            # Reverse operation: the physical source is the terminal at lower
+            # potential.  I(vg, vd, vs) = -I_forward(vgs'=vg-vd, vds'=vs-vd).
+            i2, dig2, did2, region = self._forward_current(vg - vd, vs - vd)
+            i = -i2
+            di_dvg = -dig2
+            di_dvs = -did2
+            di_dvd = dig2 + did2
+            region = f"reverse-{region}"
+
+        # Minimum conductance between drain and source (in the NMOS frame).
+        gmin = p.g_min
+        i += gmin * (vd - vs)
+        di_dvd += gmin
+        di_dvs -= gmin
+
+        # Undo the polarity mapping.  I_actual = sign * I_frame(sign * v...), hence
+        # dI_actual/dv_actual = sign * dI_frame/dv_frame * sign = dI_frame/dv_frame.
+        return MosfetEvaluation(ids=sign * i, di_dvd=di_dvd, di_dvg=di_dvg,
+                                di_dvs=di_dvs, region=region)
+
+    # --- convenience -------------------------------------------------------------------
+    def saturation_current(self, vdd: float) -> float:
+        """|Id| with the device fully on (|Vgs| = |Vds| = vdd)."""
+        p = self.params
+        vov = vdd - p.vth
+        if vov <= 0:
+            return 0.0
+        return self.width * p.beta * vov ** p.alpha * (1.0 + p.lambda_ * vdd)
+
+    def effective_resistance(self, vdd: float) -> float:
+        """Crude switching-resistance estimate ``0.75 * vdd / Idsat`` [ohm].
+
+        Used only for sanity checks and initial guesses; the modeling flow extracts
+        the driver resistance from characterized waveforms instead.
+        """
+        idsat = self.saturation_current(vdd)
+        if idsat <= 0:
+            return math.inf
+        return 0.75 * vdd / idsat

@@ -1,0 +1,151 @@
+"""Time-domain source descriptions for independent voltage and current sources.
+
+A source is a callable object mapping time (seconds) to a value (volts or amperes).
+Sources are shared between the circuit simulator (which samples them per time step)
+and the modeling code (which builds piecewise-linear descriptions of driver output
+waveforms and needs to attach them to a circuit for far-end validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CircuitError
+
+__all__ = [
+    "SourceFunction",
+    "DCSource",
+    "RampSource",
+    "PWLSource",
+    "PulseSource",
+    "as_source",
+]
+
+
+class SourceFunction:
+    """Base class for time-dependent source values."""
+
+    def value(self, time: float) -> float:
+        """Source value at ``time`` [s]."""
+        raise NotImplementedError
+
+    def __call__(self, time: float) -> float:
+        return self.value(time)
+
+    def dc_value(self) -> float:
+        """Value used for the DC operating point (t = 0)."""
+        return self.value(0.0)
+
+
+@dataclass(frozen=True)
+class DCSource(SourceFunction):
+    """A constant source."""
+
+    level: float = 0.0
+
+    def value(self, time: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class RampSource(SourceFunction):
+    """A saturated ramp from ``v_initial`` to ``v_final``.
+
+    The ramp starts at ``t_delay`` and completes at ``t_delay + t_transition``.
+    This is the canonical stimulus used for cell characterization.
+    """
+
+    v_initial: float
+    v_final: float
+    t_transition: float
+    t_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t_transition <= 0:
+            raise CircuitError("ramp transition time must be positive")
+
+    def value(self, time: float) -> float:
+        if time <= self.t_delay:
+            return self.v_initial
+        if time >= self.t_delay + self.t_transition:
+            return self.v_final
+        frac = (time - self.t_delay) / self.t_transition
+        return self.v_initial + frac * (self.v_final - self.v_initial)
+
+
+class PWLSource(SourceFunction):
+    """Piecewise-linear source defined by ``(time, value)`` breakpoints.
+
+    Before the first breakpoint the source holds the first value; after the last
+    breakpoint it holds the last value.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise CircuitError("a PWL source needs at least two points")
+        times = np.asarray([p[0] for p in points], dtype=float)
+        values = np.asarray([p[1] for p in points], dtype=float)
+        if np.any(np.diff(times) < 0):
+            raise CircuitError("PWL time points must be non-decreasing")
+        # Collapse exactly-coincident time points (allowed in SPICE decks) by keeping
+        # the last value at that time and nudging for interpolation stability.
+        self._times = times
+        self._values = values
+
+    @property
+    def points(self) -> Tuple[Tuple[float, float], ...]:
+        """The breakpoints as a tuple of (time, value) pairs."""
+        return tuple((float(t), float(v)) for t, v in zip(self._times, self._values))
+
+    def value(self, time: float) -> float:
+        return float(np.interp(time, self._times, self._values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PWLSource({self.points!r})"
+
+
+@dataclass(frozen=True)
+class PulseSource(SourceFunction):
+    """A periodic trapezoidal pulse, mirroring the SPICE PULSE source."""
+
+    v_initial: float
+    v_pulse: float
+    t_delay: float
+    t_rise: float
+    t_fall: float
+    t_width: float
+    t_period: float
+
+    def __post_init__(self) -> None:
+        if min(self.t_rise, self.t_fall) <= 0:
+            raise CircuitError("pulse rise/fall times must be positive")
+        if self.t_period <= 0:
+            raise CircuitError("pulse period must be positive")
+        if self.t_rise + self.t_width + self.t_fall > self.t_period:
+            raise CircuitError("pulse shape does not fit within one period")
+
+    def value(self, time: float) -> float:
+        if time < self.t_delay:
+            return self.v_initial
+        t = (time - self.t_delay) % self.t_period
+        if t < self.t_rise:
+            return self.v_initial + (self.v_pulse - self.v_initial) * t / self.t_rise
+        t -= self.t_rise
+        if t < self.t_width:
+            return self.v_pulse
+        t -= self.t_width
+        if t < self.t_fall:
+            return self.v_pulse + (self.v_initial - self.v_pulse) * t / self.t_fall
+        return self.v_initial
+
+
+def as_source(value) -> SourceFunction:
+    """Coerce a plain number into a :class:`DCSource`, pass sources through."""
+    if isinstance(value, SourceFunction):
+        return value
+    if isinstance(value, (int, float)):
+        return DCSource(float(value))
+    raise CircuitError(f"cannot interpret {value!r} as a source")

@@ -1,0 +1,117 @@
+"""SPICE-format netlist export.
+
+The circuits this library builds (characterization test benches, driver + ladder
+reference decks, STA path netlists) can be written out as standard SPICE decks so
+users with access to a commercial simulator can re-run any reproduced experiment
+there and compare against this repository's built-in engine.
+
+Only the element types the library produces are supported: R, L, C, independent V/I
+sources (DC, ramp/PWL, pulse) and MOSFETs (emitted as ``.model``-referenced M cards
+with the alpha-power parameters recorded as a comment, since SPICE level-1
+parameters cannot represent the alpha-power model exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import CircuitError
+from .elements import Capacitor, CurrentSource, Inductor, Resistor, VoltageSource
+from .mosfet import Mosfet
+from .netlist import Circuit
+from .sources import DCSource, PulseSource, PWLSource, RampSource, SourceFunction
+
+__all__ = ["netlist_to_spice", "source_to_spice"]
+
+
+def _format_value(value: float) -> str:
+    """SPICE-friendly numeric formatting (plain exponent notation)."""
+    return f"{value:.6g}"
+
+
+def source_to_spice(source: SourceFunction) -> str:
+    """The value/transient specification portion of a V/I source card."""
+    if isinstance(source, DCSource):
+        return f"DC {_format_value(source.level)}"
+    if isinstance(source, RampSource):
+        points = [(0.0, source.v_initial), (source.t_delay, source.v_initial),
+                  (source.t_delay + source.t_transition, source.v_final)]
+        flattened = " ".join(f"{_format_value(t)} {_format_value(v)}" for t, v in points)
+        return f"PWL({flattened})"
+    if isinstance(source, PWLSource):
+        flattened = " ".join(f"{_format_value(t)} {_format_value(v)}"
+                             for t, v in source.points)
+        return f"PWL({flattened})"
+    if isinstance(source, PulseSource):
+        fields = (source.v_initial, source.v_pulse, source.t_delay, source.t_rise,
+                  source.t_fall, source.t_width, source.t_period)
+        return "PULSE(" + " ".join(_format_value(f) for f in fields) + ")"
+    raise CircuitError(f"cannot express source {type(source).__name__} as SPICE")
+
+
+def _mosfet_model_cards(circuit: Circuit) -> Dict[str, str]:
+    """One ``.model`` card name per distinct MOSFET parameter set in the circuit."""
+    models: Dict[int, str] = {}
+    cards: Dict[str, str] = {}
+    for mosfet in circuit.elements_of_type(Mosfet):
+        key = id(mosfet.params)
+        if key in models:
+            continue
+        name = f"{mosfet.params.polarity}_{len(models)}"
+        models[key] = name
+        polarity = "NMOS" if mosfet.params.is_nmos else "PMOS"
+        cards[name] = (
+            f".model {name} {polarity} (LEVEL=1 VTO={_format_value(mosfet.params.vth)} "
+            f"LAMBDA={_format_value(mosfet.params.lambda_)})\n"
+            f"* alpha-power parameters: alpha={mosfet.params.alpha} "
+            f"beta={mosfet.params.beta} kv={mosfet.params.kv}"
+        )
+    return cards
+
+
+def _model_name_for(mosfet: Mosfet, cards: Dict[str, str]) -> str:
+    polarity = "nmos" if mosfet.params.is_nmos else "pmos"
+    for name in cards:
+        if name.startswith(polarity):
+            return name
+    raise CircuitError(f"no model card generated for {mosfet.name}")
+
+
+def netlist_to_spice(circuit: Circuit, *, title: str | None = None) -> str:
+    """Render ``circuit`` as a SPICE deck (returned as a string).
+
+    Node names are used verbatim (the library already uses SPICE-compatible names
+    and ``0`` for ground).  The deck contains no analysis statements — append your
+    own ``.tran`` / ``.ac`` lines as needed.
+    """
+    circuit.validate()
+    lines: List[str] = [f"* {title or circuit.name} (exported by repro)"]
+    model_cards = _mosfet_model_cards(circuit)
+
+    for element in circuit.elements:
+        if isinstance(element, Resistor):
+            lines.append(f"R{element.name} {element.node_pos} {element.node_neg} "
+                         f"{_format_value(element.resistance)}")
+        elif isinstance(element, Capacitor):
+            lines.append(f"C{element.name} {element.node_pos} {element.node_neg} "
+                         f"{_format_value(element.capacitance)}")
+        elif isinstance(element, Inductor):
+            lines.append(f"L{element.name} {element.node_pos} {element.node_neg} "
+                         f"{_format_value(element.inductance)}")
+        elif isinstance(element, VoltageSource):
+            lines.append(f"V{element.name} {element.node_pos} {element.node_neg} "
+                         f"{source_to_spice(element.source)}")
+        elif isinstance(element, CurrentSource):
+            lines.append(f"I{element.name} {element.node_pos} {element.node_neg} "
+                         f"{source_to_spice(element.source)}")
+        elif isinstance(element, Mosfet):
+            model = _model_name_for(element, model_cards)
+            lines.append(f"M{element.name} {element.drain} {element.gate} "
+                         f"{element.source} {element.source} {model} "
+                         f"W={_format_value(element.width)} L=1.8e-07")
+        else:  # pragma: no cover - defensive: future element types
+            raise CircuitError(f"cannot export element type {type(element).__name__}")
+
+    lines.extend(model_cards.values())
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

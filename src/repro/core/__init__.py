@@ -1,0 +1,34 @@
+"""The paper's contribution: the effective-capacitance two-ramp driver output model."""
+
+from .ceff import ceff_first_ramp, ceff_second_ramp, ramp_charge, ramp_current
+from .criteria import (CriteriaThresholds, CriterionCheck, InductanceReport,
+                       evaluate_inductance_criteria)
+from .driver_model import DriverOutputModel, ModelingOptions, model_driver_output
+from .far_end import FarEndResponse, far_end_response, simulate_source_through_line
+from .iteration import CeffIterationResult, iterate_ceff1, iterate_ceff2
+from .plateau import modified_second_ramp_time, plateau_duration
+from .two_ramp import TwoRampWaveform, voltage_breakpoint
+
+__all__ = [
+    "voltage_breakpoint",
+    "TwoRampWaveform",
+    "ceff_first_ramp",
+    "ceff_second_ramp",
+    "ramp_charge",
+    "ramp_current",
+    "CeffIterationResult",
+    "iterate_ceff1",
+    "iterate_ceff2",
+    "CriteriaThresholds",
+    "CriterionCheck",
+    "InductanceReport",
+    "evaluate_inductance_criteria",
+    "plateau_duration",
+    "modified_second_ramp_time",
+    "ModelingOptions",
+    "DriverOutputModel",
+    "model_driver_output",
+    "FarEndResponse",
+    "far_end_response",
+    "simulate_source_through_line",
+]

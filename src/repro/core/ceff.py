@@ -1,0 +1,152 @@
+"""Effective-capacitance charge-matching equations (paper Section 4, Eqs. 4-7).
+
+The driver output is approximated by a ramp (or the second ramp of a two-ramp
+waveform); the current drawn by the interconnect — represented by its rational
+driving-point admittance ``Y(s)`` (Eq. 3) — is integrated over the interval during
+which that ramp is in transition, and the effective capacitance is the single
+capacitor that would absorb the same charge over the same interval.
+
+The paper derives separate closed forms for real poles (Eqs. 4 and 6) and complex
+poles (Eqs. 5 and 7).  Here a single implementation performs the partial-fraction
+expansion with complex arithmetic, which covers both cases (the imaginary parts of
+conjugate pole pairs cancel in the final sum), plus the degenerate lower-order
+denominators produced by RC pi-loads and single capacitors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelingError
+from ..interconnect.admittance import RationalAdmittance
+
+__all__ = [
+    "ceff_first_ramp",
+    "ceff_second_ramp",
+    "ramp_current",
+    "ramp_charge",
+]
+
+
+def _numerator_at(adm: RationalAdmittance, s: complex) -> complex:
+    """``N(s) = a1 + a2*s + a3*s^2`` — the admittance numerator divided by ``s``."""
+    return adm.a1 + adm.a2 * s + adm.a3 * s * s
+
+
+def _denominator_derivative_at(adm: RationalAdmittance, s: complex) -> complex:
+    """``D'(s)`` for ``D(s) = 1 + b1*s + b2*s^2``."""
+    return adm.b1 + 2.0 * adm.b2 * s
+
+
+def _pole_terms(adm: RationalAdmittance) -> Sequence[Tuple[complex, complex]]:
+    """Pairs ``(s_i, N(s_i) / D'(s_i))`` for every pole of the admittance."""
+    terms = []
+    for pole in adm.poles():
+        derivative = _denominator_derivative_at(adm, pole)
+        if derivative == 0:
+            raise ModelingError("repeated admittance poles are not supported")
+        terms.append((pole, _numerator_at(adm, pole) / derivative))
+    return terms
+
+
+def _impulse_charge_per_volt(adm: RationalAdmittance) -> float:
+    """Charge of the t=0 impulse of the ramp response, per volt of ramp slope*Tr.
+
+    The ramp-response current ``I(s) = (Vdd/Tr) * N(s) / (s * D(s))`` is improper when
+    the denominator degree is lower than the numerator degree, which happens for
+    degenerate (RC pi or pure capacitive) loads.  The resulting impulse at ``t = 0``
+    carries a finite charge that must be included when the integration interval
+    starts at zero.
+    """
+    if adm.b2 != 0.0:
+        return 0.0
+    if adm.b1 != 0.0:
+        return adm.a3 / adm.b1
+    # Pure polynomial admittance (b1 = b2 = 0): Y(s)/s = a1 + a2 s + a3 s^2.
+    return adm.a2
+
+
+def ramp_current(adm: RationalAdmittance, ramp_time: float, times: np.ndarray, *,
+                 vdd: float = 1.0) -> np.ndarray:
+    """Current drawn from an un-saturated ramp ``v(t) = vdd * t / ramp_time``.
+
+    This is the inverse Laplace transform of ``Y(s) * vdd / (ramp_time * s^2)`` for
+    ``t > 0`` (impulse terms at ``t = 0`` are not represented in the sampled output).
+    Useful for visualization and as an independent check of the charge expressions.
+    """
+    if ramp_time <= 0:
+        raise ModelingError("ramp time must be positive")
+    t = np.asarray(times, dtype=float)
+    current = np.full(t.shape, adm.a1, dtype=complex)
+    for pole, residue in _pole_terms(adm):
+        current = current + (residue / pole) * np.exp(pole * t)
+    return (vdd / ramp_time) * current.real
+
+
+def ramp_charge(adm: RationalAdmittance, ramp_time: float, t_from: float, t_to: float, *,
+                vdd: float = 1.0) -> float:
+    """Charge drawn from the un-saturated ramp between ``t_from`` and ``t_to``.
+
+    Integrates the partial-fraction form analytically; includes the impulse charge
+    when the interval starts at (or before) zero.
+    """
+    if ramp_time <= 0:
+        raise ModelingError("ramp time must be positive")
+    if t_to < t_from:
+        raise ModelingError("t_to must not precede t_from")
+    charge = complex(adm.a1 * (t_to - t_from))
+    for pole, residue in _pole_terms(adm):
+        charge += (residue / (pole * pole)) * (np.exp(pole * t_to) - np.exp(pole * t_from))
+    result = charge.real
+    if t_from <= 0.0:
+        result += _impulse_charge_per_volt(adm)
+    return vdd / ramp_time * result
+
+
+def ceff_first_ramp(adm: RationalAdmittance, tr1: float, breakpoint_fraction: float, *,
+                    vdd: float = 1.0) -> float:
+    """Effective capacitance of the first ramp (paper Eqs. 4/5).
+
+    The driver output is the ramp ``v(t) = Vdd * t / tr1``; charge drawn by the load
+    over ``[0, f * tr1]`` is equated with ``Ceff1 * f * Vdd``.  With ``f = 1`` this is
+    also the paper's single effective capacitance for non-inductive loads, and with
+    ``f = 0.5`` the "equate charge up to the 50% point" variant of Figure 3.
+    """
+    if not 0.0 < breakpoint_fraction <= 1.0:
+        raise ModelingError("breakpoint fraction must be in (0, 1]")
+    if tr1 <= 0:
+        raise ModelingError("tr1 must be positive")
+    f = breakpoint_fraction
+    window_end = f * tr1
+    charge = ramp_charge(adm, tr1, 0.0, window_end, vdd=vdd)
+    return charge / (f * vdd)
+
+
+def ceff_second_ramp(adm: RationalAdmittance, tr1: float, tr2: float,
+                     breakpoint_fraction: float, *, vdd: float = 1.0) -> float:
+    """Effective capacitance of the second ramp (paper Eqs. 6/7).
+
+    Following the paper, the second portion of the two-ramp waveform is extended
+    back to ``t = 0`` as ``v(t) = Vdd * t / tr2 + k * f * Vdd`` with
+    ``k = 1 - tr1 / tr2``; the load current of that stimulus is integrated over the
+    second ramp's transition window ``[f*tr1, f*tr1 + (1-f)*tr2]`` and equated with
+    ``Ceff2 * (1 - f) * Vdd``.
+    """
+    if not 0.0 < breakpoint_fraction < 1.0:
+        raise ModelingError("the second ramp requires a breakpoint fraction below 1")
+    if tr1 <= 0 or tr2 <= 0:
+        raise ModelingError("ramp times must be positive")
+    f = breakpoint_fraction
+    k = 1.0 - tr1 / tr2
+    t_from = f * tr1
+    t_to = f * tr1 + (1.0 - f) * tr2
+
+    # Ramp part of the stimulus: Vdd/(tr2 * s^2).
+    charge = complex(adm.a1 * (t_to - t_from) / tr2)
+    for pole, residue in _pole_terms(adm):
+        exp_span = np.exp(pole * t_to) - np.exp(pole * t_from)
+        # Ramp contribution: residue / (tr2 * s^2); step contribution: k*f*residue / s.
+        charge += (residue / (tr2 * pole * pole) + k * f * residue / pole) * exp_span
+    return float(vdd * charge.real / ((1.0 - f) * vdd))

@@ -1,0 +1,116 @@
+"""Inductance-significance screening (paper Section 5, Eq. 9).
+
+A line is treated as inductive (and therefore modeled with two ramps) only when all
+four criteria hold::
+
+    C_L  <<  C * l          (the fan-out load does not swamp the line capacitance)
+    R * l  <  2 * Z0        (the line is not over-damped)
+    R_s    <= Z0            (the driver is strong enough to launch a large step)
+    T_r1   <  2 * t_f       (the initial output ramp is faster than the round trip)
+
+The first three are the classic criteria of Deutsch et al. / Ismail et al.; the
+fourth is the paper's contribution — the *driver output* initial ramp time (from the
+Ceff1 iteration) is compared against the time of flight, rather than the input
+transition time.  The ``<<`` and the driver-strength threshold are necessarily
+fuzzy; :class:`CriteriaThresholds` exposes the multipliers, with defaults chosen to
+reproduce the paper's classification of its experimental sweep (inductive for long,
+wide lines with 75X+ drivers; non-inductive for the 25X / narrow cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ModelingError
+from ..interconnect.rlc_line import RLCLine
+
+__all__ = ["CriteriaThresholds", "CriterionCheck", "InductanceReport",
+           "evaluate_inductance_criteria"]
+
+
+@dataclass(frozen=True)
+class CriteriaThresholds:
+    """Multipliers applied to the right-hand sides of Eq. 9."""
+
+    load_to_line_capacitance: float = 0.5  #: C_L <= this * C*l interprets "<<"
+    line_resistance_to_impedance: float = 2.0  #: R*l <= this * Z0
+    driver_resistance_to_impedance: float = 1.2  #: R_s <= this * Z0
+    ramp_to_flight_time: float = 2.0  #: T_r1 <= this * t_f
+
+    def __post_init__(self) -> None:
+        if min(self.load_to_line_capacitance, self.line_resistance_to_impedance,
+               self.driver_resistance_to_impedance, self.ramp_to_flight_time) <= 0:
+            raise ModelingError("criteria thresholds must be positive")
+
+
+@dataclass(frozen=True)
+class CriterionCheck:
+    """One inequality of Eq. 9: ``value <= limit``."""
+
+    name: str
+    value: float
+    limit: float
+
+    @property
+    def passed(self) -> bool:
+        return self.value <= self.limit
+
+    def describe(self) -> str:
+        status = "ok " if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.value:.4g} <= {self.limit:.4g}"
+
+
+@dataclass(frozen=True)
+class InductanceReport:
+    """Outcome of the Eq. 9 screening."""
+
+    significant: bool
+    checks: Dict[str, CriterionCheck]
+    thresholds: CriteriaThresholds
+
+    def check(self, name: str) -> CriterionCheck:
+        """Look up an individual criterion by name."""
+        return self.checks[name]
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        verdict = "inductance SIGNIFICANT" if self.significant else "inductance negligible"
+        lines = [verdict] + [check.describe() for check in self.checks.values()]
+        return "\n".join(lines)
+
+
+def evaluate_inductance_criteria(line: RLCLine, load_capacitance: float,
+                                 driver_resistance: float, tr1: float, *,
+                                 thresholds: CriteriaThresholds | None = None
+                                 ) -> InductanceReport:
+    """Evaluate Eq. 9 for a loaded line, a driver resistance, and the initial ramp Tr1."""
+    if load_capacitance < 0:
+        raise ModelingError("load capacitance must be non-negative")
+    if driver_resistance < 0:
+        raise ModelingError("driver resistance must be non-negative")
+    if tr1 <= 0:
+        raise ModelingError("tr1 must be positive")
+    limits = thresholds if thresholds is not None else CriteriaThresholds()
+
+    z0 = line.characteristic_impedance
+    checks = {
+        "load_capacitance": CriterionCheck(
+            name="C_L << C*l",
+            value=load_capacitance,
+            limit=limits.load_to_line_capacitance * line.capacitance),
+        "line_resistance": CriterionCheck(
+            name="R*l < 2*Z0",
+            value=line.resistance,
+            limit=limits.line_resistance_to_impedance * z0),
+        "driver_resistance": CriterionCheck(
+            name="Rs <= Z0",
+            value=driver_resistance,
+            limit=limits.driver_resistance_to_impedance * z0),
+        "ramp_vs_flight": CriterionCheck(
+            name="Tr1 < 2*tf",
+            value=tr1,
+            limit=limits.ramp_to_flight_time * line.time_of_flight),
+    }
+    significant = all(check.passed for check in checks.values())
+    return InductanceReport(significant=significant, checks=checks, thresholds=limits)

@@ -1,0 +1,252 @@
+"""Top-level driver-output modeling flow (paper Section 5).
+
+Given a pre-characterized cell, an input slew, and an RLC line with its fan-out
+load, :func:`model_driver_output` produces a :class:`DriverOutputModel`:
+
+1. compute the driving-point admittance moments and fit the rational Y(s) (Eq. 3),
+2. look up the driver on-resistance and compute the breakpoint ``f`` (Eq. 1),
+3. iterate Ceff1 / Tr1 (Eqs. 4-5),
+4. evaluate the inductance criteria (Eq. 9) using Tr1 and the time of flight,
+5. if inductance is significant: iterate Ceff2 / Tr2 (Eqs. 6-7) and apply the
+   plateau correction (Eq. 8) to obtain a two-ramp waveform; otherwise fall back to
+   a single ramp with the ``f = 1`` effective capacitance.
+
+The resulting model exposes the modeled waveform, its 50% delay and transition
+time, and a PWL source that can replace the driver for far-end analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..characterization.cell import CellCharacterization
+from ..constants import (CEFF_MAX_ITERATIONS, CEFF_REL_TOL, SLEW_HIGH_THRESHOLD,
+                         SLEW_LOW_THRESHOLD)
+from ..errors import ModelingError
+from ..interconnect.admittance import RationalAdmittance, fit_rational_admittance
+from ..interconnect.moments import admittance_moments
+from ..interconnect.rlc_line import RLCLine
+from .criteria import CriteriaThresholds, InductanceReport, evaluate_inductance_criteria
+from .iteration import CeffIterationResult, iterate_ceff1, iterate_ceff2
+from .plateau import modified_second_ramp_time, plateau_duration
+from .two_ramp import TwoRampWaveform, voltage_breakpoint
+
+__all__ = ["ModelingOptions", "DriverOutputModel", "model_driver_output"]
+
+
+@dataclass(frozen=True)
+class ModelingOptions:
+    """Knobs of the modeling flow.
+
+    ``force_two_ramp`` / ``force_single_ramp`` bypass the Eq. 9 screening (used by
+    the baselines and by benchmarks reproducing specific figures);
+    ``ceff_charge_fraction`` overrides the charge-matching window of the single-ramp
+    model (1.0 = the paper's non-inductive flow, 0.5 = Figure 3's 50% variant).
+    """
+
+    transition: str = "rise"
+    admittance_order: int = 8
+    moment_segments: Optional[int] = None  #: None = distributed-limit segment count
+    ceff_rel_tol: float = CEFF_REL_TOL
+    ceff_max_iterations: int = CEFF_MAX_ITERATIONS
+    ceff_damping: float = 0.5
+    criteria: CriteriaThresholds = field(default_factory=CriteriaThresholds)
+    plateau_correction: bool = True
+    force_two_ramp: bool = False
+    force_single_ramp: bool = False
+    ceff_charge_fraction: float = 1.0
+    reference_time: float = 0.0  #: absolute time of the input's 50% crossing
+
+    def __post_init__(self) -> None:
+        if self.transition not in ("rise", "fall"):
+            raise ModelingError("transition must be 'rise' or 'fall'")
+        if self.force_two_ramp and self.force_single_ramp:
+            raise ModelingError("cannot force both a single and a two ramp model")
+        if not 0.0 < self.ceff_charge_fraction <= 1.0:
+            raise ModelingError("ceff_charge_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DriverOutputModel:
+    """The modeled driver-output waveform and every intermediate quantity."""
+
+    kind: str  #: "two-ramp" or "single-ramp"
+    transition: str
+    vdd: float
+    cell_name: str
+    input_slew: float
+    line: RLCLine
+    load_capacitance: float
+    admittance: RationalAdmittance
+    driver_resistance: float
+    characteristic_impedance: float
+    time_of_flight: float
+    breakpoint_fraction: float
+    ceff1: float
+    tr1: float
+    ceff2: Optional[float]
+    tr2: Optional[float]
+    tr2_effective: Optional[float]  #: after the Eq. 8 plateau correction
+    plateau: float
+    gate_delay: float  #: 50%-to-50% delay from the cell table at load = Ceff1
+    inductance_report: InductanceReport
+    ceff1_iteration: CeffIterationResult
+    ceff2_iteration: Optional[CeffIterationResult]
+    reference_time: float
+
+    # --- derived waveform ------------------------------------------------------------
+    @property
+    def is_two_ramp(self) -> bool:
+        """True when the inductive two-ramp model was used."""
+        return self.kind == "two-ramp"
+
+    @property
+    def total_capacitance(self) -> float:
+        """Total load capacitance (line + fan-out)."""
+        return self.admittance.total_capacitance
+
+    def two_ramp(self) -> TwoRampWaveform:
+        """The modeled output waveform positioned in absolute time.
+
+        ``t = reference_time`` is the input's 50% crossing; the waveform is placed so
+        that its 50% crossing occurs ``gate_delay`` later, which is how the
+        pre-characterized table anchors the output in time.
+        """
+        fraction = self.breakpoint_fraction if self.is_two_ramp else 1.0
+        tr2 = self.tr2_effective if self.tr2_effective is not None else self.tr1
+        shape = TwoRampWaveform(vdd=self.vdd, breakpoint_fraction=fraction,
+                                tr1=self.tr1, tr2=tr2, t_start=0.0,
+                                rising=self.transition == "rise")
+        offset = (self.reference_time + self.gate_delay - shape.delay_to_50pct())
+        return TwoRampWaveform(vdd=self.vdd, breakpoint_fraction=fraction,
+                               tr1=self.tr1, tr2=tr2, t_start=offset,
+                               rising=self.transition == "rise")
+
+    def waveform(self, t_end: Optional[float] = None, *, n_points: int = 800):
+        """Sampled modeled waveform (see :meth:`TwoRampWaveform.waveform`)."""
+        return self.two_ramp().waveform(t_end, n_points=n_points)
+
+    def source(self, t_end: Optional[float] = None):
+        """A PWL voltage source reproducing the modeled driver output."""
+        return self.two_ramp().as_source(t_end)
+
+    def delay(self) -> float:
+        """Modeled 50% delay from the input's 50% crossing [s]."""
+        return self.two_ramp().crossing_time(0.5) - self.reference_time
+
+    def slew(self, *, low: float = SLEW_LOW_THRESHOLD,
+             high: float = SLEW_HIGH_THRESHOLD) -> float:
+        """Modeled output transition time between the given thresholds [s]."""
+        return self.two_ramp().transition_time(low, high)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"{self.kind} model of {self.cell_name} driving "
+            f"{self.line.describe()} + CL={self.load_capacitance * 1e15:.1f}fF",
+            f"  Rs={self.driver_resistance:.1f}ohm Z0={self.characteristic_impedance:.1f}ohm "
+            f"f={self.breakpoint_fraction:.2f} tf={self.time_of_flight * 1e12:.1f}ps",
+            f"  Ceff1={self.ceff1 * 1e15:.1f}fF Tr1={self.tr1 * 1e12:.1f}ps "
+            f"({self.ceff1_iteration.iterations} iterations)",
+        ]
+        if self.is_two_ramp:
+            lines.append(
+                f"  Ceff2={self.ceff2 * 1e15:.1f}fF Tr2={self.tr2 * 1e12:.1f}ps "
+                f"Tr2_eff={self.tr2_effective * 1e12:.1f}ps plateau={self.plateau * 1e12:.1f}ps")
+        lines.append(f"  delay={self.delay() * 1e12:.1f}ps slew={self.slew() * 1e12:.1f}ps")
+        return "\n".join(lines)
+
+
+def _admittance_for(line: RLCLine, load_capacitance: float,
+                    options: ModelingOptions) -> RationalAdmittance:
+    moments = admittance_moments(line, load_capacitance, order=options.admittance_order,
+                                 n_segments=options.moment_segments)
+    return fit_rational_admittance(moments)
+
+
+def model_driver_output(cell: CellCharacterization, input_slew: float, line: RLCLine,
+                        load_capacitance: float = 0.0, *,
+                        options: Optional[ModelingOptions] = None) -> DriverOutputModel:
+    """Run the paper's full modeling flow for one driver / line / load combination."""
+    options = options if options is not None else ModelingOptions()
+    if input_slew <= 0:
+        raise ModelingError("input slew must be positive")
+    if load_capacitance < 0:
+        raise ModelingError("load capacitance must be non-negative")
+
+    transition = options.transition
+    vdd = cell.vdd
+    admittance = _admittance_for(line, load_capacitance, options)
+    total_capacitance = admittance.total_capacitance
+    z0 = line.characteristic_impedance
+    tf = line.time_of_flight
+
+    # Step 2: driver resistance at the total capacitance, breakpoint fraction (Eq. 1).
+    driver_resistance = cell.driver_resistance(input_slew, total_capacitance,
+                                               transition=transition)
+    breakpoint = voltage_breakpoint(driver_resistance, z0)
+
+    # Step 3: Ceff1 iterations.  For the single-ramp flow the charge window fraction
+    # is the configured one (1.0 matches the paper; 0.5 reproduces Figure 3's variant).
+    ceff1_fraction = breakpoint if not options.force_single_ramp else options.ceff_charge_fraction
+    ceff1_result = iterate_ceff1(cell, input_slew, admittance, ceff1_fraction,
+                                 transition=transition, vdd=vdd,
+                                 rel_tol=options.ceff_rel_tol,
+                                 max_iterations=options.ceff_max_iterations,
+                                 damping=options.ceff_damping)
+
+    # Step 4: inductance screening with the initial ramp time.
+    report = evaluate_inductance_criteria(line, load_capacitance, driver_resistance,
+                                          ceff1_result.ramp_time,
+                                          thresholds=options.criteria)
+    use_two_ramp = report.significant
+    if options.force_two_ramp:
+        use_two_ramp = True
+    if options.force_single_ramp:
+        use_two_ramp = False
+
+    if use_two_ramp:
+        tr1 = ceff1_result.ramp_time
+        ceff2_result = iterate_ceff2(cell, input_slew, admittance, breakpoint, tr1,
+                                     transition=transition, vdd=vdd,
+                                     rel_tol=options.ceff_rel_tol,
+                                     max_iterations=options.ceff_max_iterations,
+                                     damping=options.ceff_damping)
+        tr2 = ceff2_result.ramp_time
+        plateau = plateau_duration(tr1, tf)
+        tr2_effective = (modified_second_ramp_time(tr1, tr2, breakpoint, tf)
+                         if options.plateau_correction else tr2)
+        gate_delay = cell.delay(input_slew, ceff1_result.ceff, transition=transition)
+        return DriverOutputModel(
+            kind="two-ramp", transition=transition, vdd=vdd, cell_name=cell.cell_name,
+            input_slew=input_slew, line=line, load_capacitance=load_capacitance,
+            admittance=admittance, driver_resistance=driver_resistance,
+            characteristic_impedance=z0, time_of_flight=tf,
+            breakpoint_fraction=breakpoint, ceff1=ceff1_result.ceff, tr1=tr1,
+            ceff2=ceff2_result.ceff, tr2=tr2, tr2_effective=tr2_effective,
+            plateau=plateau, gate_delay=gate_delay, inductance_report=report,
+            ceff1_iteration=ceff1_result, ceff2_iteration=ceff2_result,
+            reference_time=options.reference_time)
+
+    # Single-ramp branch: a single effective capacitance over the whole transition.
+    if ceff1_fraction != options.ceff_charge_fraction or not options.force_single_ramp:
+        single_result = iterate_ceff1(cell, input_slew, admittance,
+                                      options.ceff_charge_fraction,
+                                      transition=transition, vdd=vdd,
+                                      rel_tol=options.ceff_rel_tol,
+                                      max_iterations=options.ceff_max_iterations,
+                                      damping=options.ceff_damping)
+    else:
+        single_result = ceff1_result
+    gate_delay = cell.delay(input_slew, single_result.ceff, transition=transition)
+    return DriverOutputModel(
+        kind="single-ramp", transition=transition, vdd=vdd, cell_name=cell.cell_name,
+        input_slew=input_slew, line=line, load_capacitance=load_capacitance,
+        admittance=admittance, driver_resistance=driver_resistance,
+        characteristic_impedance=z0, time_of_flight=tf,
+        breakpoint_fraction=breakpoint, ceff1=single_result.ceff,
+        tr1=single_result.ramp_time, ceff2=None, tr2=None, tr2_effective=None,
+        plateau=0.0, gate_delay=gate_delay, inductance_report=report,
+        ceff1_iteration=single_result, ceff2_iteration=None,
+        reference_time=options.reference_time)

@@ -1,0 +1,93 @@
+"""Far-end response from a modeled driver output (paper Section 3, step 5).
+
+Once the driver output is modeled as a (one- or two-) ramp waveform, the driver is
+replaced by an ideal piecewise-linear voltage source and the interconnect is solved
+as a purely linear network to obtain the far-end (receiver) waveform.  Because the
+network is linear, the transient engine factorizes a single matrix and the solve is
+cheap, mirroring how a timing tool would propagate the modeled waveform into the
+next stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.waveform import Waveform
+from ..circuit.netlist import Circuit
+from ..circuit.sources import PWLSource, SourceFunction
+from ..circuit.transient import TransientOptions, run_transient
+from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
+from ..errors import ModelingError
+from ..interconnect.ladder import add_line_ladder
+from ..interconnect.rlc_line import RLCLine
+from ..units import ps
+from .driver_model import DriverOutputModel
+
+__all__ = ["FarEndResponse", "simulate_source_through_line", "far_end_response"]
+
+
+@dataclass(frozen=True)
+class FarEndResponse:
+    """Near- and far-end waveforms of a line driven by an ideal source."""
+
+    near: Waveform
+    far: Waveform
+    vdd: float
+    reference_time: float
+    rising: bool
+
+    def far_delay(self) -> float:
+        """50% delay from the reference time to the far-end crossing [s]."""
+        return self.far.delay(self.vdd, reference_time=self.reference_time,
+                              rising=self.rising) \
+            if self.rising else \
+            self.far.delay(self.vdd, reference_time=self.reference_time, rising=False)
+
+    def far_slew(self, *, low: float = SLEW_LOW_THRESHOLD,
+                 high: float = SLEW_HIGH_THRESHOLD) -> float:
+        """Far-end transition time [s]."""
+        return self.far.slew(self.vdd, low=low, high=high, rising=self.rising)
+
+    def interconnect_delay(self) -> float:
+        """50% crossing of the far end minus 50% crossing of the near end [s]."""
+        near_cross = self.near.time_at_level(0.5 * self.vdd, rising=self.rising)
+        far_cross = self.far.time_at_level(0.5 * self.vdd, rising=self.rising)
+        return far_cross - near_cross
+
+
+def simulate_source_through_line(source: SourceFunction, line: RLCLine,
+                                 load_capacitance: float, *, vdd: float,
+                                 t_stop: float, dt: Optional[float] = None,
+                                 n_segments: Optional[int] = None,
+                                 reference_time: float = 0.0,
+                                 rising: bool = True) -> FarEndResponse:
+    """Drive ``line`` (plus a far-end load) with an ideal voltage source and simulate."""
+    if load_capacitance < 0:
+        raise ModelingError("load capacitance must be non-negative")
+    if t_stop <= 0:
+        raise ModelingError("t_stop must be positive")
+    segments = n_segments if n_segments is not None else line.recommended_segments()
+    step = dt if dt is not None else min(ps(0.2), line.time_of_flight / max(segments, 1))
+    circuit = Circuit("far_end_validation")
+    circuit.voltage_source("near", "0", source, name="Vdrv")
+    add_line_ladder(circuit, line, "near", "far", n_segments=segments)
+    if load_capacitance > 0:
+        circuit.capacitor("far", "0", load_capacitance, name="Cload")
+    result = run_transient(circuit, t_stop,
+                           options=TransientOptions(dt=step, store_branch_currents=False))
+    return FarEndResponse(near=result.waveform("near"), far=result.waveform("far"),
+                          vdd=vdd, reference_time=reference_time, rising=rising)
+
+
+def far_end_response(model: DriverOutputModel, *, t_stop: Optional[float] = None,
+                     dt: Optional[float] = None,
+                     n_segments: Optional[int] = None) -> FarEndResponse:
+    """Far-end response of the modeled driver output applied to its own line and load."""
+    two_ramp = model.two_ramp()
+    end = t_stop if t_stop is not None else two_ramp.end_time + 6.0 * model.time_of_flight
+    source = PWLSource(two_ramp.pwl_points(end))
+    return simulate_source_through_line(
+        source, model.line, model.load_capacitance, vdd=model.vdd, t_stop=end, dt=dt,
+        n_segments=n_segments, reference_time=model.reference_time,
+        rising=model.transition == "rise")

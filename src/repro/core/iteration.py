@@ -1,0 +1,117 @@
+"""Fixed-point iteration coupling the Ceff equations with the cell tables.
+
+The effective capacitance depends on the ramp time, and the ramp time (looked up in
+the pre-characterized cell table at load = Ceff) depends on the effective
+capacitance.  Following the paper, both Ceff1 and Ceff2 are found by iterating from
+an initial guess equal to the total load capacitance until the value converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from ..characterization.cell import CellCharacterization
+from ..constants import CEFF_MAX_ITERATIONS, CEFF_REL_TOL
+from ..errors import ConvergenceError, ModelingError
+from ..interconnect.admittance import RationalAdmittance
+from .ceff import ceff_first_ramp, ceff_second_ramp
+
+__all__ = ["CeffIterationResult", "iterate_ceff1", "iterate_ceff2"]
+
+
+@dataclass(frozen=True)
+class CeffIterationResult:
+    """Outcome of one effective-capacitance fixed-point iteration."""
+
+    ceff: float  #: converged effective capacitance [F]
+    ramp_time: float  #: full-swing ramp time corresponding to ``ceff`` [s]
+    iterations: int
+    converged: bool
+    history: List[float] = field(default_factory=list)  #: Ceff value per iteration
+
+
+def _fixed_point(total_capacitance: float,
+                 ceff_of_ramp: Callable[[float], float],
+                 ramp_of_load: Callable[[float], float], *,
+                 rel_tol: float, max_iterations: int, damping: float,
+                 require_convergence: bool) -> CeffIterationResult:
+    """Damped fixed-point iteration shared by the Ceff1 and Ceff2 flows."""
+    if total_capacitance <= 0:
+        raise ModelingError("total capacitance must be positive")
+    floor = 0.01 * total_capacitance
+    ceiling = 2.0 * total_capacitance
+
+    ceff = total_capacitance
+    history: List[float] = [ceff]
+    ramp_time = ramp_of_load(ceff)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        ramp_time = ramp_of_load(ceff)
+        if ramp_time <= 0:
+            raise ModelingError("cell table produced a non-positive ramp time")
+        proposal = ceff_of_ramp(ramp_time)
+        proposal = min(max(proposal, floor), ceiling)
+        new_ceff = damping * proposal + (1.0 - damping) * ceff
+        history.append(new_ceff)
+        if abs(new_ceff - ceff) <= rel_tol * total_capacitance:
+            ceff = new_ceff
+            converged = True
+            break
+        ceff = new_ceff
+    if not converged and require_convergence:
+        raise ConvergenceError(
+            f"Ceff iteration did not converge within {max_iterations} iterations",
+            iterations=max_iterations, last_value=ceff)
+    ramp_time = ramp_of_load(ceff)
+    return CeffIterationResult(ceff=ceff, ramp_time=ramp_time, iterations=iterations,
+                               converged=converged, history=history)
+
+
+def iterate_ceff1(cell: CellCharacterization, input_slew: float,
+                  admittance: RationalAdmittance, breakpoint_fraction: float, *,
+                  transition: str = "rise", vdd: float | None = None,
+                  rel_tol: float = CEFF_REL_TOL,
+                  max_iterations: int = CEFF_MAX_ITERATIONS, damping: float = 0.5,
+                  require_convergence: bool = False) -> CeffIterationResult:
+    """Ceff1 fixed point (paper Section 4.1).
+
+    With ``breakpoint_fraction = 1`` this computes the paper's single effective
+    capacitance for non-inductive loads.
+    """
+    supply = vdd if vdd is not None else cell.vdd
+
+    def ceff_of_ramp(tr1: float) -> float:
+        return ceff_first_ramp(admittance, tr1, breakpoint_fraction, vdd=supply)
+
+    def ramp_of_load(load: float) -> float:
+        return cell.ramp_time(input_slew, load, transition=transition)
+
+    return _fixed_point(admittance.total_capacitance, ceff_of_ramp, ramp_of_load,
+                        rel_tol=rel_tol, max_iterations=max_iterations, damping=damping,
+                        require_convergence=require_convergence)
+
+
+def iterate_ceff2(cell: CellCharacterization, input_slew: float,
+                  admittance: RationalAdmittance, breakpoint_fraction: float,
+                  tr1: float, *, transition: str = "rise", vdd: float | None = None,
+                  rel_tol: float = CEFF_REL_TOL,
+                  max_iterations: int = CEFF_MAX_ITERATIONS, damping: float = 0.5,
+                  require_convergence: bool = False) -> CeffIterationResult:
+    """Ceff2 fixed point (paper Section 4.2), given the converged first-ramp time."""
+    if not 0.0 < breakpoint_fraction < 1.0:
+        raise ModelingError("Ceff2 requires a breakpoint fraction strictly below 1")
+    if tr1 <= 0:
+        raise ModelingError("tr1 must be positive")
+    supply = vdd if vdd is not None else cell.vdd
+
+    def ceff_of_ramp(tr2: float) -> float:
+        return ceff_second_ramp(admittance, tr1, tr2, breakpoint_fraction, vdd=supply)
+
+    def ramp_of_load(load: float) -> float:
+        return cell.ramp_time(input_slew, load, transition=transition)
+
+    return _fixed_point(admittance.total_capacitance, ceff_of_ramp, ramp_of_load,
+                        rel_tol=rel_tol, max_iterations=max_iterations, damping=damping,
+                        require_convergence=require_convergence)

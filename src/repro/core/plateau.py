@@ -1,0 +1,40 @@
+"""Plateau correction of the second ramp (paper Section 4.2, Eq. 8).
+
+Between the initial step and the arrival of the reflection from the far end, the
+driver output sits on a plateau of duration ``2*tf - Tr1`` (the round-trip time of
+flight minus the part already spent ramping).  No charge is transferred during the
+plateau, so the Ceff2 charge match cannot see it; the paper accounts for it by
+delaying the point where the second ramp reaches Vdd by the plateau duration, i.e.
+
+    Tr2_new = Tr2 + (2*tf - Tr1) / (1 - f)
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelingError
+
+__all__ = ["plateau_duration", "modified_second_ramp_time"]
+
+
+def plateau_duration(tr1: float, time_of_flight: float) -> float:
+    """Duration of the plateau, ``max(0, 2*tf - Tr1)``.
+
+    When the initial ramp is slower than the round trip the reflection returns
+    before the ramp finishes and there is no visible plateau.
+    """
+    if tr1 <= 0:
+        raise ModelingError("tr1 must be positive")
+    if time_of_flight < 0:
+        raise ModelingError("time of flight must be non-negative")
+    return max(0.0, 2.0 * time_of_flight - tr1)
+
+
+def modified_second_ramp_time(tr1: float, tr2: float, breakpoint_fraction: float,
+                              time_of_flight: float) -> float:
+    """Paper Eq. 8: stretch the second ramp so its completion shifts by the plateau."""
+    if not 0.0 < breakpoint_fraction < 1.0:
+        raise ModelingError("breakpoint fraction must be in (0, 1) for Eq. 8")
+    if tr2 <= 0:
+        raise ModelingError("tr2 must be positive")
+    plateau = plateau_duration(tr1, time_of_flight)
+    return tr2 + plateau / (1.0 - breakpoint_fraction)

@@ -1,0 +1,164 @@
+"""The two-ramp driver-output waveform model (paper Section 3, Eq. 1 and Eq. 2).
+
+When transmission-line effects are significant the driver output rises in an
+initial fast ramp to the breakpoint voltage ``f * Vdd`` (the voltage-divider step of
+Eq. 1), waits for the reflection from the far end, and then completes the
+transition with a second, slower ramp.  :class:`TwoRampWaveform` captures that
+shape; the degenerate case ``breakpoint_fraction = 1`` reduces to the ordinary
+single saturated ramp used for RC-like loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..analysis.waveform import Waveform
+from ..circuit.sources import PWLSource
+from ..errors import ModelingError
+
+__all__ = ["voltage_breakpoint", "TwoRampWaveform"]
+
+
+def voltage_breakpoint(driver_resistance: float, characteristic_impedance: float) -> float:
+    """Breakpoint fraction ``f = Z0 / (Z0 + Rs)`` (paper Eq. 1).
+
+    This is the fraction of the supply reached by the initial step launched into the
+    line by a driver with source resistance ``Rs`` and line impedance ``Z0``.
+    """
+    if characteristic_impedance <= 0:
+        raise ModelingError("characteristic impedance must be positive")
+    if driver_resistance < 0:
+        raise ModelingError("driver resistance must be non-negative")
+    return characteristic_impedance / (characteristic_impedance + driver_resistance)
+
+
+@dataclass(frozen=True)
+class TwoRampWaveform:
+    """Paper Eq. 2: an initial ramp to ``f * Vdd`` followed by a second ramp to ``Vdd``.
+
+    ``tr1`` and ``tr2`` are *full-swing* ramp times: the first ramp has slope
+    ``Vdd / tr1`` and runs for ``f * tr1``; the second has slope ``Vdd / tr2`` and
+    runs for ``(1 - f) * tr2``.  ``t_start`` positions the waveform in absolute time
+    and ``rising`` selects the transition direction (a falling waveform is the
+    mirror image ``Vdd - v(t)``).
+    """
+
+    vdd: float
+    breakpoint_fraction: float
+    tr1: float
+    tr2: float
+    t_start: float = 0.0
+    rising: bool = True
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ModelingError("vdd must be positive")
+        if not 0.0 < self.breakpoint_fraction <= 1.0:
+            raise ModelingError(
+                f"breakpoint fraction must be in (0, 1], got {self.breakpoint_fraction}")
+        if self.tr1 <= 0:
+            raise ModelingError("tr1 must be positive")
+        if self.breakpoint_fraction < 1.0 and self.tr2 <= 0:
+            raise ModelingError("tr2 must be positive for a two-ramp waveform")
+
+    # --- characteristic times --------------------------------------------------------
+    @property
+    def is_single_ramp(self) -> bool:
+        """True when the breakpoint is at 100% (no second ramp)."""
+        return self.breakpoint_fraction >= 1.0
+
+    @property
+    def breakpoint_time(self) -> float:
+        """Absolute time at which the first ramp ends (``t_start + f * tr1``)."""
+        return self.t_start + self.breakpoint_fraction * self.tr1
+
+    @property
+    def breakpoint_voltage(self) -> float:
+        """Voltage at the breakpoint, ``f * Vdd`` (measured on the rising shape)."""
+        return self.breakpoint_fraction * self.vdd
+
+    @property
+    def end_time(self) -> float:
+        """Absolute time at which the transition completes."""
+        if self.is_single_ramp:
+            return self.t_start + self.tr1
+        return self.breakpoint_time + (1.0 - self.breakpoint_fraction) * self.tr2
+
+    @property
+    def duration(self) -> float:
+        """Total transition duration."""
+        return self.end_time - self.t_start
+
+    def crossing_time(self, fraction: float) -> float:
+        """Absolute time at which the transition crosses ``fraction * Vdd``.
+
+        The fraction refers to the rising shape; for a falling waveform it is the
+        fraction of the swing completed (e.g. 0.5 is still the midpoint).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ModelingError("crossing fraction must be within [0, 1]")
+        f = self.breakpoint_fraction
+        if fraction <= f or self.is_single_ramp:
+            return self.t_start + fraction * self.tr1
+        return self.breakpoint_time + (fraction - f) * self.tr2
+
+    def delay_to_50pct(self) -> float:
+        """Time from ``t_start`` to the 50% crossing."""
+        return self.crossing_time(0.5) - self.t_start
+
+    def transition_time(self, low: float = 0.1, high: float = 0.9) -> float:
+        """Threshold-to-threshold transition time of the modeled waveform."""
+        if not 0.0 <= low < high <= 1.0:
+            raise ModelingError("invalid transition thresholds")
+        return self.crossing_time(high) - self.crossing_time(low)
+
+    # --- evaluation ----------------------------------------------------------------------
+    def _rising_value(self, time: float) -> float:
+        t = time - self.t_start
+        if t <= 0.0:
+            return 0.0
+        f = self.breakpoint_fraction
+        first_end = f * self.tr1
+        if t <= first_end or self.is_single_ramp:
+            return min(self.vdd, self.vdd * t / self.tr1)
+        v = f * self.vdd + (t - first_end) * self.vdd / self.tr2
+        return min(self.vdd, v)
+
+    def value(self, time: float) -> float:
+        """Waveform value at an absolute ``time``."""
+        v = self._rising_value(time)
+        return v if self.rising else self.vdd - v
+
+    def pwl_points(self, t_end: float | None = None) -> List[Tuple[float, float]]:
+        """Breakpoints of the waveform as (time, value) pairs for a PWL source."""
+        end = self.end_time if t_end is None else max(t_end, self.end_time)
+        times = [min(0.0, self.t_start), self.t_start, self.breakpoint_time,
+                 self.end_time, end]
+        unique_times = sorted(set(times))
+        return [(t, self.value(t)) for t in unique_times]
+
+    def as_source(self, t_end: float | None = None) -> PWLSource:
+        """A piecewise-linear voltage source reproducing this waveform."""
+        return PWLSource(self.pwl_points(t_end))
+
+    def waveform(self, t_end: float | None = None, *, n_points: int = 600) -> Waveform:
+        """Sampled :class:`~repro.analysis.waveform.Waveform` (dense, for plotting/metrics)."""
+        end = self.end_time if t_end is None else t_end
+        end = max(end, self.end_time)
+        start = min(0.0, self.t_start)
+        grid = np.linspace(start, end * 1.02 + 1e-15, n_points)
+        # Make sure the exact corner points are part of the sampling.
+        corners = np.array([self.t_start, self.breakpoint_time, self.end_time])
+        grid = np.unique(np.concatenate([grid, corners]))
+        values = np.array([self.value(t) for t in grid])
+        return Waveform(grid, values)
+
+    def describe(self) -> str:
+        """Human-readable summary in ps."""
+        kind = "single-ramp" if self.is_single_ramp else "two-ramp"
+        return (f"{kind} waveform: f={self.breakpoint_fraction:.2f} "
+                f"tr1={self.tr1 * 1e12:.1f}ps tr2={self.tr2 * 1e12:.1f}ps "
+                f"start={self.t_start * 1e12:.1f}ps")

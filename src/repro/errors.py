@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from :class:`ReproError`
+so applications can catch library failures with a single ``except`` clause while
+letting genuine bugs (``TypeError``, ``KeyError`` ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits (unknown nodes, duplicate names, bad values)."""
+
+
+class SimulationError(ReproError):
+    """Raised when an analysis cannot be completed (singular matrix, divergence)."""
+
+
+class ConvergenceError(SimulationError):
+    """Raised when an iterative solve (Newton, Ceff fixed point) fails to converge."""
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 last_value: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.last_value = last_value
+
+
+class CharacterizationError(ReproError):
+    """Raised when cell characterization input is inconsistent or a lookup fails."""
+
+
+class ModelingError(ReproError):
+    """Raised when the driver-output modeling flow receives unusable inputs."""
+
+
+class WaveformError(ReproError):
+    """Raised for waveform analysis failures (no crossing found, empty data)."""

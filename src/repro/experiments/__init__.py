@@ -1,0 +1,39 @@
+"""Reproductions of the paper's evaluation: Table 1, Figures 1-7, and sweeps."""
+
+from .comparison import CaseComparison
+from .figures import (figure1_driver_waveform, figure3_single_ceff_comparison,
+                      figure4_two_ramp_construction, figure5_model_vs_reference,
+                      figure6_single_ramp_and_far_end)
+from .paper_cases import (FIGURE1_CASE, FIGURE3_CASE, FIGURE5_CASES,
+                          FIGURE6_FAR_END_CASE, FIGURE6_SINGLE_RAMP_CASE,
+                          TABLE1_CASES, PaperCase, Table1Row, find_table1_row)
+from .reference import ReferenceResult, ReferenceSimulator
+from .sweep import (SweepDefinition, SweepResult, build_sweep_cases,
+                    run_accuracy_sweep)
+from .table1 import Table1Result, run_table1
+
+__all__ = [
+    "PaperCase",
+    "Table1Row",
+    "TABLE1_CASES",
+    "FIGURE1_CASE",
+    "FIGURE3_CASE",
+    "FIGURE5_CASES",
+    "FIGURE6_SINGLE_RAMP_CASE",
+    "FIGURE6_FAR_END_CASE",
+    "find_table1_row",
+    "ReferenceSimulator",
+    "ReferenceResult",
+    "CaseComparison",
+    "Table1Result",
+    "run_table1",
+    "SweepDefinition",
+    "SweepResult",
+    "build_sweep_cases",
+    "run_accuracy_sweep",
+    "figure1_driver_waveform",
+    "figure3_single_ceff_comparison",
+    "figure4_two_ramp_construction",
+    "figure5_model_vs_reference",
+    "figure6_single_ramp_and_far_end",
+]

@@ -1,0 +1,88 @@
+"""Model-versus-reference comparison records shared by the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.metrics import percent_error
+from ..core.driver_model import DriverOutputModel
+from ..units import to_ps
+from .paper_cases import PaperCase
+from .reference import ReferenceResult
+
+__all__ = ["CaseComparison"]
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """Delay / slew comparison of the two-ramp and one-ramp models against reference."""
+
+    case: PaperCase
+    reference: ReferenceResult
+    two_ramp: DriverOutputModel
+    one_ramp: DriverOutputModel
+
+    # --- reference measurements --------------------------------------------------------
+    @property
+    def reference_delay(self) -> float:
+        return self.reference.near_delay()
+
+    @property
+    def reference_slew(self) -> float:
+        return self.reference.near_slew()
+
+    # --- model measurements ----------------------------------------------------------
+    @property
+    def two_ramp_delay(self) -> float:
+        return self.two_ramp.delay()
+
+    @property
+    def two_ramp_slew(self) -> float:
+        return self.two_ramp.slew()
+
+    @property
+    def one_ramp_delay(self) -> float:
+        return self.one_ramp.delay()
+
+    @property
+    def one_ramp_slew(self) -> float:
+        return self.one_ramp.slew()
+
+    # --- percent errors ------------------------------------------------------------------
+    @property
+    def two_ramp_delay_error(self) -> float:
+        return percent_error(self.two_ramp_delay, self.reference_delay)
+
+    @property
+    def two_ramp_slew_error(self) -> float:
+        return percent_error(self.two_ramp_slew, self.reference_slew)
+
+    @property
+    def one_ramp_delay_error(self) -> float:
+        return percent_error(self.one_ramp_delay, self.reference_delay)
+
+    @property
+    def one_ramp_slew_error(self) -> float:
+        return percent_error(self.one_ramp_slew, self.reference_slew)
+
+    def format_row(self) -> str:
+        """One formatted table row in the style of the paper's Table 1."""
+        case = self.case
+        return (f"{case.length_mm:>2g}/{case.width_um:<4g} "
+                f"{case.resistance_ohm:>6.1f}/{case.inductance_nh:>4.1f}/"
+                f"{case.capacitance_pf:>5.2f} "
+                f"{case.driver_size:>4g}x {case.input_slew_ps:>4g}ps | "
+                f"{to_ps(self.reference_delay):7.2f} "
+                f"{to_ps(self.two_ramp_delay):7.2f} ({self.two_ramp_delay_error:+6.1f}%) "
+                f"{to_ps(self.one_ramp_delay):7.2f} ({self.one_ramp_delay_error:+6.1f}%) | "
+                f"{to_ps(self.reference_slew):7.1f} "
+                f"{to_ps(self.two_ramp_slew):7.1f} ({self.two_ramp_slew_error:+6.1f}%) "
+                f"{to_ps(self.one_ramp_slew):7.1f} ({self.one_ramp_slew_error:+6.1f}%)")
+
+    @staticmethod
+    def header() -> str:
+        """Column header matching :meth:`format_row`."""
+        return ("len/wid  R/L(nH)/C(pF)    drv  slew |  "
+                "ref_d   2ramp_d (err)    1ramp_d (err)   |  "
+                "ref_s   2ramp_s (err)    1ramp_s (err)")

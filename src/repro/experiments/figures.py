@@ -1,0 +1,289 @@
+"""Reproductions of the paper's waveform figures (Figures 1, 3, 4, 5 and 6).
+
+Each ``figureN_*`` function returns a small dataclass holding the waveforms and the
+scalar quantities a reader would extract from the corresponding plot, so the
+benchmark harness can print the same information the figure conveys (step heights,
+kink positions, delay/slew errors) without a plotting backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.metrics import percent_error
+from ..analysis.waveform import Waveform
+from ..baselines.one_ramp import half_charge_ceff_model, single_ceff_model
+from ..characterization.library import CellLibrary, default_library
+from ..core.driver_model import DriverOutputModel, ModelingOptions, model_driver_output
+from ..core.far_end import FarEndResponse, far_end_response
+from ..units import to_ps
+from .paper_cases import (FIGURE1_CASE, FIGURE3_CASE, FIGURE5_CASES,
+                          FIGURE6_FAR_END_CASE, FIGURE6_SINGLE_RAMP_CASE, PaperCase)
+from .reference import ReferenceResult, ReferenceSimulator
+
+__all__ = [
+    "Figure1Result", "figure1_driver_waveform",
+    "Figure3Result", "figure3_single_ceff_comparison",
+    "Figure4Result", "figure4_two_ramp_construction",
+    "Figure5Result", "figure5_model_vs_reference",
+    "Figure6Result", "figure6_single_ramp_and_far_end",
+]
+
+
+def _library_and_simulator(library, simulator):
+    return (library if library is not None else default_library(),
+            simulator if simulator is not None else ReferenceSimulator())
+
+
+# --------------------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure1Result:
+    """Figure 1: the inductive driver-output waveform with its step/plateau structure."""
+
+    case: PaperCase
+    reference: ReferenceResult
+    initial_step_fraction: float  #: plateau height as a fraction of Vdd
+    breakpoint_prediction: float  #: Eq. 1 prediction of the same quantity
+    time_of_flight: float
+    plateau_window: Tuple[float, float]  #: (start, end) of the observed plateau [s]
+
+    def format_report(self) -> str:
+        return "\n".join([
+            f"Figure 1 ({self.case.describe()})",
+            f"  observed initial step  : {self.initial_step_fraction:.2f} * Vdd",
+            f"  Eq.1 breakpoint f      : {self.breakpoint_prediction:.2f} * Vdd",
+            f"  time of flight         : {to_ps(self.time_of_flight):.1f} ps "
+            f"(round trip {to_ps(2 * self.time_of_flight):.1f} ps)",
+            f"  plateau window         : {to_ps(self.plateau_window[0]):.1f} .. "
+            f"{to_ps(self.plateau_window[1]):.1f} ps after transition start",
+        ])
+
+
+def figure1_driver_waveform(*, library: Optional[CellLibrary] = None,
+                            simulator: Optional[ReferenceSimulator] = None,
+                            case: PaperCase = FIGURE1_CASE) -> Figure1Result:
+    """Reproduce Figure 1: simulate the 5 mm / 75X case and locate its plateau."""
+    library, simulator = _library_and_simulator(library, simulator)
+    cell = library.get(case.driver_size)
+    reference = simulator.simulate_case(case)
+    model = model_driver_output(cell, case.input_slew, case.line, case.load_capacitance)
+    step = reference.initial_step_fraction()
+    t_start = reference.near.time_at_level(0.1 * reference.vdd, rising=True)
+    plateau = (t_start + case.line.time_of_flight - reference.reference_time,
+               t_start + 2.0 * case.line.time_of_flight - reference.reference_time)
+    return Figure1Result(case=case, reference=reference, initial_step_fraction=step,
+                         breakpoint_prediction=model.breakpoint_fraction,
+                         time_of_flight=case.line.time_of_flight,
+                         plateau_window=plateau)
+
+
+# --------------------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure3Result:
+    """Figure 3: single-Ceff (50% / 100% charge) waveforms versus the actual output."""
+
+    case: PaperCase
+    reference: ReferenceResult
+    full_charge_model: DriverOutputModel
+    half_charge_model: DriverOutputModel
+
+    @property
+    def reference_delay(self) -> float:
+        return self.reference.near_delay()
+
+    @property
+    def reference_slew(self) -> float:
+        return self.reference.near_slew()
+
+    def format_report(self) -> str:
+        ref_d = to_ps(self.reference_delay)
+        ref_s = to_ps(self.reference_slew)
+        full_d = to_ps(self.full_charge_model.delay())
+        full_s = to_ps(self.full_charge_model.slew())
+        half_d = to_ps(self.half_charge_model.delay())
+        half_s = to_ps(self.half_charge_model.slew())
+        return "\n".join([
+            f"Figure 3 ({self.case.describe()})",
+            f"  actual driver output     : delay {ref_d:6.1f} ps  slew {ref_s:6.1f} ps",
+            f"  Ceff (charge to 100%)    : delay {full_d:6.1f} ps "
+            f"({percent_error(full_d, ref_d):+.1f}%)  slew {full_s:6.1f} ps "
+            f"({percent_error(full_s, ref_s):+.1f}%)   "
+            f"Ceff={self.full_charge_model.ceff1 * 1e15:.0f} fF",
+            f"  Ceff (charge to 50%)     : delay {half_d:6.1f} ps "
+            f"({percent_error(half_d, ref_d):+.1f}%)  slew {half_s:6.1f} ps "
+            f"({percent_error(half_s, ref_s):+.1f}%)   "
+            f"Ceff={self.half_charge_model.ceff1 * 1e15:.0f} fF",
+            "  (paper: neither single-Ceff choice can capture both the fast initial "
+            "step and the long inductive tail)",
+        ])
+
+
+def figure3_single_ceff_comparison(*, library: Optional[CellLibrary] = None,
+                                   simulator: Optional[ReferenceSimulator] = None,
+                                   case: PaperCase = FIGURE3_CASE) -> Figure3Result:
+    """Reproduce Figure 3 on the 7 mm / 75X case."""
+    library, simulator = _library_and_simulator(library, simulator)
+    cell = library.get(case.driver_size)
+    reference = simulator.simulate_case(case)
+    full = single_ceff_model(cell, case.input_slew, case.line, case.load_capacitance)
+    half = half_charge_ceff_model(cell, case.input_slew, case.line,
+                                  case.load_capacitance)
+    return Figure3Result(case=case, reference=reference, full_charge_model=full,
+                         half_charge_model=half)
+
+
+# --------------------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure4Result:
+    """Figure 4: construction of the two-ramp model (Tr1, Tr2, plateau-corrected Tr2)."""
+
+    case: PaperCase
+    model: DriverOutputModel
+
+    def format_report(self) -> str:
+        m = self.model
+        return "\n".join([
+            f"Figure 4 ({self.case.describe()})",
+            f"  breakpoint f             : {m.breakpoint_fraction:.2f}",
+            f"  ramp 1 (Ceff1)           : Ceff1={m.ceff1 * 1e15:.0f} fF  "
+            f"Tr1={to_ps(m.tr1):.1f} ps",
+            f"  ramp 2 (Ceff2)           : Ceff2={m.ceff2 * 1e15:.0f} fF  "
+            f"Tr2={to_ps(m.tr2):.1f} ps",
+            f"  plateau 2*tf - Tr1       : {to_ps(m.plateau):.1f} ps",
+            f"  modified ramp 2 (Eq. 8)  : Tr2_new={to_ps(m.tr2_effective):.1f} ps",
+        ])
+
+
+def figure4_two_ramp_construction(*, library: Optional[CellLibrary] = None,
+                                  case: PaperCase = FIGURE3_CASE) -> Figure4Result:
+    """Reproduce Figure 4's construction on the same case family the paper uses."""
+    library = library if library is not None else default_library()
+    cell = library.get(case.driver_size)
+    model = model_driver_output(cell, case.input_slew, case.line, case.load_capacitance,
+                                options=ModelingOptions(force_two_ramp=True))
+    return Figure4Result(case=case, model=model)
+
+
+# --------------------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure5CaseResult:
+    """Two-ramp model versus reference for one of the Figure 5 cases."""
+
+    case: PaperCase
+    reference: ReferenceResult
+    model: DriverOutputModel
+    max_waveform_error: float  #: max |model - reference| over the transition [V]
+
+    def delay_error(self) -> float:
+        return percent_error(self.model.delay(), self.reference.near_delay())
+
+    def slew_error(self) -> float:
+        return percent_error(self.model.slew(), self.reference.near_slew())
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Both Figure 5 panels."""
+
+    cases: List[Figure5CaseResult]
+
+    def format_report(self) -> str:
+        lines = ["Figure 5 (two-ramp driver output vs reference simulation)"]
+        for item in self.cases:
+            lines.append(
+                f"  {item.case.describe()}\n"
+                f"    delay err {item.delay_error():+6.1f}%  "
+                f"slew err {item.slew_error():+6.1f}%  "
+                f"max |dV| {item.max_waveform_error:.3f} V")
+        return "\n".join(lines)
+
+
+def figure5_model_vs_reference(*, library: Optional[CellLibrary] = None,
+                               simulator: Optional[ReferenceSimulator] = None,
+                               cases: Tuple[PaperCase, ...] = FIGURE5_CASES
+                               ) -> Figure5Result:
+    """Reproduce Figure 5: overlay the modeled waveform on the reference waveform."""
+    library, simulator = _library_and_simulator(library, simulator)
+    results = []
+    for case in cases:
+        cell = library.get(case.driver_size)
+        reference = simulator.simulate_case(case)
+        model = model_driver_output(cell, case.input_slew, case.line,
+                                    case.load_capacitance)
+        modeled = model.waveform(t_end=reference.near.t_end)
+        shifted = Waveform(modeled.times + reference.reference_time, modeled.values)
+        error = shifted.max_abs_difference(reference.near)
+        results.append(Figure5CaseResult(case=case, reference=reference, model=model,
+                                         max_waveform_error=error))
+    return Figure5Result(cases=results)
+
+
+# --------------------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure6Result:
+    """Figure 6: weak-driver single-ramp panel and near/far-end validation panel."""
+
+    single_ramp_case: PaperCase
+    single_ramp_model: DriverOutputModel
+    single_ramp_reference: ReferenceResult
+    far_end_case: PaperCase
+    far_end_model: DriverOutputModel
+    far_end_reference: ReferenceResult
+    far_end_from_model: FarEndResponse
+
+    def single_ramp_delay_error(self) -> float:
+        return percent_error(self.single_ramp_model.delay(),
+                             self.single_ramp_reference.near_delay())
+
+    def single_ramp_slew_error(self) -> float:
+        return percent_error(self.single_ramp_model.slew(),
+                             self.single_ramp_reference.near_slew())
+
+    def far_end_delay_error(self) -> float:
+        return percent_error(self.far_end_from_model.far_delay(),
+                             self.far_end_reference.far_delay())
+
+    def far_end_slew_error(self) -> float:
+        return percent_error(self.far_end_from_model.far_slew(),
+                             self.far_end_reference.far_slew())
+
+    def format_report(self) -> str:
+        return "\n".join([
+            "Figure 6",
+            f"  left  ({self.single_ramp_case.describe()})",
+            f"    model kind: {self.single_ramp_model.kind} "
+            f"(inductance significant: "
+            f"{self.single_ramp_model.inductance_report.significant})",
+            f"    delay err {self.single_ramp_delay_error():+6.1f}%  "
+            f"slew err {self.single_ramp_slew_error():+6.1f}%",
+            f"  right ({self.far_end_case.describe()})",
+            f"    far-end delay err {self.far_end_delay_error():+6.1f}%  "
+            f"far-end slew err {self.far_end_slew_error():+6.1f}% "
+            f"(two-ramp source vs transistor-level far end)",
+        ])
+
+
+def figure6_single_ramp_and_far_end(*, library: Optional[CellLibrary] = None,
+                                    simulator: Optional[ReferenceSimulator] = None
+                                    ) -> Figure6Result:
+    """Reproduce both Figure 6 panels."""
+    library, simulator = _library_and_simulator(library, simulator)
+
+    weak_case = FIGURE6_SINGLE_RAMP_CASE
+    weak_cell = library.get(weak_case.driver_size)
+    weak_reference = simulator.simulate_case(weak_case)
+    weak_model = model_driver_output(weak_cell, weak_case.input_slew, weak_case.line,
+                                     weak_case.load_capacitance)
+
+    far_case = FIGURE6_FAR_END_CASE
+    far_cell = library.get(far_case.driver_size)
+    far_reference = simulator.simulate_case(far_case)
+    far_model = model_driver_output(far_cell, far_case.input_slew, far_case.line,
+                                    far_case.load_capacitance)
+    far_from_model = far_end_response(far_model,
+                                      t_stop=far_reference.near.t_end)
+    return Figure6Result(single_ramp_case=weak_case, single_ramp_model=weak_model,
+                         single_ramp_reference=weak_reference, far_end_case=far_case,
+                         far_end_model=far_model, far_end_reference=far_reference,
+                         far_end_from_model=far_from_model)

@@ -1,0 +1,162 @@
+"""The experimental cases printed in the paper.
+
+Each case fixes a line geometry (with the parasitics printed in the paper — the
+output of the authors' 3D field extraction), a driver size, and an input slew.
+Storing the printed R/L/C verbatim keeps the reproduction independent of this
+repository's analytic parasitic extractor.
+
+``TABLE1_CASES`` additionally carries the HSPICE / two-ramp / one-ramp numbers the
+paper reports, so benchmarks can print the paper's row next to the reproduced row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..interconnect.rlc_line import RLCLine
+from ..units import mm, nH, pF, ps, um
+
+__all__ = [
+    "PaperCase",
+    "Table1Row",
+    "TABLE1_CASES",
+    "FIGURE1_CASE",
+    "FIGURE3_CASE",
+    "FIGURE5_CASES",
+    "FIGURE6_SINGLE_RAMP_CASE",
+    "FIGURE6_FAR_END_CASE",
+]
+
+
+@dataclass(frozen=True)
+class PaperCase:
+    """One driver / line / stimulus combination from the paper."""
+
+    name: str
+    length_mm: float
+    width_um: float
+    resistance_ohm: float
+    inductance_nh: float
+    capacitance_pf: float
+    driver_size: float
+    input_slew_ps: float
+    load_ff: float = 0.0
+
+    @property
+    def line(self) -> RLCLine:
+        """The printed parasitics as an :class:`RLCLine`."""
+        return RLCLine(resistance=self.resistance_ohm,
+                       inductance=nH(self.inductance_nh),
+                       capacitance=pF(self.capacitance_pf),
+                       length=mm(self.length_mm))
+
+    @property
+    def input_slew(self) -> float:
+        """Input transition time [s]."""
+        return ps(self.input_slew_ps)
+
+    @property
+    def load_capacitance(self) -> float:
+        """Far-end load capacitance [F]."""
+        return self.load_ff * 1e-15
+
+    @property
+    def width(self) -> float:
+        """Drawn width [m]."""
+        return um(self.width_um)
+
+    def describe(self) -> str:
+        """Human-readable one-liner matching the paper's table formatting."""
+        return (f"{self.name}: {self.length_mm:g}mm/{self.width_um:g}um "
+                f"R={self.resistance_ohm:g} L={self.inductance_nh:g}nH "
+                f"C={self.capacitance_pf:g}pF driver={self.driver_size:g}X "
+                f"slew={self.input_slew_ps:g}ps")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1, including the numbers the authors report."""
+
+    case: PaperCase
+    paper_hspice_delay_ps: float
+    paper_two_ramp_delay_error_pct: float
+    paper_one_ramp_delay_error_pct: float
+    paper_hspice_slew_ps: float
+    paper_two_ramp_slew_error_pct: float
+    paper_one_ramp_slew_error_pct: float
+
+
+def _row(length: float, width: float, r: float, l: float, c: float, size: float,
+         slew: float, hspice_delay: float, tr2_delay_err: float, tr1_delay_err: float,
+         hspice_slew: float, tr2_slew_err: float, tr1_slew_err: float) -> Table1Row:
+    case = PaperCase(
+        name=f"table1_{length:g}mm_{width:g}um_{size:g}x",
+        length_mm=length, width_um=width, resistance_ohm=r, inductance_nh=l,
+        capacitance_pf=c, driver_size=size, input_slew_ps=slew)
+    return Table1Row(case=case,
+                     paper_hspice_delay_ps=hspice_delay,
+                     paper_two_ramp_delay_error_pct=tr2_delay_err,
+                     paper_one_ramp_delay_error_pct=tr1_delay_err,
+                     paper_hspice_slew_ps=hspice_slew,
+                     paper_two_ramp_slew_error_pct=tr2_slew_err,
+                     paper_one_ramp_slew_error_pct=tr1_slew_err)
+
+
+#: The 15 representative inductive cases of the paper's Table 1.
+TABLE1_CASES: Tuple[Table1Row, ...] = (
+    _row(3, 0.8, 81.8, 3.3, 0.52, 75, 50, 25.01, -3.2, 65.1, 124.1, 4.6, -50.4),
+    _row(3, 1.2, 56.3, 3.2, 0.59, 75, 50, 26.44, -3.1, 112.9, 128.9, 9.4, -28.7),
+    _row(3, 1.6, 43.5, 3.1, 0.66, 75, 50, 32.15, -6.9, 105.5, 135.4, 9.8, -17.2),
+    _row(4, 0.8, 108.9, 4.4, 0.70, 75, 50, 25.02, 2.7, 56.2, 157.3, 3.6, -63.5),
+    _row(4, 1.2, 75.0, 4.2, 0.80, 75, 50, 26.51, 4.4, 122.9, 164.4, 8.8, -40.6),
+    _row(4, 1.6, 58.0, 4.1, 0.88, 75, 50, 32.69, -7.6, 129.1, 175.0, 12.0, -25.3),
+    _row(5, 1.2, 93.7, 5.3, 1.00, 100, 100, 36.43, -2.2, 27.3, 192.8, -9.9, -68.8),
+    _row(5, 1.6, 72.4, 5.1, 1.11, 100, 100, 39.56, -4.7, 33.9, 200.3, 1.85, -64.1),
+    _row(5, 2.0, 59.7, 5.0, 1.22, 100, 100, 42.53, -7.1, 48.3, 207.6, 9.0, -56.2),
+    _row(5, 2.5, 49.5, 4.8, 1.31, 100, 100, 45.26, -6.3, 72.7, 212.2, 9.2, -42.9),
+    _row(6, 1.2, 112.4, 6.3, 1.19, 100, 100, 36.44, 1.5, 27.6, 222.7, -8.5, -73.0),
+    _row(6, 1.6, 86.9, 6.2, 1.33, 100, 100, 39.58, -0.7, 32.3, 232.0, 1.5, -69.5),
+    _row(6, 2.0, 71.6, 6.0, 1.46, 100, 100, 42.55, -2.7, 42.8, 240.9, 5.7, -64.1),
+    _row(6, 2.5, 59.3, 5.8, 1.58, 100, 100, 45.29, 1.3, 65.9, 246.3, 12.4, -53.6),
+    _row(6, 3.0, 51.2, 5.6, 1.80, 100, 100, 49.41, -3.2, 105.2, 261.7, 14.2, -35.6),
+)
+
+#: Figure 1: driver output waveform of a 5 mm line driven by a 75X inverter.
+FIGURE1_CASE = PaperCase(
+    name="fig1_5mm_1.6um_75x", length_mm=5, width_um=1.6, resistance_ohm=72.44,
+    inductance_nh=5.14, capacitance_pf=1.10, driver_size=75, input_slew_ps=100)
+
+#: Figure 3: single-Ceff approximations of a 7 mm line driven by a 75X inverter.
+FIGURE3_CASE = PaperCase(
+    name="fig3_7mm_1.6um_75x", length_mm=7, width_um=1.6, resistance_ohm=101.3,
+    inductance_nh=7.1, capacitance_pf=1.54, driver_size=75, input_slew_ps=100)
+
+#: Figure 5: two-ramp model versus HSPICE driver-output waveforms.
+FIGURE5_CASES: Tuple[PaperCase, ...] = (
+    PaperCase(name="fig5_3mm_1.2um_75x", length_mm=3, width_um=1.2,
+              resistance_ohm=56.3, inductance_nh=3.2, capacitance_pf=0.597,
+              driver_size=75, input_slew_ps=75),
+    PaperCase(name="fig5_5mm_1.6um_100x", length_mm=5, width_um=1.6,
+              resistance_ohm=72.4, inductance_nh=5.1, capacitance_pf=1.1,
+              driver_size=100, input_slew_ps=100),
+)
+
+#: Figure 6 (right in the paper's text, left plot): weak driver, single-ramp model.
+FIGURE6_SINGLE_RAMP_CASE = PaperCase(
+    name="fig6_4mm_1.6um_25x", length_mm=4, width_um=1.6, resistance_ohm=58.0,
+    inductance_nh=4.13, capacitance_pf=0.884, driver_size=25, input_slew_ps=100)
+
+#: Figure 6 (near/far-end validation of the two-ramp source).
+FIGURE6_FAR_END_CASE = PaperCase(
+    name="fig6_4mm_0.8um_75x", length_mm=4, width_um=0.8, resistance_ohm=108.9,
+    inductance_nh=4.42, capacitance_pf=0.704, driver_size=75, input_slew_ps=50)
+
+
+def find_table1_row(length_mm: float, width_um: float) -> Optional[Table1Row]:
+    """Look up a Table 1 row by its (length, width) pair; ``None`` when absent."""
+    for row in TABLE1_CASES:
+        if (abs(row.case.length_mm - length_mm) < 1e-9
+                and abs(row.case.width_um - width_um) < 1e-9):
+            return row
+    return None

@@ -1,0 +1,160 @@
+"""Reference ("golden") transistor-level simulations.
+
+The paper validates its model against HSPICE runs of the actual inverter driving
+the RLC line.  This module provides the equivalent using the library's own circuit
+simulator: the chosen driver is instantiated at transistor level, the line is
+expanded into a pi-segment ladder, and the transient response is measured at the
+near and far ends.
+
+Reference runs are by far the most expensive part of reproducing the evaluation, so
+results are cached per process keyed by the full parameter set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..analysis.waveform import Waveform
+from ..circuit.netlist import Circuit
+from ..circuit.sources import RampSource
+from ..circuit.transient import TransientOptions, run_transient
+from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
+from ..errors import SimulationError
+from ..interconnect.ladder import add_line_ladder
+from ..interconnect.rlc_line import RLCLine
+from ..tech.inverter import InverterSpec, add_inverter
+from ..tech.technology import Technology, generic_180nm
+from ..units import ps
+from .paper_cases import PaperCase
+
+__all__ = ["ReferenceResult", "ReferenceSimulator"]
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """Measured quantities of one transistor-level reference simulation."""
+
+    near: Waveform
+    far: Waveform
+    input_waveform: Waveform
+    vdd: float
+    reference_time: float  #: input 50% crossing [s]
+    rising: bool
+    driver_size: float
+    input_slew: float
+    line: RLCLine
+    load_capacitance: float
+
+    # --- measurements --------------------------------------------------------------
+    def near_delay(self) -> float:
+        """50% delay from the input crossing to the driver output (near end) [s]."""
+        return self.near.time_at_level(0.5 * self.vdd, rising=self.rising) \
+            - self.reference_time
+
+    def near_slew(self, *, low: float = SLEW_LOW_THRESHOLD,
+                  high: float = SLEW_HIGH_THRESHOLD) -> float:
+        """Driver-output transition time [s]."""
+        return self.near.slew(self.vdd, low=low, high=high, rising=self.rising)
+
+    def far_delay(self) -> float:
+        """50% delay from the input crossing to the far (receiver) end [s]."""
+        return self.far.time_at_level(0.5 * self.vdd, rising=self.rising) \
+            - self.reference_time
+
+    def far_slew(self, *, low: float = SLEW_LOW_THRESHOLD,
+                 high: float = SLEW_HIGH_THRESHOLD) -> float:
+        """Far-end transition time [s]."""
+        return self.far.slew(self.vdd, low=low, high=high, rising=self.rising)
+
+    def initial_step_fraction(self) -> float:
+        """Plateau height of the near-end waveform as a fraction of Vdd.
+
+        Measured as the waveform value one time-of-flight after the 10% crossing,
+        which lands on the plateau for inductive lines.
+        """
+        t_start = self.near.time_at_level(0.1 * self.vdd, rising=self.rising)
+        probe = t_start + 1.2 * self.line.time_of_flight
+        value = self.near.value_at(probe)
+        fraction = value / self.vdd if self.rising else 1.0 - value / self.vdd
+        return float(fraction)
+
+
+class ReferenceSimulator:
+    """Runs and caches transistor-level reference simulations."""
+
+    def __init__(self, tech: Optional[Technology] = None, *,
+                 segments_per_mm: float = 12.0, dt: Optional[float] = None) -> None:
+        self.tech = tech if tech is not None else generic_180nm()
+        self.segments_per_mm = segments_per_mm
+        self.dt = dt
+        self._cache: Dict[Tuple, ReferenceResult] = {}
+
+    # --- public API ------------------------------------------------------------------
+    def simulate_case(self, case: PaperCase, *, transition: str = "rise") -> ReferenceResult:
+        """Reference simulation of a :class:`PaperCase`."""
+        return self.simulate(case.driver_size, case.input_slew, case.line,
+                             case.load_capacitance, transition=transition)
+
+    def simulate(self, driver_size: float, input_slew: float, line: RLCLine,
+                 load_capacitance: float = 0.0, *, transition: str = "rise"
+                 ) -> ReferenceResult:
+        """Transistor-level simulation of a driver + ladder + load, with caching."""
+        if transition not in ("rise", "fall"):
+            raise SimulationError("transition must be 'rise' or 'fall'")
+        key = (float(driver_size), float(input_slew), float(line.resistance),
+               float(line.inductance), float(line.capacitance), line.length,
+               float(load_capacitance), transition, self.segments_per_mm, self.dt)
+        if key in self._cache:
+            return self._cache[key]
+        result = self._run(driver_size, input_slew, line, load_capacitance, transition)
+        self._cache[key] = result
+        return result
+
+    def clear_cache(self) -> None:
+        """Drop all cached reference results."""
+        self._cache.clear()
+
+    # --- internals -----------------------------------------------------------------------
+    def _segment_count(self, line: RLCLine) -> int:
+        return line.recommended_segments(per_mm=self.segments_per_mm)
+
+    def _run(self, driver_size: float, input_slew: float, line: RLCLine,
+             load_capacitance: float, transition: str) -> ReferenceResult:
+        tech = self.tech
+        vdd = tech.vdd
+        spec = InverterSpec(tech=tech, size=driver_size)
+        t_delay = ps(20.0)
+        rising = transition == "rise"
+
+        circuit = Circuit(f"reference_{driver_size:g}x")
+        circuit.voltage_source("vdd", "0", vdd, name="Vdd")
+        if rising:
+            stimulus = RampSource(vdd, 0.0, input_slew, t_delay=t_delay)
+        else:
+            stimulus = RampSource(0.0, vdd, input_slew, t_delay=t_delay)
+        circuit.voltage_source("in", "0", stimulus, name="Vin")
+        add_inverter(circuit, spec, "in", "near")
+        segments = self._segment_count(line)
+        add_line_ladder(circuit, line, "near", "far", n_segments=segments)
+        if load_capacitance > 0:
+            circuit.capacitor("far", "0", load_capacitance, name="Cload")
+
+        total_cap = line.capacitance + load_capacitance + spec.output_parasitic_capacitance
+        rc_tail = spec.estimated_resistance() * total_cap
+        t_stop = (t_delay + input_slew
+                  + max(12.0 * line.time_of_flight + 6.0 * rc_tail, ps(400.0)))
+        t_stop = min(t_stop, ps(6000.0))
+        dt = self.dt if self.dt is not None else min(ps(0.2), line.time_of_flight / 60.0)
+        dt = max(dt, ps(0.05))
+
+        result = run_transient(circuit, t_stop,
+                               options=TransientOptions(dt=dt,
+                                                        store_branch_currents=False))
+        reference = ReferenceResult(
+            near=result.waveform("near"), far=result.waveform("far"),
+            input_waveform=result.waveform("in"), vdd=vdd,
+            reference_time=t_delay + 0.5 * input_slew, rising=rising,
+            driver_size=driver_size, input_slew=input_slew, line=line,
+            load_capacitance=load_capacitance)
+        return reference

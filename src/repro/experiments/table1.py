@@ -1,0 +1,97 @@
+"""Reproduction of the paper's Table 1.
+
+For each of the 15 printed cases the reference transistor-level simulation, the
+two-ramp model, and the one-ramp (single-Ceff) baseline are run; delays and slews at
+the driver output are compared.  The expected qualitative outcome is the paper's:
+single-digit errors for the two-ramp model, large positive delay errors and large
+negative slew errors for the one-ramp model, growing with line width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.metrics import AccuracySummary
+from ..baselines.one_ramp import single_ceff_model
+from ..characterization.library import CellLibrary, default_library
+from ..core.driver_model import ModelingOptions, model_driver_output
+from .comparison import CaseComparison
+from .paper_cases import TABLE1_CASES, Table1Row
+from .reference import ReferenceSimulator
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """All rows of the reproduced Table 1 plus aggregate statistics."""
+
+    comparisons: List[CaseComparison]
+    rows: List[Table1Row]
+
+    @property
+    def two_ramp_delay_summary(self) -> AccuracySummary:
+        return AccuracySummary.from_errors(
+            [c.two_ramp_delay_error for c in self.comparisons])
+
+    @property
+    def two_ramp_slew_summary(self) -> AccuracySummary:
+        return AccuracySummary.from_errors(
+            [c.two_ramp_slew_error for c in self.comparisons])
+
+    @property
+    def one_ramp_delay_summary(self) -> AccuracySummary:
+        return AccuracySummary.from_errors(
+            [c.one_ramp_delay_error for c in self.comparisons])
+
+    @property
+    def one_ramp_slew_summary(self) -> AccuracySummary:
+        return AccuracySummary.from_errors(
+            [c.one_ramp_slew_error for c in self.comparisons])
+
+    def format_report(self, *, include_paper_numbers: bool = True) -> str:
+        """Full text report: one row per case plus summary lines."""
+        lines = ["Table 1 reproduction (delays and slews in ps)",
+                 CaseComparison.header()]
+        for comparison, row in zip(self.comparisons, self.rows):
+            lines.append(comparison.format_row())
+            if include_paper_numbers:
+                lines.append(
+                    f"    paper: hspice_d={row.paper_hspice_delay_ps:.2f} "
+                    f"2ramp_err={row.paper_two_ramp_delay_error_pct:+.1f}% "
+                    f"1ramp_err={row.paper_one_ramp_delay_error_pct:+.1f}% | "
+                    f"hspice_s={row.paper_hspice_slew_ps:.1f} "
+                    f"2ramp_err={row.paper_two_ramp_slew_error_pct:+.1f}% "
+                    f"1ramp_err={row.paper_one_ramp_slew_error_pct:+.1f}%")
+        lines.append(self.two_ramp_delay_summary.describe("two-ramp delay error"))
+        lines.append(self.two_ramp_slew_summary.describe("two-ramp slew error"))
+        lines.append(self.one_ramp_delay_summary.describe("one-ramp delay error"))
+        lines.append(self.one_ramp_slew_summary.describe("one-ramp slew error"))
+        return "\n".join(lines)
+
+
+def run_table1(*, rows: Optional[Sequence[Table1Row]] = None,
+               library: Optional[CellLibrary] = None,
+               simulator: Optional[ReferenceSimulator] = None,
+               options: Optional[ModelingOptions] = None) -> Table1Result:
+    """Run the Table 1 comparison over ``rows`` (default: all 15 printed cases)."""
+    rows = list(rows) if rows is not None else list(TABLE1_CASES)
+    library = library if library is not None else default_library()
+    simulator = simulator if simulator is not None else ReferenceSimulator()
+    options = options if options is not None else ModelingOptions()
+
+    comparisons: List[CaseComparison] = []
+    for row in rows:
+        case = row.case
+        cell = library.get(case.driver_size)
+        reference = simulator.simulate_case(case)
+        two_ramp = model_driver_output(cell, case.input_slew, case.line,
+                                       case.load_capacitance, options=options)
+        one_ramp = single_ceff_model(cell, case.input_slew, case.line,
+                                     case.load_capacitance, options=options)
+        comparisons.append(CaseComparison(case=case, reference=reference,
+                                          two_ramp=two_ramp, one_ramp=one_ramp))
+    return Table1Result(comparisons=comparisons, rows=rows)

@@ -1,0 +1,200 @@
+"""Reduced-order driving-point admittance models.
+
+Two reductions of the interconnect's driving-point admittance are provided:
+
+* :class:`RationalAdmittance` — the paper's Eq. 3 form
+  ``Y(s) = (a1*s + a2*s^2 + a3*s^3) / (1 + b1*s + b2*s^2)``, obtained by matching
+  the first five admittance moments.  This is the load representation the two-ramp
+  effective-capacitance equations operate on.
+* :class:`PiModel` — the classic O'Brien/Savarino RC pi-load synthesized from the
+  first three moments, used by the RC baselines.  (As the paper notes, a passive pi
+  model generally cannot be synthesized once inductance matters, which is exactly
+  why the rational form is used instead.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelingError
+
+__all__ = ["RationalAdmittance", "PiModel", "fit_rational_admittance", "fit_pi_model"]
+
+#: Relative threshold below which the quadratic-denominator fit is considered
+#: degenerate and a lower-order model is used instead.
+_DEGENERACY_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class RationalAdmittance:
+    """The paper's rational driving-point admittance (Eq. 3).
+
+    ``Y(s) = (a1*s + a2*s^2 + a3*s^3) / (1 + b1*s + b2*s^2)``
+    """
+
+    a1: float
+    a2: float
+    a3: float
+    b1: float
+    b2: float
+
+    def __post_init__(self) -> None:
+        if self.a1 <= 0:
+            raise ModelingError(
+                "a1 (the total downstream capacitance) must be positive")
+
+    # --- basic properties -----------------------------------------------------------
+    @property
+    def total_capacitance(self) -> float:
+        """Low-frequency (total) capacitance of the load: ``lim_{s->0} Y(s)/s = a1``."""
+        return self.a1
+
+    def poles(self) -> np.ndarray:
+        """Poles of Y(s): roots of ``b2*s^2 + b1*s + 1`` (may be empty, 1 or 2 values)."""
+        if self.b2 != 0.0:
+            return np.roots([self.b2, self.b1, 1.0]).astype(complex)
+        if self.b1 != 0.0:
+            return np.array([-1.0 / self.b1], dtype=complex)
+        return np.array([], dtype=complex)
+
+    @property
+    def has_complex_poles(self) -> bool:
+        """True when the denominator roots form a complex-conjugate pair."""
+        poles = self.poles()
+        return poles.size == 2 and abs(poles[0].imag) > 0.0
+
+    def evaluate(self, s: complex) -> complex:
+        """Evaluate Y(s) at a complex frequency."""
+        numerator = self.a1 * s + self.a2 * s ** 2 + self.a3 * s ** 3
+        denominator = 1.0 + self.b1 * s + self.b2 * s ** 2
+        return numerator / denominator
+
+    def moments(self, order: int = 6) -> np.ndarray:
+        """Re-expanded Taylor coefficients ``[m0, m1, ...]`` of this rational function."""
+        if order < 1:
+            raise ModelingError("order must be at least 1")
+        numerator = np.zeros(order)
+        for k, value in ((1, self.a1), (2, self.a2), (3, self.a3)):
+            if k < order:
+                numerator[k] = value
+        denominator = np.zeros(order)
+        denominator[0] = 1.0
+        for k, value in ((1, self.b1), (2, self.b2)):
+            if k < order:
+                denominator[k] = value
+        result = np.zeros(order)
+        for k in range(order):
+            acc = numerator[k]
+            for j in range(1, k + 1):
+                acc -= denominator[j] * result[k - j]
+            result[k] = acc
+        return result
+
+    def describe(self) -> str:
+        """Human-readable summary with pole character."""
+        character = "complex" if self.has_complex_poles else "real"
+        return (f"Y(s): a1={self.a1:.3e} a2={self.a2:.3e} a3={self.a3:.3e} "
+                f"b1={self.b1:.3e} b2={self.b2:.3e} ({character} poles)")
+
+
+@dataclass(frozen=True)
+class PiModel:
+    """O'Brien/Savarino RC pi-load: ``c_near`` at the driver, ``resistance`` then ``c_far``."""
+
+    c_near: float
+    resistance: float
+    c_far: float
+
+    @property
+    def total_capacitance(self) -> float:
+        """Sum of both capacitances."""
+        return self.c_near + self.c_far
+
+    def as_rational(self) -> RationalAdmittance:
+        """The equivalent :class:`RationalAdmittance` (exact, with b2 = 0)."""
+        return RationalAdmittance(
+            a1=self.c_near + self.c_far,
+            a2=self.resistance * self.c_near * self.c_far,
+            a3=0.0,
+            b1=self.resistance * self.c_far,
+            b2=0.0,
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary in fF / ohm."""
+        return (f"pi-model C1={self.c_near * 1e15:.1f}fF R={self.resistance:.1f}ohm "
+                f"C2={self.c_far * 1e15:.1f}fF")
+
+
+def fit_rational_admittance(moments: Sequence[float]) -> RationalAdmittance:
+    """Fit the paper's Eq. 3 rational admittance to admittance moments.
+
+    ``moments`` are the Taylor coefficients ``[m0, m1, m2, m3, m4, m5, ...]`` of
+    Y(s); at least six values (through m5) are required.  Moment matching gives::
+
+        a1 = m1,  a2 = m2 + b1*m1,  a3 = m3 + b1*m2 + b2*m1
+        0  = m4 + b1*m3 + b2*m2
+        0  = m5 + b1*m4 + b2*m3
+
+    Moment (Padé) matching does not guarantee a stable denominator; for strongly
+    over-damped (RC-like) loads the second-order fit occasionally produces a
+    right-half-plane pole.  In that case the fit falls back to a first-order
+    denominator that matches the first three moments (exactly what the charge-based
+    Ceff equations need for RC-like loads), and ultimately to a pure capacitance.
+    Degenerate loads (RC pi loads, single capacitors) take the same fallbacks.
+    """
+    m = np.asarray(list(moments), dtype=float)
+    if m.size < 6:
+        raise ModelingError("at least six moments (m0..m5) are required")
+    m1, m2, m3, m4, m5 = m[1], m[2], m[3], m[4], m[5]
+    if m1 <= 0:
+        raise ModelingError("m1 (total capacitance) must be positive")
+
+    b1 = 0.0
+    b2 = 0.0
+    det = m3 * m3 - m2 * m4
+    det_scale = abs(m3 * m3) + abs(m2 * m4)
+    if det_scale > 0 and abs(det) > _DEGENERACY_RTOL * det_scale:
+        b1 = (m2 * m5 - m3 * m4) / det
+        b2 = (m4 * m4 - m3 * m5) / det
+    if b1 <= 0.0 or b2 < 0.0:
+        # Unstable or degenerate quadratic denominator: fall back to first order
+        # (stable single pole matching m1..m3), then to a pure capacitance.
+        if m2 != 0.0 and -m3 / m2 > 0.0:
+            b1 = -m3 / m2
+            b2 = 0.0
+        else:
+            b1 = 0.0
+            b2 = 0.0
+
+    a1 = m1
+    a2 = m2 + b1 * m1
+    a3 = m3 + b1 * m2 + b2 * m1
+    return RationalAdmittance(a1=a1, a2=a2, a3=a3, b1=b1, b2=b2)
+
+
+def fit_pi_model(moments: Sequence[float]) -> PiModel:
+    """O'Brien/Savarino pi-model from the first three admittance moments.
+
+    ``C_far = m2^2 / m3``, ``R = -m3^2 / m2^3``, ``C_near = m1 - C_far``.  Raises
+    :class:`~repro.errors.ModelingError` when the moments do not correspond to a
+    realizable RC pi load (which, per the paper, is expected once inductance is
+    significant).
+    """
+    m = np.asarray(list(moments), dtype=float)
+    if m.size < 4:
+        raise ModelingError("at least four moments (m0..m3) are required")
+    m1, m2, m3 = m[1], m[2], m[3]
+    if m2 == 0.0 or m3 == 0.0:
+        raise ModelingError("moments are degenerate; cannot synthesize a pi model")
+    c_far = m2 * m2 / m3
+    resistance = -m3 * m3 / m2 ** 3
+    c_near = m1 - c_far
+    if c_far <= 0 or resistance <= 0 or c_near < 0:
+        raise ModelingError(
+            "moments do not correspond to a realizable RC pi model "
+            f"(C1={c_near:.3e}, R={resistance:.3e}, C2={c_far:.3e})")
+    return PiModel(c_near=c_near, resistance=resistance, c_far=c_far)

@@ -1,0 +1,50 @@
+"""Wire geometry description used by the parasitic extractor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ModelingError
+
+__all__ = ["WireGeometry"]
+
+
+@dataclass(frozen=True)
+class WireGeometry:
+    """Physical geometry of a single routed wire.
+
+    Lengths are in meters.  ``spacing`` is the edge-to-edge distance to the nearest
+    neighbouring wires (used for lateral coupling capacitance); ``None`` means the
+    wire is isolated, which matches the single-line experiments of the paper.
+    """
+
+    length: float
+    width: float
+    spacing: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ModelingError(f"wire length must be positive, got {self.length}")
+        if self.width <= 0:
+            raise ModelingError(f"wire width must be positive, got {self.width}")
+        if self.spacing is not None and self.spacing <= 0:
+            raise ModelingError("wire spacing must be positive when given")
+
+    @property
+    def is_isolated(self) -> bool:
+        """True when no neighbouring wires are modeled."""
+        return self.spacing is None
+
+    def scaled_length(self, factor: float) -> "WireGeometry":
+        """A copy of this geometry with the length multiplied by ``factor``."""
+        if factor <= 0:
+            raise ModelingError("length scale factor must be positive")
+        return WireGeometry(length=self.length * factor, width=self.width,
+                            spacing=self.spacing)
+
+    def describe(self) -> str:
+        """Human-readable one-liner, in the paper's mm / µm units."""
+        spacing = "isolated" if self.spacing is None else f"s={self.spacing * 1e6:.2f}um"
+        return (f"wire L={self.length * 1e3:.2f}mm W={self.width * 1e6:.2f}um "
+                f"({spacing})")

@@ -1,0 +1,129 @@
+"""Uniform RLC transmission-line description.
+
+:class:`RLCLine` captures a uniform on-chip wire by its total resistance,
+inductance and capacitance (optionally with the physical length), and provides the
+transmission-line quantities the paper's model needs:
+
+* lossless characteristic impedance ``Z0 = sqrt(L_total / C_total)``,
+* time of flight ``tf = sqrt(L_total * C_total)``,
+* per-unit-length values for screening criteria (Eq. 9 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ModelingError
+from ..tech.technology import Technology
+from .geometry import WireGeometry
+from .parasitics import LineParasitics, extract_parasitics
+
+__all__ = ["RLCLine"]
+
+
+@dataclass(frozen=True)
+class RLCLine:
+    """A uniform RLC line described by its total parasitics."""
+
+    resistance: float  #: total series resistance [ohm]
+    inductance: float  #: total series (loop) inductance [H]
+    capacitance: float  #: total shunt capacitance [F]
+    length: Optional[float] = None  #: physical length [m], when known
+
+    def __post_init__(self) -> None:
+        if min(self.resistance, self.inductance, self.capacitance) <= 0:
+            raise ModelingError("line R, L and C must all be positive")
+        if self.length is not None and self.length <= 0:
+            raise ModelingError("line length must be positive when given")
+
+    # --- constructors -------------------------------------------------------------
+    @classmethod
+    def from_per_unit_length(cls, parasitics: LineParasitics, length: float) -> "RLCLine":
+        """Build a line from per-unit-length parasitics and a length [m]."""
+        r, l, c = parasitics.totals(length)
+        return cls(resistance=r, inductance=l, capacitance=c, length=length)
+
+    @classmethod
+    def from_geometry(cls, geometry: WireGeometry, tech: Technology) -> "RLCLine":
+        """Build a line by running the analytic parasitic extractor on ``geometry``."""
+        parasitics = extract_parasitics(geometry, tech)
+        return cls.from_per_unit_length(parasitics, geometry.length)
+
+    # --- transmission-line quantities ----------------------------------------------
+    @property
+    def characteristic_impedance(self) -> float:
+        """Lossless characteristic impedance ``Z0 = sqrt(L/C)`` [ohm]."""
+        return math.sqrt(self.inductance / self.capacitance)
+
+    @property
+    def z0(self) -> float:
+        """Alias of :attr:`characteristic_impedance`."""
+        return self.characteristic_impedance
+
+    @property
+    def time_of_flight(self) -> float:
+        """Signal time of flight ``tf = sqrt(L_total * C_total)`` [s]."""
+        return math.sqrt(self.inductance * self.capacitance)
+
+    @property
+    def damping_factor(self) -> float:
+        """``R_total / (2 * Z0)`` — above 1 the line is over-damped (RC-like)."""
+        return self.resistance / (2.0 * self.characteristic_impedance)
+
+    # --- per-unit-length accessors ---------------------------------------------------
+    def _require_length(self) -> float:
+        if self.length is None:
+            raise ModelingError("this RLCLine has no physical length attached")
+        return self.length
+
+    @property
+    def resistance_per_length(self) -> float:
+        """Series resistance per meter [ohm/m]."""
+        return self.resistance / self._require_length()
+
+    @property
+    def inductance_per_length(self) -> float:
+        """Series inductance per meter [H/m]."""
+        return self.inductance / self._require_length()
+
+    @property
+    def capacitance_per_length(self) -> float:
+        """Shunt capacitance per meter [F/m]."""
+        return self.capacitance / self._require_length()
+
+    # --- segmentation helpers ---------------------------------------------------------
+    def segment_values(self, n_segments: int) -> tuple:
+        """Per-segment (R, L, C) for an ``n_segments`` lumped approximation."""
+        if n_segments < 1:
+            raise ModelingError("a line needs at least one segment")
+        return (self.resistance / n_segments, self.inductance / n_segments,
+                self.capacitance / n_segments)
+
+    def recommended_segments(self, *, per_mm: float = 12.0, minimum: int = 30,
+                             maximum: int = 400) -> int:
+        """A segment count adequate for transmission-line behaviour.
+
+        Roughly ``per_mm`` segments per millimeter of length, bounded to
+        ``[minimum, maximum]``; when the length is unknown, 60 segments are used.
+        """
+        if self.length is None:
+            return max(minimum, 60)
+        n = int(round(per_mm * self.length * 1e3))
+        return max(minimum, min(maximum, n))
+
+    def scaled(self, length_factor: float) -> "RLCLine":
+        """A line with all totals (and length) multiplied by ``length_factor``."""
+        if length_factor <= 0:
+            raise ModelingError("length factor must be positive")
+        return RLCLine(self.resistance * length_factor, self.inductance * length_factor,
+                       self.capacitance * length_factor,
+                       None if self.length is None else self.length * length_factor)
+
+    def describe(self) -> str:
+        """Human-readable one-liner in the paper's units."""
+        length = "" if self.length is None else f"len={self.length * 1e3:.2f}mm "
+        return (f"RLC line {length}R={self.resistance:.1f}ohm "
+                f"L={self.inductance * 1e9:.2f}nH C={self.capacitance * 1e12:.3f}pF "
+                f"Z0={self.z0:.1f}ohm tf={self.time_of_flight * 1e12:.1f}ps")

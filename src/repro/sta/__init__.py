@@ -1,0 +1,15 @@
+"""Miniature gate-level static timing analysis built on the driver output model."""
+
+from .engine import PathTimer, PathTimingReport, StageTiming
+from .stage import TimingPath, TimingStage
+from .validation import PathReference, simulate_path_reference
+
+__all__ = [
+    "TimingStage",
+    "TimingPath",
+    "PathTimer",
+    "PathTimingReport",
+    "StageTiming",
+    "PathReference",
+    "simulate_path_reference",
+]

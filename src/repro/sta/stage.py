@@ -1,0 +1,68 @@
+"""Timing-path building blocks for the miniature gate-level STA engine.
+
+A path is a chain of stages; each stage is a driver (an inverter from the
+characterized library), an RLC net, and the receiver it drives (the next stage's
+driver, whose input capacitance is the fan-out load).  This is the gate-level view
+a static timing analyzer holds: no transistors, only characterized cells and
+parasitic networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ModelingError
+from ..interconnect.rlc_line import RLCLine
+
+__all__ = ["TimingStage", "TimingPath"]
+
+
+@dataclass(frozen=True)
+class TimingStage:
+    """One driver -> net -> receiver stage of a timing path."""
+
+    name: str
+    driver_size: float  #: driver strength in X units (must exist in the cell library)
+    line: RLCLine  #: the net connecting driver output to the receiver input
+    receiver_size: Optional[float] = None  #: next driver's size; None = no gate load
+    extra_load: float = 0.0  #: additional lumped far-end load [F]
+
+    def __post_init__(self) -> None:
+        if self.driver_size <= 0:
+            raise ModelingError("driver size must be positive")
+        if self.receiver_size is not None and self.receiver_size <= 0:
+            raise ModelingError("receiver size must be positive when given")
+        if self.extra_load < 0:
+            raise ModelingError("extra load must be non-negative")
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """An ordered chain of stages with a primary-input transition."""
+
+    name: str
+    stages: Sequence[TimingStage]
+    input_slew: float  #: transition time of the primary input ramp [s]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ModelingError("a timing path needs at least one stage")
+        if self.input_slew <= 0:
+            raise ModelingError("the primary input slew must be positive")
+        for first, second in zip(self.stages, list(self.stages)[1:]):
+            if first.receiver_size is None:
+                raise ModelingError(
+                    f"stage {first.name!r} has no receiver but is not the last stage")
+            if abs(first.receiver_size - second.driver_size) > 1e-12:
+                raise ModelingError(
+                    f"stage {first.name!r} drives a {first.receiver_size}X receiver but "
+                    f"the next stage {second.name!r} has a {second.driver_size}X driver")
+
+    @property
+    def stage_list(self) -> List[TimingStage]:
+        """The stages as a list."""
+        return list(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)

@@ -1,0 +1,113 @@
+"""Flat transistor-level validation of STA path timing.
+
+To quantify the accuracy of the gate-level engine, the same path is simulated flat:
+every inverter at transistor level, every net as a pi-segment ladder, one transient
+run end to end.  The comparison mirrors how the paper validates the model at the
+driver output and the far end, extended to multi-stage paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.waveform import Waveform
+from ..circuit.netlist import Circuit
+from ..circuit.sources import RampSource
+from ..circuit.transient import TransientOptions, run_transient
+from ..errors import ModelingError
+from ..interconnect.ladder import add_line_ladder
+from ..tech.inverter import InverterSpec, add_inverter
+from ..tech.technology import Technology, generic_180nm
+from ..units import ps, to_ps
+from .stage import TimingPath
+
+__all__ = ["PathReference", "simulate_path_reference"]
+
+
+@dataclass(frozen=True)
+class PathReference:
+    """Measured quantities of the flat transistor-level path simulation."""
+
+    path: TimingPath
+    vdd: float
+    reference_time: float  #: primary-input 50% crossing [s]
+    node_waveforms: List[Waveform]  #: far-end waveform of every stage, in order
+    final_rising: bool
+
+    @property
+    def total_delay(self) -> float:
+        """Primary input 50% to final far-end 50% [s]."""
+        final = self.node_waveforms[-1]
+        return final.time_at_level(0.5 * self.vdd, rising=self.final_rising) \
+            - self.reference_time
+
+    def stage_arrival(self, index: int) -> float:
+        """Arrival time (50% crossing) at the far end of stage ``index`` [s]."""
+        rising = self.final_rising if (len(self.node_waveforms) - 1 - index) % 2 == 0 \
+            else not self.final_rising
+        waveform = self.node_waveforms[index]
+        return waveform.time_at_level(0.5 * self.vdd, rising=rising) - self.reference_time
+
+    def describe(self) -> str:
+        """Single-line summary."""
+        return (f"flat reference of {self.path.name!r}: total delay "
+                f"{to_ps(self.total_delay):.1f} ps")
+
+
+def simulate_path_reference(path: TimingPath, *, tech: Optional[Technology] = None,
+                            dt: Optional[float] = None,
+                            segments_per_mm: float = 12.0) -> PathReference:
+    """Simulate the whole path at transistor level and measure per-stage arrivals."""
+    tech = tech if tech is not None else generic_180nm()
+    vdd = tech.vdd
+    stages = path.stage_list
+    t_delay = ps(20.0)
+
+    circuit = Circuit(f"path_{path.name}")
+    circuit.voltage_source("vdd", "0", vdd, name="Vdd")
+    circuit.voltage_source("in0", "0",
+                           RampSource(0.0, vdd, path.input_slew, t_delay=t_delay),
+                           name="Vin")
+
+    total_flight = 0.0
+    total_rc = 0.0
+    current_input = "in0"
+    far_nodes: List[str] = []
+    for index, stage in enumerate(stages):
+        driver_out = f"drv{index}"
+        far_node = f"far{index}"
+        spec = InverterSpec(tech=tech, size=stage.driver_size)
+        add_inverter(circuit, spec, current_input, driver_out,
+                     name_prefix=f"inv{index}")
+        segments = stage.line.recommended_segments(per_mm=segments_per_mm)
+        add_line_ladder(circuit, stage.line, driver_out, far_node,
+                        n_segments=segments, prefix=f"net{index}")
+        if stage.extra_load > 0:
+            circuit.capacitor(far_node, "0", stage.extra_load, name=f"cl{index}")
+        if stage.receiver_size is not None and index == len(stages) - 1:
+            # Terminal receiver: present its gate capacitance explicitly.
+            receiver = InverterSpec(tech=tech, size=stage.receiver_size)
+            circuit.capacitor(far_node, "0", receiver.input_capacitance,
+                              name=f"crx{index}")
+        far_nodes.append(far_node)
+        current_input = far_node
+        total_flight += stage.line.time_of_flight
+        total_rc += spec.estimated_resistance() * (stage.line.capacitance
+                                                   + stage.extra_load)
+
+    t_stop = t_delay + path.input_slew + 14.0 * total_flight + 8.0 * total_rc + ps(300.0)
+    t_stop = min(t_stop, ps(12000.0))
+    min_flight = min(stage.line.time_of_flight for stage in stages)
+    step = dt if dt is not None else max(ps(0.05), min(ps(0.2), min_flight / 60.0))
+    if t_stop / step > 80000:
+        raise ModelingError("path reference simulation would exceed the step budget; "
+                            "pass a larger dt")
+
+    result = run_transient(circuit, t_stop,
+                           options=TransientOptions(dt=step,
+                                                    store_branch_currents=False))
+    waveforms = [result.waveform(node) for node in far_nodes]
+    final_rising = len(stages) % 2 == 0
+    return PathReference(path=path, vdd=vdd, reference_time=t_delay + 0.5 * path.input_slew,
+                         node_waveforms=waveforms, final_rising=final_rising)

@@ -1,0 +1,12 @@
+"""Technology definitions and standard-cell (inverter) construction."""
+
+from .inverter import InverterSpec, add_inverter
+from .technology import MetalLayer, Technology, generic_180nm
+
+__all__ = [
+    "Technology",
+    "MetalLayer",
+    "generic_180nm",
+    "InverterSpec",
+    "add_inverter",
+]

@@ -1,0 +1,96 @@
+"""Inverter cell construction.
+
+The paper drives its RLC lines with inverters whose drive strength is expressed as a
+multiple of the minimum device ("a 75X inverter has an NMOS width of 75 times the
+minimum width = 2*Lmin; the PMOS is twice as wide").  :class:`InverterSpec` captures
+that convention; :func:`add_inverter` instantiates the transistors and their
+parasitic capacitances into a :class:`~repro.circuit.netlist.Circuit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.netlist import Circuit
+from ..errors import ModelingError
+from .technology import Technology
+
+__all__ = ["InverterSpec", "add_inverter"]
+
+
+@dataclass(frozen=True)
+class InverterSpec:
+    """A drive-strength-parameterized CMOS inverter in a given technology."""
+
+    tech: Technology
+    size: float  #: drive strength in "X" units (75 = the paper's 75X driver)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ModelingError("inverter size must be positive")
+
+    @property
+    def nmos_width(self) -> float:
+        """NMOS width [m]."""
+        return self.tech.nmos_width(self.size)
+
+    @property
+    def pmos_width(self) -> float:
+        """PMOS width [m]."""
+        return self.tech.pmos_width(self.size)
+
+    @property
+    def input_capacitance(self) -> float:
+        """Gate capacitance presented to the previous stage [F]."""
+        return self.tech.inverter_input_capacitance(self.size)
+
+    @property
+    def output_parasitic_capacitance(self) -> float:
+        """Drain junction/overlap capacitance loading the inverter's own output [F]."""
+        return (self.tech.nmos.c_drain_per_width * self.nmos_width
+                + self.tech.pmos.c_drain_per_width * self.pmos_width)
+
+    def estimated_resistance(self) -> float:
+        """Quick drive-resistance estimate (used only for sanity checks/tests)."""
+        from ..circuit.mosfet import Mosfet
+
+        pull_down = Mosfet("est_n", "d", "g", "s", self.tech.nmos, self.nmos_width)
+        pull_up = Mosfet("est_p", "d", "g", "s", self.tech.pmos, self.pmos_width)
+        r_n = pull_down.effective_resistance(self.tech.vdd)
+        r_p = pull_up.effective_resistance(self.tech.vdd)
+        return 0.5 * (r_n + r_p)
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (f"{self.size:g}X inverter: Wn={self.nmos_width * 1e6:.2f}um "
+                f"Wp={self.pmos_width * 1e6:.2f}um Cin={self.input_capacitance * 1e15:.1f}fF")
+
+
+def add_inverter(circuit: Circuit, spec: InverterSpec, input_node: str,
+                 output_node: str, *, vdd_node: str = "vdd", ground: str = "0",
+                 name_prefix: str = "inv") -> None:
+    """Instantiate an inverter (transistors + parasitic capacitances) into ``circuit``.
+
+    The caller is responsible for tying ``vdd_node`` to a supply source.  Device
+    parasitics are added as explicit linear capacitors:
+
+    * the full gate capacitance of both devices from the input node to ground,
+    * gate-drain overlap (Miller) capacitance from input to output,
+    * drain junction capacitance from the output node to the respective rail.
+    """
+    tech = spec.tech
+    nmos = circuit.mosfet(output_node, input_node, ground, tech.nmos, spec.nmos_width,
+                          name=f"{name_prefix}_mn")
+    pmos = circuit.mosfet(output_node, input_node, vdd_node, tech.pmos, spec.pmos_width,
+                          name=f"{name_prefix}_mp")
+
+    gate_cap = nmos.c_gate + pmos.c_gate - nmos.c_gd_overlap - pmos.c_gd_overlap
+    if gate_cap > 0:
+        circuit.capacitor(input_node, ground, gate_cap, name=f"{name_prefix}_cg")
+    miller = nmos.c_gd_overlap + pmos.c_gd_overlap
+    if miller > 0:
+        circuit.capacitor(input_node, output_node, miller, name=f"{name_prefix}_cm")
+    if nmos.c_drain > 0:
+        circuit.capacitor(output_node, ground, nmos.c_drain, name=f"{name_prefix}_cdn")
+    if pmos.c_drain > 0:
+        circuit.capacitor(output_node, vdd_node, pmos.c_drain, name=f"{name_prefix}_cdp")

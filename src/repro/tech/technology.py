@@ -1,0 +1,132 @@
+"""Technology description: supply, device parameters, and backend (wiring) stack.
+
+The paper's experiments use "a commercial 1.8 V, 0.18 µm CMOS technology".  This
+module provides a generic stand-in with alpha-power-law device parameters calibrated
+to public 0.18 µm data (saturation currents around 600/260 µA/µm for NMOS/PMOS,
+|Vth| ≈ 0.42/0.45 V, Cox ≈ 8.5 fF/µm²) and a single thick global-metal layer whose
+parasitics are calibrated against the line parasitics printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..circuit.mosfet import MosfetParameters
+from ..errors import ModelingError
+
+__all__ = ["MetalLayer", "Technology", "generic_180nm"]
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """Geometry of one interconnect layer used for parasitic extraction."""
+
+    name: str
+    thickness: float  #: conductor thickness [m]
+    height_below: float  #: dielectric height to the lower return plane [m]
+    height_above: float  #: dielectric height to the upper return plane [m]
+    effective_return_distance: float  #: effective current-return distance for inductance [m]
+    min_width: float  #: minimum drawable width [m]
+    min_spacing: float  #: minimum spacing to neighbours [m]
+    resistivity: float  #: effective resistivity [ohm*m]
+    epsilon_r: float  #: relative permittivity of the surrounding dielectric
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A process technology: supply voltage, devices, and wiring stack."""
+
+    name: str
+    vdd: float  #: nominal supply voltage [V]
+    lmin: float  #: minimum drawn channel length [m]
+    nmos: MosfetParameters
+    pmos: MosfetParameters
+    global_metal: MetalLayer
+    #: Ratio of PMOS to NMOS width used by the standard inverter template.
+    pmos_to_nmos_ratio: float = 2.0
+    #: NMOS width of a unit ("1X") inverter, following the paper's convention
+    #: (W_nmos = 2 * Lmin for 1X, so a 75X driver has W_nmos = 75 * 2 * Lmin).
+    unit_nmos_width: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0 or self.lmin <= 0:
+            raise ModelingError("vdd and lmin must be positive")
+        if self.unit_nmos_width == 0.0:
+            object.__setattr__(self, "unit_nmos_width", 2.0 * self.lmin)
+
+    # --- device helpers -----------------------------------------------------------
+    def nmos_width(self, size: float) -> float:
+        """NMOS width of a ``size``-X inverter [m]."""
+        if size <= 0:
+            raise ModelingError("driver size must be positive")
+        return size * self.unit_nmos_width
+
+    def pmos_width(self, size: float) -> float:
+        """PMOS width of a ``size``-X inverter [m]."""
+        return self.pmos_to_nmos_ratio * self.nmos_width(size)
+
+    def inverter_input_capacitance(self, size: float) -> float:
+        """Total gate capacitance presented by a ``size``-X inverter input [F]."""
+        return (self.nmos.c_gate_per_width * self.nmos_width(size)
+                + self.pmos.c_gate_per_width * self.pmos_width(size))
+
+    def with_supply(self, vdd: float) -> "Technology":
+        """A copy of the technology at a different supply voltage."""
+        return replace(self, vdd=vdd)
+
+
+def generic_180nm() -> Technology:
+    """The default 0.18 µm, 1.8 V technology used throughout the reproduction.
+
+    Device parameters target the usual figures of merit of that node:
+
+    * NMOS Idsat ≈ 600 µA/µm, PMOS Idsat ≈ 260 µA/µm at 1.8 V,
+    * |Vth| ≈ 0.42 V / 0.45 V, velocity-saturation exponents 1.3 / 1.4,
+    * gate capacitance ≈ 1.6 fF/µm of width, junction/overlap ≈ 1.0 fF/µm.
+
+    The global metal layer (a thick top-level metal) is calibrated so the analytic
+    parasitic extractor lands near the per-length values printed in the paper
+    (e.g. ≈ 14.5 Ω/mm, 1.0 nH/mm, 0.22 pF/mm for a 1.6 µm wide, 5 mm long wire).
+    """
+    micron = 1e-6
+    nmos = MosfetParameters(
+        polarity="nmos",
+        vth=0.42,
+        alpha=1.30,
+        beta=410e-6 / micron,   # A per meter of width per V^alpha
+        lambda_=0.06,
+        kv=0.85,
+        c_gate_per_width=1.6e-15 / micron,
+        c_drain_per_width=1.0e-15 / micron,
+        c_source_per_width=1.0e-15 / micron,
+    )
+    pmos = MosfetParameters(
+        polarity="pmos",
+        vth=0.45,
+        alpha=1.40,
+        beta=180e-6 / micron,
+        lambda_=0.08,
+        kv=1.00,
+        c_gate_per_width=1.6e-15 / micron,
+        c_drain_per_width=1.0e-15 / micron,
+        c_source_per_width=1.0e-15 / micron,
+    )
+    metal = MetalLayer(
+        name="metal6",
+        thickness=0.9e-6,
+        height_below=1.3e-6,
+        height_above=2.6e-6,
+        effective_return_distance=50e-6,
+        min_width=0.44e-6,
+        min_spacing=0.46e-6,
+        resistivity=2.1e-8,
+        epsilon_r=3.9,
+    )
+    return Technology(
+        name="generic-180nm",
+        vdd=1.8,
+        lmin=0.18e-6,
+        nmos=nmos,
+        pmos=pmos,
+        global_metal=metal,
+    )

@@ -1,0 +1,122 @@
+"""Unit helpers.
+
+The whole library uses unscaled SI units internally: seconds, ohms, farads,
+henries, volts, amperes and meters.  These helpers exist so that call sites can
+express quantities in the units used by the paper (ps, mm, µm, fF, pF, nH)
+without sprinkling ``1e-12`` literals around, and so that printed reports can
+convert back for human consumption.
+"""
+
+from __future__ import annotations
+
+# --- multipliers -----------------------------------------------------------------
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+# --- "constructors": value in the named unit -> SI -------------------------------
+def ps(value: float) -> float:
+    """Picoseconds to seconds."""
+    return value * PICO
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * NANO
+
+
+def fF(value: float) -> float:  # noqa: N802 - deliberate unit capitalisation
+    """Femtofarads to farads."""
+    return value * FEMTO
+
+
+def pF(value: float) -> float:  # noqa: N802
+    """Picofarads to farads."""
+    return value * PICO
+
+
+def nH(value: float) -> float:  # noqa: N802
+    """Nanohenries to henries."""
+    return value * NANO
+
+
+def pH(value: float) -> float:  # noqa: N802
+    """Picohenries to henries."""
+    return value * PICO
+
+
+def ohm(value: float) -> float:
+    """Ohms to ohms (identity, for symmetry at call sites)."""
+    return value
+
+
+def kohm(value: float) -> float:
+    """Kiloohms to ohms."""
+    return value * KILO
+
+
+def um(value: float) -> float:
+    """Micrometers to meters."""
+    return value * MICRO
+
+
+def nm(value: float) -> float:
+    """Nanometers to meters."""
+    return value * NANO
+
+
+def mm(value: float) -> float:
+    """Millimeters to meters."""
+    return value * MILLI
+
+
+def mV(value: float) -> float:  # noqa: N802
+    """Millivolts to volts."""
+    return value * MILLI
+
+
+def uA(value: float) -> float:  # noqa: N802
+    """Microamperes to amperes."""
+    return value * MICRO
+
+
+# --- "accessors": SI -> value in the named unit -----------------------------------
+def to_ps(seconds: float) -> float:
+    """Seconds to picoseconds."""
+    return seconds / PICO
+
+
+def to_ns(seconds: float) -> float:
+    """Seconds to nanoseconds."""
+    return seconds / NANO
+
+
+def to_fF(farads: float) -> float:  # noqa: N802
+    """Farads to femtofarads."""
+    return farads / FEMTO
+
+
+def to_pF(farads: float) -> float:  # noqa: N802
+    """Farads to picofarads."""
+    return farads / PICO
+
+
+def to_nH(henries: float) -> float:  # noqa: N802
+    """Henries to nanohenries."""
+    return henries / NANO
+
+
+def to_um(meters: float) -> float:
+    """Meters to micrometers."""
+    return meters / MICRO
+
+
+def to_mm(meters: float) -> float:
+    """Meters to millimeters."""
+    return meters / MILLI

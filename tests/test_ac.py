@@ -1,0 +1,96 @@
+"""AC analysis and driving-point admittance measurements."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, ac_analysis, driving_point_admittance
+from repro.errors import SimulationError
+from repro.interconnect import RLCLine, add_line_ladder
+from repro.units import mm, nH, pF
+
+
+class TestAcBasics:
+    def test_rc_low_pass_magnitude_and_phase(self):
+        resistance, capacitance = 1000.0, 1e-12
+        circuit = Circuit()
+        circuit.voltage_source("in", "0", 0.0, name="Vin")
+        circuit.resistor("in", "out", resistance)
+        circuit.capacitor("out", "0", capacitance)
+        f_3db = 1.0 / (2 * np.pi * resistance * capacitance)
+        result = ac_analysis(circuit, [f_3db / 100, f_3db, f_3db * 100], {"Vin": 1.0})
+        gain = np.abs(result.voltage("out"))
+        assert gain[0] == pytest.approx(1.0, abs=1e-3)
+        assert gain[1] == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-3)
+        assert gain[2] == pytest.approx(0.01, rel=0.05)
+
+    def test_unlisted_sources_are_zeroed(self):
+        circuit = Circuit()
+        circuit.voltage_source("a", "0", 5.0, name="Vbias")
+        circuit.voltage_source("b", "0", 0.0, name="Vac")
+        circuit.resistor("a", "out", 100.0)
+        circuit.resistor("b", "out", 100.0)
+        circuit.resistor("out", "0", 100.0)
+        result = ac_analysis(circuit, [1e9], {"Vac": 1.0})
+        # Only the AC-driven source contributes; the bias source is an AC short.
+        assert np.abs(result.voltage("b")[0]) == pytest.approx(1.0, abs=1e-9)
+        assert np.abs(result.voltage("a")[0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_requires_frequencies(self):
+        circuit = Circuit()
+        circuit.voltage_source("a", "0", 1.0, name="V1")
+        circuit.resistor("a", "0", 100.0)
+        with pytest.raises(SimulationError):
+            ac_analysis(circuit, [], {"V1": 1.0})
+
+    def test_negative_frequency_rejected(self):
+        circuit = Circuit()
+        circuit.voltage_source("a", "0", 1.0, name="V1")
+        circuit.resistor("a", "0", 100.0)
+        with pytest.raises(SimulationError):
+            ac_analysis(circuit, [-1.0], {"V1": 1.0})
+
+
+class TestDrivingPointAdmittance:
+    def test_single_capacitor(self):
+        circuit = Circuit()
+        circuit.voltage_source("port", "0", 0.0, name="Vport")
+        circuit.capacitor("port", "0", 2e-13)
+        freqs = [1e8, 1e9]
+        admittance = driving_point_admittance(circuit, "Vport", freqs)
+        expected = 1j * 2 * np.pi * np.asarray(freqs) * 2e-13
+        assert np.allclose(admittance, expected, rtol=1e-9)
+
+    def test_series_rl_admittance(self):
+        resistance, inductance = 50.0, 2e-9
+        circuit = Circuit()
+        circuit.voltage_source("port", "0", 0.0, name="Vport")
+        circuit.resistor("port", "mid", resistance)
+        circuit.inductor("mid", "0", inductance)
+        freq = 3e9
+        admittance = driving_point_admittance(circuit, "Vport", [freq])[0]
+        expected = 1.0 / (resistance + 1j * 2 * np.pi * freq * inductance)
+        assert admittance == pytest.approx(expected, rel=1e-9)
+
+    def test_requires_a_voltage_source(self):
+        circuit = Circuit()
+        circuit.current_source("a", "0", 1.0, name="I1")
+        circuit.resistor("a", "0", 100.0)
+        with pytest.raises(SimulationError):
+            driving_point_admittance(circuit, "I1", [1e9])
+
+    def test_ladder_admittance_matches_moment_expansion_at_low_frequency(self):
+        """Y(j*omega) measured with AC analysis equals the Taylor expansion for small omega."""
+        from repro.interconnect import admittance_series
+
+        line = RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
+                       length=mm(5))
+        n_segments = 40
+        circuit = Circuit()
+        circuit.voltage_source("near", "0", 0.0, name="Vport")
+        add_line_ladder(circuit, line, "near", "far", n_segments=n_segments)
+        freq = 1e8  # low enough for the truncated series to be accurate
+        measured = driving_point_admittance(circuit, "Vport", [freq])[0]
+        series = admittance_series(line, 0.0, order=10, n_segments=n_segments)
+        predicted = series.evaluate(1j * 2 * np.pi * freq)
+        assert measured.real == pytest.approx(predicted.real, rel=1e-3, abs=1e-9)
+        assert measured.imag == pytest.approx(predicted.imag, rel=1e-3)

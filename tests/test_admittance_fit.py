@@ -1,0 +1,149 @@
+"""Rational admittance (Eq. 3) fitting and the O'Brien/Savarino pi-model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelingError
+from repro.interconnect import (PiModel, RationalAdmittance, RLCLine,
+                                admittance_moments, fit_pi_model,
+                                fit_rational_admittance)
+from repro.units import mm, nH, pF
+
+
+@pytest.fixture(scope="module")
+def inductive_moments():
+    line = RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
+                   length=mm(5))
+    return admittance_moments(line, 0.0)
+
+
+@pytest.fixture(scope="module")
+def rc_moments():
+    line = RLCLine(resistance=101.3, inductance=1e-15, capacitance=pF(1.54),
+                   length=mm(7))
+    return admittance_moments(line, 0.0)
+
+
+class TestRationalAdmittanceFit:
+    def test_reexpanded_moments_match_first_five(self, inductive_moments):
+        fit = fit_rational_admittance(inductive_moments)
+        recovered = fit.moments(6)
+        assert recovered[1:6] == pytest.approx(inductive_moments[1:6], rel=1e-6)
+
+    def test_total_capacitance_is_m1(self, inductive_moments):
+        fit = fit_rational_admittance(inductive_moments)
+        assert fit.total_capacitance == pytest.approx(inductive_moments[1], rel=1e-12)
+
+    def test_inductive_line_has_complex_poles(self, inductive_moments):
+        fit = fit_rational_admittance(inductive_moments)
+        assert fit.has_complex_poles
+        poles = fit.poles()
+        assert len(poles) == 2
+        # Conjugate pair with negative real part (stable).
+        assert poles[0].real < 0
+        assert poles[0] == pytest.approx(np.conj(poles[1]))
+
+    def test_rc_line_has_real_stable_poles(self, rc_moments):
+        fit = fit_rational_admittance(rc_moments)
+        poles = fit.poles()
+        assert len(poles) >= 1
+        assert all(abs(p.imag) < 1e-6 * abs(p.real) for p in poles)
+        assert all(p.real < 0 for p in poles)
+
+    def test_evaluate_matches_low_frequency_expansion(self, inductive_moments):
+        fit = fit_rational_admittance(inductive_moments)
+        s = 1j * 2 * np.pi * 1e8
+        direct = fit.evaluate(s)
+        series = sum(m * s ** k for k, m in enumerate(inductive_moments[:6]))
+        assert direct.real == pytest.approx(series.real, rel=1e-3, abs=1e-10)
+        assert direct.imag == pytest.approx(series.imag, rel=1e-3)
+
+    def test_requires_six_moments(self):
+        with pytest.raises(ModelingError):
+            fit_rational_admittance([0.0, 1e-12, -1e-22])
+
+    def test_requires_positive_m1(self):
+        with pytest.raises(ModelingError):
+            fit_rational_admittance([0.0, -1e-12, 0, 0, 0, 0])
+
+    def test_pure_capacitor_degenerates_gracefully(self):
+        capacitance = 0.5e-12
+        moments = [0.0, capacitance, 0.0, 0.0, 0.0, 0.0]
+        fit = fit_rational_admittance(moments)
+        assert fit.a1 == pytest.approx(capacitance)
+        assert fit.b1 == pytest.approx(0.0)
+        assert fit.b2 == pytest.approx(0.0)
+        assert len(fit.poles()) == 0
+
+    def test_pi_load_degenerates_to_first_order_denominator(self):
+        pi = PiModel(c_near=0.2e-12, resistance=80.0, c_far=0.6e-12)
+        moments = pi.as_rational().moments(6)
+        fit = fit_rational_admittance(moments)
+        assert fit.b2 == pytest.approx(0.0, abs=1e-30)
+        assert fit.b1 == pytest.approx(80.0 * 0.6e-12, rel=1e-6)
+        assert fit.a3 == pytest.approx(0.0, abs=1e-40)
+
+    def test_describe_mentions_pole_character(self, inductive_moments):
+        assert "complex" in fit_rational_admittance(inductive_moments).describe()
+
+
+class TestPiModel:
+    def test_fit_recovers_synthetic_pi(self):
+        original = PiModel(c_near=0.25e-12, resistance=120.0, c_far=0.75e-12)
+        moments = original.as_rational().moments(6)
+        recovered = fit_pi_model(moments)
+        assert recovered.c_near == pytest.approx(original.c_near, rel=1e-9)
+        assert recovered.resistance == pytest.approx(original.resistance, rel=1e-9)
+        assert recovered.c_far == pytest.approx(original.c_far, rel=1e-9)
+
+    def test_rc_line_produces_realizable_pi(self, rc_moments):
+        pi = fit_pi_model(rc_moments)
+        assert pi.c_near > 0 and pi.c_far > 0 and pi.resistance > 0
+        assert pi.total_capacitance == pytest.approx(rc_moments[1], rel=1e-6)
+
+    def test_inductive_line_is_not_realizable_as_pi(self, inductive_moments):
+        """The paper's motivation: with inductance the pi model cannot be synthesized."""
+        with pytest.raises(ModelingError):
+            fit_pi_model(inductive_moments)
+
+    def test_requires_four_moments(self):
+        with pytest.raises(ModelingError):
+            fit_pi_model([0.0, 1e-12])
+
+    def test_as_rational_roundtrip_moments(self):
+        pi = PiModel(c_near=0.1e-12, resistance=50.0, c_far=0.4e-12)
+        rational = pi.as_rational()
+        assert rational.total_capacitance == pytest.approx(0.5e-12)
+        m = rational.moments(4)
+        assert m[1] == pytest.approx(0.5e-12)
+        assert m[2] == pytest.approx(-50.0 * (0.4e-12) ** 2, rel=1e-9)
+
+    def test_describe(self):
+        text = PiModel(1e-13, 50.0, 2e-13).describe()
+        assert "pi-model" in text
+
+
+class TestFitProperties:
+    @given(
+        resistance=st.floats(min_value=20.0, max_value=200.0),
+        inductance_nh=st.floats(min_value=1.0, max_value=10.0),
+        capacitance_pf=st.floats(min_value=0.3, max_value=2.5),
+        load_ff=st.floats(min_value=0.0, max_value=300.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fit_is_stable_and_matches_moments(self, resistance, inductance_nh,
+                                               capacitance_pf, load_ff):
+        line = RLCLine(resistance=resistance, inductance=nH(inductance_nh),
+                       capacitance=pF(capacitance_pf), length=mm(5))
+        moments = admittance_moments(line, load_ff * 1e-15)
+        fit = fit_rational_admittance(moments)
+        recovered = fit.moments(6)
+        # Poles are always stable (the fit falls back to a lower order otherwise) ...
+        assert all(pole.real < 0 for pole in fit.poles())
+        # ... the first three moments always match ...
+        assert np.allclose(recovered[1:4], moments[1:4], rtol=1e-5)
+        # ... and when the full second-order denominator is retained, five moments match.
+        if fit.b2 > 0.0:
+            assert np.allclose(recovered[1:6], moments[1:6], rtol=1e-5)

@@ -1,0 +1,174 @@
+"""Cell characterization: measurement, serialization, library, driver resistance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import Waveform
+from repro.characterization import (CellCharacterization, CellLibrary,
+                                    CharacterizationGrid, characterize_inverter,
+                                    default_library, resistance_from_waveform,
+                                    shipped_data_directory, simulate_driver_with_load)
+from repro.errors import CharacterizationError
+from repro.tech import InverterSpec
+from repro.units import fF, ps, to_ps
+
+
+class TestDriverResistance:
+    def test_recovers_resistance_of_ideal_rc_charging(self):
+        """For v = vdd*(1 - exp(-t/RC)), the 50->90% fit returns exactly R."""
+        resistance, capacitance, vdd = 75.0, 1e-12, 1.8
+        tau = resistance * capacitance
+        times = np.linspace(0, 12 * tau, 4000)
+        wave = Waveform(times, vdd * (1 - np.exp(-times / tau)))
+        extracted = resistance_from_waveform(wave, vdd, capacitance)
+        assert extracted == pytest.approx(resistance, rel=1e-3)
+
+    def test_falling_edge(self):
+        resistance, capacitance, vdd = 120.0, 0.5e-12, 1.8
+        tau = resistance * capacitance
+        times = np.linspace(0, 12 * tau, 4000)
+        wave = Waveform(times, vdd * np.exp(-times / tau))
+        extracted = resistance_from_waveform(wave, vdd, capacitance, rising=False)
+        assert extracted == pytest.approx(resistance, rel=1e-3)
+
+    def test_input_validation(self):
+        wave = Waveform([0.0, 1e-9], [0.0, 1.8])
+        with pytest.raises(CharacterizationError):
+            resistance_from_waveform(wave, -1.0, 1e-12)
+        with pytest.raises(CharacterizationError):
+            resistance_from_waveform(wave, 1.8, 0.0)
+
+
+class TestCharacterizationGrid:
+    def test_default_grid_spans_paper_conditions(self):
+        grid = CharacterizationGrid.default()
+        assert min(grid.input_slews) <= ps(50) <= max(grid.input_slews)
+        assert min(grid.input_slews) <= ps(200) <= max(grid.input_slews)
+        assert max(grid.loads) >= fF(2000)
+
+    def test_validation(self):
+        with pytest.raises(CharacterizationError):
+            CharacterizationGrid(input_slews=(ps(100),), loads=(fF(10), fF(20)))
+        with pytest.raises(CharacterizationError):
+            CharacterizationGrid(input_slews=(ps(100), ps(50)), loads=(fF(10), fF(20)))
+        with pytest.raises(CharacterizationError):
+            CharacterizationGrid(input_slews=(ps(50), ps(100)), loads=(fF(20), -fF(10)))
+
+
+class TestSimulateDriverWithLoad:
+    def test_measurement_scaling_with_load(self, tech):
+        spec = InverterSpec(tech=tech, size=50)
+        light = simulate_driver_with_load(spec, ps(100), fF(100))
+        heavy = simulate_driver_with_load(spec, ps(100), fF(800))
+        assert heavy.delay > light.delay
+        assert heavy.transition > 2.0 * light.transition
+        # The fitted on-resistance is a device property: roughly load-independent.
+        assert heavy.resistance == pytest.approx(light.resistance, rel=0.5)
+
+    def test_rise_and_fall_directions(self, tech):
+        spec = InverterSpec(tech=tech, size=50)
+        rise = simulate_driver_with_load(spec, ps(100), fF(300), transition="rise")
+        fall = simulate_driver_with_load(spec, ps(100), fF(300), transition="fall")
+        assert rise.delay > 0 and fall.delay > 0
+        # NMOS is stronger than PMOS, so the falling output is faster.
+        assert fall.transition < rise.transition
+
+    def test_invalid_transition(self, tech):
+        spec = InverterSpec(tech=tech, size=50)
+        with pytest.raises(CharacterizationError):
+            simulate_driver_with_load(spec, ps(100), fF(100), transition="both")
+
+
+class TestCharacterizeInverter:
+    @pytest.fixture(scope="class")
+    def coarse_cell(self, tech):
+        spec = InverterSpec(tech=tech, size=40)
+        return characterize_inverter(spec, grid=CharacterizationGrid.coarse(),
+                                     transitions=("rise",))
+
+    def test_tables_are_monotonic_in_load(self, coarse_cell):
+        slew = coarse_cell.input_slews[0]
+        delays = [coarse_cell.delay(slew, load) for load in coarse_cell.loads]
+        transitions = [coarse_cell.output_transition(slew, load)
+                       for load in coarse_cell.loads]
+        assert all(d2 > d1 for d1, d2 in zip(delays, delays[1:]))
+        assert all(t2 > t1 for t1, t2 in zip(transitions, transitions[1:]))
+
+    def test_fall_tables_mirrored_when_not_characterized(self, coarse_cell):
+        slew, load = coarse_cell.input_slews[0], coarse_cell.loads[0]
+        assert coarse_cell.delay(slew, load, transition="fall") == pytest.approx(
+            coarse_cell.delay(slew, load, transition="rise"))
+
+    def test_ramp_time_scales_measured_transition(self, coarse_cell):
+        slew, load = coarse_cell.input_slews[1], coarse_cell.loads[1]
+        measured = coarse_cell.output_transition(slew, load)
+        assert coarse_cell.ramp_time(slew, load) == pytest.approx(measured / 0.8)
+
+    def test_serialization_roundtrip(self, coarse_cell, tmp_path):
+        path = coarse_cell.save(tmp_path / "cell.json")
+        reloaded = CellCharacterization.load(path)
+        assert reloaded.cell_name == coarse_cell.cell_name
+        assert reloaded.driver_size == coarse_cell.driver_size
+        slew, load = coarse_cell.input_slews[1], coarse_cell.loads[2]
+        assert reloaded.delay(slew, load) == pytest.approx(coarse_cell.delay(slew, load))
+        assert reloaded.driver_resistance(slew, load) == pytest.approx(
+            coarse_cell.driver_resistance(slew, load))
+
+    def test_invalid_transition_lookup(self, coarse_cell):
+        with pytest.raises(CharacterizationError):
+            coarse_cell.delay(ps(100), fF(100), transition="sideways")
+
+
+class TestShippedLibrary:
+    def test_shipped_directory_has_paper_sizes(self):
+        directory = shipped_data_directory()
+        names = {path.stem for path in directory.glob("*.json")}
+        assert {"inv_25x", "inv_75x", "inv_100x"} <= names
+
+    def test_default_library_contents(self, library):
+        assert {25.0, 75.0, 100.0, 125.0} <= set(library.sizes)
+        assert 75.0 in library
+
+    def test_missing_size_raises(self, library):
+        with pytest.raises(CharacterizationError):
+            library.get(9999)
+
+    def test_driver_resistance_decreases_with_size(self, library):
+        slew, load = ps(100), fF(1000)
+        resistances = [library.get(size).driver_resistance(slew, load)
+                       for size in (25, 50, 75, 100, 125)]
+        assert all(r2 < r1 for r1, r2 in zip(resistances, resistances[1:]))
+
+    def test_paper_regime_breakpoint_above_half(self, library):
+        """For the paper's strong drivers the Eq. 1 breakpoint lands above 0.5*Vdd."""
+        cell = library.get(75)
+        rs = cell.driver_resistance(ps(100), fF(1100))
+        z0 = math.sqrt(5.14e-9 / 1.10e-12)
+        assert z0 / (z0 + rs) > 0.5
+
+    def test_delay_tables_monotonic_in_load(self, cell75):
+        slew = ps(100)
+        delays = [cell75.delay(slew, load) for load in cell75.loads]
+        assert all(d2 > d1 for d1, d2 in zip(delays, delays[1:]))
+
+    def test_library_from_directory_roundtrip(self, library, tmp_path):
+        library.save_to_directory(tmp_path)
+        reloaded = CellLibrary.from_directory(tmp_path)
+        assert set(reloaded.sizes) == set(library.sizes)
+
+    def test_from_missing_directory_is_empty(self, tmp_path):
+        empty = CellLibrary.from_directory(tmp_path / "does_not_exist")
+        assert len(empty) == 0
+
+    def test_get_or_characterize_caches(self, tech):
+        library = CellLibrary(tech=tech)
+        cell = library.get_or_characterize(15, grid=CharacterizationGrid.coarse())
+        assert 15.0 in library
+        again = library.get_or_characterize(15)
+        assert again is cell
+
+    def test_describe(self, cell75):
+        text = cell75.describe()
+        assert "inv_75x" in text and "1.8" in text

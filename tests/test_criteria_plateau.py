@@ -1,0 +1,123 @@
+"""Inductance-significance screening (Eq. 9) and the plateau correction (Eq. 8)."""
+
+import pytest
+
+from repro.core import (CriteriaThresholds, evaluate_inductance_criteria,
+                        modified_second_ramp_time, plateau_duration)
+from repro.errors import ModelingError
+from repro.interconnect import RLCLine
+from repro.units import fF, mm, nH, pF, ps
+
+
+@pytest.fixture
+def inductive_line():
+    """The paper's Figure 1 line: clearly inductive with a strong driver."""
+    return RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
+                   length=mm(5))
+
+
+class TestCriteria:
+    def test_paper_inductive_case_passes_all_checks(self, inductive_line):
+        report = evaluate_inductance_criteria(inductive_line, load_capacitance=0.0,
+                                              driver_resistance=50.0, tr1=ps(75))
+        assert report.significant
+        assert all(check.passed for check in report.checks.values())
+
+    def test_weak_driver_fails_driver_resistance_check(self, inductive_line):
+        report = evaluate_inductance_criteria(inductive_line, 0.0,
+                                              driver_resistance=150.0, tr1=ps(75))
+        assert not report.significant
+        assert not report.check("driver_resistance").passed
+        assert report.check("line_resistance").passed
+
+    def test_heavy_fanout_fails_load_check(self, inductive_line):
+        report = evaluate_inductance_criteria(inductive_line,
+                                              load_capacitance=pF(1.0),
+                                              driver_resistance=50.0, tr1=ps(75))
+        assert not report.significant
+        assert not report.check("load_capacitance").passed
+
+    def test_resistive_line_fails_resistance_check(self):
+        lossy = RLCLine(resistance=400.0, inductance=nH(5.0), capacitance=pF(1.0),
+                        length=mm(5))
+        report = evaluate_inductance_criteria(lossy, 0.0, driver_resistance=30.0,
+                                              tr1=ps(50))
+        assert not report.significant
+        assert not report.check("line_resistance").passed
+
+    def test_slow_ramp_fails_flight_time_check(self, inductive_line):
+        report = evaluate_inductance_criteria(inductive_line, 0.0,
+                                              driver_resistance=50.0, tr1=ps(400))
+        assert not report.significant
+        assert not report.check("ramp_vs_flight").passed
+
+    def test_short_line_is_screened_out_by_the_ramp_check(self):
+        """The paper's added criterion: short lines have tiny times of flight."""
+        short = RLCLine(resistance=14.5, inductance=nH(1.0), capacitance=pF(0.22),
+                        length=mm(1))
+        report = evaluate_inductance_criteria(short, 0.0, driver_resistance=50.0,
+                                              tr1=ps(75))
+        assert not report.check("ramp_vs_flight").passed
+
+    def test_custom_thresholds(self, inductive_line):
+        strict = CriteriaThresholds(driver_resistance_to_impedance=0.5)
+        report = evaluate_inductance_criteria(inductive_line, 0.0,
+                                              driver_resistance=50.0, tr1=ps(75),
+                                              thresholds=strict)
+        assert not report.significant
+
+    def test_threshold_validation(self):
+        with pytest.raises(ModelingError):
+            CriteriaThresholds(ramp_to_flight_time=0.0)
+
+    def test_input_validation(self, inductive_line):
+        with pytest.raises(ModelingError):
+            evaluate_inductance_criteria(inductive_line, -1e-15, 50.0, ps(50))
+        with pytest.raises(ModelingError):
+            evaluate_inductance_criteria(inductive_line, 0.0, -1.0, ps(50))
+        with pytest.raises(ModelingError):
+            evaluate_inductance_criteria(inductive_line, 0.0, 50.0, 0.0)
+
+    def test_describe_lists_every_check(self, inductive_line):
+        report = evaluate_inductance_criteria(inductive_line, 0.0, 50.0, ps(75))
+        text = report.describe()
+        assert "SIGNIFICANT" in text
+        assert text.count("[ok ]") == 4
+
+
+class TestPlateau:
+    def test_plateau_duration(self):
+        assert plateau_duration(ps(50), ps(75)) == pytest.approx(ps(100))
+
+    def test_no_plateau_for_slow_initial_ramp(self):
+        assert plateau_duration(ps(200), ps(75)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelingError):
+            plateau_duration(0.0, ps(75))
+        with pytest.raises(ModelingError):
+            plateau_duration(ps(50), -ps(1))
+
+    def test_equation_8(self):
+        tr1, tr2, fraction, tf = ps(50), ps(200), 0.6, ps(75)
+        expected = tr2 + (2 * tf - tr1) / (1 - fraction)
+        assert modified_second_ramp_time(tr1, tr2, fraction, tf) == pytest.approx(expected)
+
+    def test_equation_8_without_plateau_returns_tr2(self):
+        assert modified_second_ramp_time(ps(300), ps(200), 0.6, ps(75)) == pytest.approx(
+            ps(200))
+
+    def test_equation_8_validation(self):
+        with pytest.raises(ModelingError):
+            modified_second_ramp_time(ps(50), ps(200), 1.0, ps(75))
+        with pytest.raises(ModelingError):
+            modified_second_ramp_time(ps(50), 0.0, 0.5, ps(75))
+
+    def test_plateau_shift_preserves_completion_time_shift(self):
+        """Eq. 8 shifts the point where the second ramp meets Vdd by the plateau time."""
+        tr1, tr2, fraction, tf = ps(40), ps(180), 0.65, ps(70)
+        plateau = plateau_duration(tr1, tf)
+        original_end = fraction * tr1 + (1 - fraction) * tr2
+        new_tr2 = modified_second_ramp_time(tr1, tr2, fraction, tf)
+        new_end = fraction * tr1 + (1 - fraction) * new_tr2
+        assert new_end - original_end == pytest.approx(plateau)

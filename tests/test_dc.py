@@ -1,0 +1,89 @@
+"""DC operating-point analysis."""
+
+import pytest
+
+from repro.circuit import Circuit, RampSource, dc_operating_point
+from repro.tech import InverterSpec, add_inverter, generic_180nm
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        circuit = Circuit()
+        circuit.voltage_source("in", "0", 1.8, name="V1")
+        circuit.resistor("in", "out", 1000.0)
+        circuit.resistor("out", "0", 3000.0)
+        op = dc_operating_point(circuit)
+        assert op.voltage("out") == pytest.approx(1.35)
+
+    def test_capacitor_is_open_at_dc(self):
+        circuit = Circuit()
+        circuit.voltage_source("in", "0", 1.0, name="V1")
+        circuit.resistor("in", "out", 1000.0)
+        circuit.capacitor("out", "0", 1e-12)
+        op = dc_operating_point(circuit)
+        # No DC path to ground through the capacitor: no current, no drop.
+        assert op.voltage("out") == pytest.approx(1.0)
+
+    def test_inductor_is_short_at_dc(self):
+        circuit = Circuit()
+        circuit.voltage_source("in", "0", 2.0, name="V1")
+        circuit.resistor("in", "a", 100.0)
+        circuit.inductor("a", "b", 1e-9, name="L1")
+        circuit.resistor("b", "0", 100.0)
+        op = dc_operating_point(circuit)
+        assert op.voltage("a") == pytest.approx(op.voltage("b"))
+        assert op.voltage("b") == pytest.approx(1.0)
+        assert op.current("L1") == pytest.approx(0.01)
+
+    def test_sources_evaluated_at_requested_time(self):
+        circuit = Circuit()
+        circuit.voltage_source("in", "0", RampSource(0.0, 2.0, 1e-9), name="V1")
+        circuit.resistor("in", "0", 100.0)
+        op_start = dc_operating_point(circuit, time=0.0)
+        op_end = dc_operating_point(circuit, time=1e-9)
+        assert op_start.voltage("in") == pytest.approx(0.0)
+        assert op_end.voltage("in") == pytest.approx(2.0)
+
+    def test_current_source_into_resistor(self):
+        circuit = Circuit()
+        circuit.current_source("0", "out", 1e-3, name="I1")  # pushes current into 'out'
+        circuit.resistor("out", "0", 1000.0)
+        op = dc_operating_point(circuit)
+        assert op.voltage("out") == pytest.approx(1.0)
+
+
+class TestInverterOperatingPoints:
+    @pytest.fixture(scope="class")
+    def inverter_circuit_factory(self):
+        def build(input_level):
+            tech = generic_180nm()
+            circuit = Circuit()
+            circuit.voltage_source("vdd", "0", tech.vdd, name="Vdd")
+            circuit.voltage_source("a", "0", input_level, name="Vin")
+            add_inverter(circuit, InverterSpec(tech=tech, size=10), "a", "y")
+            return circuit, tech
+        return build
+
+    def test_output_high_when_input_low(self, inverter_circuit_factory):
+        circuit, tech = inverter_circuit_factory(0.0)
+        op = dc_operating_point(circuit)
+        assert op.voltage("y") == pytest.approx(tech.vdd, abs=0.02)
+
+    def test_output_low_when_input_high(self, inverter_circuit_factory):
+        circuit, tech = inverter_circuit_factory(1.8)
+        op = dc_operating_point(circuit)
+        assert op.voltage("y") == pytest.approx(0.0, abs=0.02)
+
+    def test_switching_region_is_between_rails(self, inverter_circuit_factory):
+        circuit, tech = inverter_circuit_factory(0.9)
+        op = dc_operating_point(circuit)
+        assert 0.1 < op.voltage("y") < tech.vdd - 0.1
+
+    def test_dc_transfer_is_monotonically_decreasing(self, inverter_circuit_factory):
+        previous = None
+        for vin in (0.0, 0.45, 0.9, 1.35, 1.8):
+            circuit, _ = inverter_circuit_factory(vin)
+            vout = dc_operating_point(circuit).voltage("y")
+            if previous is not None:
+                assert vout <= previous + 1e-6
+            previous = vout

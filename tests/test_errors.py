@@ -1,0 +1,28 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("CircuitError", "SimulationError", "ConvergenceError",
+                 "CharacterizationError", "ModelingError", "WaveformError"):
+        exc_type = getattr(errors, name)
+        assert issubclass(exc_type, errors.ReproError)
+
+
+def test_convergence_error_is_a_simulation_error():
+    assert issubclass(errors.ConvergenceError, errors.SimulationError)
+
+
+def test_convergence_error_carries_metadata():
+    exc = errors.ConvergenceError("did not converge", iterations=42, last_value=1.5e-13)
+    assert exc.iterations == 42
+    assert exc.last_value == pytest.approx(1.5e-13)
+    assert "did not converge" in str(exc)
+
+
+def test_catching_base_class_catches_subclasses():
+    with pytest.raises(errors.ReproError):
+        raise errors.ModelingError("bad input")

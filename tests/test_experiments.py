@@ -1,0 +1,162 @@
+"""Experiment harness: paper cases, reference simulator, comparisons, sweeps."""
+
+import pytest
+
+from repro.experiments import (FIGURE1_CASE, FIGURE3_CASE, FIGURE5_CASES,
+                               FIGURE6_FAR_END_CASE, FIGURE6_SINGLE_RAMP_CASE,
+                               TABLE1_CASES, CaseComparison, SweepDefinition,
+                               build_sweep_cases, figure4_two_ramp_construction,
+                               find_table1_row, run_accuracy_sweep, run_table1)
+from repro.experiments.reference import ReferenceSimulator
+from repro.units import ps, to_ps
+
+
+class TestPaperCases:
+    def test_table1_has_fifteen_rows(self):
+        assert len(TABLE1_CASES) == 15
+
+    def test_printed_parasitics_are_loaded_verbatim(self):
+        row = find_table1_row(5, 1.6)
+        assert row is not None
+        line = row.case.line
+        assert line.resistance == pytest.approx(72.4)
+        assert line.inductance == pytest.approx(5.1e-9)
+        assert line.capacitance == pytest.approx(1.11e-12)
+        assert row.paper_hspice_delay_ps == pytest.approx(39.56)
+        assert row.paper_one_ramp_slew_error_pct == pytest.approx(-64.1)
+
+    def test_unknown_row_returns_none(self):
+        assert find_table1_row(9, 9.9) is None
+
+    def test_case_helpers(self):
+        case = FIGURE1_CASE
+        assert case.input_slew == pytest.approx(ps(100))
+        assert case.load_capacitance == 0.0
+        assert case.width == pytest.approx(1.6e-6)
+        assert "5mm" in case.describe()
+
+    def test_figure_cases_match_printed_captions(self):
+        assert FIGURE3_CASE.resistance_ohm == pytest.approx(101.3)
+        assert FIGURE5_CASES[0].input_slew_ps == 75
+        assert FIGURE6_SINGLE_RAMP_CASE.driver_size == 25
+        assert FIGURE6_FAR_END_CASE.width_um == pytest.approx(0.8)
+
+    def test_all_table1_drivers_are_in_shipped_library(self, library):
+        for row in TABLE1_CASES:
+            assert row.case.driver_size in library
+
+    def test_paper_error_pattern_in_recorded_numbers(self):
+        """The printed one-ramp errors are positive for delay, negative for slew."""
+        for row in TABLE1_CASES:
+            assert row.paper_one_ramp_delay_error_pct > 0
+            assert row.paper_one_ramp_slew_error_pct < 0
+            assert abs(row.paper_two_ramp_delay_error_pct) <= 10
+
+
+class TestReferenceSimulator:
+    def test_results_are_cached(self, reference_simulator, fig1_reference):
+        again = reference_simulator.simulate_case(FIGURE1_CASE)
+        assert again is fig1_reference
+
+    def test_fig1_waveform_shows_inductive_signature(self, fig1_reference):
+        """The reference simulation reproduces Figure 1: a step of roughly the
+        breakpoint height followed by a plateau before the reflection returns."""
+        step = fig1_reference.initial_step_fraction()
+        assert 0.45 < step < 0.85
+        # The near end eventually settles at the supply.
+        assert fig1_reference.near.v_final == pytest.approx(fig1_reference.vdd, rel=0.02)
+
+    def test_fig1_far_end_lags_by_at_least_the_flight_time(self, fig1_reference):
+        lag = fig1_reference.far_delay() - fig1_reference.near_delay()
+        assert lag > 0.8 * FIGURE1_CASE.line.time_of_flight
+
+    def test_weak_driver_shows_no_step(self, fig6_weak_reference):
+        assert fig6_weak_reference.initial_step_fraction() < 0.45
+
+    def test_invalid_transition_rejected(self, reference_simulator, line_3mm):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            reference_simulator.simulate(75, ps(50), line_3mm, transition="both")
+
+    def test_clear_cache(self, line_3mm):
+        simulator = ReferenceSimulator()
+        assert len(simulator._cache) == 0
+        simulator.clear_cache()
+        assert len(simulator._cache) == 0
+
+
+class TestComparisonAndTable1:
+    @pytest.fixture(scope="class")
+    def single_row_result(self, library, reference_simulator):
+        row = TABLE1_CASES[1]  # 3 mm / 1.2 um / 75X
+        return run_table1(rows=[row], library=library, simulator=reference_simulator)
+
+    def test_two_ramp_beats_one_ramp(self, single_row_result):
+        comparison = single_row_result.comparisons[0]
+        assert abs(comparison.two_ramp_delay_error) < abs(comparison.one_ramp_delay_error)
+        assert abs(comparison.two_ramp_slew_error) < abs(comparison.one_ramp_slew_error)
+
+    def test_error_signs_match_paper_pattern(self, single_row_result):
+        comparison = single_row_result.comparisons[0]
+        assert comparison.one_ramp_delay_error > 15.0
+        assert comparison.one_ramp_slew_error < -10.0
+        assert abs(comparison.two_ramp_delay_error) < 15.0
+
+    def test_report_formatting(self, single_row_result):
+        text = single_row_result.format_report()
+        assert "Table 1 reproduction" in text
+        assert "paper:" in text
+        assert "two-ramp delay error" in text
+
+    def test_summaries_have_one_entry(self, single_row_result):
+        assert single_row_result.two_ramp_delay_summary.count == 1
+        assert single_row_result.one_ramp_slew_summary.count == 1
+
+    def test_comparison_header_and_row_align(self, single_row_result):
+        comparison = single_row_result.comparisons[0]
+        assert "2ramp_d" in CaseComparison.header()
+        assert "%" in comparison.format_row()
+
+
+class TestSweep:
+    def test_build_sweep_cases_extracts_parasitics(self):
+        definition = SweepDefinition(lengths_mm=(3.0,), widths_um=(1.6,),
+                                     driver_sizes=(75.0,), input_slews_ps=(100.0,))
+        cases = build_sweep_cases(definition)
+        assert len(cases) == 1
+        case = cases[0]
+        assert case.resistance_ohm == pytest.approx(43.5, rel=0.2)
+        assert case.capacitance_pf == pytest.approx(0.66, rel=0.25)
+
+    def test_subset_and_full_definitions(self):
+        assert SweepDefinition.subset().case_count() < SweepDefinition.full().case_count()
+        assert SweepDefinition.full().case_count() >= 150
+
+    def test_single_case_sweep(self, library, reference_simulator):
+        definition = SweepDefinition(lengths_mm=(5.0,), widths_um=(1.6,),
+                                     driver_sizes=(75.0,), input_slews_ps=(100.0,))
+        result = run_accuracy_sweep(definition=definition, library=library,
+                                    simulator=reference_simulator)
+        assert len(result.comparisons) + result.skipped_non_inductive == 1
+        if result.comparisons:
+            assert result.delay_summary.mean_abs_error < 25.0
+            points = result.scatter_points()
+            assert len(points[0]) == 4
+        assert "Accuracy sweep" in result.format_report()
+
+    def test_non_inductive_cases_are_screened_out(self, library, reference_simulator):
+        definition = SweepDefinition(lengths_mm=(1.0,), widths_um=(0.8,),
+                                     driver_sizes=(75.0,), input_slews_ps=(200.0,))
+        result = run_accuracy_sweep(definition=definition, library=library,
+                                    simulator=reference_simulator)
+        assert result.skipped_non_inductive == 1
+        assert len(result.comparisons) == 0
+
+
+class TestFigureGenerators:
+    def test_figure4_construction_without_simulation(self, library):
+        result = figure4_two_ramp_construction(library=library)
+        assert result.model.is_two_ramp
+        assert result.model.tr2_effective >= result.model.tr2
+        assert "Eq. 8" in result.format_report()

@@ -1,0 +1,111 @@
+"""Wire geometry and the analytic parasitic extractor (field-solver substitute)."""
+
+import pytest
+
+from repro.errors import ModelingError
+from repro.interconnect import LineParasitics, RLCLine, WireGeometry, extract_parasitics
+from repro.interconnect.parasitics import sakurai_capacitance_per_length
+from repro.units import mm, to_nH, to_pF, um
+
+
+class TestWireGeometry:
+    def test_valid_construction(self):
+        geometry = WireGeometry(length=mm(5), width=um(1.6))
+        assert geometry.is_isolated
+        assert "5.00mm" in geometry.describe()
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ModelingError):
+            WireGeometry(length=0.0, width=um(1))
+        with pytest.raises(ModelingError):
+            WireGeometry(length=mm(1), width=-um(1))
+        with pytest.raises(ModelingError):
+            WireGeometry(length=mm(1), width=um(1), spacing=0.0)
+
+    def test_scaled_length(self):
+        geometry = WireGeometry(length=mm(2), width=um(1.0))
+        doubled = geometry.scaled_length(2.0)
+        assert doubled.length == pytest.approx(mm(4))
+        assert doubled.width == geometry.width
+        with pytest.raises(ModelingError):
+            geometry.scaled_length(0.0)
+
+
+class TestLineParasitics:
+    def test_positive_values_required(self):
+        with pytest.raises(ModelingError):
+            LineParasitics(0.0, 1e-6, 1e-10)
+
+    def test_totals_scale_with_length(self):
+        parasitics = LineParasitics(14.5e3, 1.0e-6, 2.2e-10)
+        r, l, c = parasitics.totals(mm(5))
+        assert r == pytest.approx(72.5)
+        assert l == pytest.approx(5.0e-9)
+        assert c == pytest.approx(1.1e-12)
+        with pytest.raises(ModelingError):
+            parasitics.totals(0.0)
+
+    def test_describe_uses_per_mm_units(self):
+        text = LineParasitics(14.5e3, 1.0e-6, 2.2e-10).describe()
+        assert "ohm/mm" in text and "nH/mm" in text and "pF/mm" in text
+
+
+class TestSakuraiFormula:
+    def test_increases_with_width(self):
+        narrow = sakurai_capacitance_per_length(um(0.8), um(0.9), um(1.3), 3.9)
+        wide = sakurai_capacitance_per_length(um(2.5), um(0.9), um(1.3), 3.9)
+        assert wide > narrow
+
+    def test_decreases_with_dielectric_height(self):
+        near = sakurai_capacitance_per_length(um(1.6), um(0.9), um(1.0), 3.9)
+        far = sakurai_capacitance_per_length(um(1.6), um(0.9), um(3.0), 3.9)
+        assert far < near
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ModelingError):
+            sakurai_capacitance_per_length(0.0, um(1), um(1), 3.9)
+
+
+class TestExtractionAgainstPaperValues:
+    """The extractor should land near the field-solver values printed in the paper."""
+
+    PAPER_VALUES = [
+        # length_mm, width_um, R_ohm, L_nH, C_pF (from Table 1 / figure captions)
+        (3, 0.8, 81.8, 3.3, 0.52),
+        (3, 1.2, 56.3, 3.2, 0.59),
+        (3, 1.6, 43.5, 3.1, 0.66),
+        (4, 1.2, 75.0, 4.2, 0.80),
+        (5, 1.6, 72.4, 5.1, 1.11),
+        (5, 2.5, 49.5, 4.8, 1.31),
+        (6, 3.0, 51.2, 5.6, 1.80),
+        (7, 1.6, 101.3, 7.1, 1.54),
+    ]
+
+    @pytest.mark.parametrize("length_mm,width_um,r_paper,l_paper,c_paper", PAPER_VALUES)
+    def test_within_tolerance_of_paper(self, tech, length_mm, width_um, r_paper,
+                                       l_paper, c_paper):
+        geometry = WireGeometry(length=mm(length_mm), width=um(width_um))
+        line = RLCLine.from_geometry(geometry, tech)
+        assert line.resistance == pytest.approx(r_paper, rel=0.15)
+        assert to_nH(line.inductance) == pytest.approx(l_paper, rel=0.15)
+        assert to_pF(line.capacitance) == pytest.approx(c_paper, rel=0.20)
+
+    def test_lateral_coupling_increases_capacitance(self, tech):
+        isolated = extract_parasitics(WireGeometry(length=mm(1), width=um(1.6)), tech)
+        coupled = extract_parasitics(
+            WireGeometry(length=mm(1), width=um(1.6), spacing=um(0.5)), tech)
+        assert coupled.capacitance_per_length > isolated.capacitance_per_length
+        assert coupled.resistance_per_length == pytest.approx(
+            isolated.resistance_per_length)
+
+    def test_resistance_scales_inversely_with_width(self, tech):
+        narrow = extract_parasitics(WireGeometry(length=mm(1), width=um(0.8)), tech)
+        wide = extract_parasitics(WireGeometry(length=mm(1), width=um(1.6)), tech)
+        assert narrow.resistance_per_length == pytest.approx(
+            2.0 * wide.resistance_per_length, rel=1e-9)
+
+    def test_inductance_only_weakly_width_dependent(self, tech):
+        narrow = extract_parasitics(WireGeometry(length=mm(1), width=um(0.8)), tech)
+        wide = extract_parasitics(WireGeometry(length=mm(1), width=um(3.2)), tech)
+        ratio = narrow.inductance_per_length / wide.inductance_per_length
+        assert 1.0 < ratio < 1.4

@@ -1,0 +1,99 @@
+"""End-to-end accuracy: the reproduced model against the reference simulator.
+
+These are the repository's headline assertions — the qualitative claims of the
+paper's evaluation must hold on our substrate:
+
+* the two-ramp model predicts driver-output delay and slew within a bounded error
+  for the inductive cases,
+* the one-ramp (single-Ceff) baseline shows the paper's characteristic failure
+  (large positive delay error, large negative slew error),
+* the weak-driver case is screened out and handled well by a single ramp,
+* the far-end response driven by the modeled waveform tracks the transistor-level
+  far end.
+"""
+
+import pytest
+
+from repro.baselines import single_ceff_model
+from repro.core import far_end_response, model_driver_output
+from repro.experiments import FIGURE1_CASE, FIGURE6_SINGLE_RAMP_CASE
+from repro.units import to_ps
+
+
+class TestInductiveCaseAccuracy:
+    @pytest.fixture(scope="class")
+    def models(self, library, fig1_reference):
+        case = FIGURE1_CASE
+        cell = library.get(case.driver_size)
+        two_ramp = model_driver_output(cell, case.input_slew, case.line)
+        one_ramp = single_ceff_model(cell, case.input_slew, case.line)
+        return two_ramp, one_ramp
+
+    def test_two_ramp_delay_within_15_percent(self, models, fig1_reference):
+        two_ramp, _ = models
+        reference_delay = fig1_reference.near_delay()
+        error = abs(two_ramp.delay() - reference_delay) / reference_delay
+        assert error < 0.15
+
+    def test_two_ramp_slew_within_20_percent(self, models, fig1_reference):
+        two_ramp, _ = models
+        reference_slew = fig1_reference.near_slew()
+        error = abs(two_ramp.slew() - reference_slew) / reference_slew
+        assert error < 0.20
+
+    def test_one_ramp_delay_error_is_large_and_positive(self, models, fig1_reference):
+        _, one_ramp = models
+        reference_delay = fig1_reference.near_delay()
+        error = (one_ramp.delay() - reference_delay) / reference_delay
+        assert error > 0.25
+
+    def test_one_ramp_slew_error_is_large_and_negative(self, models, fig1_reference):
+        _, one_ramp = models
+        reference_slew = fig1_reference.near_slew()
+        error = (one_ramp.slew() - reference_slew) / reference_slew
+        assert error < -0.20
+
+    def test_two_ramp_strictly_better_on_both_metrics(self, models, fig1_reference):
+        two_ramp, one_ramp = models
+        ref_delay = fig1_reference.near_delay()
+        ref_slew = fig1_reference.near_slew()
+        assert abs(two_ramp.delay() - ref_delay) < abs(one_ramp.delay() - ref_delay)
+        assert abs(two_ramp.slew() - ref_slew) < abs(one_ramp.slew() - ref_slew)
+
+    def test_breakpoint_tracks_observed_step(self, models, fig1_reference):
+        two_ramp, _ = models
+        observed = fig1_reference.initial_step_fraction()
+        assert two_ramp.breakpoint_fraction == pytest.approx(observed, abs=0.2)
+
+    def test_modeled_waveform_tracks_reference_shape(self, models, fig1_reference):
+        two_ramp, _ = models
+        modeled = two_ramp.waveform(t_end=fig1_reference.near.t_end
+                                    - fig1_reference.reference_time)
+        shifted = modeled.shifted(fig1_reference.reference_time)
+        # Average deviation stays well under 20% of the supply.
+        assert shifted.rms_difference(fig1_reference.near) < 0.2 * fig1_reference.vdd
+
+
+class TestWeakDriverCase:
+    def test_single_ramp_is_selected_and_accurate(self, library, fig6_weak_reference):
+        case = FIGURE6_SINGLE_RAMP_CASE
+        cell = library.get(case.driver_size)
+        model = model_driver_output(cell, case.input_slew, case.line)
+        assert not model.is_two_ramp
+        reference_delay = fig6_weak_reference.near_delay()
+        reference_slew = fig6_weak_reference.near_slew()
+        assert abs(model.delay() - reference_delay) / reference_delay < 0.15
+        assert abs(model.slew() - reference_slew) / reference_slew < 0.25
+
+
+class TestFarEndAccuracy:
+    def test_modeled_far_end_tracks_reference_far_end(self, library, fig1_reference):
+        case = FIGURE1_CASE
+        cell = library.get(case.driver_size)
+        model = model_driver_output(cell, case.input_slew, case.line)
+        response = far_end_response(model, t_stop=fig1_reference.near.t_end
+                                    - fig1_reference.reference_time)
+        model_far_delay = response.far_delay() + fig1_reference.reference_time * 0.0
+        reference_far_delay = fig1_reference.far_delay()
+        assert model_far_delay == pytest.approx(reference_far_delay, rel=0.15)
+        assert response.far_slew() == pytest.approx(fig1_reference.far_slew(), rel=0.30)

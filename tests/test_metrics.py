@@ -1,0 +1,73 @@
+"""Accuracy metrics used by the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AccuracySummary, percent_error, signed_percent_errors, summarize_errors
+
+
+class TestPercentError:
+    def test_positive_error(self):
+        assert percent_error(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_negative_error(self):
+        assert percent_error(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            percent_error(1.0, 0.0)
+
+    def test_matches_paper_table1_convention(self):
+        # Paper row: HSPICE delay 25.01 ps, two-ramp 24.2 ps -> -3.2%.
+        assert percent_error(24.2, 25.01) == pytest.approx(-3.2, abs=0.05)
+
+
+class TestVectorizedErrors:
+    def test_signed_percent_errors(self):
+        errors = signed_percent_errors([11.0, 9.0], [10.0, 10.0])
+        assert errors == pytest.approx([10.0, -10.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            signed_percent_errors([1.0, 2.0], [1.0])
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            signed_percent_errors([1.0], [0.0])
+
+
+class TestAccuracySummary:
+    def test_summary_statistics(self):
+        summary = AccuracySummary.from_errors([1.0, -2.0, 4.0, -8.0])
+        assert summary.count == 4
+        assert summary.mean_abs_error == pytest.approx(3.75)
+        assert summary.max_abs_error == pytest.approx(8.0)
+        assert summary.median_abs_error == pytest.approx(3.0)
+        assert summary.fraction_under_5pct == pytest.approx(0.75)
+        assert summary.fraction_under_10pct == pytest.approx(1.0)
+
+    def test_empty_population_raises(self):
+        with pytest.raises(ValueError):
+            AccuracySummary.from_errors([])
+
+    def test_describe_mentions_key_statistics(self):
+        summary = AccuracySummary.from_errors([3.0, 6.0])
+        text = summary.describe("delay")
+        assert "delay" in text
+        assert "n=2" in text
+
+    def test_summarize_errors_convenience(self):
+        summary = summarize_errors([105.0, 95.0], [100.0, 100.0])
+        assert summary.mean_abs_error == pytest.approx(5.0)
+
+    def test_paper_figure7_style_fractions(self):
+        # Construct a population with exactly 48% of |e| < 5 and 83% < 10 like Fig. 7.
+        rng = np.random.default_rng(7)
+        errors = np.concatenate([
+            rng.uniform(0, 4.9, 48),
+            rng.uniform(5.1, 9.9, 35),
+            rng.uniform(10.1, 20.0, 17),
+        ])
+        summary = AccuracySummary.from_errors(errors)
+        assert summary.fraction_under_5pct == pytest.approx(0.48)
+        assert summary.fraction_under_10pct == pytest.approx(0.83)

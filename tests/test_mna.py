@@ -1,0 +1,109 @@
+"""MNA index mapping and stamp accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, MnaIndex, StampAccumulator
+from repro.errors import CircuitError
+
+
+@pytest.fixture
+def simple_circuit():
+    circuit = Circuit()
+    circuit.voltage_source("in", "0", 1.0, name="Vin")
+    circuit.resistor("in", "out", 100.0, name="R1")
+    circuit.capacitor("out", "0", 1e-12, name="C1")
+    circuit.inductor("out", "far", 1e-9, name="L1")
+    return circuit
+
+
+class TestMnaIndex:
+    def test_size_counts_nodes_and_branches(self, simple_circuit):
+        index = MnaIndex(simple_circuit)
+        assert index.n_nodes == 3  # in, out, far
+        assert index.n_branches == 2  # Vin, L1
+        assert index.size == 5
+
+    def test_ground_maps_to_none(self, simple_circuit):
+        index = MnaIndex(simple_circuit)
+        assert index.node("0") is None
+        assert index.node("in") is not None
+
+    def test_unknown_node_raises(self, simple_circuit):
+        index = MnaIndex(simple_circuit)
+        with pytest.raises(CircuitError):
+            index.node("nonexistent")
+
+    def test_branch_lookup(self, simple_circuit):
+        index = MnaIndex(simple_circuit)
+        assert index.branch("Vin") >= index.n_nodes
+        assert index.branch("L1") >= index.n_nodes
+        with pytest.raises(CircuitError):
+            index.branch("R1")  # resistors carry no branch unknown
+
+    def test_solution_accessors(self, simple_circuit):
+        index = MnaIndex(simple_circuit)
+        solution = np.arange(index.size, dtype=float)
+        assert index.voltage_of(solution, "0") == 0.0
+        assert index.voltage_of(solution, index.node_names[0]) == solution[0]
+        assert index.branch_current_of(solution, "Vin") == solution[index.branch("Vin")]
+
+
+class TestStampAccumulator:
+    def test_conductance_stamp_pattern(self):
+        acc = StampAccumulator(3)
+        acc.add_conductance(0, 1, 0.5)
+        matrix = acc.matrix().toarray()
+        expected = np.array([[0.5, -0.5, 0.0], [-0.5, 0.5, 0.0], [0.0, 0.0, 0.0]])
+        assert np.allclose(matrix, expected)
+
+    def test_ground_entries_are_dropped(self):
+        acc = StampAccumulator(2)
+        acc.add_conductance(0, None, 2.0)
+        matrix = acc.matrix().toarray()
+        assert matrix[0, 0] == pytest.approx(2.0)
+        assert np.count_nonzero(matrix) == 1
+
+    def test_rhs_accumulates(self):
+        acc = StampAccumulator(2)
+        acc.add_rhs(1, 1.5)
+        acc.add_rhs(1, 0.5)
+        acc.add_rhs(None, 100.0)  # ground: ignored
+        assert acc.rhs[1] == pytest.approx(2.0)
+        assert acc.rhs[0] == 0.0
+
+    def test_current_injection(self):
+        acc = StampAccumulator(2)
+        acc.add_current_injection(0, 1, 1e-3)
+        assert acc.rhs[0] == pytest.approx(1e-3)
+        assert acc.rhs[1] == pytest.approx(-1e-3)
+
+    def test_zero_entries_skipped(self):
+        acc = StampAccumulator(2)
+        acc.add_entry(0, 0, 0.0)
+        assert acc.matrix().nnz == 0
+
+    def test_triplets_roundtrip(self):
+        acc = StampAccumulator(3)
+        acc.add_entry(0, 1, 2.0)
+        acc.add_entry(2, 2, 3.0)
+        rows, cols, vals = acc.triplets()
+        assert list(rows) == [0, 2]
+        assert list(cols) == [1, 2]
+        assert list(vals) == [2.0, 3.0]
+
+
+class TestVoltageDividerSolve:
+    def test_resistive_divider_via_mna(self):
+        """Assemble and solve a resistive divider directly through the stamps."""
+        circuit = Circuit()
+        circuit.voltage_source("in", "0", 3.0, name="V1")
+        circuit.resistor("in", "mid", 100.0)
+        circuit.resistor("mid", "0", 200.0)
+        from repro.circuit import dc_operating_point
+
+        op = dc_operating_point(circuit)
+        assert op.voltage("mid") == pytest.approx(2.0)
+        assert op.voltage("in") == pytest.approx(3.0)
+        # Current delivered by the source: 3 V / 300 ohm = 10 mA flowing out of '+'.
+        assert op.current("V1") == pytest.approx(-0.01)

@@ -1,0 +1,140 @@
+"""Alpha-power-law MOSFET model."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Mosfet, MosfetParameters
+from repro.errors import CircuitError
+from repro.tech import generic_180nm
+
+
+@pytest.fixture(scope="module")
+def nmos_params():
+    return generic_180nm().nmos
+
+
+@pytest.fixture(scope="module")
+def pmos_params():
+    return generic_180nm().pmos
+
+
+@pytest.fixture
+def nmos(nmos_params):
+    return Mosfet("MN", "d", "g", "s", nmos_params, width=27e-6)
+
+
+@pytest.fixture
+def pmos(pmos_params):
+    return Mosfet("MP", "d", "g", "s", pmos_params, width=54e-6)
+
+
+class TestParameters:
+    def test_polarity_validation(self):
+        with pytest.raises(CircuitError):
+            MosfetParameters("nfet", 0.4, 1.3, 0.4, 0.06, 0.8, 1e-9, 1e-9, 1e-9)
+
+    def test_positive_parameters_required(self):
+        with pytest.raises(CircuitError):
+            MosfetParameters("nmos", -0.4, 1.3, 0.4, 0.06, 0.8, 1e-9, 1e-9, 1e-9)
+
+    def test_width_must_be_positive(self, nmos_params):
+        with pytest.raises(CircuitError):
+            Mosfet("M1", "d", "g", "s", nmos_params, width=0.0)
+
+
+class TestNmosCurrent:
+    def test_cutoff_region_has_negligible_current(self, nmos):
+        op = nmos.evaluate(v_drain=1.8, v_gate=0.0, v_source=0.0)
+        assert abs(op.ids) < 1e-6  # only the gmin leakage
+        assert "cutoff" in op.region
+
+    def test_saturation_current_matches_target_density(self, nmos):
+        # ~600 uA/um drive at Vgs = Vds = 1.8 V for the generic 0.18 um NMOS.
+        op = nmos.evaluate(1.8, 1.8, 0.0)
+        per_micron = op.ids / (nmos.width * 1e6)
+        assert 4e-4 < per_micron < 9e-4
+        assert op.region == "saturation"
+
+    def test_triode_current_smaller_than_saturation(self, nmos):
+        triode = nmos.evaluate(0.1, 1.8, 0.0)
+        saturation = nmos.evaluate(1.8, 1.8, 0.0)
+        assert 0 < triode.ids < saturation.ids
+        assert triode.region == "triode"
+
+    def test_current_increases_with_gate_drive(self, nmos):
+        low = nmos.evaluate(1.8, 1.0, 0.0).ids
+        high = nmos.evaluate(1.8, 1.8, 0.0).ids
+        assert high > low
+
+    def test_current_continuous_across_vdsat(self, nmos):
+        vov = 1.8 - nmos.params.vth
+        vdsat = nmos.params.kv * vov ** (nmos.params.alpha / 2.0)
+        below = nmos.evaluate(vdsat * 0.999, 1.8, 0.0).ids
+        above = nmos.evaluate(vdsat * 1.001, 1.8, 0.0).ids
+        assert below == pytest.approx(above, rel=5e-3)
+
+    def test_reverse_operation_is_antisymmetric(self, nmos):
+        forward = nmos.evaluate(0.5, 1.8, 0.0).ids
+        reverse = nmos.evaluate(0.0, 1.8, 0.5).ids
+        assert reverse == pytest.approx(-forward, rel=1e-9)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("bias", [
+        (1.8, 1.8, 0.0),   # saturation
+        (0.2, 1.8, 0.0),   # triode
+        (1.0, 1.2, 0.0),   # moderate drive
+        (0.0, 1.8, 0.6),   # reverse-mode
+    ])
+    def test_analytic_derivatives_match_finite_differences(self, nmos, bias):
+        vd, vg, vs = bias
+        op = nmos.evaluate(vd, vg, vs)
+        h = 1e-6
+        fd_d = (nmos.evaluate(vd + h, vg, vs).ids - nmos.evaluate(vd - h, vg, vs).ids) / (2 * h)
+        fd_g = (nmos.evaluate(vd, vg + h, vs).ids - nmos.evaluate(vd, vg - h, vs).ids) / (2 * h)
+        fd_s = (nmos.evaluate(vd, vg, vs + h).ids - nmos.evaluate(vd, vg, vs - h).ids) / (2 * h)
+        assert op.di_dvd == pytest.approx(fd_d, rel=2e-3, abs=1e-9)
+        assert op.di_dvg == pytest.approx(fd_g, rel=2e-3, abs=1e-9)
+        assert op.di_dvs == pytest.approx(fd_s, rel=2e-3, abs=1e-9)
+
+    def test_pmos_derivatives_match_finite_differences(self, pmos):
+        vd, vg, vs = 0.9, 0.0, 1.8
+        op = pmos.evaluate(vd, vg, vs)
+        h = 1e-6
+        fd_d = (pmos.evaluate(vd + h, vg, vs).ids - pmos.evaluate(vd - h, vg, vs).ids) / (2 * h)
+        assert op.di_dvd == pytest.approx(fd_d, rel=2e-3, abs=1e-9)
+
+
+class TestPmosCurrent:
+    def test_pmos_pulls_output_high(self, pmos):
+        # Gate low, source at Vdd, drain below Vdd: current flows out of the drain
+        # terminal (negative by the sign convention).
+        op = pmos.evaluate(v_drain=0.9, v_gate=0.0, v_source=1.8)
+        assert op.ids < 0
+
+    def test_pmos_off_when_gate_high(self, pmos):
+        op = pmos.evaluate(0.9, 1.8, 1.8)
+        assert abs(op.ids) < 1e-6
+
+    def test_pmos_weaker_than_nmos_per_width(self, nmos, pmos):
+        nmos_density = nmos.evaluate(1.8, 1.8, 0.0).ids / nmos.width
+        pmos_density = abs(pmos.evaluate(0.0, 0.0, 1.8).ids) / pmos.width
+        assert pmos_density < nmos_density
+
+
+class TestCapacitancesAndHelpers:
+    def test_capacitances_scale_with_width(self, nmos_params):
+        small = Mosfet("M1", "d", "g", "s", nmos_params, width=1e-6)
+        large = Mosfet("M2", "d", "g", "s", nmos_params, width=2e-6)
+        assert large.c_gate == pytest.approx(2 * small.c_gate)
+        assert large.c_drain == pytest.approx(2 * small.c_drain)
+        assert small.c_gd_overlap == pytest.approx(0.2 * small.c_gate)
+
+    def test_saturation_current_and_resistance(self, nmos):
+        idsat = nmos.saturation_current(1.8)
+        assert idsat > 0
+        resistance = nmos.effective_resistance(1.8)
+        assert resistance == pytest.approx(0.75 * 1.8 / idsat)
+
+    def test_effective_resistance_infinite_below_threshold(self, nmos):
+        assert np.isinf(nmos.effective_resistance(0.1))

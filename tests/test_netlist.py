@@ -1,0 +1,118 @@
+"""Circuit container and element construction."""
+
+import pytest
+
+from repro.circuit import (Capacitor, Circuit, CurrentSource, Inductor, Resistor,
+                           VoltageSource)
+from repro.errors import CircuitError
+
+
+class TestElementConstruction:
+    def test_resistor_requires_positive_resistance(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", 0.0)
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", -5.0)
+
+    def test_resistor_conductance(self):
+        assert Resistor("R1", "a", "b", 50.0).conductance == pytest.approx(0.02)
+
+    def test_capacitor_allows_zero_but_not_negative(self):
+        Capacitor("C0", "a", "0", 0.0)
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "a", "0", -1e-15)
+
+    def test_inductor_requires_positive_inductance(self):
+        with pytest.raises(CircuitError):
+            Inductor("L1", "a", "b", 0.0)
+
+    def test_element_requires_name(self):
+        with pytest.raises(CircuitError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_two_terminal_accessors(self):
+        resistor = Resistor("R1", "in", "out", 10.0)
+        assert resistor.node_pos == "in"
+        assert resistor.node_neg == "out"
+        assert resistor.nodes == ("in", "out")
+
+    def test_branch_current_flags(self):
+        assert Inductor("L1", "a", "b", 1e-9).needs_branch_current
+        assert VoltageSource("V1", "a", "0", 1.0).needs_branch_current
+        assert not Resistor("R1", "a", "b", 1.0).needs_branch_current
+        assert not CurrentSource("I1", "a", "0", 1.0).needs_branch_current
+
+
+class TestCircuit:
+    def test_auto_naming_is_unique(self):
+        circuit = Circuit()
+        r1 = circuit.resistor("a", "0", 10.0)
+        r2 = circuit.resistor("b", "0", 20.0)
+        assert r1.name != r2.name
+        assert len(circuit) == 2
+
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit()
+        circuit.resistor("a", "0", 10.0, name="R1")
+        with pytest.raises(CircuitError):
+            circuit.resistor("b", "0", 10.0, name="R1")
+
+    def test_element_lookup(self):
+        circuit = Circuit()
+        circuit.capacitor("out", "0", 1e-12, name="Cload")
+        assert circuit.element("Cload").capacitance == pytest.approx(1e-12)
+        assert "Cload" in circuit
+        with pytest.raises(CircuitError):
+            circuit.element("missing")
+
+    def test_node_tracking_excludes_ground(self):
+        circuit = Circuit()
+        circuit.resistor("a", "b", 1.0)
+        circuit.capacitor("b", "0", 1e-15)
+        assert set(circuit.node_names) == {"a", "b"}
+        assert circuit.has_node("0")
+
+    def test_elements_of_type(self):
+        circuit = Circuit()
+        circuit.resistor("a", "0", 1.0)
+        circuit.resistor("b", "0", 2.0)
+        circuit.capacitor("a", "0", 1e-15)
+        assert len(circuit.elements_of_type(Resistor)) == 2
+        assert len(circuit.elements_of_type(Capacitor)) == 1
+
+    def test_is_linear_flag(self, tech):
+        circuit = Circuit()
+        circuit.resistor("a", "0", 1.0)
+        assert circuit.is_linear
+        circuit.mosfet("a", "g", "0", tech.nmos, 1e-6)
+        assert not circuit.is_linear
+
+    def test_connected_elements(self):
+        circuit = Circuit()
+        r = circuit.resistor("a", "b", 1.0)
+        c = circuit.capacitor("b", "0", 1e-15)
+        assert r in circuit.connected_elements("a")
+        assert set(circuit.connected_elements("b")) == {r, c}
+
+    def test_validate_requires_ground_reference(self):
+        circuit = Circuit()
+        circuit.resistor("a", "b", 1.0)
+        with pytest.raises(CircuitError):
+            circuit.validate()
+
+    def test_validate_requires_elements(self):
+        with pytest.raises(CircuitError):
+            Circuit().validate()
+
+    def test_summary_counts_elements(self):
+        circuit = Circuit("demo")
+        circuit.resistor("a", "0", 1.0)
+        circuit.capacitor("a", "0", 1e-15)
+        text = circuit.summary()
+        assert "demo" in text
+        assert "Resistor" in text and "Capacitor" in text
+
+    def test_empty_node_name_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(CircuitError):
+            circuit.resistor("", "0", 1.0)

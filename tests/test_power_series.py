@@ -1,0 +1,136 @@
+"""Truncated power-series arithmetic (including hypothesis property tests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelingError
+from repro.interconnect import PowerSeries
+
+ORDER = 6
+
+finite_coeff = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                         allow_infinity=False)
+series_coeffs = st.lists(finite_coeff, min_size=ORDER, max_size=ORDER)
+nonzero_lead = st.floats(min_value=0.1, max_value=1e3).flatmap(
+    lambda c0: st.lists(finite_coeff, min_size=ORDER - 1, max_size=ORDER - 1).map(
+        lambda rest: [c0] + rest))
+
+
+class TestConstruction:
+    def test_basic(self):
+        series = PowerSeries([1.0, 2.0, 3.0])
+        assert series.order == 3
+        assert series.coefficient(1) == 2.0
+        assert series.coefficient(10) == 0.0
+
+    def test_order_padding_and_truncation(self):
+        padded = PowerSeries([1.0], order=4)
+        assert padded.order == 4
+        assert padded.coefficient(3) == 0.0
+        truncated = PowerSeries([1.0, 2.0, 3.0], order=2)
+        assert truncated.order == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelingError):
+            PowerSeries([])
+        with pytest.raises(ModelingError):
+            PowerSeries([1.0], order=0)
+        with pytest.raises(ModelingError):
+            PowerSeries([1.0, 2.0]).coefficient(-1)
+
+    def test_special_constructors(self):
+        zero = PowerSeries.zero(4)
+        assert np.all(zero.coefficients == 0)
+        const = PowerSeries.constant(2.5, 4)
+        assert const.coefficient(0) == 2.5
+        var = PowerSeries.variable(4)
+        assert var.coefficient(1) == 1.0
+        with pytest.raises(ModelingError):
+            PowerSeries.variable(1)
+
+
+class TestArithmetic:
+    def test_polynomial_multiplication_truncates(self):
+        a = PowerSeries([1.0, 1.0, 0.0], order=3)     # 1 + s
+        b = PowerSeries([2.0, 0.0, 1.0], order=3)     # 2 + s^2
+        product = a * b                                # 2 + 2s + s^2 + s^3 (truncated)
+        assert product.coefficients == pytest.approx([2.0, 2.0, 1.0])
+
+    def test_scalar_operations(self):
+        a = PowerSeries([1.0, 2.0])
+        assert (a * 3).coefficients == pytest.approx([3.0, 6.0])
+        assert (a + 1).coefficients == pytest.approx([2.0, 2.0])
+        assert (1 - a).coefficients == pytest.approx([0.0, -2.0])
+        assert (a / 2).coefficients == pytest.approx([0.5, 1.0])
+
+    def test_reciprocal_of_geometric_series(self):
+        # 1 / (1 - s) = 1 + s + s^2 + ...
+        denominator = PowerSeries([1.0, -1.0, 0.0, 0.0, 0.0])
+        inverse = denominator.reciprocal()
+        assert inverse.coefficients == pytest.approx([1.0, 1.0, 1.0, 1.0, 1.0])
+
+    def test_reciprocal_requires_nonzero_constant(self):
+        with pytest.raises(ModelingError):
+            PowerSeries([0.0, 1.0]).reciprocal()
+
+    def test_division_by_zero_scalar(self):
+        with pytest.raises(ZeroDivisionError):
+            PowerSeries([1.0, 1.0]) / 0
+
+    def test_mismatched_orders_rejected(self):
+        with pytest.raises(ModelingError):
+            PowerSeries([1.0, 2.0]) + PowerSeries([1.0, 2.0, 3.0])
+
+    def test_evaluate_matches_horner(self):
+        series = PowerSeries([1.0, 2.0, 3.0])
+        s = 0.1
+        assert series.evaluate(s) == pytest.approx(1.0 + 2.0 * s + 3.0 * s * s)
+
+
+class TestHypothesisProperties:
+    @given(series_coeffs, series_coeffs)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutes(self, a, b):
+        left = PowerSeries(a) + PowerSeries(b)
+        right = PowerSeries(b) + PowerSeries(a)
+        assert np.allclose(left.coefficients, right.coefficients)
+
+    @given(series_coeffs, series_coeffs)
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_commutes(self, a, b):
+        left = PowerSeries(a) * PowerSeries(b)
+        right = PowerSeries(b) * PowerSeries(a)
+        assert np.allclose(left.coefficients, right.coefficients, rtol=1e-9, atol=1e-6)
+
+    @given(series_coeffs, series_coeffs, series_coeffs)
+    @settings(max_examples=40, deadline=None)
+    def test_multiplication_distributes_over_addition(self, a, b, c):
+        sa, sb, sc = PowerSeries(a), PowerSeries(b), PowerSeries(c)
+        left = sa * (sb + sc)
+        right = sa * sb + sa * sc
+        scale = np.max(np.abs(left.coefficients)) + 1.0
+        assert np.allclose(left.coefficients, right.coefficients, atol=1e-7 * scale)
+
+    @given(nonzero_lead)
+    @settings(max_examples=60, deadline=None)
+    def test_reciprocal_is_multiplicative_inverse(self, coeffs):
+        series = PowerSeries(coeffs)
+        inverse = series.reciprocal()
+        product = series * inverse
+        identity = np.zeros(ORDER)
+        identity[0] = 1.0
+        # The identity holds exactly in real arithmetic; in floating point the error
+        # scales with the size of the intermediate reciprocal coefficients (which can
+        # explode when c0 is small relative to the rest), so bound it accordingly.
+        scale = (np.max(np.abs(inverse.coefficients)) + 1.0) * \
+            (np.max(np.abs(coeffs)) + 1.0)
+        assert np.allclose(product.coefficients, identity, atol=1e-9 * scale)
+
+    @given(series_coeffs)
+    @settings(max_examples=60, deadline=None)
+    def test_negation_is_additive_inverse(self, coeffs):
+        series = PowerSeries(coeffs)
+        total = series + (-series)
+        assert np.allclose(total.coefficients, 0.0)

@@ -1,0 +1,122 @@
+"""RLCLine transmission-line quantities and the ladder builder."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Capacitor, Circuit, Inductor, Resistor
+from repro.errors import ModelingError
+from repro.interconnect import RLCLine, add_line_ladder
+from repro.units import mm, nH, pF
+
+
+@pytest.fixture
+def paper_line():
+    return RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
+                   length=mm(5))
+
+
+class TestRLCLine:
+    def test_characteristic_impedance_and_time_of_flight(self, paper_line):
+        # Z0 = sqrt(L/C) ~ 68 ohm and tf = sqrt(L*C) ~ 75 ps for the Figure 1 line.
+        assert paper_line.z0 == pytest.approx(np.sqrt(5.14e-9 / 1.10e-12), rel=1e-12)
+        assert paper_line.z0 == pytest.approx(68.4, rel=0.01)
+        assert paper_line.time_of_flight == pytest.approx(75.2e-12, rel=0.01)
+
+    def test_damping_factor(self, paper_line):
+        assert paper_line.damping_factor == pytest.approx(
+            72.44 / (2 * paper_line.z0), rel=1e-12)
+        assert paper_line.damping_factor < 1.0  # under-damped: inductive regime
+
+    def test_positive_values_required(self):
+        with pytest.raises(ModelingError):
+            RLCLine(resistance=0.0, inductance=1e-9, capacitance=1e-12)
+        with pytest.raises(ModelingError):
+            RLCLine(resistance=1.0, inductance=1e-9, capacitance=1e-12, length=-1.0)
+
+    def test_per_length_accessors_require_length(self):
+        line = RLCLine(resistance=10.0, inductance=1e-9, capacitance=1e-13)
+        with pytest.raises(ModelingError):
+            _ = line.resistance_per_length
+
+    def test_per_length_accessors(self, paper_line):
+        assert paper_line.resistance_per_length == pytest.approx(72.44 / 5e-3)
+        assert paper_line.capacitance_per_length == pytest.approx(1.10e-12 / 5e-3)
+
+    def test_segment_values_divide_totals(self, paper_line):
+        r, l, c = paper_line.segment_values(10)
+        assert r == pytest.approx(7.244)
+        assert l == pytest.approx(0.514e-9)
+        assert c == pytest.approx(0.11e-12)
+        with pytest.raises(ModelingError):
+            paper_line.segment_values(0)
+
+    def test_recommended_segments_scales_with_length(self):
+        short = RLCLine(10.0, 1e-9, 1e-13, length=mm(1)).recommended_segments()
+        long = RLCLine(70.0, 7e-9, 7e-13, length=mm(7)).recommended_segments()
+        assert long > short
+        assert short >= 30
+
+    def test_recommended_segments_without_length(self):
+        line = RLCLine(10.0, 1e-9, 1e-13)
+        assert line.recommended_segments() >= 30
+
+    def test_scaled(self, paper_line):
+        doubled = paper_line.scaled(2.0)
+        assert doubled.resistance == pytest.approx(2 * paper_line.resistance)
+        assert doubled.length == pytest.approx(2 * paper_line.length)
+        # Z0 is invariant under uniform length scaling, tf doubles.
+        assert doubled.z0 == pytest.approx(paper_line.z0)
+        assert doubled.time_of_flight == pytest.approx(2 * paper_line.time_of_flight)
+
+    def test_describe(self, paper_line):
+        text = paper_line.describe()
+        assert "5.00mm" in text and "Z0" in text
+
+    def test_from_per_unit_length(self):
+        from repro.interconnect import LineParasitics
+
+        line = RLCLine.from_per_unit_length(LineParasitics(14.5e3, 1.0e-6, 0.22e-9),
+                                            mm(5))
+        assert line.resistance == pytest.approx(72.5)
+        assert line.length == pytest.approx(5e-3)
+
+
+class TestLadderBuilder:
+    def test_element_counts(self, paper_line):
+        circuit = Circuit()
+        circuit.voltage_source("near", "0", 0.0, name="V1")
+        nodes = add_line_ladder(circuit, paper_line, "near", "far", n_segments=20)
+        assert len(nodes) == 21
+        assert len(circuit.elements_of_type(Resistor)) == 20
+        assert len(circuit.elements_of_type(Inductor)) == 20
+        # n-1 interior full caps + 2 half caps at the ends.
+        assert len(circuit.elements_of_type(Capacitor)) == 21
+
+    def test_totals_preserved(self, paper_line):
+        circuit = Circuit()
+        circuit.voltage_source("near", "0", 0.0, name="V1")
+        add_line_ladder(circuit, paper_line, "near", "far", n_segments=17)
+        total_r = sum(r.resistance for r in circuit.elements_of_type(Resistor))
+        total_l = sum(l.inductance for l in circuit.elements_of_type(Inductor))
+        total_c = sum(c.capacitance for c in circuit.elements_of_type(Capacitor))
+        assert total_r == pytest.approx(paper_line.resistance, rel=1e-12)
+        assert total_l == pytest.approx(paper_line.inductance, rel=1e-12)
+        assert total_c == pytest.approx(paper_line.capacitance, rel=1e-12)
+
+    def test_single_segment_ladder(self, paper_line):
+        circuit = Circuit()
+        circuit.voltage_source("near", "0", 0.0, name="V1")
+        nodes = add_line_ladder(circuit, paper_line, "near", "far", n_segments=1)
+        assert nodes == ["near", "far"]
+
+    def test_same_near_and_far_node_rejected(self, paper_line):
+        circuit = Circuit()
+        with pytest.raises(ModelingError):
+            add_line_ladder(circuit, paper_line, "a", "a", n_segments=5)
+
+    def test_unique_prefixes_allow_multiple_lines(self, paper_line):
+        circuit = Circuit()
+        circuit.voltage_source("n1", "0", 0.0, name="V1")
+        add_line_ladder(circuit, paper_line, "n1", "n2", n_segments=5, prefix="net1")
+        add_line_ladder(circuit, paper_line, "n2", "n3", n_segments=5, prefix="net2")
+        assert "net1_r0" in circuit and "net2_r0" in circuit

@@ -1,0 +1,100 @@
+"""Time-dependent source descriptions."""
+
+import pytest
+
+from repro.circuit import DCSource, PWLSource, PulseSource, RampSource, as_source
+from repro.errors import CircuitError
+from repro.units import ps
+
+
+class TestDCSource:
+    def test_constant_value(self):
+        source = DCSource(1.8)
+        assert source.value(0.0) == 1.8
+        assert source.value(1e-9) == 1.8
+        assert source.dc_value() == 1.8
+
+    def test_callable(self):
+        assert DCSource(0.9)(5e-12) == 0.9
+
+
+class TestRampSource:
+    def test_rising_ramp_profile(self):
+        source = RampSource(0.0, 1.8, ps(100), t_delay=ps(20))
+        assert source.value(0.0) == 0.0
+        assert source.value(ps(20)) == 0.0
+        assert source.value(ps(70)) == pytest.approx(0.9)
+        assert source.value(ps(120)) == pytest.approx(1.8)
+        assert source.value(ps(500)) == pytest.approx(1.8)
+
+    def test_falling_ramp_profile(self):
+        source = RampSource(1.8, 0.0, ps(50))
+        assert source.value(0.0) == pytest.approx(1.8)
+        assert source.value(ps(25)) == pytest.approx(0.9)
+        assert source.value(ps(50)) == pytest.approx(0.0)
+
+    def test_zero_transition_time_rejected(self):
+        with pytest.raises(CircuitError):
+            RampSource(0.0, 1.8, 0.0)
+
+    def test_dc_value_is_initial_level(self):
+        source = RampSource(1.8, 0.0, ps(100), t_delay=ps(10))
+        assert source.dc_value() == pytest.approx(1.8)
+
+
+class TestPWLSource:
+    def test_interpolates_between_points(self):
+        source = PWLSource([(0.0, 0.0), (ps(100), 1.0), (ps(200), 0.5)])
+        assert source.value(ps(50)) == pytest.approx(0.5)
+        assert source.value(ps(150)) == pytest.approx(0.75)
+
+    def test_holds_end_values(self):
+        source = PWLSource([(ps(10), 0.2), (ps(20), 0.8)])
+        assert source.value(0.0) == pytest.approx(0.2)
+        assert source.value(ps(100)) == pytest.approx(0.8)
+
+    def test_requires_two_points(self):
+        with pytest.raises(CircuitError):
+            PWLSource([(0.0, 1.0)])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(CircuitError):
+            PWLSource([(ps(10), 0.0), (ps(5), 1.0)])
+
+    def test_points_roundtrip(self):
+        points = [(0.0, 0.0), (ps(50), 1.8)]
+        assert PWLSource(points).points == tuple(points)
+
+
+class TestPulseSource:
+    def test_pulse_profile(self):
+        source = PulseSource(v_initial=0.0, v_pulse=1.8, t_delay=ps(10), t_rise=ps(10),
+                             t_fall=ps(10), t_width=ps(30), t_period=ps(100))
+        assert source.value(0.0) == 0.0
+        assert source.value(ps(15)) == pytest.approx(0.9)
+        assert source.value(ps(30)) == pytest.approx(1.8)
+        assert source.value(ps(55)) == pytest.approx(0.9)
+        assert source.value(ps(80)) == pytest.approx(0.0)
+
+    def test_pulse_is_periodic(self):
+        source = PulseSource(0.0, 1.0, 0.0, ps(5), ps(5), ps(20), ps(50))
+        assert source.value(ps(10)) == pytest.approx(source.value(ps(60)))
+
+    def test_shape_must_fit_period(self):
+        with pytest.raises(CircuitError):
+            PulseSource(0.0, 1.0, 0.0, ps(30), ps(30), ps(50), ps(80))
+
+
+class TestAsSource:
+    def test_numbers_become_dc_sources(self):
+        source = as_source(1.2)
+        assert isinstance(source, DCSource)
+        assert source.value(0.0) == pytest.approx(1.2)
+
+    def test_sources_pass_through(self):
+        ramp = RampSource(0.0, 1.0, ps(10))
+        assert as_source(ramp) is ramp
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(CircuitError):
+            as_source("1.8V")

@@ -1,0 +1,82 @@
+"""SPICE netlist export."""
+
+import pytest
+
+from repro.circuit import (Circuit, DCSource, PulseSource, PWLSource, RampSource)
+from repro.circuit.spice_io import netlist_to_spice, source_to_spice
+from repro.errors import CircuitError
+from repro.interconnect import RLCLine, add_line_ladder
+from repro.tech import InverterSpec, add_inverter, generic_180nm
+from repro.units import mm, nH, pF, ps
+
+
+class TestSourceFormatting:
+    def test_dc_source(self):
+        assert source_to_spice(DCSource(1.8)) == "DC 1.8"
+
+    def test_ramp_becomes_pwl(self):
+        text = source_to_spice(RampSource(1.8, 0.0, ps(100), t_delay=ps(20)))
+        assert text.startswith("PWL(")
+        assert "2e-11" in text and "1.2e-10" in text
+
+    def test_pwl_source(self):
+        text = source_to_spice(PWLSource([(0.0, 0.0), (ps(50), 1.8)]))
+        assert text == "PWL(0 0 5e-11 1.8)"
+
+    def test_pulse_source(self):
+        text = source_to_spice(PulseSource(0.0, 1.8, ps(10), ps(5), ps(5), ps(30),
+                                           ps(100)))
+        assert text.startswith("PULSE(")
+        assert text.count(" ") == 6
+
+    def test_unknown_source_rejected(self):
+        class Odd:
+            pass
+
+        with pytest.raises(CircuitError):
+            source_to_spice(Odd())
+
+
+class TestNetlistExport:
+    def test_rlc_deck_contains_every_element(self):
+        circuit = Circuit("deck")
+        circuit.voltage_source("in", "0", RampSource(0.0, 1.8, ps(50)), name="drv")
+        line = RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
+                       length=mm(5))
+        add_line_ladder(circuit, line, "in", "far", n_segments=4)
+        deck = netlist_to_spice(circuit)
+        assert deck.splitlines()[0].startswith("*")
+        assert deck.rstrip().endswith(".end")
+        # 4 resistors, 4 inductors, 5 capacitors, 1 source.
+        lines = deck.splitlines()
+        assert sum(1 for l in lines if l.startswith("R")) == 4
+        assert sum(1 for l in lines if l.startswith("L")) == 4
+        assert sum(1 for l in lines if l.startswith("C")) == 5
+        assert sum(1 for l in lines if l.startswith("Vdrv")) == 1
+
+    def test_inverter_deck_has_mosfets_and_models(self):
+        tech = generic_180nm()
+        circuit = Circuit("inv_deck")
+        circuit.voltage_source("vdd", "0", tech.vdd, name="Vdd")
+        circuit.voltage_source("a", "0", RampSource(tech.vdd, 0.0, ps(100)), name="Vin")
+        add_inverter(circuit, InverterSpec(tech=tech, size=75), "a", "y")
+        deck = netlist_to_spice(circuit, title="75X inverter")
+        assert "* 75X inverter" in deck
+        assert sum(1 for l in deck.splitlines() if l.startswith("M")) == 2
+        assert ".model nmos_0 NMOS" in deck
+        assert ".model pmos_1 PMOS" in deck or ".model pmos_0 PMOS" in deck
+        # Device width is carried through.
+        assert "W=2.7e-05" in deck
+
+    def test_ground_node_preserved(self):
+        circuit = Circuit()
+        circuit.voltage_source("a", "0", 1.0, name="V1")
+        circuit.resistor("a", "0", 100.0)
+        deck = netlist_to_spice(circuit)
+        assert "a 0 100" in deck
+
+    def test_invalid_circuit_rejected(self):
+        circuit = Circuit()
+        circuit.resistor("a", "b", 100.0)  # never references ground
+        with pytest.raises(CircuitError):
+            netlist_to_spice(circuit)

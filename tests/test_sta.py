@@ -1,0 +1,123 @@
+"""Miniature gate-level STA engine and its transistor-level validation."""
+
+import pytest
+
+from repro.errors import ModelingError
+from repro.interconnect import RLCLine
+from repro.sta import (PathTimer, TimingPath, TimingStage, simulate_path_reference)
+from repro.units import fF, mm, nH, pF, ps, to_ps
+
+
+@pytest.fixture(scope="module")
+def short_line():
+    return RLCLine(resistance=43.5, inductance=nH(3.1), capacitance=pF(0.66),
+                   length=mm(3))
+
+
+@pytest.fixture(scope="module")
+def two_stage_path(short_line):
+    return TimingPath(
+        name="two_stage",
+        stages=[
+            TimingStage("s1", driver_size=75, line=short_line, receiver_size=75),
+            TimingStage("s2", driver_size=75, line=short_line, receiver_size=50),
+        ],
+        input_slew=ps(100),
+    )
+
+
+class TestStageAndPathValidation:
+    def test_stage_validation(self, short_line):
+        with pytest.raises(ModelingError):
+            TimingStage("bad", driver_size=0, line=short_line)
+        with pytest.raises(ModelingError):
+            TimingStage("bad", driver_size=75, line=short_line, receiver_size=-1)
+        with pytest.raises(ModelingError):
+            TimingStage("bad", driver_size=75, line=short_line, extra_load=-1e-15)
+
+    def test_path_needs_stages_and_positive_slew(self, short_line):
+        with pytest.raises(ModelingError):
+            TimingPath("empty", [], input_slew=ps(100))
+        with pytest.raises(ModelingError):
+            TimingPath("bad", [TimingStage("s", 75, short_line)], input_slew=0.0)
+
+    def test_receiver_driver_consistency_enforced(self, short_line):
+        stages = [
+            TimingStage("s1", driver_size=75, line=short_line, receiver_size=100),
+            TimingStage("s2", driver_size=50, line=short_line),
+        ]
+        with pytest.raises(ModelingError):
+            TimingPath("mismatch", stages, input_slew=ps(100))
+
+    def test_intermediate_stage_needs_receiver(self, short_line):
+        stages = [
+            TimingStage("s1", driver_size=75, line=short_line),
+            TimingStage("s2", driver_size=75, line=short_line),
+        ]
+        with pytest.raises(ModelingError):
+            TimingPath("no_receiver", stages, input_slew=ps(100))
+
+    def test_len(self, two_stage_path):
+        assert len(two_stage_path) == 2
+
+
+class TestPathTimer:
+    @pytest.fixture(scope="class")
+    def report(self, library, two_stage_path):
+        return PathTimer(library=library).analyze(two_stage_path)
+
+    def test_report_structure(self, report, two_stage_path):
+        assert len(report.stages) == 2
+        assert report.total_delay == pytest.approx(sum(report.stage_delays()))
+        assert report.path is two_stage_path
+
+    def test_stage_delays_are_positive_and_sane(self, report):
+        for stage in report.stages:
+            assert 0 < stage.gate_delay < ps(500)
+            assert 0 < stage.interconnect_delay < ps(500)
+            assert stage.output_slew > 0
+
+    def test_output_transition_directions_alternate(self, report):
+        assert report.stages[0].model.transition == "fall"
+        assert report.stages[1].model.transition == "rise"
+
+    def test_slew_propagates_between_stages(self, report, two_stage_path):
+        propagated = report.stages[0].output_slew / 0.8
+        assert report.stages[1].input_slew == pytest.approx(propagated, rel=1e-9)
+
+    def test_receiver_load_included(self, library, short_line, tech):
+        bare = TimingPath("bare", [TimingStage("s", 75, short_line)], input_slew=ps(100))
+        loaded = TimingPath("loaded", [TimingStage("s", 75, short_line,
+                                                   receiver_size=125)],
+                            input_slew=ps(100))
+        timer = PathTimer(library=library, tech=tech)
+        delay_bare = timer.analyze(bare).total_delay
+        delay_loaded = timer.analyze(loaded).total_delay
+        assert delay_loaded > delay_bare
+
+    def test_format_report(self, report):
+        text = report.format_report()
+        assert "total path delay" in text
+        assert "s1" in text and "s2" in text
+
+    def test_analyze_requires_path(self, library):
+        with pytest.raises(ModelingError):
+            PathTimer(library=library).analyze("not a path")
+
+
+class TestFlatValidation:
+    def test_sta_matches_flat_simulation_within_ten_percent(self, library,
+                                                            two_stage_path):
+        report = PathTimer(library=library).analyze(two_stage_path)
+        reference = simulate_path_reference(two_stage_path)
+        sta_total = report.total_delay
+        flat_total = reference.total_delay
+        assert sta_total == pytest.approx(flat_total, rel=0.10)
+        # Per-stage arrivals line up as well.
+        first_arrival = reference.stage_arrival(0)
+        assert report.stages[0].stage_delay == pytest.approx(first_arrival, rel=0.15)
+
+    def test_flat_reference_description(self, two_stage_path):
+        reference = simulate_path_reference(two_stage_path, dt=ps(0.2))
+        assert "total delay" in reference.describe()
+        assert reference.total_delay > 0

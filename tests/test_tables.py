@@ -1,0 +1,103 @@
+"""NLDM-style 2D look-up tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.characterization import LookupTable2D
+from repro.errors import CharacterizationError
+
+
+@pytest.fixture
+def planar_table():
+    """Values follow 2*row + 3*col so bilinear interpolation is exact everywhere."""
+    rows = [1.0, 2.0, 4.0]
+    cols = [10.0, 20.0, 40.0, 80.0]
+    values = [[2 * r + 3 * c for c in cols] for r in rows]
+    return LookupTable2D(rows, cols, values)
+
+
+class TestConstruction:
+    def test_axis_validation(self):
+        with pytest.raises(CharacterizationError):
+            LookupTable2D([1.0], [1.0, 2.0], [[1.0, 2.0]])
+        with pytest.raises(CharacterizationError):
+            LookupTable2D([2.0, 1.0], [1.0, 2.0], [[1, 2], [3, 4]])
+        with pytest.raises(CharacterizationError):
+            LookupTable2D([1.0, 2.0], [1.0, 2.0], [[1, 2]])
+        with pytest.raises(CharacterizationError):
+            LookupTable2D([1.0, 2.0], [1.0, 2.0], [[1, 2], [3, np.nan]])
+
+    def test_shape(self, planar_table):
+        assert planar_table.shape == (3, 4)
+
+
+class TestLookup:
+    def test_exact_grid_points(self, planar_table):
+        assert planar_table.lookup(2.0, 20.0) == pytest.approx(2 * 2 + 3 * 20)
+
+    def test_interior_interpolation_is_exact_for_planar_data(self, planar_table):
+        assert planar_table.lookup(1.5, 30.0) == pytest.approx(2 * 1.5 + 3 * 30.0)
+        assert planar_table.lookup(3.0, 15.0) == pytest.approx(2 * 3.0 + 3 * 15.0)
+
+    def test_extrapolation_below_and_above(self, planar_table):
+        # Planar data extrapolates exactly as well.
+        assert planar_table.lookup(0.5, 5.0) == pytest.approx(2 * 0.5 + 3 * 5.0)
+        assert planar_table.lookup(8.0, 160.0) == pytest.approx(2 * 8.0 + 3 * 160.0)
+
+    def test_callable_interface(self, planar_table):
+        assert planar_table(2.0, 10.0) == planar_table.lookup(2.0, 10.0)
+
+    def test_column_slice(self, planar_table):
+        values = planar_table.column_slice(2.0)
+        assert values == pytest.approx([2 * 2 + 3 * c for c in planar_table.column_axis])
+
+
+class TestSerialization:
+    def test_roundtrip(self, planar_table):
+        rebuilt = LookupTable2D.from_dict(planar_table.to_dict())
+        assert np.allclose(rebuilt.values, planar_table.values)
+        assert np.allclose(rebuilt.row_axis, planar_table.row_axis)
+        assert rebuilt.row_name == planar_table.row_name
+
+    def test_dict_is_json_compatible(self, planar_table):
+        import json
+
+        text = json.dumps(planar_table.to_dict())
+        assert "row_axis" in text
+
+
+class TestHypothesisProperties:
+    @given(
+        row_query=st.floats(min_value=0.5, max_value=5.0),
+        col_query=st.floats(min_value=5.0, max_value=100.0),
+        slope_r=st.floats(min_value=-10, max_value=10),
+        slope_c=st.floats(min_value=-10, max_value=10),
+        offset=st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bilinear_is_exact_for_affine_surfaces(self, row_query, col_query, slope_r,
+                                                   slope_c, offset):
+        rows = [1.0, 2.0, 4.0]
+        cols = [10.0, 20.0, 40.0, 80.0]
+        values = [[offset + slope_r * r + slope_c * c for c in cols] for r in rows]
+        table = LookupTable2D(rows, cols, values)
+        expected = offset + slope_r * row_query + slope_c * col_query
+        scale = abs(offset) + 10 * abs(slope_r) + 100 * abs(slope_c) + 1.0
+        assert table.lookup(row_query, col_query) == pytest.approx(expected,
+                                                                   abs=1e-9 * scale)
+
+    @given(
+        values=st.lists(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=3,
+                                 max_size=3), min_size=2, max_size=2),
+        row_query=st.floats(min_value=1.0, max_value=2.0),
+        col_query=st.floats(min_value=10.0, max_value=30.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interpolation_stays_within_cell_bounds(self, values, row_query, col_query):
+        """Inside the grid, bilinear interpolation never exceeds the corner values."""
+        table = LookupTable2D([1.0, 2.0], [10.0, 20.0, 30.0], values)
+        result = table.lookup(row_query, col_query)
+        flat = [v for row in values for v in row]
+        assert min(flat) - 1e-9 <= result <= max(flat) + 1e-9

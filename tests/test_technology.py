@@ -1,0 +1,85 @@
+"""Technology definitions and inverter specs."""
+
+import pytest
+
+from repro.errors import ModelingError
+from repro.tech import InverterSpec, add_inverter, generic_180nm
+from repro.circuit import Circuit, Mosfet, Capacitor
+
+
+class TestTechnology:
+    def test_generic_180nm_headline_values(self, tech):
+        assert tech.vdd == pytest.approx(1.8)
+        assert tech.lmin == pytest.approx(0.18e-6)
+        assert tech.nmos.polarity == "nmos"
+        assert tech.pmos.polarity == "pmos"
+
+    def test_driver_size_convention_matches_paper(self, tech):
+        # "driver size 75X means the NMOS width is 75 times the minimum width (=2*Lmin=0.36u)"
+        assert tech.nmos_width(75) == pytest.approx(27e-6)
+        assert tech.pmos_width(75) == pytest.approx(54e-6)
+
+    def test_invalid_size_rejected(self, tech):
+        with pytest.raises(ModelingError):
+            tech.nmos_width(0)
+
+    def test_input_capacitance_scales_linearly(self, tech):
+        assert tech.inverter_input_capacitance(100) == pytest.approx(
+            2.0 * tech.inverter_input_capacitance(50), rel=1e-9)
+
+    def test_with_supply(self, tech):
+        lowered = tech.with_supply(1.2)
+        assert lowered.vdd == pytest.approx(1.2)
+        assert lowered.nmos is tech.nmos
+
+    def test_invalid_supply_rejected(self):
+        tech = generic_180nm()
+        with pytest.raises(ModelingError):
+            tech.with_supply(-1.0)
+
+
+class TestInverterSpec:
+    def test_widths_and_capacitance(self, tech):
+        spec = InverterSpec(tech=tech, size=75)
+        assert spec.nmos_width == pytest.approx(27e-6)
+        assert spec.pmos_width == pytest.approx(54e-6)
+        assert spec.input_capacitance == pytest.approx(
+            tech.inverter_input_capacitance(75))
+        assert spec.output_parasitic_capacitance > 0
+
+    def test_size_must_be_positive(self, tech):
+        with pytest.raises(ModelingError):
+            InverterSpec(tech=tech, size=0)
+
+    def test_estimated_resistance_decreases_with_size(self, tech):
+        small = InverterSpec(tech=tech, size=25).estimated_resistance()
+        large = InverterSpec(tech=tech, size=100).estimated_resistance()
+        assert large == pytest.approx(small / 4.0, rel=1e-6)
+
+    def test_describe_mentions_widths(self, tech):
+        text = InverterSpec(tech=tech, size=75).describe()
+        assert "75" in text and "27.00" in text
+
+
+class TestAddInverter:
+    def test_instantiates_two_transistors_and_parasitics(self, tech):
+        circuit = Circuit()
+        circuit.voltage_source("vdd", "0", tech.vdd, name="Vdd")
+        circuit.voltage_source("a", "0", 0.0, name="Vin")
+        add_inverter(circuit, InverterSpec(tech=tech, size=40), "a", "y")
+        mosfets = circuit.elements_of_type(Mosfet)
+        assert len(mosfets) == 2
+        polarities = {m.params.polarity for m in mosfets}
+        assert polarities == {"nmos", "pmos"}
+        # Parasitic capacitors: gate, Miller, two drain junctions.
+        assert len(circuit.elements_of_type(Capacitor)) == 4
+
+    def test_distinct_name_prefixes_allow_multiple_instances(self, tech):
+        circuit = Circuit()
+        circuit.voltage_source("vdd", "0", tech.vdd, name="Vdd")
+        circuit.voltage_source("a", "0", 0.0, name="Vin")
+        add_inverter(circuit, InverterSpec(tech=tech, size=10), "a", "y1",
+                     name_prefix="u1")
+        add_inverter(circuit, InverterSpec(tech=tech, size=10), "y1", "y2",
+                     name_prefix="u2")
+        assert "u1_mn" in circuit and "u2_mn" in circuit

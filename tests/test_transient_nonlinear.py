@@ -1,0 +1,99 @@
+"""Transient engine with MOSFETs: inverter switching, Newton paths, consistency."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, RampSource, TransientOptions, run_transient
+from repro.tech import InverterSpec, add_inverter, generic_180nm
+from repro.units import ps, to_ps
+
+
+@pytest.fixture(scope="module")
+def tech_module():
+    return generic_180nm()
+
+
+def inverter_with_cap(tech, size, load, input_slew, *, rising_output=True):
+    circuit = Circuit()
+    circuit.voltage_source("vdd", "0", tech.vdd, name="Vdd")
+    if rising_output:
+        stimulus = RampSource(tech.vdd, 0.0, input_slew, t_delay=ps(20))
+    else:
+        stimulus = RampSource(0.0, tech.vdd, input_slew, t_delay=ps(20))
+    circuit.voltage_source("in", "0", stimulus, name="Vin")
+    add_inverter(circuit, InverterSpec(tech=tech, size=size), "in", "out")
+    circuit.capacitor("out", "0", load, name="Cload")
+    return circuit
+
+
+class TestInverterSwitching:
+    def test_rising_output_reaches_rails(self, tech_module):
+        circuit = inverter_with_cap(tech_module, 20, 200e-15, ps(100))
+        result = run_transient(circuit, ps(800), dt=ps(0.5))
+        wave = result.waveform("out")
+        assert wave.values[0] == pytest.approx(0.0, abs=0.01)
+        assert wave.v_final == pytest.approx(tech_module.vdd, abs=0.01)
+
+    def test_falling_output_reaches_rails(self, tech_module):
+        circuit = inverter_with_cap(tech_module, 20, 200e-15, ps(100),
+                                    rising_output=False)
+        result = run_transient(circuit, ps(800), dt=ps(0.5))
+        wave = result.waveform("out")
+        assert wave.values[0] == pytest.approx(tech_module.vdd, abs=0.01)
+        assert wave.v_final == pytest.approx(0.0, abs=0.01)
+
+    def test_larger_driver_switches_faster(self, tech_module):
+        slow = inverter_with_cap(tech_module, 10, 500e-15, ps(50))
+        fast = inverter_with_cap(tech_module, 80, 500e-15, ps(50))
+        slew_slow = run_transient(slow, ps(2000), dt=ps(0.5)).waveform("out").slew(1.8)
+        slew_fast = run_transient(fast, ps(2000), dt=ps(0.5)).waveform("out").slew(1.8)
+        assert slew_fast < 0.5 * slew_slow
+
+    def test_larger_load_switches_slower(self, tech_module):
+        light = inverter_with_cap(tech_module, 40, 100e-15, ps(50))
+        heavy = inverter_with_cap(tech_module, 40, 800e-15, ps(50))
+        slew_light = run_transient(light, ps(2500), dt=ps(0.5)).waveform("out").slew(1.8)
+        slew_heavy = run_transient(heavy, ps(2500), dt=ps(0.5)).waveform("out").slew(1.8)
+        assert slew_heavy > 2.0 * slew_light
+
+    def test_step_size_convergence(self, tech_module):
+        """Halving the time step changes the measured delay by well under a percent."""
+        coarse_circuit = inverter_with_cap(tech_module, 40, 300e-15, ps(80))
+        fine_circuit = inverter_with_cap(tech_module, 40, 300e-15, ps(80))
+        coarse = run_transient(coarse_circuit, ps(600), dt=ps(0.4)).waveform("out")
+        fine = run_transient(fine_circuit, ps(600), dt=ps(0.2)).waveform("out")
+        t_coarse = coarse.time_at_level(0.9, rising=True)
+        t_fine = fine.time_at_level(0.9, rising=True)
+        assert to_ps(abs(t_coarse - t_fine)) < 1.0
+
+
+class TestNewtonPaths:
+    def test_woodbury_and_full_refactor_agree(self, tech_module):
+        """The low-rank Newton path must match the brute-force re-factorization path."""
+        from repro.circuit.transient import _TransientEngine
+
+        circuit = inverter_with_cap(tech_module, 30, 250e-15, ps(60))
+        options = TransientOptions(dt=ps(0.5))
+        reference = run_transient(circuit, ps(400), options=options).waveform("out")
+
+        circuit2 = inverter_with_cap(tech_module, 30, 250e-15, ps(60))
+        engine = _TransientEngine(circuit2, options)
+        engine._woodbury_ready = False  # force the full-refactorization fallback
+        fallback = engine.run(ps(400)).waveform("out")
+        assert reference.max_abs_difference(fallback) < 1e-6
+
+    def test_energy_sanity_output_between_rails(self, tech_module):
+        circuit = inverter_with_cap(tech_module, 60, 400e-15, ps(40))
+        result = run_transient(circuit, ps(600), dt=ps(0.25))
+        wave = result.waveform("out")
+        assert wave.v_min > -0.2
+        assert wave.v_max < tech_module.vdd + 0.2
+
+    def test_supply_current_flows_during_transition_only(self, tech_module):
+        circuit = inverter_with_cap(tech_module, 40, 300e-15, ps(50))
+        result = run_transient(circuit, ps(800), dt=ps(0.5))
+        supply_current = result.source_delivered_current("Vdd")
+        # Quiescent at the start and end, active in between.
+        assert abs(supply_current[2]) < 1e-5
+        assert abs(supply_current[-1]) < 1e-5
+        assert np.max(np.abs(supply_current)) > 1e-4

@@ -1,0 +1,132 @@
+"""Two-ramp waveform model and the Eq. 1 breakpoint."""
+
+import numpy as np
+import pytest
+
+from repro.core import TwoRampWaveform, voltage_breakpoint
+from repro.errors import ModelingError
+from repro.units import ps
+
+
+class TestVoltageBreakpoint:
+    def test_equation_1(self):
+        assert voltage_breakpoint(50.0, 68.0) == pytest.approx(68.0 / 118.0)
+
+    def test_zero_driver_resistance_gives_full_swing_step(self):
+        assert voltage_breakpoint(0.0, 68.0) == pytest.approx(1.0)
+
+    def test_weak_driver_gives_small_step(self):
+        assert voltage_breakpoint(680.0, 68.0) == pytest.approx(68.0 / 748.0)
+        assert voltage_breakpoint(680.0, 68.0) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ModelingError):
+            voltage_breakpoint(50.0, 0.0)
+        with pytest.raises(ModelingError):
+            voltage_breakpoint(-1.0, 68.0)
+
+
+@pytest.fixture
+def two_ramp():
+    """f=0.6, Tr1=50 ps, Tr2=200 ps, starting at t=100 ps."""
+    return TwoRampWaveform(vdd=1.8, breakpoint_fraction=0.6, tr1=ps(50), tr2=ps(200),
+                           t_start=ps(100))
+
+
+class TestTwoRampShape:
+    def test_validation(self):
+        with pytest.raises(ModelingError):
+            TwoRampWaveform(vdd=0.0, breakpoint_fraction=0.6, tr1=ps(50), tr2=ps(100))
+        with pytest.raises(ModelingError):
+            TwoRampWaveform(vdd=1.8, breakpoint_fraction=1.5, tr1=ps(50), tr2=ps(100))
+        with pytest.raises(ModelingError):
+            TwoRampWaveform(vdd=1.8, breakpoint_fraction=0.5, tr1=-ps(50), tr2=ps(100))
+        with pytest.raises(ModelingError):
+            TwoRampWaveform(vdd=1.8, breakpoint_fraction=0.5, tr1=ps(50), tr2=0.0)
+
+    def test_characteristic_times(self, two_ramp):
+        assert two_ramp.breakpoint_time == pytest.approx(ps(100) + 0.6 * ps(50))
+        assert two_ramp.breakpoint_voltage == pytest.approx(0.6 * 1.8)
+        assert two_ramp.end_time == pytest.approx(two_ramp.breakpoint_time + 0.4 * ps(200))
+        assert two_ramp.duration == pytest.approx(two_ramp.end_time - ps(100))
+
+    def test_piecewise_values_match_equation_2(self, two_ramp):
+        # First ramp: slope Vdd / Tr1.
+        assert two_ramp.value(ps(100)) == pytest.approx(0.0)
+        assert two_ramp.value(ps(110)) == pytest.approx(1.8 * ps(10) / ps(50))
+        # Breakpoint value.
+        assert two_ramp.value(two_ramp.breakpoint_time) == pytest.approx(0.6 * 1.8)
+        # Second ramp: slope Vdd / Tr2 beyond the breakpoint.
+        delta = ps(20)
+        expected = 0.6 * 1.8 + 1.8 * delta / ps(200)
+        assert two_ramp.value(two_ramp.breakpoint_time + delta) == pytest.approx(expected)
+        # Saturation at the supply.
+        assert two_ramp.value(two_ramp.end_time + ps(50)) == pytest.approx(1.8)
+
+    def test_value_before_start_is_zero(self, two_ramp):
+        assert two_ramp.value(0.0) == 0.0
+
+    def test_crossing_times_invert_values(self, two_ramp):
+        for fraction in (0.1, 0.5, 0.6, 0.75, 0.9):
+            t_cross = two_ramp.crossing_time(fraction)
+            assert two_ramp.value(t_cross) == pytest.approx(fraction * 1.8, rel=1e-9)
+
+    def test_crossing_below_breakpoint_uses_first_ramp(self, two_ramp):
+        assert two_ramp.crossing_time(0.5) == pytest.approx(ps(100) + 0.5 * ps(50))
+
+    def test_crossing_above_breakpoint_uses_second_ramp(self, two_ramp):
+        expected = two_ramp.breakpoint_time + (0.9 - 0.6) * ps(200)
+        assert two_ramp.crossing_time(0.9) == pytest.approx(expected)
+
+    def test_transition_time_mixes_both_ramps(self, two_ramp):
+        t_low = two_ramp.crossing_time(0.1)
+        t_high = two_ramp.crossing_time(0.9)
+        assert two_ramp.transition_time() == pytest.approx(t_high - t_low)
+
+    def test_delay_to_50pct(self, two_ramp):
+        assert two_ramp.delay_to_50pct() == pytest.approx(0.5 * ps(50))
+
+    def test_falling_waveform_is_mirror_image(self):
+        rising = TwoRampWaveform(vdd=1.8, breakpoint_fraction=0.6, tr1=ps(50),
+                                 tr2=ps(200), rising=True)
+        falling = TwoRampWaveform(vdd=1.8, breakpoint_fraction=0.6, tr1=ps(50),
+                                  tr2=ps(200), rising=False)
+        for t in np.linspace(0, 300e-12, 20):
+            assert falling.value(t) == pytest.approx(1.8 - rising.value(t))
+
+
+class TestSingleRampDegenerate:
+    def test_single_ramp_when_fraction_is_one(self):
+        single = TwoRampWaveform(vdd=1.8, breakpoint_fraction=1.0, tr1=ps(80), tr2=ps(1))
+        assert single.is_single_ramp
+        assert single.end_time == pytest.approx(ps(80))
+        assert single.crossing_time(0.5) == pytest.approx(ps(40))
+        assert single.value(ps(40)) == pytest.approx(0.9)
+        assert single.transition_time() == pytest.approx(0.8 * ps(80))
+
+
+class TestSamplingAndSources:
+    def test_waveform_measurements_match_closed_form(self, two_ramp):
+        sampled = two_ramp.waveform(t_end=ps(400))
+        assert sampled.time_at_level(0.9, rising=True) == pytest.approx(
+            two_ramp.crossing_time(0.5), rel=1e-6)
+        assert sampled.slew(1.8) == pytest.approx(two_ramp.transition_time(), rel=1e-6)
+
+    def test_pwl_points_cover_corners(self, two_ramp):
+        points = two_ramp.pwl_points()
+        times = [p[0] for p in points]
+        assert two_ramp.t_start in times
+        assert two_ramp.breakpoint_time in times
+        assert two_ramp.end_time in times
+        values = [p[1] for p in points]
+        assert max(values) == pytest.approx(1.8)
+
+    def test_as_source_reproduces_values(self, two_ramp):
+        source = two_ramp.as_source(t_end=ps(500))
+        for t in (ps(100), ps(120), two_ramp.breakpoint_time, ps(250), ps(450)):
+            assert source.value(t) == pytest.approx(two_ramp.value(t), abs=1e-9)
+
+    def test_describe(self, two_ramp):
+        assert "two-ramp" in two_ramp.describe()
+        single = TwoRampWaveform(vdd=1.8, breakpoint_fraction=1.0, tr1=ps(80), tr2=ps(80))
+        assert "single-ramp" in single.describe()

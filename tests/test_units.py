@@ -1,0 +1,50 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_constructors_scale_correctly():
+    assert units.ps(1.0) == pytest.approx(1e-12)
+    assert units.ns(2.5) == pytest.approx(2.5e-9)
+
+
+def test_time_accessors_invert_constructors():
+    assert units.to_ps(units.ps(123.4)) == pytest.approx(123.4)
+    assert units.to_ns(units.ns(0.75)) == pytest.approx(0.75)
+
+
+def test_capacitance_units():
+    assert units.fF(10.0) == pytest.approx(1e-14)
+    assert units.pF(1.1) == pytest.approx(1.1e-12)
+    assert units.to_fF(units.fF(42.0)) == pytest.approx(42.0)
+    assert units.to_pF(units.pF(0.59)) == pytest.approx(0.59)
+
+
+def test_inductance_units():
+    assert units.nH(5.14) == pytest.approx(5.14e-9)
+    assert units.pH(250.0) == pytest.approx(2.5e-10)
+    assert units.to_nH(units.nH(3.3)) == pytest.approx(3.3)
+
+
+def test_length_units():
+    assert units.mm(5.0) == pytest.approx(5e-3)
+    assert units.um(1.6) == pytest.approx(1.6e-6)
+    assert units.nm(180.0) == pytest.approx(1.8e-7)
+    assert units.to_mm(units.mm(7.0)) == pytest.approx(7.0)
+    assert units.to_um(units.um(0.8)) == pytest.approx(0.8)
+
+
+def test_electrical_units():
+    assert units.ohm(72.44) == pytest.approx(72.44)
+    assert units.kohm(1.5) == pytest.approx(1500.0)
+    assert units.mV(900.0) == pytest.approx(0.9)
+    assert units.uA(600.0) == pytest.approx(6e-4)
+
+
+def test_roundtrip_composition():
+    value = 0.123456
+    assert units.to_ps(units.ps(value)) == pytest.approx(value, rel=1e-12)
+    assert units.to_nH(units.nH(value)) == pytest.approx(value, rel=1e-12)
+    assert units.to_fF(units.fF(value)) == pytest.approx(value, rel=1e-12)

@@ -1,0 +1,167 @@
+"""Waveform container and timing measurements."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Waveform
+from repro.errors import WaveformError
+
+
+@pytest.fixture
+def ramp():
+    """A clean 0 -> 1.8 V saturated ramp: starts at 100 ps, 100 ps long."""
+    times = np.array([0.0, 100e-12, 200e-12, 400e-12])
+    values = np.array([0.0, 0.0, 1.8, 1.8])
+    return Waveform(times, values)
+
+
+class TestConstruction:
+    def test_requires_matching_lengths(self):
+        with pytest.raises(WaveformError):
+            Waveform([0.0, 1.0, 2.0], [0.0, 1.0])
+
+    def test_requires_at_least_two_samples(self):
+        with pytest.raises(WaveformError):
+            Waveform([0.0], [1.0])
+
+    def test_requires_strictly_increasing_times(self):
+        with pytest.raises(WaveformError):
+            Waveform([0.0, 1.0, 1.0], [0.0, 0.5, 1.0])
+        with pytest.raises(WaveformError):
+            Waveform([0.0, 2.0, 1.0], [0.0, 0.5, 1.0])
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(WaveformError):
+            Waveform([[0.0, 1.0]], [[0.0, 1.0]])
+
+    def test_basic_accessors(self, ramp):
+        assert len(ramp) == 4
+        assert ramp.t_start == 0.0
+        assert ramp.t_end == pytest.approx(400e-12)
+        assert ramp.v_min == 0.0
+        assert ramp.v_max == pytest.approx(1.8)
+        assert ramp.v_final == pytest.approx(1.8)
+
+
+class TestInterpolation:
+    def test_value_at_interpolates_linearly(self, ramp):
+        assert ramp.value_at(150e-12) == pytest.approx(0.9)
+
+    def test_value_at_clamps_outside_range(self, ramp):
+        assert ramp.value_at(-1.0) == pytest.approx(0.0)
+        assert ramp.value_at(1.0) == pytest.approx(1.8)
+
+    def test_value_at_accepts_arrays(self, ramp):
+        values = ramp.value_at(np.array([100e-12, 150e-12, 200e-12]))
+        assert values == pytest.approx([0.0, 0.9, 1.8])
+
+
+class TestCrossings:
+    def test_single_rising_crossing(self, ramp):
+        t = ramp.time_at_level(0.9, rising=True)
+        assert t == pytest.approx(150e-12)
+
+    def test_missing_crossing_raises(self, ramp):
+        with pytest.raises(WaveformError):
+            ramp.time_at_level(2.5)
+
+    def test_rising_filter_excludes_falling_edges(self):
+        times = np.linspace(0.0, 4.0, 401)
+        values = np.sin(np.pi * times)  # up, down, up, down
+        wave = Waveform(times, values)
+        rising = wave.crossing_times(0.5, rising=True)
+        falling = wave.crossing_times(0.5, rising=False)
+        assert len(rising) == 2
+        assert len(falling) == 2
+        assert np.all(rising < 4.0)
+
+    def test_first_and_last_selection(self):
+        times = np.linspace(0.0, 4.0, 401)
+        values = np.sin(np.pi * times)
+        wave = Waveform(times, values)
+        first = wave.time_at_level(0.5, rising=True, which="first")
+        last = wave.time_at_level(0.5, rising=True, which="last")
+        assert last > first
+
+    def test_invalid_which_raises(self, ramp):
+        with pytest.raises(ValueError):
+            ramp.time_at_level(0.9, which="middle")
+
+
+class TestTimingMeasurements:
+    def test_delay_is_measured_at_half_vdd(self, ramp):
+        delay = ramp.delay(1.8, reference_time=50e-12)
+        assert delay == pytest.approx(150e-12 - 50e-12)
+
+    def test_slew_10_90_of_clean_ramp(self, ramp):
+        # 10%-90% of a 100 ps full-swing ramp is 80 ps.
+        assert ramp.slew(1.8) == pytest.approx(80e-12, rel=1e-9)
+
+    def test_ramp_time_recovers_full_swing_time(self, ramp):
+        assert ramp.ramp_time(1.8) == pytest.approx(100e-12, rel=1e-9)
+
+    def test_falling_slew(self):
+        times = np.array([0.0, 100e-12, 200e-12, 300e-12])
+        values = np.array([1.8, 1.8, 0.0, 0.0])
+        wave = Waveform(times, values)
+        assert wave.slew(1.8, rising=False) == pytest.approx(80e-12, rel=1e-9)
+
+    def test_invalid_slew_thresholds(self, ramp):
+        with pytest.raises(WaveformError):
+            ramp.slew(1.8, low=0.9, high=0.1)
+
+
+class TestTransformations:
+    def test_shifted(self, ramp):
+        shifted = ramp.shifted(50e-12)
+        assert shifted.time_at_level(0.9) == pytest.approx(200e-12)
+
+    def test_scaled(self, ramp):
+        scaled = ramp.scaled(0.5)
+        assert scaled.v_max == pytest.approx(0.9)
+
+    def test_clipped(self, ramp):
+        clipped = ramp.clipped(100e-12, 200e-12)
+        assert clipped.t_start == pytest.approx(100e-12)
+        assert clipped.t_end == pytest.approx(200e-12)
+
+    def test_clipped_invalid_window(self, ramp):
+        with pytest.raises(WaveformError):
+            ramp.clipped(200e-12, 100e-12)
+
+    def test_resampled_preserves_shape(self, ramp):
+        resampled = ramp.resampled(np.linspace(0, 400e-12, 101))
+        assert resampled.value_at(150e-12) == pytest.approx(0.9)
+
+    def test_max_abs_difference_of_identical_waveforms_is_zero(self, ramp):
+        assert ramp.max_abs_difference(ramp) == pytest.approx(0.0)
+
+    def test_rms_difference_of_offset_waveforms(self, ramp):
+        offset = Waveform(ramp.times, ramp.values + 0.1)
+        assert offset.rms_difference(ramp) == pytest.approx(0.1, rel=1e-6)
+
+    def test_difference_requires_overlap(self, ramp):
+        other = Waveform(ramp.times + 1.0, ramp.values)
+        with pytest.raises(WaveformError):
+            ramp.max_abs_difference(other)
+
+
+class TestConstructors:
+    def test_from_function(self):
+        wave = Waveform.from_function(lambda t: 2.0 * t, 0.0, 1.0, n_points=11)
+        assert wave.value_at(0.5) == pytest.approx(1.0)
+
+    def test_saturated_ramp_rising(self):
+        wave = Waveform.saturated_ramp(1.8, 100e-12, delay=50e-12, t_end=400e-12)
+        assert wave.value_at(0.0) == pytest.approx(0.0)
+        assert wave.value_at(100e-12) == pytest.approx(0.9)
+        assert wave.v_final == pytest.approx(1.8)
+
+    def test_saturated_ramp_falling(self):
+        wave = Waveform.saturated_ramp(1.8, 100e-12, rising=False, t_end=300e-12)
+        assert wave.value_at(0.0) == pytest.approx(1.8)
+        assert wave.v_final == pytest.approx(0.0)
+
+    def test_saturated_ramp_requires_positive_ramp_time(self):
+        with pytest.raises(WaveformError):
+            Waveform.saturated_ramp(1.8, 0.0)
