@@ -31,7 +31,10 @@ def full_sweep_requested() -> bool:
 @pytest.fixture(scope="session")
 def library():
     """The shipped pre-characterized cell library."""
-    return default_library()
+    lib = default_library()
+    assert {25.0, 50.0, 75.0, 100.0, 125.0} <= set(lib.sizes), \
+        "shipped cell library is missing or incomplete; run scripts/generate_cell_library.py"
+    return lib
 
 
 @pytest.fixture(scope="session")

@@ -5,6 +5,25 @@ Characterizes the driver sizes used by the paper's experiments (25X to 125X) ove
 the default (input slew, load) grid with the circuit simulator and writes one JSON
 file per cell into ``src/repro/data/cells``.  Re-run this script after changing the
 technology or the MOSFET model.
+
+Workflow
+--------
+* Shipped data lives in ``src/repro/data/cells/*.json`` (one file per cell); the
+  test suite and ``repro.characterization.default_library()`` read it from there.
+* ``--jobs N`` fans the per-(direction, slew, load) simulations of each cell
+  across N worker processes (default: one per CPU); ``--jobs 1`` forces the
+  serial engine.
+* ``--coarse`` swaps in the small test grid for quick experiments.
+* Every characterization also lands in the persistent cache (override its
+  location with ``--cache-dir`` or the ``REPRO_CACHE_DIR`` environment
+  variable), so re-running the script — or any other process requesting the
+  same cells — completes near-instantly from cache.  ``--no-cache`` bypasses it.
+
+Examples::
+
+    PYTHONPATH=src python scripts/generate_cell_library.py              # full grid
+    PYTHONPATH=src python scripts/generate_cell_library.py --jobs 8     # 8 workers
+    PYTHONPATH=src python scripts/generate_cell_library.py --coarse --sizes 40 60
 """
 
 from __future__ import annotations
@@ -14,40 +33,76 @@ import sys
 import time
 from pathlib import Path
 
-from repro.characterization import (CellLibrary, CharacterizationGrid,
-                                    characterize_inverter, shipped_data_directory)
+from repro.characterization import (CellLibrary, CharacterizationCache,
+                                    CharacterizationGrid,
+                                    cached_characterize_inverter,
+                                    characterize_inverter_parallel,
+                                    shipped_data_directory)
+from repro.characterization.parallel import resolve_jobs
+from repro.errors import CharacterizationError
 from repro.tech import InverterSpec, generic_180nm
 
 DEFAULT_SIZES = (25.0, 50.0, 75.0, 100.0, 125.0)
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--sizes", type=float, nargs="+", default=list(DEFAULT_SIZES),
                         help="driver sizes (X) to characterize")
     parser.add_argument("--output", type=Path, default=shipped_data_directory(),
                         help="output directory for the JSON files")
     parser.add_argument("--coarse", action="store_true",
                         help="use the small test grid instead of the full grid")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes per cell (default: CPU count; 1 = serial)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="persistent characterization cache directory "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro/cells)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the persistent cache and re-simulate everything")
     args = parser.parse_args(argv)
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except CharacterizationError as exc:
+        parser.error(str(exc))
 
     tech = generic_180nm()
     grid = CharacterizationGrid.coarse() if args.coarse else CharacterizationGrid.default()
-    library = CellLibrary(tech=tech)
+    cache = CharacterizationCache(args.cache_dir)
+    library = CellLibrary(tech=tech, cache=cache)
+    points = len(grid.input_slews) * len(grid.loads) * 2
 
+    print(f"characterizing {len(args.sizes)} cells "
+          f"({points} simulations each, {jobs} worker{'s' if jobs != 1 else ''}, "
+          f"cache: {'disabled' if args.no_cache else cache.directory})", flush=True)
+
+    total_start = time.time()
     for size in args.sizes:
         spec = InverterSpec(tech=tech, size=size)
         start = time.time()
         print(f"characterizing {spec.describe()} ...", flush=True)
-        cell = characterize_inverter(spec, grid=grid)
+
+        def show_progress(done: int, total: int) -> None:
+            if done == total or done % 25 == 0:
+                print(f"  {done}/{total} points", flush=True)
+
+        if args.no_cache:
+            was_cached = False
+            cell = characterize_inverter_parallel(
+                spec, grid=grid, jobs=jobs, progress=show_progress)
+        else:
+            cell, was_cached = cached_characterize_inverter(
+                spec, grid=grid, cache=cache, jobs=jobs, progress=show_progress)
         library.add(cell)
-        print(f"  done in {time.time() - start:.1f} s "
-              f"(Rs_rise @ max load = "
+        source = "cache hit" if was_cached else f"{time.time() - start:.1f} s"
+        print(f"  done ({source}; Rs_rise @ max load = "
               f"{cell.driver_resistance(cell.input_slews[2], cell.max_load):.1f} ohm)",
               flush=True)
 
     output = library.save_to_directory(args.output)
-    print(f"wrote {len(library)} cells to {output}")
+    print(f"wrote {len(library)} cells to {output} "
+          f"in {time.time() - total_start:.1f} s total")
     return 0
 
 

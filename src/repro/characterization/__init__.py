@@ -1,10 +1,15 @@
-"""Cell (driver) characterization: tables, simulation-driven characterization, library."""
+"""Cell (driver) characterization: tables, simulation-driven characterization,
+parallel engine, persistent cache, library."""
 
+from .cache import (CharacterizationCache, cached_characterize_inverter,
+                    characterization_fingerprint, default_cache_directory)
 from .cell import CellCharacterization
 from .characterize import (CharacterizationGrid, characterize_inverter,
                            simulate_driver_with_load)
 from .driver_resistance import resistance_from_waveform
-from .library import CellLibrary, default_library, shipped_data_directory
+from .library import (CellLibrary, MissingCellLibraryWarning, default_library,
+                      shipped_data_directory)
+from .parallel import characterize_inverter_parallel
 from .tables import LookupTable2D
 
 __all__ = [
@@ -12,9 +17,15 @@ __all__ = [
     "CellCharacterization",
     "CharacterizationGrid",
     "characterize_inverter",
+    "characterize_inverter_parallel",
     "simulate_driver_with_load",
     "resistance_from_waveform",
+    "CharacterizationCache",
+    "cached_characterize_inverter",
+    "characterization_fingerprint",
+    "default_cache_directory",
     "CellLibrary",
+    "MissingCellLibraryWarning",
     "default_library",
     "shipped_data_directory",
 ]

@@ -1,0 +1,176 @@
+"""Persistent on-disk characterization cache.
+
+Characterizing one cell costs on the order of a hundred transient simulations, so
+every characterization result is worth keeping.  This module stores finished
+:class:`~.cell.CellCharacterization` objects as JSON files keyed by a fingerprint
+of *everything that determines the result*: the full technology description, the
+inverter spec, the (slew, load) grid, the measurement thresholds and the
+characterized transitions.  Any process that requests the same characterization —
+in this session or a later one — gets the cached cell back instead of re-simulating.
+
+The cache directory is resolved, in order, from an explicit argument, the
+``REPRO_CACHE_DIR`` environment variable, ``$XDG_CACHE_HOME/repro/cells``, and
+finally ``~/.cache/repro/cells``.  Corrupt or unreadable entries are treated as
+misses and removed, so a damaged cache heals itself on the next run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Tuple
+
+from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
+from ..tech.inverter import InverterSpec
+from .cell import CellCharacterization
+from .characterize import CharacterizationGrid
+from .parallel import characterize_inverter_parallel
+
+__all__ = ["CharacterizationCache", "cached_characterize_inverter",
+           "characterization_fingerprint", "default_cache_directory"]
+
+#: Bump when the characterization algorithm or the on-disk format changes in a way
+#: that invalidates previously cached results.
+CACHE_FORMAT_VERSION = 1
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_directory() -> Path:
+    """The cache directory used when none is given explicitly."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "cells"
+
+
+def characterization_fingerprint(spec: InverterSpec, grid: CharacterizationGrid, *,
+                                 slew_low: float = SLEW_LOW_THRESHOLD,
+                                 slew_high: float = SLEW_HIGH_THRESHOLD,
+                                 transitions: Iterable[str] = ("rise", "fall")) -> str:
+    """Hex digest identifying one characterization run.
+
+    Two runs share a fingerprint exactly when they would produce identical tables:
+    same technology parameters, driver size, grid, thresholds and directions.
+    """
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "technology": dataclasses.asdict(spec.tech),
+        "size": float(spec.size),
+        "input_slews": [float(s) for s in grid.input_slews],
+        "loads": [float(c) for c in grid.loads],
+        "slew_low": float(slew_low),
+        "slew_high": float(slew_high),
+        "transitions": sorted(transitions),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CharacterizationCache:
+    """File-per-entry characterization store under one directory.
+
+    Entries are complete :class:`CellCharacterization` JSON files named by their
+    fingerprint, so the cache is safe to share between concurrent processes: a
+    concurrent writer produces the same bytes, and replacement is atomic.
+    """
+
+    def __init__(self, directory: "str | Path | None" = None) -> None:
+        self.directory = Path(directory) if directory is not None \
+            else default_cache_directory()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, fingerprint: str) -> Path:
+        """The file an entry with this fingerprint lives at."""
+        return self.directory / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[CellCharacterization]:
+        """The cached cell for ``fingerprint``, or None on a miss."""
+        path = self.path_for(fingerprint)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            cell = CellCharacterization.load(path)
+        except Exception as exc:  # corrupt entry: heal by dropping it
+            warnings.warn(f"dropping corrupt characterization cache entry {path}: "
+                          f"{exc!r}", RuntimeWarning, stacklevel=2)
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return cell
+
+    def put(self, fingerprint: str, cell: CellCharacterization) -> Path:
+        """Persist ``cell`` under ``fingerprint`` (atomically) and return its path."""
+        path = self.path_for(fingerprint)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            cell.save(tmp)
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry (and any stale temp files); returns entries removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            for path in self.directory.glob("*.tmp.*"):
+                path.unlink(missing_ok=True)
+        return removed
+
+
+def cached_characterize_inverter(spec: InverterSpec, *,
+                                 grid: Optional[CharacterizationGrid] = None,
+                                 cache: Optional[CharacterizationCache] = None,
+                                 jobs: Optional[int] = 1,
+                                 slew_low: float = SLEW_LOW_THRESHOLD,
+                                 slew_high: float = SLEW_HIGH_THRESHOLD,
+                                 transitions: Iterable[str] = ("rise", "fall"),
+                                 cell_name: Optional[str] = None,
+                                 progress: Optional[Callable[[int, int], None]] = None
+                                 ) -> Tuple[CellCharacterization, bool]:
+    """Characterize through the persistent cache.
+
+    Returns ``(cell, was_cached)``.  On a miss the inverter is characterized with
+    the (parallel) engine and the result is persisted before returning; ``jobs``
+    defaults to 1 (serial) since transparent callers should not fork by surprise.
+    ``cache=None`` uses the default cache directory.
+    """
+    grid = grid if grid is not None else CharacterizationGrid.default()
+    transitions = tuple(transitions)
+    cache = cache if cache is not None else CharacterizationCache()
+    fingerprint = characterization_fingerprint(
+        spec, grid, slew_low=slew_low, slew_high=slew_high, transitions=transitions)
+
+    cell = cache.get(fingerprint)
+    if cell is not None:
+        if cell_name is not None and cell.cell_name != cell_name:
+            cell.cell_name = cell_name
+        return cell, True
+
+    cell = characterize_inverter_parallel(
+        spec, grid=grid, jobs=jobs, slew_low=slew_low, slew_high=slew_high,
+        transitions=transitions, cell_name=cell_name, progress=progress)
+    try:
+        cache.put(fingerprint, cell)
+    except OSError as exc:  # read-only cache dir: the result is still usable
+        warnings.warn(f"could not persist characterization to {cache.directory}: "
+                      f"{exc!r}", RuntimeWarning, stacklevel=2)
+    return cell, False

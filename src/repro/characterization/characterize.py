@@ -10,7 +10,7 @@ that the two-ramp modeling flow consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -26,7 +26,8 @@ from .cell import CellCharacterization
 from .driver_resistance import resistance_from_waveform
 from .tables import LookupTable2D
 
-__all__ = ["CharacterizationGrid", "characterize_inverter", "simulate_driver_with_load"]
+__all__ = ["CharacterizationGrid", "characterize_inverter", "simulate_driver_with_load",
+           "grid_points", "assemble_cell"]
 
 
 @dataclass(frozen=True)
@@ -129,17 +130,32 @@ def simulate_driver_with_load(spec: InverterSpec, input_slew: float, load: float
                              input_waveform=input_wave)
 
 
-def characterize_inverter(spec: InverterSpec, *, grid: Optional[CharacterizationGrid] = None,
-                          slew_low: float = SLEW_LOW_THRESHOLD,
-                          slew_high: float = SLEW_HIGH_THRESHOLD,
-                          transitions: Iterable[str] = ("rise", "fall"),
-                          cell_name: Optional[str] = None) -> CellCharacterization:
-    """Characterize an inverter over a (slew, load) grid using the circuit simulator."""
-    grid = grid if grid is not None else CharacterizationGrid.default()
-    transitions = tuple(transitions)
-    if not transitions:
-        raise CharacterizationError("at least one transition direction is required")
+def grid_points(grid: CharacterizationGrid,
+                transitions: Iterable[str]) -> Tuple[Tuple[str, int, int, float, float], ...]:
+    """Every (direction, slew index, load index, slew, load) point of a characterization.
 
+    Each point is one independent transient simulation, which is what makes the
+    characterization embarrassingly parallel (see :mod:`.parallel`).
+    """
+    return tuple((direction, i, j, slew, load)
+                 for direction in transitions
+                 for i, slew in enumerate(grid.input_slews)
+                 for j, load in enumerate(grid.loads))
+
+
+def assemble_cell(spec: InverterSpec, grid: CharacterizationGrid,
+                  results: Dict[Tuple[str, int, int], Tuple[float, float, float]], *,
+                  transitions: Tuple[str, ...],
+                  slew_low: float = SLEW_LOW_THRESHOLD,
+                  slew_high: float = SLEW_HIGH_THRESHOLD,
+                  cell_name: Optional[str] = None) -> CellCharacterization:
+    """Build a :class:`CellCharacterization` from per-point (delay, transition, R) results.
+
+    ``results`` maps every ``(direction, slew index, load index)`` of
+    :func:`grid_points` to its measured ``(delay, transition, resistance)`` triple.
+    Shared by the serial and parallel characterization paths so both produce
+    identical cells.
+    """
     shape = (len(grid.input_slews), len(grid.loads))
     tables = {}
     for direction in ("rise", "fall"):
@@ -149,15 +165,10 @@ def characterize_inverter(spec: InverterSpec, *, grid: Optional[Characterization
             "resistance": np.zeros(shape),
         }
 
-    for direction in transitions:
-        for i, slew in enumerate(grid.input_slews):
-            for j, load in enumerate(grid.loads):
-                measurement = simulate_driver_with_load(
-                    spec, slew, load, transition=direction,
-                    slew_low=slew_low, slew_high=slew_high)
-                tables[direction]["delay"][i, j] = measurement.delay
-                tables[direction]["transition"][i, j] = measurement.transition
-                tables[direction]["resistance"][i, j] = measurement.resistance
+    for (direction, i, j), (delay, transition, resistance) in results.items():
+        tables[direction]["delay"][i, j] = delay
+        tables[direction]["transition"][i, j] = transition
+        tables[direction]["resistance"][i, j] = resistance
 
     # When only one direction was characterized, mirror it so both table sets exist.
     characterized = set(transitions)
@@ -185,3 +196,35 @@ def characterize_inverter(spec: InverterSpec, *, grid: Optional[Characterization
         resistance_rise=_table("rise", "resistance"),
         resistance_fall=_table("fall", "resistance"),
     )
+
+
+def characterize_inverter(spec: InverterSpec, *, grid: Optional[CharacterizationGrid] = None,
+                          slew_low: float = SLEW_LOW_THRESHOLD,
+                          slew_high: float = SLEW_HIGH_THRESHOLD,
+                          transitions: Iterable[str] = ("rise", "fall"),
+                          cell_name: Optional[str] = None,
+                          progress: Optional[Callable[[int, int], None]] = None
+                          ) -> CellCharacterization:
+    """Characterize an inverter over a (slew, load) grid using the circuit simulator.
+
+    ``progress``, when given, is called after every simulated grid point with
+    ``(points done, total points)``.
+    """
+    grid = grid if grid is not None else CharacterizationGrid.default()
+    transitions = tuple(transitions)
+    if not transitions:
+        raise CharacterizationError("at least one transition direction is required")
+
+    points = grid_points(grid, transitions)
+    results: Dict[Tuple[str, int, int], Tuple[float, float, float]] = {}
+    for done, (direction, i, j, slew, load) in enumerate(points, start=1):
+        measurement = simulate_driver_with_load(
+            spec, slew, load, transition=direction,
+            slew_low=slew_low, slew_high=slew_high)
+        results[(direction, i, j)] = (measurement.delay, measurement.transition,
+                                      measurement.resistance)
+        if progress is not None:
+            progress(done, len(points))
+
+    return assemble_cell(spec, grid, results, transitions=transitions,
+                         slew_low=slew_low, slew_high=slew_high, cell_name=cell_name)

@@ -27,7 +27,8 @@ def tech():
 def library():
     """The shipped pre-characterized cell library."""
     lib = default_library()
-    assert len(lib) >= 4, "shipped cell library is missing; run scripts/generate_cell_library.py"
+    assert {25.0, 50.0, 75.0, 100.0, 125.0} <= set(lib.sizes), \
+        "shipped cell library is missing or incomplete; run scripts/generate_cell_library.py"
     return lib
 
 

@@ -7,9 +7,10 @@ import pytest
 
 from repro.analysis import Waveform
 from repro.characterization import (CellCharacterization, CellLibrary,
-                                    CharacterizationGrid, characterize_inverter,
-                                    default_library, resistance_from_waveform,
-                                    shipped_data_directory, simulate_driver_with_load)
+                                    CharacterizationGrid, MissingCellLibraryWarning,
+                                    characterize_inverter, default_library,
+                                    resistance_from_waveform, shipped_data_directory,
+                                    simulate_driver_with_load)
 from repro.errors import CharacterizationError
 from repro.tech import InverterSpec
 from repro.units import fF, ps, to_ps
@@ -158,8 +159,9 @@ class TestShippedLibrary:
         reloaded = CellLibrary.from_directory(tmp_path)
         assert set(reloaded.sizes) == set(library.sizes)
 
-    def test_from_missing_directory_is_empty(self, tmp_path):
-        empty = CellLibrary.from_directory(tmp_path / "does_not_exist")
+    def test_from_missing_directory_is_empty_but_warns(self, tmp_path):
+        with pytest.warns(MissingCellLibraryWarning):
+            empty = CellLibrary.from_directory(tmp_path / "does_not_exist")
         assert len(empty) == 0
 
     def test_get_or_characterize_caches(self, tech):

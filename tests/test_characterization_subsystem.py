@@ -1,0 +1,223 @@
+"""Parallel characterization engine, persistent cache, and self-healing library."""
+
+import numpy as np
+import pytest
+
+from repro.characterization import (CellLibrary, CharacterizationCache,
+                                    CharacterizationGrid, MissingCellLibraryWarning,
+                                    cached_characterize_inverter,
+                                    characterization_fingerprint,
+                                    characterize_inverter,
+                                    characterize_inverter_parallel,
+                                    default_cache_directory)
+from repro.characterization import cache as cache_module
+from repro.characterization import parallel as parallel_module
+from repro.errors import CharacterizationError
+from repro.tech import InverterSpec
+from repro.units import fF, ps
+
+
+@pytest.fixture(scope="module")
+def tiny_grid():
+    """The smallest legal grid: keeps on-demand characterization cheap in tests."""
+    return CharacterizationGrid(input_slews=(ps(50), ps(150)), loads=(fF(30), fF(150)))
+
+
+@pytest.fixture(scope="module")
+def spec40(tech):
+    return InverterSpec(tech=tech, size=40)
+
+
+class TestParallelEngine:
+    def test_parallel_matches_serial_on_coarse_grid(self, spec40):
+        """The fan-out produces bit-identical tables to the serial loop."""
+        grid = CharacterizationGrid.coarse()
+        serial = characterize_inverter(spec40, grid=grid, transitions=("rise",))
+        parallel = characterize_inverter_parallel(spec40, grid=grid, jobs=2,
+                                                  transitions=("rise",))
+        for attribute in ("delay_rise", "transition_rise", "resistance_rise",
+                          "delay_fall"):
+            np.testing.assert_array_equal(getattr(serial, attribute).values,
+                                          getattr(parallel, attribute).values)
+        assert serial.cell_name == parallel.cell_name
+        assert serial.metadata == parallel.metadata
+
+    def test_jobs_one_runs_serial_path(self, spec40, tiny_grid):
+        cell = characterize_inverter_parallel(spec40, grid=tiny_grid, jobs=1,
+                                              transitions=("rise",))
+        assert cell.driver_size == 40
+        assert cell.delay_rise.shape == (2, 2)
+
+    def test_progress_reporting(self, spec40, tiny_grid):
+        seen = []
+        characterize_inverter_parallel(spec40, grid=tiny_grid, jobs=2,
+                                       transitions=("rise",),
+                                       progress=lambda done, total: seen.append((done, total)))
+        assert seen[-1] == (4, 4)
+        assert [done for done, _ in seen] == sorted(done for done, _ in seen)
+
+    def test_invalid_jobs_rejected(self, spec40, tiny_grid):
+        with pytest.raises(CharacterizationError):
+            characterize_inverter_parallel(spec40, grid=tiny_grid, jobs=0)
+
+    def test_serial_fallback_when_workers_unavailable(self, spec40, tiny_grid,
+                                                      monkeypatch):
+        class NoFork:
+            def __init__(self, *args, **kwargs):
+                raise OSError("fork unavailable")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", NoFork)
+        with pytest.warns(RuntimeWarning, match="serially"):
+            cell = characterize_inverter_parallel(spec40, grid=tiny_grid, jobs=2,
+                                                  transitions=("rise",))
+        reference = characterize_inverter(spec40, grid=tiny_grid,
+                                          transitions=("rise",))
+        np.testing.assert_array_equal(cell.delay_rise.values,
+                                      reference.delay_rise.values)
+
+
+class TestFingerprint:
+    def test_identical_runs_share_a_fingerprint(self, spec40, tiny_grid):
+        assert characterization_fingerprint(spec40, tiny_grid) == \
+            characterization_fingerprint(spec40, tiny_grid)
+
+    def test_fingerprint_depends_on_all_inputs(self, tech, spec40, tiny_grid):
+        base = characterization_fingerprint(spec40, tiny_grid)
+        other_size = characterization_fingerprint(InverterSpec(tech=tech, size=41),
+                                                  tiny_grid)
+        other_grid = characterization_fingerprint(spec40, CharacterizationGrid.coarse())
+        other_thresholds = characterization_fingerprint(spec40, tiny_grid, slew_low=0.2)
+        other_tech = characterization_fingerprint(
+            InverterSpec(tech=tech.with_supply(1.5), size=40), tiny_grid)
+        assert len({base, other_size, other_grid, other_thresholds, other_tech}) == 5
+
+    def test_default_cache_directory_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "mycache"))
+        assert default_cache_directory() == tmp_path / "mycache"
+
+
+class TestPersistentCache:
+    def test_miss_then_hit(self, spec40, tiny_grid, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        first, was_cached_first = cached_characterize_inverter(
+            spec40, grid=tiny_grid, cache=cache, transitions=("rise",))
+        second, was_cached_second = cached_characterize_inverter(
+            spec40, grid=tiny_grid, cache=cache, transitions=("rise",))
+        assert (was_cached_first, was_cached_second) == (False, True)
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert len(cache) == 1
+        np.testing.assert_array_equal(first.delay_rise.values,
+                                      second.delay_rise.values)
+
+    def test_hit_never_simulates(self, spec40, tiny_grid, tmp_path, monkeypatch):
+        cache = CharacterizationCache(tmp_path)
+        cached_characterize_inverter(spec40, grid=tiny_grid, cache=cache,
+                                     transitions=("rise",))
+        monkeypatch.setattr(cache_module, "characterize_inverter_parallel",
+                            lambda *a, **k: pytest.fail("cache hit must not simulate"))
+        cell, was_cached = cached_characterize_inverter(
+            spec40, grid=tiny_grid, cache=cache, transitions=("rise",))
+        assert was_cached and cell.driver_size == 40
+
+    def test_corrupt_entry_is_dropped_and_recharacterized(self, spec40, tiny_grid,
+                                                          tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        cached_characterize_inverter(spec40, grid=tiny_grid, cache=cache,
+                                     transitions=("rise",))
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            cell, was_cached = cached_characterize_inverter(
+                spec40, grid=tiny_grid, cache=cache, transitions=("rise",))
+        assert not was_cached
+        assert cell.delay_rise.shape == (2, 2)
+        # The rebuilt entry replaced the corrupt one.
+        assert len(cache) == 1
+
+    def test_clear(self, spec40, tiny_grid, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        cached_characterize_inverter(spec40, grid=tiny_grid, cache=cache,
+                                     transitions=("rise",))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestSelfHealingLibrary:
+    def test_get_or_characterize_persists_across_libraries(self, tech, tiny_grid,
+                                                           tmp_path, monkeypatch):
+        cache = CharacterizationCache(tmp_path)
+        first = CellLibrary(tech=tech, cache=cache)
+        cell = first.get_or_characterize(17, grid=tiny_grid)
+        assert 17.0 in first
+
+        # A brand-new library (fresh process, same cache dir) must reuse the entry.
+        monkeypatch.setattr(cache_module, "characterize_inverter_parallel",
+                            lambda *a, **k: pytest.fail("expected a cache hit"))
+        second = CellLibrary(tech=tech, cache=CharacterizationCache(tmp_path))
+        again = second.get_or_characterize(17, grid=tiny_grid)
+        assert again.driver_size == cell.driver_size
+        np.testing.assert_array_equal(again.delay_rise.values, cell.delay_rise.values)
+
+    def test_get_or_characterize_without_cache_stays_in_memory(self, tech, tiny_grid,
+                                                               tmp_path, monkeypatch):
+        # A cache-less library must never fall through to the global user cache.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "global"))
+        library = CellLibrary(tech=tech)
+        cell = library.get_or_characterize(17, grid=tiny_grid)
+        assert library.get_or_characterize(17) is cell
+        assert not (tmp_path / "global").exists()
+
+    def test_get_nearest(self, tech, tiny_grid):
+        library = CellLibrary(tech=tech)
+        for size in (25, 75):
+            library.get_or_characterize(size, grid=tiny_grid)
+        assert library.get_nearest(30).driver_size == 25
+        assert library.get_nearest(74).driver_size == 75
+        # Ties resolve toward the smaller driver.
+        assert library.get_nearest(50).driver_size == 25
+        assert library.get_nearest(75).driver_size == 75
+
+    def test_get_nearest_on_empty_library_raises(self, tech):
+        with pytest.raises(CharacterizationError, match="empty library"):
+            CellLibrary(tech=tech).get_nearest(75)
+
+    def test_shipped_default_library_self_heals(self, library, tiny_grid, tmp_path):
+        """default_library() characterizes a non-shipped size instead of raising."""
+        assert 60.0 not in library
+        try:
+            library.cache = CharacterizationCache(tmp_path)
+            cell = library.get_or_characterize(60.0, grid=tiny_grid)
+            assert cell.driver_size == 60.0
+            assert len(library.cache) == 1
+        finally:
+            del library._cells[60.0]
+            library.cache = CharacterizationCache()
+
+
+class TestLibraryPersistence:
+    def test_directory_roundtrip_preserves_tables(self, tech, tiny_grid, tmp_path):
+        library = CellLibrary(tech=tech)
+        for size in (12, 34):
+            library.get_or_characterize(size, grid=tiny_grid)
+        library.save_to_directory(tmp_path / "cells")
+        reloaded = CellLibrary.from_directory(tmp_path / "cells", tech=tech)
+        assert reloaded.sizes == library.sizes
+        for size in (12, 34):
+            np.testing.assert_array_equal(reloaded.get(size).delay_rise.values,
+                                          library.get(size).delay_rise.values)
+            np.testing.assert_array_equal(reloaded.get(size).resistance_fall.values,
+                                          library.get(size).resistance_fall.values)
+
+    def test_missing_directory_warns_with_regeneration_hint(self, tmp_path):
+        with pytest.warns(MissingCellLibraryWarning,
+                          match="generate_cell_library"):
+            library = CellLibrary.from_directory(tmp_path / "nope")
+        assert len(library) == 0
+
+    def test_empty_directory_warns(self, tmp_path):
+        with pytest.warns(MissingCellLibraryWarning, match="directory is empty"):
+            CellLibrary.from_directory(tmp_path)
+
+    def test_strict_missing_directory_raises(self, tmp_path):
+        with pytest.raises(CharacterizationError, match="generate_cell_library"):
+            CellLibrary.from_directory(tmp_path / "nope", strict=True)
