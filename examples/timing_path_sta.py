@@ -11,6 +11,18 @@ global wires) is timed two ways:
 The point of the paper is precisely that the first (cheap, library-compatible) view
 can stay within a few percent of the second even when the wires are inductive.
 
+Under the hood ``PathTimer.analyze`` is a thin adapter over the timing-graph
+subsystem (``repro.sta.graph`` / ``repro.sta.batch``): the path becomes a
+chain-shaped ``TimingGraph``, and every stage goes through the shared memoized
+``StageSolver``.  Stage solutions are keyed by a content fingerprint of
+(cell tables, input slew, line R/L/C, load, modeling options, slew thresholds),
+so any (cell, slew, load) configuration — here or in a full graph analysis — is
+solved at most once per process; with ``StageSolver(persistent=True)`` scalar
+solutions also persist under ``$REPRO_CACHE_DIR/stages`` (next to the
+characterization cache) and survive across processes.  See
+``examples/graph_sta.py`` for fanout trees, reconvergence and mixed rise/fall
+arrivals.
+
 Run with ``python examples/timing_path_sta.py``.
 """
 

@@ -1,8 +1,9 @@
 """Cell (driver) characterization: tables, simulation-driven characterization,
 parallel engine, persistent cache, library."""
 
-from .cache import (CharacterizationCache, cached_characterize_inverter,
-                    characterization_fingerprint, default_cache_directory)
+from .cache import (CharacterizationCache, FingerprintStore,
+                    cached_characterize_inverter, characterization_fingerprint,
+                    default_cache_directory)
 from .cell import CellCharacterization
 from .characterize import (CharacterizationGrid, characterize_inverter,
                            simulate_driver_with_load)
@@ -21,6 +22,7 @@ __all__ = [
     "simulate_driver_with_load",
     "resistance_from_waveform",
     "CharacterizationCache",
+    "FingerprintStore",
     "cached_characterize_inverter",
     "characterization_fingerprint",
     "default_cache_directory",

@@ -30,7 +30,7 @@ from .cell import CellCharacterization
 from .characterize import CharacterizationGrid
 from .parallel import characterize_inverter_parallel
 
-__all__ = ["CharacterizationCache", "cached_characterize_inverter",
+__all__ = ["CharacterizationCache", "FingerprintStore", "cached_characterize_inverter",
            "characterization_fingerprint", "default_cache_directory"]
 
 #: Bump when the characterization algorithm or the on-disk format changes in a way
@@ -73,47 +73,71 @@ def characterization_fingerprint(spec: InverterSpec, grid: CharacterizationGrid,
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-class CharacterizationCache:
-    """File-per-entry characterization store under one directory.
+class FingerprintStore:
+    """File-per-entry, fingerprint-keyed store under one directory.
 
-    Entries are complete :class:`CellCharacterization` JSON files named by their
-    fingerprint, so the cache is safe to share between concurrent processes: a
-    concurrent writer produces the same bytes, and replacement is atomic.
+    Generic base for every persistent cache in the package (characterized cells
+    here, memoized stage solutions in :mod:`repro.core.stage_solver`).  Entries
+    are JSON files named by their fingerprint, so a store is safe to share between
+    concurrent processes: a concurrent writer produces the same bytes, replacement
+    is atomic, and corrupt or unreadable entries are dropped (healing the store)
+    instead of failing the caller.
+
+    Subclasses provide :meth:`default_directory` plus the ``_load`` / ``_save``
+    codec for their entry type.
     """
+
+    #: Human-readable entry description used in diagnostics.
+    entry_kind = "cache"
 
     def __init__(self, directory: "str | Path | None" = None) -> None:
         self.directory = Path(directory) if directory is not None \
-            else default_cache_directory()
+            else self.default_directory()
         self.hits = 0
         self.misses = 0
 
+    # --- codec hooks ---------------------------------------------------------------
+    @classmethod
+    def default_directory(cls) -> Path:
+        """Directory used when none is given explicitly."""
+        raise NotImplementedError
+
+    def _load(self, path: Path):
+        """Decode one entry from ``path`` (may raise; failures heal the store)."""
+        raise NotImplementedError
+
+    def _save(self, entry, path: Path) -> None:
+        """Encode ``entry`` to ``path``, creating parent directories as needed."""
+        raise NotImplementedError
+
+    # --- store operations ------------------------------------------------------------
     def path_for(self, fingerprint: str) -> Path:
         """The file an entry with this fingerprint lives at."""
         return self.directory / f"{fingerprint}.json"
 
-    def get(self, fingerprint: str) -> Optional[CellCharacterization]:
-        """The cached cell for ``fingerprint``, or None on a miss."""
+    def get(self, fingerprint: str):
+        """The stored entry for ``fingerprint``, or None on a miss."""
         path = self.path_for(fingerprint)
         if not path.is_file():
             self.misses += 1
             return None
         try:
-            cell = CellCharacterization.load(path)
+            entry = self._load(path)
         except Exception as exc:  # corrupt entry: heal by dropping it
-            warnings.warn(f"dropping corrupt characterization cache entry {path}: "
+            warnings.warn(f"dropping corrupt {self.entry_kind} entry {path}: "
                           f"{exc!r}", RuntimeWarning, stacklevel=2)
             path.unlink(missing_ok=True)
             self.misses += 1
             return None
         self.hits += 1
-        return cell
+        return entry
 
-    def put(self, fingerprint: str, cell: CellCharacterization) -> Path:
-        """Persist ``cell`` under ``fingerprint`` (atomically) and return its path."""
+    def put(self, fingerprint: str, entry) -> Path:
+        """Persist ``entry`` under ``fingerprint`` (atomically) and return its path."""
         path = self.path_for(fingerprint)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
-            cell.save(tmp)
+            self._save(entry, tmp)
             tmp.replace(path)
         finally:
             tmp.unlink(missing_ok=True)
@@ -134,6 +158,22 @@ class CharacterizationCache:
             for path in self.directory.glob("*.tmp.*"):
                 path.unlink(missing_ok=True)
         return removed
+
+
+class CharacterizationCache(FingerprintStore):
+    """Persistent store of finished :class:`CellCharacterization` objects."""
+
+    entry_kind = "characterization cache"
+
+    @classmethod
+    def default_directory(cls) -> Path:
+        return default_cache_directory()
+
+    def _load(self, path: Path) -> CellCharacterization:
+        return CellCharacterization.load(path)
+
+    def _save(self, entry: CellCharacterization, path: Path) -> None:
+        entry.save(path)
 
 
 def cached_characterize_inverter(spec: InverterSpec, *,

@@ -9,6 +9,7 @@ through this interface, which is what makes the approach "library compatible".
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -98,6 +99,35 @@ class CellCharacterization:
         """Reconstruct the :class:`InverterSpec` this cell was characterized from."""
         return InverterSpec(tech=tech if tech is not None else generic_180nm(),
                             size=self.driver_size)
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of everything a stage solve reads from this cell.
+
+        Covers the cell identity, supply, thresholds and every table (axes and
+        values), so two cells share a fingerprint exactly when every lookup they can
+        answer is identical.  Used as the cell component of stage-solution memo keys
+        (:mod:`repro.core.stage_solver`).
+        """
+        digest = hashlib.sha256()
+        header = "|".join((
+            "cell-characterization",
+            self.cell_name,
+            float(self.driver_size).hex(),
+            float(self.vdd).hex(),
+            float(self.input_capacitance).hex(),
+            float(self.slew_low).hex(),
+            float(self.slew_high).hex(),
+            self.technology_name,
+        ))
+        digest.update(header.encode())
+        for label in ("delay_rise", "transition_rise", "delay_fall",
+                      "transition_fall", "resistance_rise", "resistance_fall"):
+            table: LookupTable2D = getattr(self, label)
+            digest.update(label.encode())
+            digest.update(np.ascontiguousarray(table.row_axis, dtype=float).tobytes())
+            digest.update(np.ascontiguousarray(table.column_axis, dtype=float).tobytes())
+            digest.update(np.ascontiguousarray(table.values, dtype=float).tobytes())
+        return digest.hexdigest()
 
     # --- serialization -------------------------------------------------------------------
     def to_dict(self) -> Dict:

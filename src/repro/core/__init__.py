@@ -7,6 +7,9 @@ from .driver_model import DriverOutputModel, ModelingOptions, model_driver_outpu
 from .far_end import FarEndResponse, far_end_response, simulate_source_through_line
 from .iteration import CeffIterationResult, iterate_ceff1, iterate_ceff2
 from .plateau import modified_second_ramp_time, plateau_duration
+from .stage_solver import (SolverStats, StageSolution, StageSolutionStore,
+                           StageSolver, default_stage_cache_directory, solve_stage,
+                           stage_fingerprint)
 from .two_ramp import TwoRampWaveform, voltage_breakpoint
 
 __all__ = [
@@ -31,4 +34,11 @@ __all__ = [
     "FarEndResponse",
     "far_end_response",
     "simulate_source_through_line",
+    "StageSolution",
+    "StageSolver",
+    "StageSolutionStore",
+    "SolverStats",
+    "solve_stage",
+    "stage_fingerprint",
+    "default_stage_cache_directory",
 ]

@@ -42,29 +42,34 @@ def _fixed_point(total_capacitance: float,
     floor = 0.01 * total_capacitance
     ceiling = 2.0 * total_capacitance
 
+    # Each ramp_of_load call is a full table interpolation on the hot path, so the
+    # loop keeps ramp_time in lock-step with ceff: one lookup per iteration (plus
+    # the initial guess), and the converged (ceff, ramp_time) pair leaves the loop
+    # together with no extra lookup at the end.
     ceff = total_capacitance
     history: List[float] = [ceff]
     ramp_time = ramp_of_load(ceff)
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        ramp_time = ramp_of_load(ceff)
         if ramp_time <= 0:
             raise ModelingError("cell table produced a non-positive ramp time")
         proposal = ceff_of_ramp(ramp_time)
         proposal = min(max(proposal, floor), ceiling)
         new_ceff = damping * proposal + (1.0 - damping) * ceff
         history.append(new_ceff)
-        if abs(new_ceff - ceff) <= rel_tol * total_capacitance:
-            ceff = new_ceff
+        done = abs(new_ceff - ceff) <= rel_tol * total_capacitance
+        ceff = new_ceff
+        ramp_time = ramp_of_load(ceff)
+        if done:
             converged = True
             break
-        ceff = new_ceff
+    if ramp_time <= 0:
+        raise ModelingError("cell table produced a non-positive ramp time")
     if not converged and require_convergence:
         raise ConvergenceError(
             f"Ceff iteration did not converge within {max_iterations} iterations",
             iterations=max_iterations, last_value=ceff)
-    ramp_time = ramp_of_load(ceff)
     return CeffIterationResult(ceff=ceff, ramp_time=ramp_time, iterations=iterations,
                                converged=converged, history=history)
 

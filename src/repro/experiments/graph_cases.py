@@ -1,0 +1,146 @@
+"""Deterministic graph-shaped test cases for the STA subsystem.
+
+The paper's evaluation stops at single driver/line stages; these builders
+synthesize the graph-scale workloads a production timing tool faces — sizes the
+single-path engine could never touch — while staying inside the shipped cell
+library (25X-125X) and the paper's parasitic regime:
+
+* :func:`parallel_chains` — many independent repeatered routes (a bus): the
+  levelized batch sweet spot, with heavy stage-configuration repetition,
+* :func:`fanout_tree` — a buffered distribution tree (clock-tree shaped),
+* :func:`reconvergent_graph` — a diamond whose branch parities differ, so the
+  reconvergence sink legitimately sees both rising and falling events, and
+* :func:`benchmark_graph` — the ≥1k-net mixed workload the throughput benchmark
+  times (parallel chains cycling through a handful of line flavors).
+
+Everything is deterministic (no randomness), so two builds of the same case are
+identical and stage-solution memo keys repeat across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ModelingError
+from ..interconnect.rlc_line import RLCLine
+from ..sta.graph import GraphNet, PrimaryInput, TimingGraph
+from ..units import mm, nH, pF, ps
+
+__all__ = ["standard_lines", "parallel_chains", "fanout_tree",
+           "reconvergent_graph", "benchmark_graph"]
+
+#: Driver sizes shipped with the repository's cell library.
+LIBRARY_SIZES: Tuple[float, ...] = (25.0, 50.0, 75.0, 100.0, 125.0)
+
+
+def standard_lines() -> List[RLCLine]:
+    """Four line flavors spanning the paper's regime (1-5 mm global wires)."""
+    return [
+        RLCLine(resistance=20.0, inductance=nH(1.05), capacitance=pF(0.22),
+                length=mm(1)),
+        RLCLine(resistance=38.0, inductance=nH(2.1), capacitance=pF(0.42),
+                length=mm(2)),
+        RLCLine(resistance=56.3, inductance=nH(3.2), capacitance=pF(0.597),
+                length=mm(3)),
+        RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
+                length=mm(5)),
+    ]
+
+
+def parallel_chains(n_chains: int, chain_length: int, *,
+                    lines: Sequence[RLCLine] = (),
+                    sizes: Sequence[float] = (75.0, 100.0),
+                    terminal_size: float = 50.0,
+                    input_slew: float = ps(100.0)) -> TimingGraph:
+    """``n_chains`` independent repeatered routes of ``chain_length`` stages each.
+
+    Chain ``c`` uses line flavor ``lines[c % len(lines)]`` for every stage and
+    driver sizes cycling through ``sizes`` along the chain, so the number of
+    *unique* stage configurations is ``len(lines) * chain_length`` regardless of
+    ``n_chains`` — exactly the repetition profile that makes memoized solving pay.
+    """
+    if n_chains < 1 or chain_length < 1:
+        raise ModelingError("need at least one chain with at least one stage")
+    lines = list(lines) if lines else standard_lines()
+    nets: List[GraphNet] = []
+    inputs: Dict[str, PrimaryInput] = {}
+    for c in range(n_chains):
+        line = lines[c % len(lines)]
+        for s in range(chain_length):
+            last = s == chain_length - 1
+            nets.append(GraphNet(
+                name=f"c{c}s{s}",
+                driver_size=sizes[s % len(sizes)],
+                line=line,
+                fanout=() if last else (f"c{c}s{s + 1}",),
+                receiver_size=terminal_size if last else None))
+        inputs[f"c{c}s0"] = PrimaryInput(slew=input_slew)
+    return TimingGraph(nets, inputs)
+
+
+def fanout_tree(depth: int, fanout: int = 2, *,
+                line: RLCLine = None,
+                sizes: Sequence[float] = (125.0, 100.0, 75.0, 50.0, 25.0),
+                leaf_size: float = 25.0,
+                input_slew: float = ps(80.0)) -> TimingGraph:
+    """A buffered distribution tree: one root, ``fanout`` branches per level.
+
+    Level ``d`` uses driver size ``sizes[min(d, len(sizes) - 1)]`` (tapering down
+    the tree the way clock buffers do).  The tree has
+    ``(fanout**(depth+1) - 1) / (fanout - 1)`` nets.
+    """
+    if depth < 0:
+        raise ModelingError("tree depth must be non-negative")
+    if fanout < 1:
+        raise ModelingError("tree fanout must be at least 1")
+    line = line if line is not None else standard_lines()[1]
+    nets: List[GraphNet] = []
+
+    def build(name: str, level: int) -> None:
+        size = sizes[min(level, len(sizes) - 1)]
+        if level == depth:
+            nets.append(GraphNet(name=name, driver_size=size, line=line,
+                                 receiver_size=leaf_size))
+            return
+        children = tuple(f"{name}.{i}" for i in range(fanout))
+        nets.append(GraphNet(name=name, driver_size=size, line=line,
+                             fanout=children))
+        for child in children:
+            build(child, level + 1)
+
+    build("t", 0)
+    return TimingGraph(nets, {"t": PrimaryInput(slew=input_slew)})
+
+
+def reconvergent_graph(*, line: RLCLine = None,
+                       input_slew: float = ps(100.0)) -> TimingGraph:
+    """A diamond whose branches have different inverter parity.
+
+    The short branch reaches the sink through one stage, the long branch through
+    two, so the sink's driver input sees a rising event from one side and a
+    falling event from the other — the mixed rise/fall arrival case a per-node
+    merge has to handle.
+    """
+    line = line if line is not None else standard_lines()[2]
+    nets = [
+        GraphNet("root", 100.0, line, fanout=("short", "long_a")),
+        GraphNet("short", 75.0, line, fanout=("sink",)),
+        GraphNet("long_a", 75.0, line, fanout=("long_b",)),
+        GraphNet("long_b", 75.0, line, fanout=("sink",)),
+        GraphNet("sink", 50.0, line, receiver_size=25.0),
+    ]
+    return TimingGraph(nets, {"root": PrimaryInput(slew=input_slew)})
+
+
+def benchmark_graph(n_nets: int = 1024, *, chain_length: int = 16,
+                    input_slew: float = ps(100.0)) -> TimingGraph:
+    """The throughput-benchmark workload: ≥ ``n_nets`` nets of repeated routes.
+
+    Parallel chains over the four standard line flavors, sized so the graph holds
+    at least ``n_nets`` nets; unique stage configurations stay at
+    ``4 * chain_length``, so both cache layers and level fan-out have work to do.
+    """
+    if n_nets < 1:
+        raise ModelingError("need at least one net")
+    n_chains = -(-n_nets // chain_length)  # ceil division
+    return parallel_chains(n_chains, chain_length, input_slew=input_slew)

@@ -22,6 +22,7 @@ their own geometries.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 
@@ -53,6 +54,17 @@ class LineParasitics:
         return (self.resistance_per_length * length,
                 self.inductance_per_length * length,
                 self.capacitance_per_length * length)
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of the per-unit-length description (see
+        :meth:`repro.interconnect.rlc_line.RLCLine.fingerprint`)."""
+        payload = "|".join((
+            "line-parasitics",
+            float(self.resistance_per_length).hex(),
+            float(self.inductance_per_length).hex(),
+            float(self.capacitance_per_length).hex(),
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def describe(self) -> str:
         """Human-readable per-mm summary matching the paper's units."""

@@ -11,6 +11,7 @@ transmission-line quantities the paper's model needs:
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Optional
@@ -120,6 +121,23 @@ class RLCLine:
         return RLCLine(self.resistance * length_factor, self.inductance * length_factor,
                        self.capacitance * length_factor,
                        None if self.length is None else self.length * length_factor)
+
+    def fingerprint(self) -> str:
+        """Stable hex digest identifying this line's electrical description.
+
+        Two lines share a fingerprint exactly when their total R, L, C (and length,
+        when attached) are bit-identical, which is what memoized stage solving keys
+        on.  The digest is built from exact ``float.hex()`` representations, so it is
+        stable across processes and sessions (unlike ``hash()``).
+        """
+        payload = "|".join((
+            "rlc-line",
+            float(self.resistance).hex(),
+            float(self.inductance).hex(),
+            float(self.capacitance).hex(),
+            "-" if self.length is None else float(self.length).hex(),
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def describe(self) -> str:
         """Human-readable one-liner in the paper's units."""

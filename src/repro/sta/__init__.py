@@ -1,6 +1,18 @@
-"""Miniature gate-level static timing analysis built on the driver output model."""
+"""Gate-level static timing analysis built on the driver output model.
 
+Two views of the same solver stack:
+
+* :class:`PathTimer` — the classic linear-path engine (now a thin adapter over the
+  graph subsystem), and
+* :class:`TimingGraph` + :class:`GraphTimer` — DAG-shaped designs with fanout,
+  reconvergence and mixed rise/fall arrivals, timed level by level with memoized
+  stage solving and optional worker-process fan-out (:mod:`repro.sta.batch`).
+"""
+
+from .batch import GraphTimer
 from .engine import PathTimer, PathTimingReport, StageTiming
+from .graph import (GraphNet, GraphTimingReport, NetEventTiming, PrimaryInput,
+                    TimingGraph, chain_graph, flip_transition)
 from .stage import TimingPath, TimingStage
 from .validation import PathReference, simulate_path_reference
 
@@ -10,6 +22,14 @@ __all__ = [
     "PathTimer",
     "PathTimingReport",
     "StageTiming",
+    "GraphNet",
+    "PrimaryInput",
+    "TimingGraph",
+    "chain_graph",
+    "flip_transition",
+    "NetEventTiming",
+    "GraphTimingReport",
+    "GraphTimer",
     "PathReference",
     "simulate_path_reference",
 ]

@@ -1,0 +1,285 @@
+"""Batched, parallel timing-graph analysis.
+
+:class:`GraphTimer` drives a :class:`~.graph.TimingGraph` level by level.  Within a
+level every net is independent (all fanin arrivals are final), so the level is the
+natural unit of fan-out:
+
+1. the pending (net, input-transition) events of the level are collected,
+2. events whose stage fingerprint is already memoized are answered instantly,
+3. the remaining *unique* fingerprints are solved — serially through the shared
+   :class:`~repro.core.stage_solver.StageSolver`, or concurrently on a
+   ``ProcessPoolExecutor`` when ``jobs > 1`` (same fan-out/serial-fallback pattern
+   as :mod:`repro.characterization.parallel`: if worker processes cannot be
+   started, the level transparently finishes serially), and
+4. far-end arrivals and slews are merged into the fanout nets' pending states
+   (worst arrival wins; ties take the larger slew).
+
+Workers return scalar :class:`~repro.core.stage_solver.StageSolution` objects —
+waveforms never cross the process boundary — and the parent installs them into the
+shared memo, so later levels (and later analyses) reuse them.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..characterization.cell import CellCharacterization
+from ..characterization.library import CellLibrary, default_library
+from ..characterization.parallel import resolve_jobs
+from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
+from ..core.driver_model import ModelingOptions
+from ..core.stage_solver import SolverStats, StageSolution, StageSolver, solve_stage
+from ..errors import ModelingError
+from ..tech.technology import Technology, generic_180nm
+from .graph import (GraphNet, GraphTimingReport, NetEventTiming, TimingGraph,
+                    flip_transition)
+
+__all__ = ["GraphTimer"]
+
+#: (arrival, slew, source) triple tracked per pending (net, transition) state.
+_PendingState = Tuple[float, float, Optional[Tuple[str, str]]]
+
+
+def _solve_stage_task(args) -> Tuple[str, StageSolution]:
+    """Worker entry point: one uncached stage solve, scalars only.
+
+    Module-level so it pickles; the cell rides along in the task (a few KB of
+    tables) so workers need no library state of their own.
+    """
+    fingerprint, cell, input_slew, line, load, options, slew_low, slew_high = args
+    solution = solve_stage(cell, input_slew, line, load, options=options,
+                           slew_low=slew_low, slew_high=slew_high,
+                           fingerprint=fingerprint)
+    return fingerprint, solution.lite()
+
+
+@dataclass(frozen=True)
+class _WorkItem:
+    """One pending (net, input-transition) event of the current level."""
+
+    net: GraphNet
+    cell: CellCharacterization
+    load: float
+    input_transition: str
+    input_arrival: float
+    input_slew: float
+    options: ModelingOptions
+    fingerprint: str
+    source: Optional[Tuple[str, str]]
+
+
+class GraphTimer:
+    """Times whole graphs with the memoized stage solver and per-level fan-out.
+
+    Shares its constructor vocabulary with :class:`~.engine.PathTimer` (library,
+    technology, modeling options, slew thresholds) plus ``jobs`` — the default
+    worker-process count for level fan-out (1 = serial) — and an optional shared
+    :class:`StageSolver` so several timers can pool one memo.
+    """
+
+    def __init__(self, *, library: Optional[CellLibrary] = None,
+                 tech: Optional[Technology] = None,
+                 options: Optional[ModelingOptions] = None,
+                 slew_low: float = SLEW_LOW_THRESHOLD,
+                 slew_high: float = SLEW_HIGH_THRESHOLD,
+                 solver: Optional[StageSolver] = None,
+                 jobs: int = 1) -> None:
+        self.library = library if library is not None else default_library()
+        self.tech = tech if tech is not None else generic_180nm()
+        self.options = options if options is not None else ModelingOptions()
+        self.slew_low = slew_low
+        self.slew_high = slew_high
+        self.solver = solver if solver is not None else StageSolver(
+            slew_low=slew_low, slew_high=slew_high)
+        self.jobs = resolve_jobs(jobs)
+
+    # --- helpers ---------------------------------------------------------------------
+    def net_load(self, graph: TimingGraph, net: GraphNet) -> float:
+        """Far-end gate load of ``net``: fanout drivers + terminal receiver + extra."""
+        load = net.extra_load
+        for target in net.fanout:
+            load += self.tech.inverter_input_capacitance(
+                graph.nets[target].driver_size)
+        if net.receiver_size is not None:
+            load += self.tech.inverter_input_capacitance(net.receiver_size)
+        return load
+
+    def _event_options(self, input_transition: str) -> ModelingOptions:
+        return replace(self.options, transition=flip_transition(input_transition),
+                       reference_time=0.0)
+
+    @staticmethod
+    def _merge(pending: Dict[str, Dict[str, _PendingState]], name: str,
+               transition: str, arrival: float, slew: float,
+               source: Tuple[str, str]) -> None:
+        """Worst-arrival merge of one propagated event into a pending input state."""
+        states = pending.setdefault(name, {})
+        current = states.get(transition)
+        if current is None or (arrival, slew) > (current[0], current[1]):
+            states[transition] = (arrival, slew, source)
+
+    # --- level solving ---------------------------------------------------------------
+    def _solve_level_serial(self, items: List[_WorkItem], *, need_waveforms: bool,
+                            memoize: bool) -> Dict[str, StageSolution]:
+        solutions: Dict[str, StageSolution] = {}
+        for item in items:
+            solutions[item.fingerprint] = self.solver.solve(
+                item.cell, item.input_slew, item.net.line, item.load,
+                options=item.options, need_waveforms=need_waveforms,
+                memoize=memoize, fingerprint=item.fingerprint if memoize else None)
+        return solutions
+
+    def _solve_level_parallel(self, items: List[_WorkItem],
+                              executor: ProcessPoolExecutor
+                              ) -> Tuple[Dict[str, StageSolution], bool]:
+        """Answer memo hits locally, fan unique misses across worker processes.
+
+        Returns the solutions plus whether the executor is still usable; on a
+        broken pool the level is finished serially and the caller degrades the
+        rest of the analysis to serial mode.
+        """
+        solutions: Dict[str, StageSolution] = {}
+        misses: Dict[str, _WorkItem] = {}
+        pool_ok = True
+        for item in items:
+            if item.fingerprint in solutions or item.fingerprint in misses:
+                # Level-local dedupe is a memo hit from the caller's point of view.
+                self.solver.stats.memo_hits += 1
+                continue
+            hit = self.solver.peek(item.fingerprint)
+            if hit is not None:
+                # Route through solve() so LRU order and hit counters stay truthful.
+                solutions[item.fingerprint] = self.solver.solve(
+                    item.cell, item.input_slew, item.net.line, item.load,
+                    options=item.options, fingerprint=item.fingerprint)
+            else:
+                misses[item.fingerprint] = item
+        if not misses:
+            return solutions, pool_ok
+
+        tasks = [(fp, item.cell, item.input_slew, item.net.line, item.load,
+                  item.options, self.solver.slew_low, self.solver.slew_high)
+                 for fp, item in misses.items()]
+        try:
+            pending = {executor.submit(_solve_stage_task, task) for task in tasks}
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    fingerprint, solution = future.result()
+                    self.solver.install(solution)
+                    solutions[fingerprint] = solution
+        except (BrokenProcessPool, OSError, ImportError, pickle.PicklingError) as exc:
+            # Worker processes are unavailable (sandboxed environment, fork
+            # failure): finish the level's remaining misses serially and tell the
+            # caller to stop submitting to the dead pool.
+            warnings.warn(f"parallel graph timing unavailable ({exc!r}); "
+                          "finishing the analysis serially", RuntimeWarning,
+                          stacklevel=2)
+            pool_ok = False
+            for fingerprint, item in misses.items():
+                if fingerprint in solutions:
+                    continue
+                solutions[fingerprint] = self.solver.solve(
+                    item.cell, item.input_slew, item.net.line, item.load,
+                    options=item.options, fingerprint=fingerprint)
+        return solutions, pool_ok
+
+    # --- analysis ----------------------------------------------------------------------
+    def analyze(self, graph: TimingGraph, *, jobs: Optional[int] = None,
+                need_waveforms: bool = False,
+                memoize: bool = True) -> GraphTimingReport:
+        """Time every (net, transition) event of ``graph``.
+
+        ``jobs`` overrides the timer's default worker count for this analysis;
+        ``need_waveforms`` keeps full models/far-end responses on every solution
+        (forces serial solving — waveforms do not cross process boundaries);
+        ``memoize=False`` bypasses the solver's caches entirely, which is the
+        naive per-stage baseline the benchmarks compare against.
+        """
+        if not isinstance(graph, TimingGraph):
+            raise ModelingError("analyze() expects a TimingGraph")
+        jobs = self.jobs if jobs is None else resolve_jobs(jobs)
+        if need_waveforms or not memoize:
+            jobs = 1
+        started = time.perf_counter()
+        before = self.solver.stats.snapshot()
+
+        pending: Dict[str, Dict[str, _PendingState]] = {}
+        for name, primary in graph.primary_inputs.items():
+            pending[name] = {primary.transition:
+                             (primary.arrival, primary.slew, None)}
+
+        events: Dict[str, Dict[str, NetEventTiming]] = {}
+        executor: Optional[ProcessPoolExecutor] = None
+        try:
+            for level in graph.levels:
+                items: List[_WorkItem] = []
+                for name in level:
+                    net = graph.nets[name]
+                    load = self.net_load(graph, net)
+                    for transition, state in sorted(pending.get(name, {}).items()):
+                        arrival, slew, source = state
+                        options = self._event_options(transition)
+                        cell = self.library.get(net.driver_size)
+                        # Quantize once here so the fingerprint, the serial
+                        # solver and the worker tasks all see the same slew.
+                        slew = self.solver.quantize_slew(slew)
+                        items.append(_WorkItem(
+                            net=net, cell=cell, load=load,
+                            input_transition=transition, input_arrival=arrival,
+                            input_slew=slew, options=options,
+                            fingerprint=self.solver.fingerprint_for(
+                                cell, slew, net.line, load, options),
+                            source=source))
+                if not items:
+                    continue
+                if jobs > 1 and executor is None:
+                    try:
+                        executor = ProcessPoolExecutor(max_workers=jobs)
+                    except (OSError, ImportError) as exc:
+                        warnings.warn(f"could not start worker processes ({exc!r});"
+                                      " timing the graph serially", RuntimeWarning,
+                                      stacklevel=2)
+                        jobs = 1
+                if jobs > 1 and executor is not None:
+                    solutions, pool_ok = self._solve_level_parallel(items, executor)
+                    if not pool_ok:
+                        executor.shutdown(wait=False)
+                        executor = None
+                        jobs = 1
+                else:
+                    solutions = self._solve_level_serial(
+                        items, need_waveforms=need_waveforms, memoize=memoize)
+
+                for item in items:
+                    solution = solutions[item.fingerprint]
+                    event = NetEventTiming(
+                        net=item.net, input_transition=item.input_transition,
+                        output_transition=solution.transition,
+                        input_arrival=item.input_arrival,
+                        input_slew=item.input_slew, solution=solution,
+                        source=item.source)
+                    events.setdefault(item.net.name, {})[item.input_transition] = event
+                    for target in item.net.fanout:
+                        self._merge(pending, target, solution.transition,
+                                    event.output_arrival, solution.propagated_slew,
+                                    (item.net.name, item.input_transition))
+        finally:
+            if executor is not None:
+                executor.shutdown()
+
+        after = self.solver.stats
+        stats = SolverStats(
+            memo_hits=after.memo_hits - before.memo_hits,
+            persistent_hits=after.persistent_hits - before.persistent_hits,
+            computed=after.computed - before.computed,
+            installed=after.installed - before.installed)
+        return GraphTimingReport(graph=graph, events=events, levels=graph.levels,
+                                 stats=stats, jobs=jobs,
+                                 elapsed=time.perf_counter() - started)

@@ -7,20 +7,32 @@ input slew — exactly the role the model plays inside a production STA tool.  P
 paper, the far-end waveform does not show the plateau effect, so a single saturated
 ramp is an adequate stimulus for the next stage and no re-characterization of the
 cells is required.
+
+Since the graph refactor, :class:`PathTimer` is a thin adapter over the timing-graph
+subsystem: :meth:`PathTimer.analyze` builds the chain-shaped
+:class:`~.graph.TimingGraph` equivalent to the path and runs it through the shared
+memoized :class:`~repro.core.stage_solver.StageSolver` (so repeated stage
+configurations across paths hit cache); :meth:`PathTimer.analyze_serial` keeps the
+original cache-free per-stage loop as the naive baseline the benchmarks and
+equivalence tests compare against.  Arbitrary DAGs (fanout trees, reconvergence,
+mixed rise/fall arrivals) go through :class:`~.batch.GraphTimer` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from ..characterization.library import CellLibrary, default_library
 from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
-from ..core.driver_model import DriverOutputModel, ModelingOptions, model_driver_output
-from ..core.far_end import FarEndResponse, far_end_response
+from ..core.driver_model import DriverOutputModel, ModelingOptions
+from ..core.far_end import FarEndResponse
+from ..core.stage_solver import StageSolver
 from ..errors import ModelingError
 from ..tech.technology import Technology, generic_180nm
 from ..units import to_ps
+from .batch import GraphTimer
+from .graph import chain_graph
 from .stage import TimingPath, TimingStage
 
 __all__ = ["StageTiming", "PathTimingReport", "PathTimer"]
@@ -45,7 +57,8 @@ class StageTiming:
 
     def describe(self) -> str:
         """Single-line summary in ps."""
-        return (f"{self.stage.name}: {self.model.kind:11s} gate {to_ps(self.gate_delay):6.1f} ps"
+        kind = self.model.kind if self.model is not None else "?"
+        return (f"{self.stage.name}: {kind:11s} gate {to_ps(self.gate_delay):6.1f} ps"
                 f" + wire {to_ps(self.interconnect_delay):6.1f} ps = "
                 f"{to_ps(self.stage_delay):6.1f} ps  (far slew {to_ps(self.output_slew):6.1f} ps)")
 
@@ -65,6 +78,10 @@ class PathTimingReport:
     @property
     def output_slew(self) -> float:
         """Far-end transition time of the final stage [s]."""
+        if not self.stages:
+            raise ModelingError(
+                f"timing report of path {self.path.name!r} has no stages, "
+                "so it has no output slew")
         return self.stages[-1].output_slew
 
     def stage_delays(self) -> List[float]:
@@ -75,24 +92,38 @@ class PathTimingReport:
         """Multi-line human-readable timing report."""
         lines = [f"Timing path {self.path.name!r} "
                  f"(input slew {to_ps(self.path.input_slew):.0f} ps)"]
+        if not self.stages:
+            lines.append("  (no stages timed)")
+            return "\n".join(lines)
         lines.extend(f"  {stage.describe()}" for stage in self.stages)
         lines.append(f"  total path delay: {to_ps(self.total_delay):.1f} ps")
         return "\n".join(lines)
 
 
 class PathTimer:
-    """Analyzes timing paths with the effective-capacitance driver model."""
+    """Analyzes timing paths with the effective-capacitance driver model.
+
+    ``solver`` lets several timers (or a timer and a :class:`GraphTimer`) share one
+    memoized stage solver; by default each timer owns a private one whose slew
+    thresholds match the timer's.
+    """
 
     def __init__(self, *, library: Optional[CellLibrary] = None,
                  tech: Optional[Technology] = None,
                  options: Optional[ModelingOptions] = None,
                  slew_low: float = SLEW_LOW_THRESHOLD,
-                 slew_high: float = SLEW_HIGH_THRESHOLD) -> None:
+                 slew_high: float = SLEW_HIGH_THRESHOLD,
+                 solver: Optional[StageSolver] = None) -> None:
         self.library = library if library is not None else default_library()
         self.tech = tech if tech is not None else generic_180nm()
         self.options = options if options is not None else ModelingOptions()
         self.slew_low = slew_low
         self.slew_high = slew_high
+        self.solver = solver if solver is not None else StageSolver(
+            slew_low=slew_low, slew_high=slew_high)
+        self._graph_timer = GraphTimer(
+            library=self.library, tech=self.tech, options=self.options,
+            slew_low=self.slew_low, slew_high=self.slew_high, solver=self.solver)
 
     # --- helpers ---------------------------------------------------------------------
     def _stage_load(self, stage: TimingStage) -> float:
@@ -114,42 +145,59 @@ class PathTimer:
 
     # --- analysis ----------------------------------------------------------------------
     def analyze_stage(self, stage: TimingStage, input_slew: float, *,
-                      transition: str) -> StageTiming:
+                      transition: str, memoize: bool = True) -> StageTiming:
         """Time a single stage for a given input slew and output transition direction."""
         cell = self.library.get(stage.driver_size)
         load = self._stage_load(stage)
-        options = ModelingOptions(
-            transition=transition,
-            admittance_order=self.options.admittance_order,
-            moment_segments=self.options.moment_segments,
-            ceff_rel_tol=self.options.ceff_rel_tol,
-            ceff_max_iterations=self.options.ceff_max_iterations,
-            ceff_damping=self.options.ceff_damping,
-            criteria=self.options.criteria,
-            plateau_correction=self.options.plateau_correction,
-            force_two_ramp=self.options.force_two_ramp,
-            force_single_ramp=self.options.force_single_ramp,
-            ceff_charge_fraction=self.options.ceff_charge_fraction,
-            reference_time=0.0)
-        model = model_driver_output(cell, input_slew, stage.line, load, options=options)
-        far = far_end_response(model)
-        gate_delay = model.delay()
-        interconnect_delay = far.interconnect_delay()
-        output_slew = far.far_slew(low=self.slew_low, high=self.slew_high)
-        return StageTiming(stage=stage, input_slew=input_slew, model=model,
-                           far_end=far, gate_delay=gate_delay,
-                           interconnect_delay=interconnect_delay,
-                           output_slew=output_slew)
+        options = replace(self.options, transition=transition, reference_time=0.0)
+        solution = self.solver.solve(cell, input_slew, stage.line, load,
+                                     options=options, need_waveforms=True,
+                                     memoize=memoize)
+        return StageTiming(stage=stage, input_slew=solution.input_slew,
+                           model=solution.model, far_end=solution.far_end,
+                           gate_delay=solution.gate_delay,
+                           interconnect_delay=solution.interconnect_delay,
+                           output_slew=solution.far_slew)
 
     def analyze(self, path: TimingPath) -> PathTimingReport:
-        """Time every stage of ``path``, propagating slews from stage to stage."""
+        """Time every stage of ``path``, propagating slews from stage to stage.
+
+        Implemented as a chain-shaped graph analysis so paths share the graph
+        subsystem's stage memo: a stage configuration solved anywhere (this path,
+        another path, a full graph run) is never solved twice.
+        """
+        if not isinstance(path, TimingPath):
+            raise ModelingError("analyze() expects a TimingPath")
+        graph, names = chain_graph(path, input_transition=self.options.transition)
+        report = self._graph_timer.analyze(graph, jobs=1, need_waveforms=True)
+        results: List[StageTiming] = []
+        for stage, name in zip(path.stage_list, names):
+            per_net = report.events[name]
+            (event,) = per_net.values()  # a chain carries exactly one event per net
+            solution = event.solution
+            results.append(StageTiming(
+                stage=stage, input_slew=event.input_slew, model=solution.model,
+                far_end=solution.far_end, gate_delay=solution.gate_delay,
+                interconnect_delay=solution.interconnect_delay,
+                output_slew=solution.far_slew))
+        return PathTimingReport(path=path, stages=results)
+
+    def analyze_serial(self, path: TimingPath, *,
+                       memoize: bool = False) -> PathTimingReport:
+        """The original one-stage-at-a-time loop (no graph, no memo by default).
+
+        Kept as the naive baseline: benchmarks measure the graph subsystem's
+        speedup against it, and the equivalence tests assert that graph-mode chain
+        analysis reproduces it bit-for-bit.
+        """
         if not isinstance(path, TimingPath):
             raise ModelingError("analyze() expects a TimingPath")
         results: List[StageTiming] = []
         slew = path.input_slew
         for index, stage in enumerate(path.stage_list):
             transition = self._stage_transition(index)
-            timing = self.analyze_stage(stage, slew, transition=transition)
+            timing = self.analyze_stage(stage, slew, transition=transition,
+                                        memoize=memoize)
             results.append(timing)
             # The far-end waveform is propagated to the next gate as a saturated ramp
             # with the same threshold-to-threshold transition time.

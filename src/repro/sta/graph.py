@@ -1,0 +1,327 @@
+"""Timing-graph data structures: nets with fanout, levelization, arrival merging.
+
+The single-path engine (:mod:`repro.sta.engine`) walks one linear chain of stages.
+Real designs are DAGs: a driver's far end feeds several downstream gates, paths
+reconverge, and a node can see both rising and falling events (paths of different
+inverter parity).  :class:`TimingGraph` captures that shape:
+
+* a :class:`GraphNet` is one driver + RLC net + its fanout (the nets whose drivers
+  load this net's far end),
+* :class:`PrimaryInput` attaches an input slew / transition / arrival to each root,
+* :meth:`TimingGraph.levels` topologically levelizes the DAG so every net's fanin
+  arrivals are final before the net is solved — the unit of batching for
+  :mod:`repro.sta.batch`, and
+* per-node rise/fall states are merged with worst-arrival semantics (the slew of
+  the latest-arriving fanin wins; ties take the larger slew).
+
+The chain-shaped special case is produced by :func:`chain_graph`, which is how
+:meth:`PathTimer.analyze` adapts onto the graph subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.stage_solver import SolverStats, StageSolution
+from ..errors import ModelingError
+from ..interconnect.rlc_line import RLCLine
+from ..units import to_ps
+from .stage import TimingPath, TimingStage
+
+__all__ = ["GraphNet", "PrimaryInput", "TimingGraph", "chain_graph",
+           "NetEventTiming", "GraphTimingReport", "flip_transition"]
+
+
+def flip_transition(transition: str) -> str:
+    """The opposite edge direction (an inverting stage flips every event)."""
+    if transition == "rise":
+        return "fall"
+    if transition == "fall":
+        return "rise"
+    raise ModelingError(f"transition must be 'rise' or 'fall', got {transition!r}")
+
+
+@dataclass(frozen=True)
+class GraphNet:
+    """One driver -> RLC net cell of a timing graph.
+
+    ``fanout`` names the nets whose drivers sit at this net's far end (their input
+    capacitances are this net's gate load); ``receiver_size`` adds a terminal
+    receiver that is not itself part of the graph (a flop, an output pad), and
+    ``extra_load`` any additional lumped capacitance.
+    """
+
+    name: str
+    driver_size: float  #: driver strength in X units (must exist in the cell library)
+    line: RLCLine  #: the net connecting the driver output to its receivers
+    fanout: Tuple[str, ...] = ()  #: names of the nets this net's far end drives
+    receiver_size: Optional[float] = None  #: terminal receiver size; None = none
+    extra_load: float = 0.0  #: additional lumped far-end load [F]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelingError("a graph net needs a non-empty name")
+        if self.driver_size <= 0:
+            raise ModelingError(f"net {self.name!r}: driver size must be positive")
+        if self.receiver_size is not None and self.receiver_size <= 0:
+            raise ModelingError(
+                f"net {self.name!r}: receiver size must be positive when given")
+        if self.extra_load < 0:
+            raise ModelingError(f"net {self.name!r}: extra load must be non-negative")
+        object.__setattr__(self, "fanout", tuple(self.fanout))
+        if len(set(self.fanout)) != len(self.fanout):
+            raise ModelingError(f"net {self.name!r} lists a fanout twice")
+
+
+@dataclass(frozen=True)
+class PrimaryInput:
+    """The stimulus presented at a root net's driver input."""
+
+    slew: float  #: transition time of the primary-input ramp [s]
+    transition: str = "rise"  #: edge direction at the driver *input*
+    arrival: float = 0.0  #: absolute time of the input's 50% crossing [s]
+
+    def __post_init__(self) -> None:
+        if self.slew <= 0:
+            raise ModelingError("a primary input needs a positive slew")
+        flip_transition(self.transition)  # validates the direction name
+
+
+class TimingGraph:
+    """A levelized DAG of :class:`GraphNet` objects plus its primary inputs.
+
+    Construction validates the shape once — unknown fanout targets, duplicate
+    names, inputs attached to non-root nets, roots without inputs, and cycles all
+    raise :class:`ModelingError` — so analysis code can trust the structure.
+    """
+
+    def __init__(self, nets: Sequence[GraphNet],
+                 primary_inputs: Mapping[str, PrimaryInput]) -> None:
+        if not nets:
+            raise ModelingError("a timing graph needs at least one net")
+        self.nets: Dict[str, GraphNet] = {}
+        for net in nets:
+            if net.name in self.nets:
+                raise ModelingError(f"duplicate net name {net.name!r}")
+            self.nets[net.name] = net
+        self._fanin: Dict[str, List[str]] = {name: [] for name in self.nets}
+        for net in self.nets.values():
+            for target in net.fanout:
+                if target not in self.nets:
+                    raise ModelingError(
+                        f"net {net.name!r} drives unknown net {target!r}")
+                if target == net.name:
+                    raise ModelingError(f"net {net.name!r} drives itself")
+                self._fanin[target].append(net.name)
+
+        self.primary_inputs: Dict[str, PrimaryInput] = dict(primary_inputs)
+        for name in self.primary_inputs:
+            if name not in self.nets:
+                raise ModelingError(f"primary input attached to unknown net {name!r}")
+            if self._fanin[name]:
+                raise ModelingError(
+                    f"primary input attached to non-root net {name!r}")
+        missing = [name for name, fanin in self._fanin.items()
+                   if not fanin and name not in self.primary_inputs]
+        if missing:
+            raise ModelingError(
+                f"root nets without a primary input: {sorted(missing)}")
+        self._levels = self._levelize()
+
+    # --- structure ----------------------------------------------------------------
+    def _levelize(self) -> List[List[str]]:
+        """Kahn topological levelization; raises on cycles."""
+        remaining = {name: len(fanin) for name, fanin in self._fanin.items()}
+        current = sorted(name for name, count in remaining.items() if count == 0)
+        levels: List[List[str]] = []
+        placed = 0
+        while current:
+            levels.append(current)
+            placed += len(current)
+            ready: List[str] = []
+            for name in current:
+                for target in self.nets[name].fanout:
+                    remaining[target] -= 1
+                    if remaining[target] == 0:
+                        ready.append(target)
+            current = sorted(ready)
+        if placed != len(self.nets):
+            cyclic = sorted(name for name, count in remaining.items() if count > 0)
+            raise ModelingError(f"timing graph contains a cycle through {cyclic}")
+        return levels
+
+    @property
+    def levels(self) -> List[List[str]]:
+        """Topological levels: every net's fanins live in strictly earlier levels."""
+        return [list(level) for level in self._levels]
+
+    @property
+    def n_levels(self) -> int:
+        return len(self._levels)
+
+    def fanin(self, name: str) -> List[str]:
+        """Names of the nets driving ``name``'s driver input."""
+        return list(self._fanin[name])
+
+    @property
+    def roots(self) -> List[str]:
+        """Nets with no fanin (stimulated by primary inputs)."""
+        return [name for name, fanin in self._fanin.items() if not fanin]
+
+    @property
+    def sinks(self) -> List[str]:
+        """Nets with no fanout (the endpoints arrival queries care about)."""
+        return [name for name, net in self.nets.items() if not net.fanout]
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nets
+
+    def describe(self) -> str:
+        """Single-line structural summary."""
+        return (f"timing graph: {len(self.nets)} nets in {self.n_levels} levels, "
+                f"{len(self.roots)} roots, {len(self.sinks)} sinks")
+
+
+def chain_graph(path: TimingPath, *, input_transition: str = "rise"
+                ) -> Tuple[TimingGraph, List[str]]:
+    """The chain-shaped graph equivalent to ``path``.
+
+    Returns the graph plus the net name of each stage in path order (names are
+    uniquified when stages share names).  Intermediate receivers become fanout
+    edges — :class:`TimingPath` validates each stage's receiver against the next
+    stage's driver to within 1e-12X, and the gate load keys off the fanout driver
+    size — and the last stage's receiver stays a terminal load, so per-stage gate
+    loads match :meth:`PathTimer._stage_load` bit-for-bit whenever the sizes are
+    exactly equal (the overwhelmingly common case).
+    """
+    stages: List[TimingStage] = path.stage_list
+    names: List[str] = []
+    used: set = set()
+    for stage in stages:
+        name = stage.name
+        suffix = 1
+        while name in used:  # uniquify against every name, literal '#k' included
+            name = f"{stage.name}#{suffix}"
+            suffix += 1
+        used.add(name)
+        names.append(name)
+    nets = []
+    for index, stage in enumerate(stages):
+        last = index == len(stages) - 1
+        nets.append(GraphNet(
+            name=names[index], driver_size=stage.driver_size, line=stage.line,
+            fanout=() if last else (names[index + 1],),
+            receiver_size=stage.receiver_size if last else None,
+            extra_load=stage.extra_load))
+    inputs = {names[0]: PrimaryInput(slew=path.input_slew,
+                                     transition=input_transition)}
+    return TimingGraph(nets, inputs), names
+
+
+@dataclass(frozen=True)
+class NetEventTiming:
+    """One solved (net, input-transition) event.
+
+    ``source`` names the fanin event that set the merged worst-case input arrival
+    (None at primary inputs), which is what critical-path traceback follows.
+    """
+
+    net: GraphNet
+    input_transition: str  #: edge direction at the driver input
+    output_transition: str  #: edge direction at the far end (inverted)
+    input_arrival: float  #: merged worst-case 50% arrival at the driver input [s]
+    input_slew: float  #: full-swing input ramp time the stage was solved at [s]
+    solution: StageSolution
+    source: Optional[Tuple[str, str]] = None  #: (net name, input transition) of the winning fanin
+
+    @property
+    def output_arrival(self) -> float:
+        """50% arrival time at the far end [s]."""
+        return self.input_arrival + self.solution.stage_delay
+
+    @property
+    def propagated_slew(self) -> float:
+        """Full-swing ramp time handed to fanout driver inputs [s]."""
+        return self.solution.propagated_slew
+
+    def describe(self) -> str:
+        """Single-line summary in ps."""
+        return (f"{self.net.name}[{self.input_transition}->{self.output_transition}]"
+                f": {self.solution.kind:11s} in {to_ps(self.input_arrival):7.1f} ps"
+                f" -> out {to_ps(self.output_arrival):7.1f} ps"
+                f" (slew {to_ps(self.solution.far_slew):6.1f} ps)")
+
+
+@dataclass(frozen=True)
+class GraphTimingReport:
+    """Every solved event of one graph analysis, plus solver statistics."""
+
+    graph: TimingGraph
+    events: Dict[str, Dict[str, NetEventTiming]]  #: net name -> input transition -> event
+    levels: List[List[str]]
+    stats: SolverStats  #: solver counters accumulated over this analysis
+    jobs: int  #: worker processes the batch executor actually used
+    elapsed: float  #: wall-clock analysis time [s]
+
+    @property
+    def n_events(self) -> int:
+        """Number of solved (net, transition) events."""
+        return sum(len(per_net) for per_net in self.events.values())
+
+    def event(self, name: str, transition: Optional[str] = None) -> NetEventTiming:
+        """The event of net ``name`` (worst output arrival when ambiguous)."""
+        per_net = self.events.get(name)
+        if not per_net:
+            raise ModelingError(f"net {name!r} has no timed event")
+        if transition is not None:
+            if transition not in per_net:
+                raise ModelingError(
+                    f"net {name!r} has no {transition!r} input event")
+            return per_net[transition]
+        return max(per_net.values(), key=lambda e: e.output_arrival)
+
+    def arrival(self, name: str, transition: Optional[str] = None) -> float:
+        """Worst-case far-end arrival of net ``name`` [s]."""
+        return self.event(name, transition).output_arrival
+
+    def worst_event(self) -> NetEventTiming:
+        """The sink event with the largest far-end arrival."""
+        candidates = [event for name in self.graph.sinks
+                      for event in self.events.get(name, {}).values()]
+        if not candidates:
+            raise ModelingError("graph analysis produced no sink events")
+        return max(candidates, key=lambda e: e.output_arrival)
+
+    def critical_path(self) -> List[NetEventTiming]:
+        """Events from a primary input to the worst sink, in arrival order."""
+        chain: List[NetEventTiming] = []
+        cursor: Optional[NetEventTiming] = self.worst_event()
+        while cursor is not None:
+            chain.append(cursor)
+            source = cursor.source
+            cursor = self.events[source[0]][source[1]] if source is not None else None
+        return list(reversed(chain))
+
+    def format_report(self, *, limit: int = 20) -> str:
+        """Multi-line human-readable summary (critical path + totals)."""
+        lines = [self.graph.describe(),
+                 f"  {self.n_events} events solved in {self.elapsed:.3f} s "
+                 f"({self.jobs} worker(s), cache hit rate "
+                 f"{100 * self.stats.hit_rate:.1f}%)"]
+        if not self.events:
+            lines.append("  (no events: nothing to time)")
+            return "\n".join(lines)
+        worst = self.worst_event()
+        lines.append(f"  worst sink arrival: {worst.net.name} "
+                     f"{to_ps(worst.output_arrival):.1f} ps")
+        lines.append("  critical path:")
+        path = self.critical_path()
+        shown = path if len(path) <= limit else path[:limit]
+        lines.extend(f"    {event.describe()}" for event in shown)
+        if len(path) > limit:
+            lines.append(f"    ... ({len(path) - limit} more events)")
+        return "\n".join(lines)

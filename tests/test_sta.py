@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.core import ModelingOptions
 from repro.errors import ModelingError
 from repro.interconnect import RLCLine
-from repro.sta import (PathTimer, TimingPath, TimingStage, simulate_path_reference)
+from repro.sta import (PathTimer, PathTimingReport, TimingPath, TimingStage,
+                       simulate_path_reference)
 from repro.units import fF, mm, nH, pF, ps, to_ps
 
 
@@ -103,6 +105,96 @@ class TestPathTimer:
     def test_analyze_requires_path(self, library):
         with pytest.raises(ModelingError):
             PathTimer(library=library).analyze("not a path")
+
+
+class TestRiseFallPropagation:
+    """Rise/fall asymmetry and slew propagation through the STA layer."""
+
+    @pytest.fixture(scope="class")
+    def four_stage_path(self, short_line):
+        return TimingPath("four", [
+            TimingStage("s1", driver_size=75, line=short_line, receiver_size=100),
+            TimingStage("s2", driver_size=100, line=short_line, receiver_size=75),
+            TimingStage("s3", driver_size=75, line=short_line, receiver_size=100),
+            TimingStage("s4", driver_size=100, line=short_line, receiver_size=50),
+        ], input_slew=ps(100))
+
+    def test_stage_transition_alternates_from_rising_input(self, library):
+        timer = PathTimer(library=library)
+        assert [timer._stage_transition(i) for i in range(4)] == \
+            ["fall", "rise", "fall", "rise"]
+
+    def test_stage_transition_alternates_from_falling_input(self, library):
+        timer = PathTimer(library=library,
+                          options=ModelingOptions(transition="fall"))
+        assert [timer._stage_transition(i) for i in range(4)] == \
+            ["rise", "fall", "rise", "fall"]
+
+    def test_report_transitions_alternate(self, library, four_stage_path):
+        report = PathTimer(library=library).analyze(four_stage_path)
+        assert [stage.model.transition for stage in report.stages] == \
+            ["fall", "rise", "fall", "rise"]
+
+    def test_rise_and_fall_stages_time_differently(self, library, four_stage_path):
+        # NMOS and PMOS strengths differ, so falling and rising stages of the
+        # same (cell, line, load) configuration must not time identically.
+        report = PathTimer(library=library).analyze(four_stage_path)
+        falling, rising = report.stages[0], report.stages[2]
+        assert falling.model.transition == rising.model.transition == "fall"
+        other = report.stages[1]
+        assert other.model.transition == "rise"
+        assert other.gate_delay != falling.gate_delay
+
+    def test_propagated_slew_is_rescaled_far_slew(self, library, four_stage_path):
+        # Propagated slew = threshold-to-threshold far-end time / (high - low).
+        timer = PathTimer(library=library)
+        report = timer.analyze(four_stage_path)
+        span = timer.slew_high - timer.slew_low
+        for upstream, downstream in zip(report.stages, report.stages[1:]):
+            assert downstream.input_slew == upstream.output_slew / span
+
+    def test_graph_chain_matches_serial_loop_exactly(self, library,
+                                                     four_stage_path):
+        # Acceptance criterion: graph-mode chain analysis reproduces the naive
+        # per-stage loop to <= 1e-12 s (bit-identical, in fact).
+        timer = PathTimer(library=library)
+        graph_report = timer.analyze(four_stage_path)
+        serial_report = timer.analyze_serial(four_stage_path)
+        for graph_stage, serial_stage in zip(graph_report.stages,
+                                             serial_report.stages):
+            assert abs(graph_stage.gate_delay
+                       - serial_stage.gate_delay) <= 1e-12
+            assert abs(graph_stage.stage_delay
+                       - serial_stage.stage_delay) <= 1e-12
+            assert graph_stage.input_slew == serial_stage.input_slew
+            assert graph_stage.output_slew == serial_stage.output_slew
+        assert abs(graph_report.total_delay - serial_report.total_delay) <= 1e-12
+
+    def test_analyze_memoizes_repeated_paths(self, library, four_stage_path):
+        timer = PathTimer(library=library)
+        timer.analyze(four_stage_path)
+        first_pass = timer.solver.stats.computed
+        timer.analyze(four_stage_path)
+        assert timer.solver.stats.computed == first_pass  # all stages from memo
+        assert timer.solver.stats.memo_hits >= len(four_stage_path)
+
+
+class TestZeroStageReport:
+    def test_output_slew_raises_modeling_error(self, short_line):
+        path = TimingPath("p", [TimingStage("s", 75, short_line)],
+                          input_slew=ps(100))
+        report = PathTimingReport(path=path, stages=[])
+        with pytest.raises(ModelingError, match="no stages"):
+            report.output_slew
+
+    def test_format_report_and_totals_survive(self, short_line):
+        path = TimingPath("p", [TimingStage("s", 75, short_line)],
+                          input_slew=ps(100))
+        report = PathTimingReport(path=path, stages=[])
+        assert report.total_delay == 0.0
+        assert report.stage_delays() == []
+        text = report.format_report()
+        assert "no stages" in text
 
 
 class TestFlatValidation:

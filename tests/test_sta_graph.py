@@ -1,0 +1,247 @@
+"""Timing-graph subsystem: structure validation, levelization, batch analysis."""
+
+import warnings
+
+import pytest
+
+from repro.core import StageSolver
+from repro.errors import ModelingError
+from repro.experiments import (fanout_tree, parallel_chains, reconvergent_graph)
+from repro.interconnect import RLCLine
+from repro.sta import (GraphNet, GraphTimer, PathTimer, PrimaryInput, TimingGraph,
+                       TimingPath, TimingStage, chain_graph, flip_transition)
+from repro.units import mm, nH, pF, ps
+
+
+@pytest.fixture(scope="module")
+def line():
+    return RLCLine(resistance=20.0, inductance=nH(1.05), capacitance=pF(0.22),
+                   length=mm(1))
+
+
+@pytest.fixture(scope="module")
+def diamond(line):
+    nets = [
+        GraphNet("root", 100.0, line, fanout=("a", "b")),
+        GraphNet("a", 75.0, line, fanout=("sink",)),
+        GraphNet("b", 75.0, line, fanout=("c",)),
+        GraphNet("c", 75.0, line, fanout=("sink",)),
+        GraphNet("sink", 50.0, line, receiver_size=25.0),
+    ]
+    return TimingGraph(nets, {"root": PrimaryInput(slew=ps(100))})
+
+
+class TestStructure:
+    def test_flip_transition(self):
+        assert flip_transition("rise") == "fall"
+        assert flip_transition("fall") == "rise"
+        with pytest.raises(ModelingError):
+            flip_transition("wiggle")
+
+    def test_net_validation(self, line):
+        with pytest.raises(ModelingError):
+            GraphNet("", 75.0, line)
+        with pytest.raises(ModelingError):
+            GraphNet("n", 0.0, line)
+        with pytest.raises(ModelingError):
+            GraphNet("n", 75.0, line, receiver_size=-1.0)
+        with pytest.raises(ModelingError):
+            GraphNet("n", 75.0, line, extra_load=-1e-15)
+        with pytest.raises(ModelingError):
+            GraphNet("n", 75.0, line, fanout=("x", "x"))
+
+    def test_graph_validation(self, line):
+        with pytest.raises(ModelingError):
+            TimingGraph([], {})
+        with pytest.raises(ModelingError):  # duplicate name
+            TimingGraph([GraphNet("n", 75.0, line), GraphNet("n", 50.0, line)],
+                        {"n": PrimaryInput(slew=ps(100))})
+        with pytest.raises(ModelingError):  # unknown fanout target
+            TimingGraph([GraphNet("n", 75.0, line, fanout=("ghost",))],
+                        {"n": PrimaryInput(slew=ps(100))})
+        with pytest.raises(ModelingError):  # self loop
+            TimingGraph([GraphNet("n", 75.0, line, fanout=("n",))],
+                        {"n": PrimaryInput(slew=ps(100))})
+        with pytest.raises(ModelingError):  # root without stimulus
+            TimingGraph([GraphNet("n", 75.0, line)], {})
+        with pytest.raises(ModelingError):  # stimulus on non-root
+            TimingGraph([GraphNet("a", 75.0, line, fanout=("b",)),
+                         GraphNet("b", 75.0, line)],
+                        {"a": PrimaryInput(slew=ps(100)),
+                         "b": PrimaryInput(slew=ps(100))})
+        with pytest.raises(ModelingError):  # cycle
+            TimingGraph([GraphNet("a", 75.0, line, fanout=("b",)),
+                         GraphNet("b", 75.0, line, fanout=("a",))], {})
+
+    def test_primary_input_validation(self):
+        with pytest.raises(ModelingError):
+            PrimaryInput(slew=0.0)
+        with pytest.raises(ModelingError):
+            PrimaryInput(slew=ps(100), transition="sideways")
+
+    def test_levelization(self, diamond):
+        assert diamond.levels == [["root"], ["a", "b"], ["c"], ["sink"]]
+        assert diamond.n_levels == 4
+        assert diamond.roots == ["root"]
+        assert diamond.sinks == ["sink"]
+        assert diamond.fanin("sink") == ["a", "c"]
+        assert len(diamond) == 5
+        assert "root" in diamond and "ghost" not in diamond
+        assert "5 nets" in diamond.describe()
+
+    def test_chain_graph_name_collision(self, line):
+        # A literal "s#1" stage must not collide with the uniquified duplicate.
+        path = TimingPath("p", [
+            TimingStage("s", driver_size=75, line=line, receiver_size=75),
+            TimingStage("s#1", driver_size=75, line=line, receiver_size=75),
+            TimingStage("s", driver_size=75, line=line, receiver_size=50),
+        ], input_slew=ps(100))
+        graph, names = chain_graph(path)
+        assert len(set(names)) == 3
+        assert names[0] == "s" and names[1] == "s#1"
+
+    def test_chain_graph_shape(self, line):
+        path = TimingPath("p", [
+            TimingStage("s", driver_size=75, line=line, receiver_size=100),
+            TimingStage("s", driver_size=100, line=line, receiver_size=50),
+        ], input_slew=ps(100))
+        graph, names = chain_graph(path)
+        assert names == ["s", "s#1"]  # duplicate stage names are uniquified
+        assert graph.levels == [["s"], ["s#1"]]
+        assert graph.nets["s"].fanout == ("s#1",)
+        assert graph.nets["s"].receiver_size is None
+        assert graph.nets["s#1"].receiver_size == 50
+
+
+class TestLoadsAndMerging:
+    def test_fanout_load_matches_stage_load(self, line, library, tech):
+        # A chain net's gate load (from its fanout driver) must be bit-identical
+        # to the single-path engine's receiver load for the same stage.
+        path = TimingPath("p", [
+            TimingStage("s1", driver_size=75, line=line, receiver_size=100),
+            TimingStage("s2", driver_size=100, line=line, receiver_size=50),
+        ], input_slew=ps(100))
+        timer = PathTimer(library=library, tech=tech)
+        graph, names = chain_graph(path)
+        graph_timer = timer._graph_timer
+        for stage, name in zip(path.stage_list, names):
+            assert graph_timer.net_load(graph, graph.nets[name]) == \
+                timer._stage_load(stage)
+
+    def test_fanout_load_sums_every_receiver(self, line, library, tech):
+        nets = [GraphNet("n", 75.0, line, fanout=("x", "y"), receiver_size=25.0,
+                         extra_load=2e-15),
+                GraphNet("x", 100.0, line), GraphNet("y", 50.0, line)]
+        graph = TimingGraph(nets, {"n": PrimaryInput(slew=ps(100))})
+        timer = GraphTimer(library=library, tech=tech)
+        expected = (2e-15 + tech.inverter_input_capacitance(100)
+                    + tech.inverter_input_capacitance(50)
+                    + tech.inverter_input_capacitance(25))
+        assert timer.net_load(graph, graph.nets["n"]) == expected
+
+    def test_worst_arrival_merge_wins(self, line, library):
+        # sink's fanins have the same parity but different depth, so the longer
+        # branch must set the merged arrival and the traceback source.
+        nets = [
+            GraphNet("root", 100.0, line, fanout=("fast", "slow_a")),
+            GraphNet("fast", 75.0, line, fanout=("mid",)),
+            GraphNet("mid", 75.0, line, fanout=("sink",)),
+            GraphNet("slow_a", 25.0, line, fanout=("slow_b",)),
+            GraphNet("slow_b", 25.0, line, fanout=("sink",)),
+            GraphNet("sink", 50.0, line, receiver_size=25.0),
+        ]
+        graph = TimingGraph(nets, {"root": PrimaryInput(slew=ps(100))})
+        report = GraphTimer(library=library).analyze(graph)
+        sink_events = report.events["sink"]
+        assert set(sink_events) == {"fall"}  # equal parity: one transition
+        event = sink_events["fall"]
+        slow = report.events["slow_b"]["rise"]
+        mid = report.events["mid"]["rise"]
+        assert event.input_arrival == max(slow.output_arrival, mid.output_arrival)
+        winner = "slow_b" if slow.output_arrival > mid.output_arrival else "mid"
+        assert event.source == (winner, "rise")
+
+    def test_reconvergent_graph_times_both_transitions(self, library):
+        report = GraphTimer(library=library).analyze(reconvergent_graph())
+        sink = report.events["sink"]
+        assert set(sink) == {"rise", "fall"}
+        assert report.n_events == len(report.graph) + 1
+        # Traceback from the worst sink event reaches the primary input.
+        path = report.critical_path()
+        assert path[0].net.name == "root"
+        assert path[0].source is None
+        assert path[-1].net.name == "sink"
+        arrivals = [event.output_arrival for event in path]
+        assert arrivals == sorted(arrivals)
+
+
+class TestGraphTimer:
+    def test_rejects_non_graph(self, library):
+        with pytest.raises(ModelingError):
+            GraphTimer(library=library).analyze("not a graph")
+
+    def test_report_queries_and_formatting(self, library, diamond):
+        report = GraphTimer(library=library).analyze(diamond)
+        assert report.arrival("sink") == report.worst_event().output_arrival
+        assert report.arrival("sink", "fall") == \
+            report.events["sink"]["fall"].output_arrival
+        with pytest.raises(ModelingError):
+            report.event("ghost")
+        with pytest.raises(ModelingError):
+            report.event("root", "fall")  # the PI rises, so no fall event
+        text = report.format_report()
+        assert "cache hit rate" in text
+        assert "critical path" in text
+
+    def test_memoization_across_repeated_chains(self, library, line):
+        # One line flavor -> the 6 chains are bit-identical.
+        graph = parallel_chains(6, 3, lines=[line], input_slew=ps(100))
+        solver = StageSolver()
+        report = GraphTimer(library=library, solver=solver).analyze(graph)
+        # 6 identical chains share one chain's worth of unique stage solves.
+        assert report.stats.computed == 3
+        assert report.stats.memo_hits == 15
+        assert report.stats.hit_rate == pytest.approx(15 / 18)
+        arrivals = {report.arrival(name) for name in graph.sinks}
+        assert len(arrivals) == 1  # identical chains, identical arrivals
+
+    def test_fanout_tree_analysis(self, library):
+        graph = fanout_tree(3)
+        report = GraphTimer(library=library).analyze(graph)
+        assert report.n_events == len(graph) == 15
+        # Every level deeper arrives strictly later.
+        assert report.arrival("t") < report.arrival("t.0") < \
+            report.arrival("t.0.0") < report.arrival("t.0.0.0")
+
+    def test_parallel_jobs_respect_slew_quantum(self, library, line):
+        # Workers must solve at the quantized slew the fingerprint was built
+        # from, or parallel runs would poison the memo with off-grid results.
+        graph = parallel_chains(2, 2, lines=[line], input_slew=ps(100.3))
+        quantum = ps(5.0)
+        serial = GraphTimer(library=library,
+                            solver=StageSolver(slew_quantum=quantum)).analyze(graph)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            parallel = GraphTimer(library=library,
+                                  solver=StageSolver(slew_quantum=quantum),
+                                  jobs=2).analyze(graph)
+        for name in graph.nets:
+            for transition, event in serial.events[name].items():
+                other = parallel.events[name][transition]
+                assert event.input_slew == other.input_slew
+                assert event.output_arrival == other.output_arrival
+
+    def test_parallel_jobs_match_serial(self, library):
+        graph = parallel_chains(4, 2, input_slew=ps(100))
+        serial = GraphTimer(library=library).analyze(graph)
+        with warnings.catch_warnings():
+            # In sandboxed environments the pool may fall back to serial; the
+            # results must be identical either way.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            parallel = GraphTimer(library=library, jobs=2).analyze(graph)
+        for name in graph.nets:
+            for transition, event in serial.events[name].items():
+                other = parallel.events[name][transition]
+                assert event.output_arrival == other.output_arrival
+                assert event.input_slew == other.input_slew
+                assert event.solution.far_slew == other.solution.far_slew
