@@ -3,7 +3,9 @@
 This is the claim the graph refactor has to earn: timing a ≥1k-net graph with the
 memoized stage solver plus per-level worker fan-out must beat re-solving every
 stage from scratch (the old single-path engine's behaviour) by well over 2x, while
-producing bit-identical arrivals and slews.
+producing bit-identical arrivals and slews.  Both runs go through one
+``repro.api.TimingSession`` — the naive baseline is ``session.time(...,
+memoize=False, jobs=1)``, which bypasses every cache layer.
 
 The workload is :func:`repro.experiments.benchmark_graph` (parallel repeatered
 routes over four line flavors — heavy stage-configuration repetition, the profile
@@ -15,11 +17,10 @@ nets/second trajectory.  Set ``REPRO_FULL=1`` to scale from 1k to 4k nets.
 
 import json
 import os
-import time
 from pathlib import Path
 
+from repro.api import TimingSession
 from repro.experiments import benchmark_graph
-from repro.sta import GraphTimer
 
 REPORT_DIRECTORY = Path(__file__).resolve().parent / "reports"
 
@@ -30,18 +31,13 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
     graph = benchmark_graph(n_target)
     assert len(graph) >= 1000
 
-    # Naive baseline: the per-stage loop the single-path engine used to run —
-    # same solver code, every cache layer bypassed, strictly serial.
-    naive_timer = GraphTimer(library=library)
-    started = time.perf_counter()
-    naive = naive_timer.analyze(graph, jobs=1, memoize=False)
-    naive_elapsed = time.perf_counter() - started
+    with TimingSession(jobs=max(os.cpu_count() or 1, 1)) as session:
+        # Naive baseline: the per-stage loop the single-path engine used to run —
+        # same solver code, every cache layer bypassed, strictly serial.
+        naive = session.time(graph, jobs=1, memoize=False, name="naive")
 
-    # Graph subsystem: memoized stage solving + per-level process fan-out.
-    batch_timer = GraphTimer(library=library, jobs=max(os.cpu_count() or 1, 1))
-    started = time.perf_counter()
-    batched = batch_timer.analyze(graph)
-    batched_elapsed = time.perf_counter() - started
+        # Graph subsystem: memoized stage solving + per-level process fan-out.
+        batched = session.time(graph, name="batched")
 
     # The speedup must not come from approximation: arrivals and slews are
     # bit-identical between the naive and the batched run.
@@ -49,27 +45,29 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
         for transition, event in naive.events[name].items():
             other = batched.events[name][transition]
             assert event.output_arrival == other.output_arrival
-            assert event.solution.far_slew == other.solution.far_slew
+            assert event.far_slew == other.far_slew
 
     n_events = naive.n_events
+    naive_elapsed = naive.meta.elapsed
+    batched_elapsed = batched.meta.elapsed
     speedup = naive_elapsed / batched_elapsed
-    stats = batched.stats
+    meta = batched.meta
     payload = {
         "benchmark": "graph_throughput",
         "full_sweep": full,
         "nets": len(graph),
         "levels": graph.n_levels,
         "events": n_events,
-        "unique_stage_solves": stats.computed + stats.installed,
-        "jobs": batched.jobs,
+        "unique_stage_solves": meta.computed + meta.installed,
+        "jobs": meta.jobs,
         "naive_seconds": round(naive_elapsed, 3),
         "batched_seconds": round(batched_elapsed, 3),
         "naive_nets_per_second": round(n_events / naive_elapsed, 1),
         "batched_nets_per_second": round(n_events / batched_elapsed, 1),
         "speedup": round(speedup, 2),
-        "cache_hit_rate": round(stats.hit_rate, 4),
-        "memo_hits": stats.memo_hits,
-        "persistent_hits": stats.persistent_hits,
+        "cache_hit_rate": round(meta.hit_rate, 4),
+        "memo_hits": meta.memo_hits,
+        "persistent_hits": meta.persistent_hits,
     }
     REPORT_DIRECTORY.mkdir(exist_ok=True)
     json_path = REPORT_DIRECTORY / "BENCH_graph_throughput.json"
@@ -81,9 +79,9 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
         f"  naive per-stage loop : {naive_elapsed:8.2f} s "
         f"({n_events / naive_elapsed:7.1f} nets/s)",
         f"  memoized batched run : {batched_elapsed:8.2f} s "
-        f"({n_events / batched_elapsed:7.1f} nets/s, {batched.jobs} worker(s))",
-        f"  unique stage solves  : {stats.computed + stats.installed} of {n_events} "
-        f"events (cache hit rate {100 * stats.hit_rate:.1f}%)",
+        f"({n_events / batched_elapsed:7.1f} nets/s, {meta.jobs} worker(s))",
+        f"  unique stage solves  : {meta.computed + meta.installed} of {n_events} "
+        f"events (cache hit rate {100 * meta.hit_rate:.1f}%)",
         f"  speedup              : {speedup:.1f}x",
         f"  machine-readable     : {json_path.name}",
     ]

@@ -2,46 +2,30 @@
 
 This goes beyond the paper's printed evaluation: the driver-output model is only
 useful if, embedded in a timing flow, it reproduces end-to-end path delays.  A
-three-stage repeatered global route is timed with the STA engine and compared
-against one flat transient simulation of the whole path.
+three-stage repeatered global route is timed through the session front door
+(``repro.api.TimingSession``) and compared against one flat transient simulation
+of the whole path.
 """
 
-from repro.interconnect import RLCLine
-from repro.sta import PathTimer, TimingPath, TimingStage, simulate_path_reference
-from repro.units import mm, nH, pF, ps, to_ps
-
-
-def build_path():
-    net1 = RLCLine(resistance=56.3, inductance=nH(3.2), capacitance=pF(0.597),
-                   length=mm(3))
-    net2 = RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
-                   length=mm(5))
-    net3 = RLCLine(resistance=43.5, inductance=nH(3.1), capacitance=pF(0.66),
-                   length=mm(3))
-    return TimingPath(
-        name="bench_global_route",
-        stages=[
-            TimingStage("stage1", driver_size=75, line=net1, receiver_size=100),
-            TimingStage("stage2", driver_size=100, line=net2, receiver_size=75),
-            TimingStage("stage3", driver_size=75, line=net3, receiver_size=50),
-        ],
-        input_slew=ps(100),
-    )
+from repro.api import TimingSession
+from repro.experiments import global_route_path
+from repro.sta import simulate_path_reference
+from repro.units import to_ps
 
 
 def test_sta_path_vs_flat_simulation(benchmark, library, report_writer):
-    path = build_path()
-    timer = PathTimer(library=library)
-
-    report = benchmark.pedantic(lambda: timer.analyze(path), rounds=1, iterations=1)
+    path = global_route_path()
+    with TimingSession() as session:
+        report = benchmark.pedantic(lambda: session.time(path),
+                                    rounds=1, iterations=1)
     reference = simulate_path_reference(path)
 
     lines = [report.format_report(), reference.describe()]
-    cumulative = 0.0
-    for index, stage in enumerate(report.stages):
-        cumulative += stage.stage_delay
+    arrivals = [report.arrival(name) for name, _ in report.critical_path]
+    for index, cumulative in enumerate(arrivals):
         flat = reference.stage_arrival(index)
-        lines.append(f"  after {stage.stage.name}: STA {to_ps(cumulative):7.1f} ps  "
+        lines.append(f"  after {path.stage_list[index].name}: "
+                     f"STA {to_ps(cumulative):7.1f} ps  "
                      f"flat {to_ps(flat):7.1f} ps  "
                      f"({100 * (cumulative - flat) / flat:+.1f}%)")
     report_writer("sta_path", "\n".join(lines))
@@ -51,8 +35,6 @@ def test_sta_path_vs_flat_simulation(benchmark, library, report_writer):
     # End-to-end path delay within 5% of the flat transistor-level simulation.
     assert abs(sta_total - flat_total) / flat_total < 0.05
     # Every intermediate arrival within 10%.
-    cumulative = 0.0
-    for index, stage in enumerate(report.stages):
-        cumulative += stage.stage_delay
+    for index, cumulative in enumerate(arrivals):
         flat = reference.stage_arrival(index)
         assert abs(cumulative - flat) / flat < 0.10

@@ -1,30 +1,32 @@
 #!/usr/bin/env python
-"""Graph-scale static timing: fanout trees, reconvergence, and the stage memo.
+"""Graph-scale static timing through the session front door.
 
-The single-path engine (``examples/timing_path_sta.py``) walks one route at a
-time.  This example drives the timing-graph subsystem instead:
+The single-path view (``examples/timing_path_sta.py``) walks one route at a
+time.  This example drives whole DAGs through one ``repro.api.TimingSession``:
 
 * a buffered fanout tree (clock-tree shaped) is levelized and timed level by
   level, with every repeated (cell, slew, line, load) stage configuration served
-  from the in-process memo after its first solve,
+  from the session's in-process memo after its first solve,
 * a reconvergent diamond shows per-node rise/fall merging: its two branches have
   different inverter parity, so the sink legitimately sees both a rising and a
-  falling event and both are timed, and
-* the solver statistics show what graph-scale batching buys: far fewer unique
+  falling event and both are timed,
+* a design assembled fluently with ``DesignBuilder`` — no ``GraphNet`` tuples or
+  fanout lists by hand — rides through the same ``session.time()`` call, and
+* the session statistics show what graph-scale batching buys: far fewer unique
   stage solves than timed events.
 
 Pass ``--jobs N`` to fan unique stage solves of each level across N worker
-processes (the same fan-out/serial-fallback machinery as parallel cell
-characterization).  Run with ``python examples/graph_sta.py``.
+processes; the session owns that pool and closes it deterministically when the
+``with`` block exits.  Run with ``python examples/graph_sta.py``.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.experiments import fanout_tree, reconvergent_graph
-from repro.sta import GraphTimer
-from repro.units import to_ps
+from repro.api import DesignBuilder, TimingSession
+from repro.experiments import fanout_tree, reconvergent_graph, standard_lines
+from repro.units import ps, to_ps
 
 
 def main() -> None:
@@ -35,26 +37,34 @@ def main() -> None:
                         help="fanout-tree depth (default: 5 -> 63 nets)")
     args = parser.parse_args()
 
-    timer = GraphTimer(jobs=args.jobs)
+    with TimingSession(jobs=args.jobs) as session:
+        tree = fanout_tree(args.depth)
+        print(f"== fanout tree (depth {args.depth}) ==")
+        report = session.time(tree, name="fanout_tree")
+        print(report.format_report())
 
-    tree = fanout_tree(args.depth)
-    print(f"== fanout tree (depth {args.depth}) ==")
-    report = timer.analyze(tree)
-    print(report.format_report())
+        print("\n== reconvergent diamond (mixed rise/fall arrivals) ==")
+        report = session.time(reconvergent_graph(), name="diamond")
+        print(report.format_report())
+        for transition, event in sorted(report.events["sink"].items()):
+            print(f"  sink {transition:4s} input event: arrives "
+                  f"{to_ps(event.output_arrival):7.1f} ps at the far end "
+                  f"(via {event.source[0]})")
 
-    print("\n== reconvergent diamond (mixed rise/fall arrivals) ==")
-    diamond = reconvergent_graph()
-    report = timer.analyze(diamond)
-    print(report.format_report())
-    for transition, event in sorted(report.events["sink"].items()):
-        print(f"  sink {transition:4s} input event: arrives "
-              f"{to_ps(event.output_arrival):7.1f} ps at the far end "
-              f"(via {event.source[0]})")
+        print("\n== fluent DesignBuilder: bus + tap, no graph internals ==")
+        line = standard_lines()[1]
+        design = (DesignBuilder("bus_with_tap")
+                  .chain("bus", sizes=(75, 100, 75), line=line,
+                         input_slew=ps(100), receiver_size=50)
+                  .net("tap", driver_size=50, line=line, receiver_size=25)
+                  .connect("bus_s1", "tap"))
+        report = session.time(design)
+        print(report.format_report())
 
-    stats = timer.solver.stats
-    print(f"\nstage solver totals: {stats.requests} requests, "
-          f"{stats.computed + stats.installed} unique solves, "
-          f"cache hit rate {100 * stats.hit_rate:.1f}%")
+        stats = session.stats
+        print(f"\nsession totals: {stats.requests} stage requests, "
+              f"{stats.computed + stats.installed} unique solves, "
+              f"cache hit rate {100 * stats.hit_rate:.1f}%")
 
 
 if __name__ == "__main__":

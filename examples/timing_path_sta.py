@@ -4,23 +4,23 @@
 A three-stage repeatered path (75X -> 100X -> 75X inverters separated by multi-mm
 global wires) is timed two ways:
 
-* with the miniature STA engine, which uses the paper's effective-capacitance /
-  two-ramp driver model per stage and propagates far-end slews, and
+* with the session-based STA front door (``repro.api.TimingSession``), which runs
+  the paper's effective-capacitance / two-ramp driver model per stage and
+  propagates far-end slews, and
 * with one flat transistor-level transient simulation of the whole path.
 
 The point of the paper is precisely that the first (cheap, library-compatible) view
 can stay within a few percent of the second even when the wires are inductive.
 
-Under the hood ``PathTimer.analyze`` is a thin adapter over the timing-graph
-subsystem (``repro.sta.graph`` / ``repro.sta.batch``): the path becomes a
-chain-shaped ``TimingGraph``, and every stage goes through the shared memoized
-``StageSolver``.  Stage solutions are keyed by a content fingerprint of
-(cell tables, input slew, line R/L/C, load, modeling options, slew thresholds),
-so any (cell, slew, load) configuration — here or in a full graph analysis — is
-solved at most once per process; with ``StageSolver(persistent=True)`` scalar
-solutions also persist under ``$REPRO_CACHE_DIR/stages`` (next to the
-characterization cache) and survive across processes.  See
-``examples/graph_sta.py`` for fanout trees, reconvergence and mixed rise/fall
+``session.time(path)`` turns the path into a chain-shaped ``TimingGraph`` and runs
+it through the session's shared memoized ``StageSolver``: stage solutions are keyed
+by a content fingerprint of (cell tables, input slew, line R/L/C, load, modeling
+options, slew thresholds), so any configuration — here or in a full graph analysis
+— is solved at most once per session.  ``TimingSession(persistent_stages=True)``
+additionally persists scalar solutions under ``$REPRO_CACHE_DIR/stages`` so they
+survive across processes.  The result is a unified ``TimingReport`` that
+serializes losslessly to JSON (``report.save(...)`` / ``python -m repro report``).
+See ``examples/graph_sta.py`` for fanout trees, reconvergence and mixed rise/fall
 arrivals.
 
 Run with ``python examples/timing_path_sta.py``.
@@ -28,35 +28,20 @@ Run with ``python examples/timing_path_sta.py``.
 
 from __future__ import annotations
 
-from repro import RLCLine
-from repro.sta import PathTimer, TimingPath, TimingStage, simulate_path_reference
-from repro.units import mm, nH, pF, ps, to_ps
-
-
-def build_path() -> TimingPath:
-    """A representative repeatered global route using the paper's parasitics."""
-    net1 = RLCLine(resistance=56.3, inductance=nH(3.2), capacitance=pF(0.597),
-                   length=mm(3))
-    net2 = RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
-                   length=mm(5))
-    net3 = RLCLine(resistance=43.5, inductance=nH(3.1), capacitance=pF(0.66),
-                   length=mm(3))
-    return TimingPath(
-        name="global_route",
-        stages=[
-            TimingStage("stage1", driver_size=75, line=net1, receiver_size=100),
-            TimingStage("stage2", driver_size=100, line=net2, receiver_size=75),
-            TimingStage("stage3", driver_size=75, line=net3, receiver_size=50),
-        ],
-        input_slew=ps(100),
-    )
+from repro import TimingSession
+from repro.experiments import global_route_path
+from repro.sta import simulate_path_reference
+from repro.units import to_ps
 
 
 def main() -> None:
-    path = build_path()
+    # The canonical 3-stage route (75X -> 100X -> 75X over 3/5/3 mm wires with
+    # the paper's printed parasitics) — the same case the STA benchmark and
+    # `python -m repro time --case chain3` use.
+    path = global_route_path()
 
-    timer = PathTimer()
-    report = timer.analyze(path)
+    with TimingSession() as session:
+        report = session.time(path)
     print(report.format_report())
 
     print("\nrunning flat transistor-level validation (this is the slow part) ...")
@@ -66,12 +51,12 @@ def main() -> None:
     model_total = report.total_delay
     flat_total = reference.total_delay
     print("\nper-stage cumulative arrival times (ps):")
-    cumulative = 0.0
-    for index, stage in enumerate(report.stages):
-        cumulative += stage.stage_delay
+    for index, (name, _) in enumerate(report.critical_path):
+        cumulative = report.arrival(name)
         flat = reference.stage_arrival(index)
-        print(f"  after {stage.stage.name}: STA {to_ps(cumulative):7.1f}   "
-              f"flat {to_ps(flat):7.1f}   ({100 * (cumulative - flat) / flat:+.1f}%)")
+        print(f"  after {path.stage_list[index].name}: "
+              f"STA {to_ps(cumulative):7.1f}   flat {to_ps(flat):7.1f}   "
+              f"({100 * (cumulative - flat) / flat:+.1f}%)")
     print(f"\ntotal: STA {to_ps(model_total):.1f} ps vs flat {to_ps(flat_total):.1f} ps "
           f"({100 * (model_total - flat_total) / flat_total:+.1f}%)")
 

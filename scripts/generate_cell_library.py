@@ -1,10 +1,14 @@
 #!/usr/bin/env python
 """Generate the shipped pre-characterized cell library.
 
-Characterizes the driver sizes used by the paper's experiments (25X to 125X) over
-the default (input slew, load) grid with the circuit simulator and writes one JSON
-file per cell into ``src/repro/data/cells``.  Re-run this script after changing the
-technology or the MOSFET model.
+Thin wrapper over the package CLI: everything here is equivalent to
+
+    PYTHONPATH=src python -m repro characterize --output src/repro/data/cells ...
+
+(the one front door for characterization — a ``TimingSession`` owning the
+persistent cache and the worker pool).  The script exists so the documented
+regeneration command keeps working and defaults the output to the shipped data
+directory.
 
 Workflow
 --------
@@ -28,82 +32,20 @@ Examples::
 
 from __future__ import annotations
 
-import argparse
+import os
 import sys
-import time
-from pathlib import Path
 
-from repro.characterization import (CellLibrary, CharacterizationCache,
-                                    CharacterizationGrid,
-                                    cached_characterize_inverter,
-                                    characterize_inverter_parallel,
-                                    shipped_data_directory)
-from repro.characterization.parallel import resolve_jobs
-from repro.errors import CharacterizationError
-from repro.tech import InverterSpec, generic_180nm
-
-DEFAULT_SIZES = (25.0, 50.0, 75.0, 100.0, 125.0)
+from repro.api.cli import main as cli_main
+from repro.characterization import shipped_data_directory
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--sizes", type=float, nargs="+", default=list(DEFAULT_SIZES),
-                        help="driver sizes (X) to characterize")
-    parser.add_argument("--output", type=Path, default=shipped_data_directory(),
-                        help="output directory for the JSON files")
-    parser.add_argument("--coarse", action="store_true",
-                        help="use the small test grid instead of the full grid")
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="worker processes per cell (default: CPU count; 1 = serial)")
-    parser.add_argument("--cache-dir", type=Path, default=None,
-                        help="persistent characterization cache directory "
-                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro/cells)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="ignore the persistent cache and re-simulate everything")
-    args = parser.parse_args(argv)
-    try:
-        jobs = resolve_jobs(args.jobs)
-    except CharacterizationError as exc:
-        parser.error(str(exc))
-
-    tech = generic_180nm()
-    grid = CharacterizationGrid.coarse() if args.coarse else CharacterizationGrid.default()
-    cache = CharacterizationCache(args.cache_dir)
-    library = CellLibrary(tech=tech, cache=cache)
-    points = len(grid.input_slews) * len(grid.loads) * 2
-
-    print(f"characterizing {len(args.sizes)} cells "
-          f"({points} simulations each, {jobs} worker{'s' if jobs != 1 else ''}, "
-          f"cache: {'disabled' if args.no_cache else cache.directory})", flush=True)
-
-    total_start = time.time()
-    for size in args.sizes:
-        spec = InverterSpec(tech=tech, size=size)
-        start = time.time()
-        print(f"characterizing {spec.describe()} ...", flush=True)
-
-        def show_progress(done: int, total: int) -> None:
-            if done == total or done % 25 == 0:
-                print(f"  {done}/{total} points", flush=True)
-
-        if args.no_cache:
-            was_cached = False
-            cell = characterize_inverter_parallel(
-                spec, grid=grid, jobs=jobs, progress=show_progress)
-        else:
-            cell, was_cached = cached_characterize_inverter(
-                spec, grid=grid, cache=cache, jobs=jobs, progress=show_progress)
-        library.add(cell)
-        source = "cache hit" if was_cached else f"{time.time() - start:.1f} s"
-        print(f"  done ({source}; Rs_rise @ max load = "
-              f"{cell.driver_resistance(cell.input_slews[2], cell.max_load):.1f} ohm)",
-              flush=True)
-
-    output = library.save_to_directory(args.output)
-    print(f"wrote {len(library)} cells to {output} "
-          f"in {time.time() - total_start:.1f} s total")
-    return 0
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Defaults the CLI does not share: write into the shipped data directory and
+    # use every CPU (argparse lets later flags override these).
+    forwarded = ["characterize", "--output", str(shipped_data_directory()),
+                 "--jobs", str(max(os.cpu_count() or 1, 1))]
+    return cli_main(forwarded + argv)
 
 
 if __name__ == "__main__":

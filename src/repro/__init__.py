@@ -5,6 +5,10 @@ Capacitance Based Driver Output Model for On-Chip RLC Interconnects", DAC 2003.
 
 Main entry points
 -----------------
+* :mod:`repro.api` — **the front door**: :class:`~repro.api.TimingSession` owns
+  the library, caches and worker pools; :class:`~repro.api.DesignBuilder` builds
+  chains and DAGs; :class:`~repro.api.TimingReport` is the unified serializable
+  result; ``python -m repro`` is the CLI over all of it.
 * :func:`repro.core.model_driver_output` — the paper's modeling flow: rational
   driving-point admittance from moments, breakpoint voltage, Ceff1/Ceff2 iteration,
   inductance screening, plateau correction, two-ramp (or single-ramp) waveform.
@@ -13,21 +17,27 @@ Main entry points
 * :mod:`repro.characterization` — NLDM-style cell characterization and the shipped
   pre-characterized inverter library.
 * :mod:`repro.experiments` — the paper's Table 1 / Figures 1-7 reproductions.
-* :mod:`repro.sta` — a miniature gate-level timing engine built on the model.
+* :mod:`repro.sta` — the gate-level timing-graph subsystem built on the model.
 """
 
 from . import units
+from ._version import __version__
 from .analysis import Waveform
 from .characterization import CellCharacterization, CellLibrary, default_library
 from .core import (DriverOutputModel, ModelingOptions, TwoRampWaveform,
                    far_end_response, model_driver_output, voltage_breakpoint)
 from .interconnect import RLCLine, WireGeometry
 from .tech import InverterSpec, Technology, generic_180nm
-
-__version__ = "1.0.0"
+from . import api
+from .api import DesignBuilder, SessionConfig, TimingReport, TimingSession
 
 __all__ = [
     "__version__",
+    "api",
+    "SessionConfig",
+    "TimingSession",
+    "DesignBuilder",
+    "TimingReport",
     "units",
     "Waveform",
     "RLCLine",

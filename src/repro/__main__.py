@@ -1,0 +1,8 @@
+"""``python -m repro`` dispatches to the :mod:`repro.api.cli` front door."""
+
+import sys
+
+from .api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Single-sourced package version.
+
+The authoritative version lives in ``pyproject.toml``; installed copies resolve
+it through :mod:`importlib.metadata`.  Running straight from a source tree (the
+``PYTHONPATH=src`` workflow) has no installed distribution to ask, so a fallback
+mirrors the pyproject value with a ``+src`` marker.
+"""
+
+from importlib import metadata as _metadata
+
+#: Distribution name declared in pyproject.toml.
+DISTRIBUTION_NAME = "repro-two-ramp"
+
+#: Mirrors pyproject.toml's ``project.version`` for uninstalled source trees.
+_FALLBACK_VERSION = "1.0.0+src"
+
+try:
+    __version__ = _metadata.version(DISTRIBUTION_NAME)
+except _metadata.PackageNotFoundError:  # source tree, not installed
+    __version__ = _FALLBACK_VERSION

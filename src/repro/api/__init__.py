@@ -1,0 +1,45 @@
+"""repro.api — the one front door over the whole solver stack.
+
+The paper's reproduction grew three subsystems (characterization, memoized stage
+solving, graph-scale STA) that used to be wired together by hand.  This package
+is the coherent surface over them:
+
+* :class:`SessionConfig` — one validated, serializable configuration object
+  (environment variables are a documented override layer via
+  :meth:`SessionConfig.from_env`, not hidden magic),
+* :class:`TimingSession` — a context-managed facade owning the cell library,
+  the persistent caches, the memoized stage solver and the worker pools,
+* :class:`DesignBuilder` — fluent chain/DAG construction without touching
+  :class:`~repro.sta.graph.GraphNet` internals,
+* :class:`TimingReport` / :class:`TimingEvent` / :class:`RunInfo` — the unified
+  result model (per-net rise/fall events, critical path, run metadata) with a
+  lossless ``to_dict``/``from_dict``/JSON round-trip, and
+* the ``python -m repro`` CLI (:mod:`repro.api.cli`) built on top of it all.
+
+Quickstart::
+
+    from repro.api import DesignBuilder, TimingSession
+    from repro.units import mm, nH, pF, ps
+
+    design = (DesignBuilder("demo")
+              .chain("route", sizes=(75, 100, 75), line=line,
+                     input_slew=ps(100), receiver_size=50))
+    with TimingSession(jobs=4) as session:
+        report = session.time(design)
+        print(report.format_report())
+        report.save("timing.json")
+"""
+
+from .builder import DesignBuilder
+from .config import SessionConfig
+from .report import RunInfo, TimingEvent, TimingReport
+from .session import TimingSession
+
+__all__ = [
+    "SessionConfig",
+    "TimingSession",
+    "DesignBuilder",
+    "TimingReport",
+    "TimingEvent",
+    "RunInfo",
+]

@@ -1,0 +1,281 @@
+"""``python -m repro`` — the command-line front door over :class:`TimingSession`.
+
+Four subcommands cover the stack end to end::
+
+    python -m repro time --case chain3            # time a built-in design
+    python -m repro time --chain 75,100,75 --json timing.json
+    python -m repro characterize --sizes 50 75 --coarse
+    python -m repro bench --nets 256 --jobs 4     # memoized vs naive throughput
+    python -m repro report timing.json            # pretty-print a saved report
+
+Every subcommand builds one :class:`~.session.TimingSession` from the documented
+environment layer (``REPRO_CACHE_DIR``, ``REPRO_JOBS``,
+``REPRO_PERSISTENT_STAGES``) plus its own flags, so CLI runs and library runs
+resolve configuration identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time as time_module
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..errors import ReproError
+from ..experiments.graph_cases import LIBRARY_SIZES
+from ..units import ps
+from .builder import DesignBuilder
+from .config import SessionConfig
+from .report import TimingReport
+from .session import TimingSession
+
+__all__ = ["main"]
+
+
+def _session_config(args: argparse.Namespace) -> SessionConfig:
+    """The session config for one CLI invocation: env layer + explicit flags."""
+    overrides = {}
+    if getattr(args, "jobs", None) is not None:
+        overrides["jobs"] = args.jobs
+    if getattr(args, "cache_dir", None) is not None:
+        overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "no_cache", False):
+        overrides["use_characterization_cache"] = False
+    return SessionConfig.from_env(**overrides)
+
+
+def _build_design(args: argparse.Namespace):
+    """The design a ``time`` invocation asks for (path, builder or graph)."""
+    from ..experiments.graph_cases import (benchmark_graph, fanout_tree,
+                                           global_route_path,
+                                           reconvergent_graph, standard_lines)
+    input_slew = ps(args.input_slew)
+    if args.chain:
+        try:
+            sizes = [float(token) for token in args.chain.split(",") if token]
+        except ValueError:
+            raise ReproError(
+                f"--chain expects comma-separated driver sizes, got {args.chain!r}")
+        if not sizes:
+            raise ReproError("--chain needs at least one driver size")
+        return DesignBuilder("cli_chain").chain(
+            "chain", sizes=sizes, line=standard_lines(), input_slew=input_slew)
+    if args.case == "chain3":
+        return global_route_path(input_slew=input_slew)
+    if args.case == "diamond":
+        return reconvergent_graph(input_slew=input_slew)
+    if args.case == "tree":
+        return fanout_tree(args.depth, input_slew=input_slew)
+    if args.case == "bench":
+        return benchmark_graph(args.nets, input_slew=input_slew)
+    raise ReproError(f"unknown case {args.case!r}")
+
+
+def _cmd_time(args: argparse.Namespace) -> int:
+    design = _build_design(args)
+    with TimingSession(_session_config(args)) as session:
+        report = session.time(design)
+    print(report.format_report(limit=args.limit))
+    if args.json is not None:
+        path = report.save(args.json)
+        print(f"report written to {path}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from ..characterization.characterize import CharacterizationGrid
+    grid = CharacterizationGrid.coarse() if args.coarse \
+        else CharacterizationGrid.default()
+    points = len(grid.input_slews) * len(grid.loads) * 2
+    config = _session_config(args)
+    with TimingSession(config) as session:
+        cache = session.characterization_cache
+        print(f"characterizing {len(args.sizes)} cells ({points} simulations "
+              f"each, {config.jobs} worker{'s' if config.jobs != 1 else ''}, "
+              f"cache: {cache.directory if cache is not None else 'disabled'})",
+              flush=True)
+        total_start = time_module.time()
+        cells = []
+        for size in args.sizes:
+            start = time_module.time()
+            hits_before = cache.hits if cache is not None else 0
+            print(f"characterizing {size:g}X ...", flush=True)
+
+            def show_progress(done: int, total: int) -> None:
+                if done == total or done % 25 == 0:
+                    print(f"  {done}/{total} points", flush=True)
+
+            (cell,) = session.characterize(size, grid=grid,
+                                           progress=show_progress)
+            cells.append(cell)
+            was_cached = cache is not None and cache.hits > hits_before
+            source = "cache hit" if was_cached \
+                else f"{time_module.time() - start:.1f} s"
+            print(f"  done ({source}; Rs_rise @ max load = "
+                  f"{cell.driver_resistance(cell.input_slews[2], cell.max_load):.1f}"
+                  " ohm)", flush=True)
+        if args.output is not None:
+            args.output.mkdir(parents=True, exist_ok=True)
+            for cell in cells:
+                cell.save(args.output / f"{cell.cell_name}.json")
+            print(f"wrote {len(cells)} cells to {args.output} "
+                  f"in {time_module.time() - total_start:.1f} s total")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from ..experiments.graph_cases import benchmark_graph
+    graph = benchmark_graph(args.nets, chain_length=args.chain_length)
+    config = _session_config(args)
+    with TimingSession(config) as session:
+        print(f"benchmark graph: {graph.describe()}", flush=True)
+        naive_elapsed = None
+        if args.baseline:
+            print("naive per-stage loop (every cache layer bypassed) ...",
+                  flush=True)
+            naive = session.time(graph, jobs=1, memoize=False, name="naive")
+            naive_elapsed = naive.meta.elapsed
+            print(f"  {naive_elapsed:.2f} s "
+                  f"({naive.n_events / naive_elapsed:.1f} nets/s)", flush=True)
+        print(f"memoized batched run ({config.jobs} worker(s)) ...", flush=True)
+        batched = session.time(graph, name="batched")
+    meta = batched.meta
+    print(f"  {meta.elapsed:.2f} s ({batched.n_events / meta.elapsed:.1f} nets/s, "
+          f"cache hit rate {100 * meta.hit_rate:.1f}%, "
+          f"{meta.computed + meta.installed} unique solves)")
+    payload = {
+        "nets": len(batched.events),
+        "events": batched.n_events,
+        "jobs": meta.jobs,
+        "batched_seconds": round(meta.elapsed, 3),
+        "batched_nets_per_second": round(batched.n_events / meta.elapsed, 1),
+        "cache_hit_rate": round(meta.hit_rate, 4),
+    }
+    if naive_elapsed is not None:
+        payload["naive_seconds"] = round(naive_elapsed, 3)
+        payload["speedup"] = round(naive_elapsed / meta.elapsed, 2)
+        print(f"  speedup: {payload['speedup']}x")
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"benchmark payload written to {args.json}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        report = TimingReport.load(args.path)
+    except OSError as exc:
+        raise ReproError(f"cannot read report {args.path}: {exc}") from exc
+    print(report.format_report(limit=args.limit))
+    if args.events:
+        print("all events:")
+        for name in report.nets:
+            for _, event in sorted(report.events.get(name, {}).items()):
+                print(f"  {event.describe()}")
+    meta = report.meta
+    print(f"produced by repro {meta.version or '?'} in {meta.elapsed:.3f} s "
+          f"({meta.jobs} worker(s))")
+    return 0
+
+
+def _add_session_flags(parser: argparse.ArgumentParser, *,
+                       jobs_help: str) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help=jobs_help)
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="persistent cache root (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro/cells)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Effective-capacitance two-ramp timing (DAC'03 "
+                    "reproduction): one CLI over the characterization, "
+                    "stage-solving and graph-timing stack.")
+    from .._version import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    timer = commands.add_parser(
+        "time", help="time a design and print/serialize its TimingReport")
+    case = timer.add_mutually_exclusive_group()
+    case.add_argument("--case", choices=("chain3", "diamond", "tree", "bench"),
+                      default="chain3",
+                      help="built-in design (default: the 3-stage example route)")
+    case.add_argument("--chain", default=None, metavar="SIZES",
+                      help="custom chain: comma-separated driver sizes, e.g. "
+                           "75,100,75 (cycles the standard line flavors)")
+    timer.add_argument("--input-slew", type=float, default=100.0, metavar="PS",
+                       help="primary-input slew in ps (default: 100)")
+    timer.add_argument("--depth", type=int, default=3,
+                       help="fanout-tree depth for --case tree (default: 3)")
+    timer.add_argument("--nets", type=int, default=128,
+                       help="net count for --case bench (default: 128)")
+    timer.add_argument("--limit", type=int, default=20,
+                       help="critical-path lines to print (default: 20)")
+    timer.add_argument("--json", type=Path, default=None, metavar="PATH",
+                       help="also write the TimingReport as JSON")
+    _add_session_flags(timer, jobs_help="worker processes per graph level "
+                                        "(default: $REPRO_JOBS or 1)")
+    timer.set_defaults(func=_cmd_time)
+
+    char = commands.add_parser(
+        "characterize", help="characterize driver cells through the session "
+                             "cache and worker pool")
+    char.add_argument("--sizes", type=float, nargs="+",
+                      default=list(LIBRARY_SIZES),
+                      help="driver sizes (X) to characterize")
+    char.add_argument("--coarse", action="store_true",
+                      help="use the small test grid instead of the full grid")
+    char.add_argument("--no-cache", action="store_true",
+                      help="ignore the persistent cache and re-simulate")
+    char.add_argument("--output", type=Path, default=None, metavar="DIR",
+                      help="write the characterized cells as JSON files here")
+    _add_session_flags(char, jobs_help="worker processes per grid "
+                                       "(default: $REPRO_JOBS or 1)")
+    char.set_defaults(func=_cmd_characterize)
+
+    bench = commands.add_parser(
+        "bench", help="graph-timing throughput: memoized batched run vs the "
+                      "naive per-stage loop")
+    bench.add_argument("--nets", type=int, default=128,
+                       help="benchmark graph size (default: 128 nets)")
+    bench.add_argument("--chain-length", type=int, default=16,
+                       help="stages per chain in the benchmark graph")
+    bench.add_argument("--no-baseline", dest="baseline", action="store_false",
+                       help="skip the naive baseline (just measure throughput)")
+    bench.add_argument("--json", type=Path, default=None, metavar="PATH",
+                       help="write the machine-readable payload here")
+    _add_session_flags(bench, jobs_help="worker processes per graph level "
+                                        "(default: $REPRO_JOBS or 1)")
+    bench.set_defaults(func=_cmd_bench)
+
+    shower = commands.add_parser(
+        "report", help="pretty-print a TimingReport JSON file")
+    shower.add_argument("path", type=Path, help="report file written by "
+                                                "`time --json` / report.save()")
+    shower.add_argument("--limit", type=int, default=20,
+                        help="critical-path lines to print (default: 20)")
+    shower.add_argument("--events", action="store_true",
+                        help="also list every solved (net, transition) event")
+    shower.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Validated, serializable configuration for :class:`~repro.api.TimingSession`.
+
+:class:`SessionConfig` is the one place the solver stack's knobs live.  Before it
+existed, callers hand-wired ``ModelingOptions``, ``jobs``, ``cache_dir``,
+``memo_size`` and slew thresholds through five unrelated entry points; now a
+session is configured once and every subsystem (characterization, stage solving,
+graph timing) reads the same object.
+
+Environment variables are one documented override layer — applied only by
+:meth:`SessionConfig.from_env`, never implicitly by the dataclass itself:
+
+============================  =====================================================
+variable                      meaning
+============================  =====================================================
+``REPRO_CACHE_DIR``           persistent cache root (cells + ``stages/``)
+``REPRO_JOBS``                default worker-process count (``0`` = one per CPU)
+``REPRO_PERSISTENT_STAGES``   ``1`` turns on the persistent stage-solution store
+============================  =====================================================
+
+(The characterization cache resolves ``REPRO_CACHE_DIR`` itself when
+``cache_dir`` is None, so existing workflows keep working; ``from_env`` simply
+makes the resolution explicit and adds the two scheduling knobs.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
+from ..core.criteria import CriteriaThresholds
+from ..core.driver_model import ModelingOptions
+from ..errors import ModelingError
+
+__all__ = ["SessionConfig"]
+
+#: Environment variables read by :meth:`SessionConfig.from_env`.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_JOBS = "REPRO_JOBS"
+ENV_PERSISTENT_STAGES = "REPRO_PERSISTENT_STAGES"
+
+_TRUTHY = ("1", "true", "True", "yes", "on")
+
+
+def _options_to_dict(options: ModelingOptions) -> Dict[str, Any]:
+    payload = dataclasses.asdict(options)
+    payload["criteria"] = dataclasses.asdict(options.criteria)
+    return payload
+
+
+def _options_from_dict(payload: Mapping[str, Any]) -> ModelingOptions:
+    data = dict(payload)
+    criteria = data.get("criteria")
+    if isinstance(criteria, Mapping):
+        data["criteria"] = CriteriaThresholds(**criteria)
+    known = {f.name for f in dataclasses.fields(ModelingOptions)}
+    unknown = set(data) - known
+    if unknown:
+        raise ModelingError(
+            f"unknown ModelingOptions field(s) in config payload: {sorted(unknown)}")
+    return ModelingOptions(**data)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything a :class:`~repro.api.TimingSession` needs to own its resources.
+
+    ``library_dir`` / ``cache_dir`` default to the shipped characterization data
+    and the standard cache-resolution chain (``REPRO_CACHE_DIR``,
+    ``$XDG_CACHE_HOME/repro/cells``, ``~/.cache/repro/cells``); ``jobs`` is the
+    worker-process count shared by graph timing and characterization (``1`` =
+    serial); ``persistent_stages`` additionally persists scalar stage solutions
+    under the cache's ``stages/`` subdirectory; ``slew_quantum`` (seconds) trades
+    bit-exactness for memo hit rate by snapping input slews onto a grid.
+    """
+
+    library_dir: Optional[Path] = None  #: cell JSON directory; None = shipped data
+    cache_dir: Optional[Path] = None  #: persistent cache root; None = default chain
+    use_characterization_cache: bool = True  #: persist characterized cells on disk
+    persistent_stages: bool = False  #: persist scalar stage solutions on disk
+    jobs: int = 1  #: worker processes for graph levels and characterization grids
+    memo_size: int = 4096  #: in-process stage-solution LRU bound (0 disables)
+    slew_quantum: Optional[float] = None  #: slew snapping grid [s]; None = exact
+    slew_low: float = SLEW_LOW_THRESHOLD  #: lower slew measurement threshold
+    slew_high: float = SLEW_HIGH_THRESHOLD  #: upper slew measurement threshold
+    options: ModelingOptions = field(default_factory=ModelingOptions)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ModelingError(f"jobs must be >= 1, got {self.jobs}")
+        if self.memo_size < 0:
+            raise ModelingError(f"memo_size must be >= 0, got {self.memo_size}")
+        if self.slew_quantum is not None and self.slew_quantum <= 0:
+            raise ModelingError("slew_quantum must be positive when given")
+        if not 0.0 < self.slew_low < self.slew_high < 1.0:
+            raise ModelingError(
+                "slew thresholds must satisfy 0 < slew_low < slew_high < 1, got "
+                f"({self.slew_low}, {self.slew_high})")
+        if not isinstance(self.options, ModelingOptions):
+            raise ModelingError("options must be a ModelingOptions instance")
+        for name in ("library_dir", "cache_dir"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, Path):
+                object.__setattr__(self, name, Path(value))
+
+    # --- derivation -------------------------------------------------------------------
+    def replace(self, **overrides: Any) -> "SessionConfig":
+        """A copy with ``overrides`` applied (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None,
+                 **overrides: Any) -> "SessionConfig":
+        """A config seeded from the documented environment variables.
+
+        Explicit ``overrides`` win over the environment; ``environ`` defaults to
+        ``os.environ`` (injectable for tests).
+        """
+        environ = os.environ if environ is None else environ
+        seeded: Dict[str, Any] = {}
+        cache_dir = environ.get(ENV_CACHE_DIR)
+        if cache_dir:
+            seeded["cache_dir"] = Path(cache_dir).expanduser()
+        jobs = environ.get(ENV_JOBS)
+        if jobs:
+            try:
+                parsed = int(jobs)
+            except ValueError:
+                raise ModelingError(
+                    f"{ENV_JOBS} must be an integer, got {jobs!r}") from None
+            seeded["jobs"] = max(os.cpu_count() or 1, 1) if parsed == 0 else parsed
+        if environ.get(ENV_PERSISTENT_STAGES, "") in _TRUTHY:
+            seeded["persistent_stages"] = True
+        seeded.update(overrides)
+        return cls(**seeded)
+
+    # --- serialization ----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+        return {
+            "library_dir": str(self.library_dir) if self.library_dir else None,
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "use_characterization_cache": self.use_characterization_cache,
+            "persistent_stages": self.persistent_stages,
+            "jobs": self.jobs,
+            "memo_size": self.memo_size,
+            "slew_quantum": self.slew_quantum,
+            "slew_low": self.slew_low,
+            "slew_high": self.slew_high,
+            "options": _options_to_dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SessionConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        data = dict(payload)
+        options = data.get("options")
+        if isinstance(options, Mapping):
+            data["options"] = _options_from_dict(options)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ModelingError(
+                f"unknown SessionConfig field(s): {sorted(unknown)}")
+        return cls(**data)
+
+    def describe(self) -> str:
+        """Single-line human-readable summary."""
+        library = self.library_dir if self.library_dir else "shipped"
+        cache = self.cache_dir if self.cache_dir else "default"
+        return (f"session config: library={library}, cache={cache} "
+                f"(cells {'on' if self.use_characterization_cache else 'off'}, "
+                f"stages {'on' if self.persistent_stages else 'off'}), "
+                f"jobs={self.jobs}, memo={self.memo_size}, "
+                f"quantum={self.slew_quantum}")

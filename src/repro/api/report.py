@@ -1,0 +1,358 @@
+"""The unified timing-result model: one schema for paths, graphs and stages.
+
+Before :class:`TimingReport`, every layer of the solver stack answered with its
+own shape — :class:`~repro.sta.engine.PathTimingReport` (stage list),
+:class:`~repro.sta.graph.GraphTimingReport` (event dict holding live
+:class:`~repro.core.stage_solver.StageSolution` objects) and bare
+:class:`~repro.sta.engine.StageTiming` — none of which serialized.  A
+:class:`TimingReport` merges them: per-net rise/fall :class:`TimingEvent` records
+(scalar, so the whole report pickles and JSONs), the critical path as event
+references, topological levels, and run metadata (:class:`RunInfo`).
+
+Serialization is lossless and stable: ``from_dict(to_dict(r)) == r`` exactly
+(floats survive because JSON encodes them via ``repr``, which round-trips), and
+two analyses of the same design produce byte-identical payloads apart from the
+wall-clock fields in ``meta``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ModelingError
+from ..sta.graph import GraphTimingReport, NetEventTiming
+from ..units import to_ps
+
+__all__ = ["TimingEvent", "RunInfo", "TimingReport"]
+
+#: Bump when the report schema changes incompatibly.
+REPORT_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TimingEvent:
+    """One solved (net, input-transition) event, scalars only.
+
+    This is the union of what :class:`~repro.sta.graph.NetEventTiming` and
+    :class:`~repro.core.stage_solver.StageSolution` expose, flattened so the
+    event is self-contained and serializable.
+    """
+
+    net: str
+    input_transition: str  #: edge direction at the driver input
+    output_transition: str  #: edge direction at the far end (inverted)
+    input_arrival: float  #: merged worst-case 50% arrival at the driver input [s]
+    output_arrival: float  #: 50% arrival at the far end [s]
+    input_slew: float  #: full-swing input ramp time the stage was solved at [s]
+    gate_delay: float  #: input 50% to modeled driver-output 50% [s]
+    interconnect_delay: float  #: driver-output 50% to far-end 50% [s]
+    far_slew: float  #: far-end threshold-to-threshold transition time [s]
+    propagated_slew: float  #: far_slew rescaled to a full-swing ramp time [s]
+    kind: str  #: "two-ramp" or "single-ramp"
+    cell_name: str
+    load_capacitance: float  #: far-end lumped gate load [F]
+    ceff1: float
+    tr1: float
+    ceff2: Optional[float]
+    tr2_effective: Optional[float]
+    fingerprint: str  #: stage-solution memo key (content fingerprint)
+    source: Optional[Tuple[str, str]] = None  #: winning fanin (net, transition)
+
+    @property
+    def stage_delay(self) -> float:
+        """Total stage delay: input 50% to far-end 50% [s]."""
+        return self.gate_delay + self.interconnect_delay
+
+    @classmethod
+    def from_net_event(cls, event: NetEventTiming) -> "TimingEvent":
+        """Flatten one live graph event into its serializable record."""
+        solution = event.solution
+        return cls(
+            net=event.net.name, input_transition=event.input_transition,
+            output_transition=event.output_transition,
+            input_arrival=event.input_arrival,
+            output_arrival=event.output_arrival, input_slew=event.input_slew,
+            gate_delay=solution.gate_delay,
+            interconnect_delay=solution.interconnect_delay,
+            far_slew=solution.far_slew, propagated_slew=solution.propagated_slew,
+            kind=solution.kind, cell_name=solution.cell_name,
+            load_capacitance=solution.load_capacitance, ceff1=solution.ceff1,
+            tr1=solution.tr1, ceff2=solution.ceff2,
+            tr2_effective=solution.tr2_effective,
+            fingerprint=solution.fingerprint, source=event.source)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+        return {
+            "net": self.net,
+            "input_transition": self.input_transition,
+            "output_transition": self.output_transition,
+            "input_arrival": self.input_arrival,
+            "output_arrival": self.output_arrival,
+            "input_slew": self.input_slew,
+            "gate_delay": self.gate_delay,
+            "interconnect_delay": self.interconnect_delay,
+            "far_slew": self.far_slew,
+            "propagated_slew": self.propagated_slew,
+            "kind": self.kind,
+            "cell_name": self.cell_name,
+            "load_capacitance": self.load_capacitance,
+            "ceff1": self.ceff1,
+            "tr1": self.tr1,
+            "ceff2": self.ceff2,
+            "tr2_effective": self.tr2_effective,
+            "fingerprint": self.fingerprint,
+            "source": list(self.source) if self.source is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TimingEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        data = dict(payload)
+        source = data.get("source")
+        if source is not None:
+            data["source"] = (source[0], source[1])
+        return cls(**data)
+
+    def describe(self) -> str:
+        """Single-line summary in ps."""
+        return (f"{self.net}[{self.input_transition}->{self.output_transition}]"
+                f": {self.kind:11s} in {to_ps(self.input_arrival):7.1f} ps"
+                f" -> out {to_ps(self.output_arrival):7.1f} ps"
+                f" (slew {to_ps(self.far_slew):6.1f} ps)")
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """How one analysis ran: wall clock, workers, solver cache behaviour."""
+
+    elapsed: float  #: wall-clock analysis time [s]
+    jobs: int  #: worker processes the engine actually used
+    memo_hits: int = 0
+    persistent_hits: int = 0
+    computed: int = 0
+    installed: int = 0  #: solutions computed by workers and adopted
+    version: str = ""  #: repro package version that produced the report
+
+    @property
+    def requests(self) -> int:
+        return self.memo_hits + self.persistent_hits + self.computed + self.installed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of stage-solve requests served from a cache layer."""
+        total = self.requests
+        return (self.memo_hits + self.persistent_hits) / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "elapsed": self.elapsed,
+            "jobs": self.jobs,
+            "memo_hits": self.memo_hits,
+            "persistent_hits": self.persistent_hits,
+            "computed": self.computed,
+            "installed": self.installed,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunInfo":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Unified result of timing one design (a path or a graph).
+
+    ``events`` maps net name -> input transition -> :class:`TimingEvent`;
+    ``critical_path`` references events as ``(net, transition)`` pairs from a
+    primary input to the worst sink; ``levels`` is the topological levelization
+    the engine batched over (for a path: one net per level, in stage order).
+    """
+
+    design: str  #: design name (path name, or a caller-supplied graph label)
+    kind: str  #: "path" or "graph"
+    events: Dict[str, Dict[str, TimingEvent]]
+    levels: List[List[str]]
+    critical_path: List[Tuple[str, str]] = field(default_factory=list)
+    meta: RunInfo = field(default_factory=lambda: RunInfo(elapsed=0.0, jobs=1))
+
+    # --- construction -----------------------------------------------------------------
+    @classmethod
+    def from_graph_report(cls, report: GraphTimingReport, *, design: str,
+                          kind: str = "graph",
+                          version: str = "") -> "TimingReport":
+        """Flatten a live :class:`GraphTimingReport` into the unified model."""
+        if kind not in ("path", "graph"):
+            raise ModelingError(f"report kind must be 'path' or 'graph', got {kind!r}")
+        events = {
+            name: {transition: TimingEvent.from_net_event(event)
+                   for transition, event in sorted(per_net.items())}
+            for name, per_net in sorted(report.events.items())
+        }
+        critical = [(event.net.name, event.input_transition)
+                    for event in report.critical_path()] if events else []
+        stats = report.stats
+        meta = RunInfo(elapsed=report.elapsed, jobs=report.jobs,
+                       memo_hits=stats.memo_hits,
+                       persistent_hits=stats.persistent_hits,
+                       computed=stats.computed, installed=stats.installed,
+                       version=version)
+        return cls(design=design, kind=kind, events=events,
+                   levels=[list(level) for level in report.levels],
+                   critical_path=critical, meta=meta)
+
+    # --- queries ----------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        """Number of solved (net, transition) events."""
+        return sum(len(per_net) for per_net in self.events.values())
+
+    @property
+    def nets(self) -> List[str]:
+        """Net names in topological (level) order."""
+        return [name for level in self.levels for name in level]
+
+    def event(self, name: str, transition: Optional[str] = None) -> TimingEvent:
+        """The event of net ``name`` (worst output arrival when ambiguous)."""
+        per_net = self.events.get(name)
+        if not per_net:
+            raise ModelingError(f"net {name!r} has no timed event")
+        if transition is not None:
+            if transition not in per_net:
+                raise ModelingError(
+                    f"net {name!r} has no {transition!r} input event")
+            return per_net[transition]
+        return max(per_net.values(), key=lambda e: e.output_arrival)
+
+    def arrival(self, name: str, transition: Optional[str] = None) -> float:
+        """Worst-case far-end arrival of net ``name`` [s]."""
+        return self.event(name, transition).output_arrival
+
+    def worst_event(self) -> TimingEvent:
+        """The critical-path endpoint (the worst sink event)."""
+        if not self.critical_path:
+            raise ModelingError(
+                f"timing report of {self.design!r} has no critical path")
+        name, transition = self.critical_path[-1]
+        return self.events[name][transition]
+
+    def critical_events(self) -> List[TimingEvent]:
+        """The critical path as resolved events, in arrival order."""
+        return [self.events[name][transition]
+                for name, transition in self.critical_path]
+
+    @property
+    def total_delay(self) -> float:
+        """Worst sink arrival [s] (for a path: the total path delay)."""
+        return self.worst_event().output_arrival
+
+    @property
+    def output_slew(self) -> float:
+        """Far-end threshold-to-threshold slew of the worst sink event [s]."""
+        return self.worst_event().far_slew
+
+    def stage_delays(self) -> List[float]:
+        """Per-event stage delays along the critical path [s]."""
+        return [event.stage_delay for event in self.critical_events()]
+
+    # --- serialization ----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (inverse of :meth:`from_dict`).
+
+        Nets and transitions are emitted sorted, so two analyses of the same
+        design serialize identically apart from the wall clock in ``meta``.
+        """
+        return {
+            "format": REPORT_FORMAT_VERSION,
+            "design": self.design,
+            "kind": self.kind,
+            "events": {
+                name: {transition: event.to_dict()
+                       for transition, event in sorted(per_net.items())}
+                for name, per_net in sorted(self.events.items())
+            },
+            "levels": [list(level) for level in self.levels],
+            "critical_path": [list(ref) for ref in self.critical_path],
+            "meta": self.meta.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TimingReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Raises :class:`~repro.errors.ModelingError` on any malformed payload
+        (wrong format tag, missing/extra keys), never a bare ``TypeError``.
+        """
+        if payload.get("format") != REPORT_FORMAT_VERSION:
+            raise ModelingError(
+                f"timing report format {payload.get('format')!r} is not supported")
+        try:
+            events = {
+                name: {transition: TimingEvent.from_dict(event)
+                       for transition, event in per_net.items()}
+                for name, per_net in payload["events"].items()
+            }
+            return cls(design=payload["design"], kind=payload["kind"],
+                       events=events,
+                       levels=[list(level) for level in payload["levels"]],
+                       critical_path=[(ref[0], ref[1])
+                                      for ref in payload["critical_path"]],
+                       meta=RunInfo.from_dict(payload["meta"]))
+        except (TypeError, KeyError, IndexError, AttributeError) as exc:
+            raise ModelingError(
+                f"malformed timing report payload: {exc!r}") from exc
+
+    def to_json(self, *, indent: Optional[int] = 1) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TimingReport":
+        """Inverse of :meth:`to_json`; raises ModelingError on invalid JSON."""
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ModelingError(f"timing report is not valid JSON: {exc}") from exc
+        if not isinstance(payload, Mapping):
+            raise ModelingError("timing report JSON must be an object")
+        return cls.from_dict(payload)
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the report to ``path`` as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "TimingReport":
+        """Read a report previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+    # --- presentation -----------------------------------------------------------------
+    def format_report(self, *, limit: int = 20) -> str:
+        """Multi-line human-readable summary (critical path + totals)."""
+        meta = self.meta
+        lines = [
+            f"{self.kind} {self.design!r}: {len(self.events)} nets in "
+            f"{len(self.levels)} levels, {self.n_events} events",
+            f"  solved in {meta.elapsed:.3f} s ({meta.jobs} worker(s), "
+            f"cache hit rate {100 * meta.hit_rate:.1f}%)",
+        ]
+        if not self.critical_path:
+            lines.append("  (no events: nothing to time)")
+            return "\n".join(lines)
+        worst = self.worst_event()
+        lines.append(f"  worst sink arrival: {worst.net} "
+                     f"{to_ps(worst.output_arrival):.1f} ps "
+                     f"(far slew {to_ps(worst.far_slew):.1f} ps)")
+        lines.append("  critical path:")
+        path = self.critical_events()
+        shown = path if len(path) <= limit else path[:limit]
+        lines.extend(f"    {event.describe()}" for event in shown)
+        if len(path) > limit:
+            lines.append(f"    ... ({len(path) - limit} more events)")
+        return "\n".join(lines)

@@ -1,0 +1,256 @@
+"""The session layer: one object that owns the whole solver stack.
+
+:class:`TimingSession` is the package's front door.  It builds — from one
+validated :class:`~.config.SessionConfig` — the cell library, the persistent
+characterization cache, the memoized stage solver (optionally persistent), and
+the batched graph engine with its worker pool, then exposes the two things
+callers actually want to do:
+
+* :meth:`TimingSession.time` — time a design (a :class:`~repro.sta.TimingPath`,
+  a :class:`~repro.sta.TimingGraph`, or a :class:`~.builder.DesignBuilder`) and
+  get back a unified, serializable :class:`~.report.TimingReport`, and
+* :meth:`TimingSession.characterize` — characterize driver cells through the
+  session's cache and worker pool.
+
+Sessions are context managers; leaving the ``with`` block closes every worker
+pool the session created.  Results are bit-identical to the legacy entry points
+(:class:`~repro.sta.PathTimer` / ``GraphTimer``) because both run the exact same
+:class:`~repro.sta.batch.GraphEngine` and memoized stage solver.
+
+::
+
+    from repro.api import TimingSession
+
+    with TimingSession(jobs=4) as session:
+        report = session.time(graph)
+        print(report.format_report())
+        report.save("timing.json")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from .._version import __version__
+from ..characterization.cache import CharacterizationCache, cached_characterize_inverter
+from ..characterization.cell import CellCharacterization
+from ..characterization.characterize import CharacterizationGrid
+from ..characterization.library import (CellLibrary, default_library,
+                                        shipped_data_directory)
+from ..characterization.parallel import (CharacterizationRunner,
+                                         characterize_inverter_parallel)
+from ..core.stage_solver import SolverStats, StageSolver
+from ..errors import ModelingError
+from ..sta.batch import GraphEngine
+from ..sta.graph import TimingGraph, chain_graph
+from ..sta.stage import TimingPath
+from ..tech.inverter import InverterSpec
+from .builder import DesignBuilder
+from .config import SessionConfig
+from .report import TimingReport
+
+__all__ = ["TimingSession"]
+
+#: Anything :meth:`TimingSession.time` accepts.
+Design = Union[TimingPath, TimingGraph, DesignBuilder]
+
+
+class TimingSession:
+    """Facade over characterization, stage solving and graph timing.
+
+    Construct with a :class:`SessionConfig`, keyword overrides of one, or
+    nothing at all::
+
+        TimingSession()                      # defaults: shipped library, serial
+        TimingSession(jobs=4)                # override one knob
+        TimingSession(SessionConfig.from_env())  # env-var layer, explicit
+
+    The session owns its resources: the stage-solution memo is shared by every
+    analysis (so repeated designs hit cache), and worker pools are created
+    lazily and closed by :meth:`close` / the ``with`` block.
+    """
+
+    def __init__(self, config: Optional[SessionConfig] = None, **overrides) -> None:
+        base = config if config is not None else SessionConfig()
+        self.config = base.replace(**overrides) if overrides else base
+        cfg = self.config
+
+        cache: Optional[CharacterizationCache] = None
+        if cfg.use_characterization_cache:
+            cache = CharacterizationCache(cfg.cache_dir)
+        self._characterization_cache = cache
+
+        if cfg.library_dir is None and cfg.cache_dir is None and cache is not None:
+            # Default resources: share the process-wide library so sessions in
+            # one process load the shipped cell data exactly once.
+            self.library = default_library()
+        else:
+            directory = cfg.library_dir if cfg.library_dir is not None \
+                else shipped_data_directory()
+            self.library = CellLibrary.from_directory(directory, cache=cache)
+
+        persistent: "bool | Path" = False
+        if cfg.persistent_stages:
+            persistent = cfg.cache_dir / "stages" if cfg.cache_dir is not None \
+                else True
+        self.solver = StageSolver(memo_size=cfg.memo_size, persistent=persistent,
+                                  slew_quantum=cfg.slew_quantum,
+                                  slew_low=cfg.slew_low, slew_high=cfg.slew_high)
+
+        self._engine = GraphEngine(
+            library=self.library, tech=self.library.tech, options=cfg.options,
+            slew_low=cfg.slew_low, slew_high=cfg.slew_high, solver=self.solver,
+            jobs=cfg.jobs)
+        self._runner: Optional[CharacterizationRunner] = None
+        self._managed = False
+        self._closed = False
+
+    # --- lifecycle --------------------------------------------------------------------
+    def __enter__(self) -> "TimingSession":
+        # Inside a ``with`` block worker pools persist across calls (the engine
+        # and the characterization runner reuse them) and are closed on exit.
+        # Outside one, every call cleans up its own pool — same contract as
+        # GraphEngine — so an un-close()d session never leaks worker processes.
+        self._managed = True
+        self._engine.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._managed = False
+        self._engine.__exit__(exc_type, exc, tb)
+        self.close()
+
+    def close(self) -> None:
+        """Shut down every worker pool the session created (idempotent).
+
+        The session stays queryable after closing — pools are recreated on
+        demand if it is used again.
+        """
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+        self._engine.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (pools released)."""
+        return self._closed
+
+    # --- resources --------------------------------------------------------------------
+    @property
+    def tech(self):
+        """The technology the session's library was characterized for."""
+        return self.library.tech
+
+    @property
+    def characterization_cache(self) -> Optional[CharacterizationCache]:
+        """The persistent cell cache the session reads/writes (None = disabled)."""
+        return self._characterization_cache
+
+    @property
+    def stats(self) -> SolverStats:
+        """Cumulative stage-solver counters over the session's lifetime."""
+        return self.solver.stats
+
+    def _characterization_runner(self) -> Optional[CharacterizationRunner]:
+        """The shared characterization pool, when one should persist.
+
+        Only managed (``with``-block) sessions keep a pool across calls; serial
+        and unmanaged sessions return None, making each characterization clean
+        up its own one-shot pool.
+        """
+        if self.config.jobs == 1 or not self._managed:
+            return None
+        if self._runner is None:
+            self._runner = CharacterizationRunner(jobs=self.config.jobs)
+        return self._runner
+
+    # --- timing -----------------------------------------------------------------------
+    def time(self, design: Design, *, jobs: Optional[int] = None,
+             memoize: bool = True, name: Optional[str] = None) -> TimingReport:
+        """Time ``design`` and return the unified :class:`TimingReport`.
+
+        Accepts a :class:`TimingPath` (timed as its chain-shaped graph, report
+        ``kind="path"``), a :class:`TimingGraph`, or a :class:`DesignBuilder`
+        (built first).  ``jobs`` overrides the session's worker count for graph
+        analyses; paths always run serially (a chain has one net per level, so
+        there is nothing to fan out) and report ``meta.jobs == 1``.
+        ``memoize=False`` bypasses every cache layer (the naive baseline
+        benchmarks compare against); ``name`` overrides the report's design
+        label.
+        """
+        self._closed = False
+        if isinstance(design, DesignBuilder):
+            graph, kind, label = design.build(), "graph", design.name
+        elif isinstance(design, TimingPath):
+            # A chain has one net per level, so worker fan-out cannot help;
+            # jobs=1 keeps the path flow exactly on the PathTimer code path.
+            graph, _ = chain_graph(design,
+                                   input_transition=self.config.options.transition)
+            report = self._engine.analyze(graph, jobs=1, memoize=memoize)
+            return TimingReport.from_graph_report(
+                report, design=name if name is not None else design.name,
+                kind="path", version=__version__)
+        elif isinstance(design, TimingGraph):
+            graph, kind, label = design, "graph", "graph"
+        else:
+            raise ModelingError(
+                "time() expects a TimingPath, TimingGraph or DesignBuilder, "
+                f"got {type(design).__name__}")
+        report = self._engine.analyze(graph, jobs=jobs, memoize=memoize)
+        return TimingReport.from_graph_report(
+            report, design=name if name is not None else label, kind=kind,
+            version=__version__)
+
+    # --- characterization -------------------------------------------------------------
+    def characterize(self, sizes: "float | Sequence[float]", *,
+                     grid: Optional[CharacterizationGrid] = None,
+                     progress: Optional[Callable[[int, int], None]] = None
+                     ) -> List[CellCharacterization]:
+        """Characterize driver cells through the session's cache and pool.
+
+        ``sizes`` is one driver size or a sequence; ``grid`` overrides the
+        characterization grid (None = the full shipped grid).  Each cell is
+        served from the persistent characterization cache when possible and
+        persisted to it otherwise.  Sizes new to the session's library and
+        characterized on the standard full grid are registered in it;
+        custom-grid cells are only returned, so a coarse characterization never
+        enters a library other code may be timing against (with the default
+        config the session's library is the process-shared ``default_library``).
+        """
+        self._closed = False
+        if isinstance(sizes, (int, float)):
+            sizes = [sizes]
+        standard_grid = grid is None or grid == CharacterizationGrid.default()
+        runner = self._characterization_runner()
+        cells: List[CellCharacterization] = []
+        for size in sizes:
+            spec = InverterSpec(tech=self.library.tech, size=float(size))
+            if self._characterization_cache is not None:
+                cell, _ = cached_characterize_inverter(
+                    spec, grid=grid, cache=self._characterization_cache,
+                    jobs=self.config.jobs, runner=runner, progress=progress)
+            else:
+                cell = characterize_inverter_parallel(
+                    spec, grid=grid, jobs=self.config.jobs, runner=runner,
+                    progress=progress)
+            if standard_grid and float(size) not in self.library:
+                self.library.add(cell)
+            cells.append(cell)
+        return cells
+
+    # --- presentation -----------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line summary of the session's resources and cache behaviour."""
+        stats = self.stats
+        lines = [
+            f"timing session (repro {__version__})",
+            f"  {self.config.describe()}",
+            f"  library: {len(self.library)} cells, sizes {self.library.sizes}",
+            f"  solver: {stats.requests} requests, "
+            f"{stats.computed + stats.installed} unique solves, "
+            f"hit rate {100 * stats.hit_rate:.1f}%",
+        ]
+        return "\n".join(lines)

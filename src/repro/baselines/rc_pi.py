@@ -10,7 +10,6 @@ and the reduced load drop the ``L`` terms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..characterization.cell import CellCharacterization
 from ..constants import CEFF_MAX_ITERATIONS, CEFF_REL_TOL

@@ -10,13 +10,14 @@ from .characterize import (CharacterizationGrid, characterize_inverter,
 from .driver_resistance import resistance_from_waveform
 from .library import (CellLibrary, MissingCellLibraryWarning, default_library,
                       shipped_data_directory)
-from .parallel import characterize_inverter_parallel
+from .parallel import CharacterizationRunner, characterize_inverter_parallel
 from .tables import LookupTable2D
 
 __all__ = [
     "LookupTable2D",
     "CellCharacterization",
     "CharacterizationGrid",
+    "CharacterizationRunner",
     "characterize_inverter",
     "characterize_inverter_parallel",
     "simulate_driver_with_load",

@@ -28,7 +28,7 @@ from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
 from ..tech.inverter import InverterSpec
 from .cell import CellCharacterization
 from .characterize import CharacterizationGrid
-from .parallel import characterize_inverter_parallel
+from .parallel import CharacterizationRunner, characterize_inverter_parallel
 
 __all__ = ["CharacterizationCache", "FingerprintStore", "cached_characterize_inverter",
            "characterization_fingerprint", "default_cache_directory"]
@@ -184,14 +184,16 @@ def cached_characterize_inverter(spec: InverterSpec, *,
                                  slew_high: float = SLEW_HIGH_THRESHOLD,
                                  transitions: Iterable[str] = ("rise", "fall"),
                                  cell_name: Optional[str] = None,
-                                 progress: Optional[Callable[[int, int], None]] = None
+                                 progress: Optional[Callable[[int, int], None]] = None,
+                                 runner: Optional[CharacterizationRunner] = None
                                  ) -> Tuple[CellCharacterization, bool]:
     """Characterize through the persistent cache.
 
     Returns ``(cell, was_cached)``.  On a miss the inverter is characterized with
     the (parallel) engine and the result is persisted before returning; ``jobs``
-    defaults to 1 (serial) since transparent callers should not fork by surprise.
-    ``cache=None`` uses the default cache directory.
+    defaults to 1 (serial) since transparent callers should not fork by surprise,
+    and a shared :class:`CharacterizationRunner` may be passed instead to reuse
+    its worker pool.  ``cache=None`` uses the default cache directory.
     """
     grid = grid if grid is not None else CharacterizationGrid.default()
     transitions = tuple(transitions)
@@ -207,7 +209,8 @@ def cached_characterize_inverter(spec: InverterSpec, *,
 
     cell = characterize_inverter_parallel(
         spec, grid=grid, jobs=jobs, slew_low=slew_low, slew_high=slew_high,
-        transitions=transitions, cell_name=cell_name, progress=progress)
+        transitions=transitions, cell_name=cell_name, progress=progress,
+        runner=runner)
     try:
         cache.put(fingerprint, cell)
     except OSError as exc:  # read-only cache dir: the result is still usable

@@ -10,6 +10,12 @@ the simulations are deterministic, so serial and parallel tables are identical.
 If worker processes cannot be started (restricted environments, pickling issues)
 the engine transparently falls back to the serial path with a warning, so callers
 never have to care which mode actually ran.
+
+:class:`CharacterizationRunner` owns the worker pool: it is a context manager that
+creates the pool lazily, reuses it across every cell characterized inside its
+``with`` block (a library generation pays the pool start-up cost once, not once
+per cell), and shuts it down deterministically on exit.
+:func:`characterize_inverter_parallel` remains the one-shot functional wrapper.
 """
 
 from __future__ import annotations
@@ -28,7 +34,8 @@ from .cell import CellCharacterization
 from .characterize import (CharacterizationGrid, assemble_cell, characterize_inverter,
                            grid_points, simulate_driver_with_load)
 
-__all__ = ["characterize_inverter_parallel", "resolve_jobs"]
+__all__ = ["CharacterizationRunner", "characterize_inverter_parallel",
+           "resolve_jobs"]
 
 PointKey = Tuple[str, int, int]
 PointResult = Tuple[float, float, float]
@@ -57,39 +64,76 @@ def _simulate_point(args) -> Tuple[PointKey, PointResult]:
                                measurement.resistance)
 
 
-def characterize_inverter_parallel(spec: InverterSpec, *,
-                                   grid: Optional[CharacterizationGrid] = None,
-                                   jobs: Optional[int] = None,
-                                   slew_low: float = SLEW_LOW_THRESHOLD,
-                                   slew_high: float = SLEW_HIGH_THRESHOLD,
-                                   transitions: Iterable[str] = ("rise", "fall"),
-                                   cell_name: Optional[str] = None,
-                                   progress: Optional[Callable[[int, int], None]] = None
-                                   ) -> CellCharacterization:
-    """Characterize an inverter, fanning grid points across worker processes.
+class CharacterizationRunner:
+    """Context-managed parallel characterization engine with a reusable pool.
 
-    Drop-in replacement for :func:`~.characterize.characterize_inverter` with two
-    extra knobs: ``jobs`` (worker process count, defaulting to the CPU count;
-    ``1`` runs serially in-process) and ``progress`` (called with
-    ``(points done, total points)`` after every completed simulation).
+    ``jobs`` fixes the worker-process count for every characterization the runner
+    performs (``1`` = serial in-process, None = one per CPU).  The pool is created
+    lazily on the first parallel characterization, shared by every later one, and
+    shut down deterministically by :meth:`close` / leaving the ``with`` block —
+    characterizing a whole library pays the pool start-up cost once.  A runner
+    keeps working after :meth:`close`; the pool is simply recreated on demand.
     """
-    grid = grid if grid is not None else CharacterizationGrid.default()
-    transitions = tuple(transitions)
-    if not transitions:
-        raise CharacterizationError("at least one transition direction is required")
 
-    jobs = resolve_jobs(jobs)
-    if jobs == 1:
-        return characterize_inverter(spec, grid=grid, slew_low=slew_low,
-                                     slew_high=slew_high, transitions=transitions,
-                                     cell_name=cell_name, progress=progress)
+    def __init__(self, *, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._executor: Optional[ProcessPoolExecutor] = None
 
-    points = grid_points(grid, transitions)
-    tasks = [(spec, direction, i, j, slew, load, slew_low, slew_high)
-             for direction, i, j, slew, load in points]
-    results: Dict[PointKey, PointResult] = {}
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as executor:
+    # --- lifecycle --------------------------------------------------------------------
+    def __enter__(self) -> "CharacterizationRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the runner's worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def _get_executor(self, n_tasks: int) -> ProcessPoolExecutor:
+        if self._executor is None:
+            # Cap the pool at the first batch's size: forking more workers than
+            # grid points buys nothing, and characterizations sharing a runner
+            # present same-sized grids.
+            workers = max(min(self.jobs, n_tasks), 1)
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+        return self._executor
+
+    # --- characterization -------------------------------------------------------------
+    def characterize(self, spec: InverterSpec, *,
+                     grid: Optional[CharacterizationGrid] = None,
+                     slew_low: float = SLEW_LOW_THRESHOLD,
+                     slew_high: float = SLEW_HIGH_THRESHOLD,
+                     transitions: Iterable[str] = ("rise", "fall"),
+                     cell_name: Optional[str] = None,
+                     progress: Optional[Callable[[int, int], None]] = None
+                     ) -> CellCharacterization:
+        """Characterize one inverter, fanning grid points across the shared pool.
+
+        Serial and parallel runs produce identical tables; if worker processes
+        cannot be started the remaining grid points transparently finish serially
+        (completed worker results are kept).
+        """
+        grid = grid if grid is not None else CharacterizationGrid.default()
+        transitions = tuple(transitions)
+        if not transitions:
+            raise CharacterizationError(
+                "at least one transition direction is required")
+
+        if self.jobs == 1:
+            return characterize_inverter(spec, grid=grid, slew_low=slew_low,
+                                         slew_high=slew_high,
+                                         transitions=transitions,
+                                         cell_name=cell_name, progress=progress)
+
+        points = grid_points(grid, transitions)
+        tasks = [(spec, direction, i, j, slew, load, slew_low, slew_high)
+                 for direction, i, j, slew, load in points]
+        results: Dict[PointKey, PointResult] = {}
+        try:
+            executor = self._get_executor(len(tasks))
             pending = {executor.submit(_simulate_point, task) for task in tasks}
             while pending:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -98,24 +142,58 @@ def characterize_inverter_parallel(spec: InverterSpec, *,
                     results[key] = values
                     if progress is not None:
                         progress(len(results), len(points))
-    except (BrokenProcessPool, OSError, ImportError, pickle.PicklingError) as exc:
-        # Worker processes are unavailable (sandboxed environment, fork failure,
-        # un-importable worker): the characterization itself is still fine serially.
-        # Points that did complete in workers are kept; only the rest re-run.
-        warnings.warn(f"parallel characterization unavailable ({exc!r}); "
-                      "finishing the remaining grid points serially", RuntimeWarning,
-                      stacklevel=2)
-        for direction, i, j, slew, load in points:
-            key = (direction, i, j)
-            if key in results:
-                continue
-            measurement = simulate_driver_with_load(
-                spec, slew, load, transition=direction,
-                slew_low=slew_low, slew_high=slew_high)
-            results[key] = (measurement.delay, measurement.transition,
-                            measurement.resistance)
-            if progress is not None:
-                progress(len(results), len(points))
+        except (BrokenProcessPool, OSError, ImportError, pickle.PicklingError) as exc:
+            # Worker processes are unavailable (sandboxed environment, fork
+            # failure, un-importable worker): the characterization itself is still
+            # fine serially.  Points that did complete in workers are kept; only
+            # the rest re-run.  The dead pool is closed so later characterizations
+            # retry (or callers see a clean state).
+            warnings.warn(f"parallel characterization unavailable ({exc!r}); "
+                          "finishing the remaining grid points serially",
+                          RuntimeWarning, stacklevel=2)
+            self.close()
+            for direction, i, j, slew, load in points:
+                key = (direction, i, j)
+                if key in results:
+                    continue
+                measurement = simulate_driver_with_load(
+                    spec, slew, load, transition=direction,
+                    slew_low=slew_low, slew_high=slew_high)
+                results[key] = (measurement.delay, measurement.transition,
+                                measurement.resistance)
+                if progress is not None:
+                    progress(len(results), len(points))
 
-    return assemble_cell(spec, grid, results, transitions=transitions,
-                         slew_low=slew_low, slew_high=slew_high, cell_name=cell_name)
+        return assemble_cell(spec, grid, results, transitions=transitions,
+                             slew_low=slew_low, slew_high=slew_high,
+                             cell_name=cell_name)
+
+
+def characterize_inverter_parallel(spec: InverterSpec, *,
+                                   grid: Optional[CharacterizationGrid] = None,
+                                   jobs: Optional[int] = None,
+                                   slew_low: float = SLEW_LOW_THRESHOLD,
+                                   slew_high: float = SLEW_HIGH_THRESHOLD,
+                                   transitions: Iterable[str] = ("rise", "fall"),
+                                   cell_name: Optional[str] = None,
+                                   progress: Optional[Callable[[int, int], None]] = None,
+                                   runner: Optional[CharacterizationRunner] = None
+                                   ) -> CellCharacterization:
+    """Characterize an inverter, fanning grid points across worker processes.
+
+    Drop-in replacement for :func:`~.characterize.characterize_inverter` with two
+    extra knobs: ``jobs`` (worker process count, defaulting to the CPU count;
+    ``1`` runs serially in-process) and ``progress`` (called with
+    ``(points done, total points)`` after every completed simulation).  Passing a
+    :class:`CharacterizationRunner` reuses that runner's worker pool (``jobs`` is
+    then ignored); otherwise a one-shot runner is created and closed around the
+    call.
+    """
+    if runner is not None:
+        return runner.characterize(spec, grid=grid, slew_low=slew_low,
+                                   slew_high=slew_high, transitions=transitions,
+                                   cell_name=cell_name, progress=progress)
+    with CharacterizationRunner(jobs=jobs) as one_shot:
+        return one_shot.characterize(spec, grid=grid, slew_low=slew_low,
+                                     slew_high=slew_high, transitions=transitions,
+                                     cell_name=cell_name, progress=progress)

@@ -24,7 +24,7 @@ from scipy.sparse import linalg as spla
 from ..errors import SimulationError
 from .dc import DCSolution, dc_operating_point
 from .elements import Capacitor, CurrentSource, Inductor, Resistor, VoltageSource
-from .mna import MnaIndex, StampAccumulator
+from .mna import MnaIndex
 from .mosfet import Mosfet
 from .netlist import Circuit
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..analysis.metrics import percent_error
 from ..core.driver_model import DriverOutputModel

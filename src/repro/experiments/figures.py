@@ -31,7 +31,10 @@ __all__ = [
 ]
 
 
-def _library_and_simulator(library, simulator):
+def _library_and_simulator(library, simulator, session=None):
+    """Resolve the shared resources; a ``repro.api.TimingSession`` may supply them."""
+    if library is None and session is not None:
+        library = session.library
     return (library if library is not None else default_library(),
             simulator if simulator is not None else ReferenceSimulator())
 
@@ -62,9 +65,10 @@ class Figure1Result:
 
 def figure1_driver_waveform(*, library: Optional[CellLibrary] = None,
                             simulator: Optional[ReferenceSimulator] = None,
-                            case: PaperCase = FIGURE1_CASE) -> Figure1Result:
+                            case: PaperCase = FIGURE1_CASE,
+                            session=None) -> Figure1Result:
     """Reproduce Figure 1: simulate the 5 mm / 75X case and locate its plateau."""
-    library, simulator = _library_and_simulator(library, simulator)
+    library, simulator = _library_and_simulator(library, simulator, session)
     cell = library.get(case.driver_size)
     reference = simulator.simulate_case(case)
     model = model_driver_output(cell, case.input_slew, case.line, case.load_capacitance)
@@ -121,9 +125,10 @@ class Figure3Result:
 
 def figure3_single_ceff_comparison(*, library: Optional[CellLibrary] = None,
                                    simulator: Optional[ReferenceSimulator] = None,
-                                   case: PaperCase = FIGURE3_CASE) -> Figure3Result:
+                                   case: PaperCase = FIGURE3_CASE,
+                                   session=None) -> Figure3Result:
     """Reproduce Figure 3 on the 7 mm / 75X case."""
-    library, simulator = _library_and_simulator(library, simulator)
+    library, simulator = _library_and_simulator(library, simulator, session)
     cell = library.get(case.driver_size)
     reference = simulator.simulate_case(case)
     full = single_ceff_model(cell, case.input_slew, case.line, case.load_capacitance)
@@ -156,8 +161,11 @@ class Figure4Result:
 
 
 def figure4_two_ramp_construction(*, library: Optional[CellLibrary] = None,
-                                  case: PaperCase = FIGURE3_CASE) -> Figure4Result:
+                                  case: PaperCase = FIGURE3_CASE,
+                                  session=None) -> Figure4Result:
     """Reproduce Figure 4's construction on the same case family the paper uses."""
+    if library is None and session is not None:
+        library = session.library
     library = library if library is not None else default_library()
     cell = library.get(case.driver_size)
     model = model_driver_output(cell, case.input_slew, case.line, case.load_capacitance,
@@ -201,10 +209,10 @@ class Figure5Result:
 
 def figure5_model_vs_reference(*, library: Optional[CellLibrary] = None,
                                simulator: Optional[ReferenceSimulator] = None,
-                               cases: Tuple[PaperCase, ...] = FIGURE5_CASES
-                               ) -> Figure5Result:
+                               cases: Tuple[PaperCase, ...] = FIGURE5_CASES,
+                               session=None) -> Figure5Result:
     """Reproduce Figure 5: overlay the modeled waveform on the reference waveform."""
-    library, simulator = _library_and_simulator(library, simulator)
+    library, simulator = _library_and_simulator(library, simulator, session)
     results = []
     for case in cases:
         cell = library.get(case.driver_size)
@@ -265,10 +273,10 @@ class Figure6Result:
 
 
 def figure6_single_ramp_and_far_end(*, library: Optional[CellLibrary] = None,
-                                    simulator: Optional[ReferenceSimulator] = None
-                                    ) -> Figure6Result:
+                                    simulator: Optional[ReferenceSimulator] = None,
+                                    session=None) -> Figure6Result:
     """Reproduce both Figure 6 panels."""
-    library, simulator = _library_and_simulator(library, simulator)
+    library, simulator = _library_and_simulator(library, simulator, session)
 
     weak_case = FIGURE6_SINGLE_RAMP_CASE
     weak_cell = library.get(weak_case.driver_size)

@@ -24,10 +24,11 @@ from typing import Dict, List, Sequence, Tuple
 from ..errors import ModelingError
 from ..interconnect.rlc_line import RLCLine
 from ..sta.graph import GraphNet, PrimaryInput, TimingGraph
+from ..sta.stage import TimingPath, TimingStage
 from ..units import mm, nH, pF, ps
 
-__all__ = ["standard_lines", "parallel_chains", "fanout_tree",
-           "reconvergent_graph", "benchmark_graph"]
+__all__ = ["standard_lines", "global_route_path", "parallel_chains",
+           "fanout_tree", "reconvergent_graph", "benchmark_graph"]
 
 #: Driver sizes shipped with the repository's cell library.
 LIBRARY_SIZES: Tuple[float, ...] = (25.0, 50.0, 75.0, 100.0, 125.0)
@@ -45,6 +46,31 @@ def standard_lines() -> List[RLCLine]:
         RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
                 length=mm(5)),
     ]
+
+
+def global_route_path(*, input_slew: float = ps(100.0)) -> TimingPath:
+    """The repository's canonical 3-stage repeatered global route.
+
+    75X -> 100X -> 75X inverters separated by 3/5/3 mm wires with the paper's
+    printed parasitics, terminated by a 50X receiver.  This is the single case
+    shared by ``examples/timing_path_sta.py``, the STA path benchmark and the
+    CLI's ``time --case chain3``, so the three never diverge.
+    """
+    net1 = RLCLine(resistance=56.3, inductance=nH(3.2), capacitance=pF(0.597),
+                   length=mm(3))
+    net2 = RLCLine(resistance=72.44, inductance=nH(5.14), capacitance=pF(1.10),
+                   length=mm(5))
+    net3 = RLCLine(resistance=43.5, inductance=nH(3.1), capacitance=pF(0.66),
+                   length=mm(3))
+    return TimingPath(
+        name="global_route",
+        stages=[
+            TimingStage("stage1", driver_size=75, line=net1, receiver_size=100),
+            TimingStage("stage2", driver_size=100, line=net2, receiver_size=75),
+            TimingStage("stage3", driver_size=75, line=net3, receiver_size=50),
+        ],
+        input_slew=input_slew,
+    )
 
 
 def parallel_chains(n_chains: int, chain_length: int, *,

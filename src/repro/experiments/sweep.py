@@ -145,16 +145,22 @@ def run_accuracy_sweep(*, definition: Optional[SweepDefinition] = None,
                        library: Optional[CellLibrary] = None,
                        simulator: Optional[ReferenceSimulator] = None,
                        options: Optional[ModelingOptions] = None,
-                       cases: Optional[Sequence[PaperCase]] = None) -> SweepResult:
+                       cases: Optional[Sequence[PaperCase]] = None,
+                       session=None) -> SweepResult:
     """Run the Figure 7 accuracy sweep.
 
     Only cases classified as inductive by the screening criteria (using the actual
     modeling flow) enter the statistics, mirroring the paper's "165 inductive cases".
+    ``session`` (a :class:`repro.api.TimingSession`) supplies the cell library and
+    modeling options when given; explicit ``library`` / ``options`` still win.
     """
     if cases is None:
         if definition is None:
             definition = SweepDefinition.full() if full else SweepDefinition.subset()
         cases = build_sweep_cases(definition)
+    if session is not None:
+        library = library if library is not None else session.library
+        options = options if options is not None else session.config.options
     library = library if library is not None else default_library()
     simulator = simulator if simulator is not None else ReferenceSimulator()
     options = options if options is not None else ModelingOptions()

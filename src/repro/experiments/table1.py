@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from ..analysis.metrics import AccuracySummary
 from ..baselines.one_ramp import single_ceff_model
 from ..characterization.library import CellLibrary, default_library
@@ -76,9 +74,18 @@ class Table1Result:
 def run_table1(*, rows: Optional[Sequence[Table1Row]] = None,
                library: Optional[CellLibrary] = None,
                simulator: Optional[ReferenceSimulator] = None,
-               options: Optional[ModelingOptions] = None) -> Table1Result:
-    """Run the Table 1 comparison over ``rows`` (default: all 15 printed cases)."""
+               options: Optional[ModelingOptions] = None,
+               session=None) -> Table1Result:
+    """Run the Table 1 comparison over ``rows`` (default: all 15 printed cases).
+
+    ``session`` (a :class:`repro.api.TimingSession`) supplies the cell library
+    and modeling options when given, so experiment runs share the session's
+    resources; explicit ``library`` / ``options`` still win.
+    """
     rows = list(rows) if rows is not None else list(TABLE1_CASES)
+    if session is not None:
+        library = library if library is not None else session.library
+        options = options if options is not None else session.config.options
     library = library if library is not None else default_library()
     simulator = simulator if simulator is not None else ReferenceSimulator()
     options = options if options is not None else ModelingOptions()

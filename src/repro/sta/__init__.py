@@ -1,15 +1,27 @@
 """Gate-level static timing analysis built on the driver output model.
 
-Two views of the same solver stack:
+Layering, bottom up:
 
-* :class:`PathTimer` — the classic linear-path engine (now a thin adapter over the
-  graph subsystem), and
-* :class:`TimingGraph` + :class:`GraphTimer` — DAG-shaped designs with fanout,
-  reconvergence and mixed rise/fall arrivals, timed level by level with memoized
-  stage solving and optional worker-process fan-out (:mod:`repro.sta.batch`).
+* :mod:`repro.core.stage_solver` — the memoized per-stage solve (the paper's full
+  Ceff/two-ramp flow behind an LRU memo plus an optional persistent scalar store).
+* :mod:`repro.sta.graph` — the timing-graph data model: :class:`GraphNet` DAGs
+  with fanout, Kahn levelization, per-node rise/fall worst-arrival merging and
+  critical-path traceback (:class:`GraphTimingReport`).
+* :mod:`repro.sta.batch` — :class:`~.batch.GraphEngine`, the batched executor:
+  each level's unique stage solves are answered from the memo or fanned across a
+  worker pool the engine owns (created lazily, reused across analyses, closed
+  deterministically via ``close()`` / its ``with`` block).
+
+The recommended front door to all of this is :class:`repro.api.TimingSession`,
+which owns the cell library, the caches and the worker pool, accepts
+:class:`TimingPath` and :class:`TimingGraph` designs alike, and returns the
+unified, JSON-serializable :class:`repro.api.TimingReport`.  The classic entry
+points — :class:`PathTimer` for linear paths and :class:`GraphTimer` for DAGs —
+remain as thin deprecation shims over the same engine, so their results are
+bit-identical to the session's.
 """
 
-from .batch import GraphTimer
+from .batch import GraphEngine, GraphTimer
 from .engine import PathTimer, PathTimingReport, StageTiming
 from .graph import (GraphNet, GraphTimingReport, NetEventTiming, PrimaryInput,
                     TimingGraph, chain_graph, flip_transition)
@@ -29,6 +41,7 @@ __all__ = [
     "flip_transition",
     "NetEventTiming",
     "GraphTimingReport",
+    "GraphEngine",
     "GraphTimer",
     "PathReference",
     "simulate_path_reference",

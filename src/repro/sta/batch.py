@@ -1,6 +1,6 @@
 """Batched, parallel timing-graph analysis.
 
-:class:`GraphTimer` drives a :class:`~.graph.TimingGraph` level by level.  Within a
+:class:`GraphEngine` drives a :class:`~.graph.TimingGraph` level by level.  Within a
 level every net is independent (all fanin arrivals are final), so the level is the
 natural unit of fan-out:
 
@@ -17,6 +17,13 @@ natural unit of fan-out:
 Workers return scalar :class:`~repro.core.stage_solver.StageSolution` objects —
 waveforms never cross the process boundary — and the parent installs them into the
 shared memo, so later levels (and later analyses) reuse them.
+
+The engine owns its worker pool: the pool is created lazily on the first parallel
+analysis, reused by every later one, and closed deterministically by
+:meth:`GraphEngine.close` (or by leaving the engine's ``with`` block) instead of
+leaking until interpreter exit.  :class:`GraphTimer` is the engine's deprecated
+public alias, kept as a thin shim for callers that predate the
+:class:`repro.api.TimingSession` front door.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from ..tech.technology import Technology, generic_180nm
 from .graph import (GraphNet, GraphTimingReport, NetEventTiming, TimingGraph,
                     flip_transition)
 
-__all__ = ["GraphTimer"]
+__all__ = ["GraphEngine", "GraphTimer"]
 
 #: (arrival, slew, source) triple tracked per pending (net, transition) state.
 _PendingState = Tuple[float, float, Optional[Tuple[str, str]]]
@@ -74,13 +81,19 @@ class _WorkItem:
     source: Optional[Tuple[str, str]]
 
 
-class GraphTimer:
+class GraphEngine:
     """Times whole graphs with the memoized stage solver and per-level fan-out.
 
     Shares its constructor vocabulary with :class:`~.engine.PathTimer` (library,
     technology, modeling options, slew thresholds) plus ``jobs`` — the default
     worker-process count for level fan-out (1 = serial) — and an optional shared
     :class:`StageSolver` so several timers can pool one memo.
+
+    The engine is a context manager: its worker pool is created lazily on the
+    first parallel analysis and reused by later ones, so entering the engine in a
+    ``with`` block (or calling :meth:`close`) is how the pool is deterministically
+    shut down.  An engine keeps working after :meth:`close` — the pool is simply
+    recreated on the next parallel analysis.
     """
 
     def __init__(self, *, library: Optional[CellLibrary] = None,
@@ -98,6 +111,43 @@ class GraphTimer:
         self.solver = solver if solver is not None else StageSolver(
             slew_low=slew_low, slew_high=slew_high)
         self.jobs = resolve_jobs(jobs)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_jobs = 0
+        self._persistent_pool = False
+
+    # --- worker-pool lifecycle -------------------------------------------------------
+    def __enter__(self) -> "GraphEngine":
+        # Inside a ``with`` block the pool outlives individual analyses (it is
+        # reused until the block exits); outside one, every analysis cleans up
+        # after itself so unmanaged engines never leak worker processes.
+        self._persistent_pool = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._persistent_pool = False
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the engine's worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._executor_jobs = 0
+
+    def _get_executor(self, jobs: int) -> Optional[ProcessPoolExecutor]:
+        """The shared worker pool sized for ``jobs``, or None when pools can't start."""
+        if self._executor is not None and self._executor_jobs != jobs:
+            self.close()
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(max_workers=jobs)
+                self._executor_jobs = jobs
+            except (OSError, ImportError) as exc:
+                warnings.warn(f"could not start worker processes ({exc!r});"
+                              " timing the graph serially", RuntimeWarning,
+                              stacklevel=3)
+                return None
+        return self._executor
 
     # --- helpers ---------------------------------------------------------------------
     def net_load(self, graph: TimingGraph, net: GraphNet) -> float:
@@ -216,7 +266,6 @@ class GraphTimer:
                              (primary.arrival, primary.slew, None)}
 
         events: Dict[str, Dict[str, NetEventTiming]] = {}
-        executor: Optional[ProcessPoolExecutor] = None
         try:
             for level in graph.levels:
                 items: List[_WorkItem] = []
@@ -239,19 +288,13 @@ class GraphTimer:
                             source=source))
                 if not items:
                     continue
-                if jobs > 1 and executor is None:
-                    try:
-                        executor = ProcessPoolExecutor(max_workers=jobs)
-                    except (OSError, ImportError) as exc:
-                        warnings.warn(f"could not start worker processes ({exc!r});"
-                                      " timing the graph serially", RuntimeWarning,
-                                      stacklevel=2)
-                        jobs = 1
-                if jobs > 1 and executor is not None:
+                executor = self._get_executor(jobs) if jobs > 1 else None
+                if executor is None:
+                    jobs = 1
+                if executor is not None:
                     solutions, pool_ok = self._solve_level_parallel(items, executor)
                     if not pool_ok:
-                        executor.shutdown(wait=False)
-                        executor = None
+                        self.close()
                         jobs = 1
                 else:
                     solutions = self._solve_level_serial(
@@ -271,8 +314,8 @@ class GraphTimer:
                                     event.output_arrival, solution.propagated_slew,
                                     (item.net.name, item.input_transition))
         finally:
-            if executor is not None:
-                executor.shutdown()
+            if not self._persistent_pool:
+                self.close()
 
         after = self.solver.stats
         stats = SolverStats(
@@ -283,3 +326,24 @@ class GraphTimer:
         return GraphTimingReport(graph=graph, events=events, levels=graph.levels,
                                  stats=stats, jobs=jobs,
                                  elapsed=time.perf_counter() - started)
+
+
+class GraphTimer(GraphEngine):
+    """Deprecated alias of :class:`GraphEngine`.
+
+    Direct graph-timer construction predates the :class:`repro.api.TimingSession`
+    front door, which owns the cell library, the stage-solution caches and the
+    worker pool for the whole solver stack.  The shim is bit-identical to the
+    session path — both run the same :class:`GraphEngine` — and exists so old
+    callers keep working while they migrate::
+
+        with TimingSession(jobs=4) as session:
+            report = session.time(graph)
+    """
+
+    def __init__(self, **kwargs) -> None:
+        warnings.warn(
+            "GraphTimer is deprecated; use repro.api.TimingSession "
+            "(session.time(graph)) or repro.sta.batch.GraphEngine instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(**kwargs)

@@ -15,11 +15,14 @@ memoized :class:`~repro.core.stage_solver.StageSolver` (so repeated stage
 configurations across paths hit cache); :meth:`PathTimer.analyze_serial` keeps the
 original cache-free per-stage loop as the naive baseline the benchmarks and
 equivalence tests compare against.  Arbitrary DAGs (fanout trees, reconvergence,
-mixed rise/fall arrivals) go through :class:`~.batch.GraphTimer` directly.
+mixed rise/fall arrivals) go through :class:`~.batch.GraphEngine` — and both
+views are served, with a unified serializable report, by the recommended front
+door :class:`repro.api.TimingSession`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import List, Optional
 
@@ -31,7 +34,7 @@ from ..core.stage_solver import StageSolver
 from ..errors import ModelingError
 from ..tech.technology import Technology, generic_180nm
 from ..units import to_ps
-from .batch import GraphTimer
+from .batch import GraphEngine
 from .graph import chain_graph
 from .stage import TimingPath, TimingStage
 
@@ -103,8 +106,15 @@ class PathTimingReport:
 class PathTimer:
     """Analyzes timing paths with the effective-capacitance driver model.
 
-    ``solver`` lets several timers (or a timer and a :class:`GraphTimer`) share one
-    memoized stage solver; by default each timer owns a private one whose slew
+    .. deprecated::
+        Construct a :class:`repro.api.TimingSession` and call
+        ``session.time(path)`` instead; the session owns the library, caches and
+        worker pool for the whole solver stack and produces the unified
+        :class:`repro.api.TimingReport`.  This shim runs the exact same
+        :class:`~.batch.GraphEngine`, so its results stay bit-identical.
+
+    ``solver`` lets several timers (or a timer and a :class:`GraphEngine`) share
+    one memoized stage solver; by default each timer owns a private one whose slew
     thresholds match the timer's.
     """
 
@@ -114,6 +124,9 @@ class PathTimer:
                  slew_low: float = SLEW_LOW_THRESHOLD,
                  slew_high: float = SLEW_HIGH_THRESHOLD,
                  solver: Optional[StageSolver] = None) -> None:
+        warnings.warn(
+            "PathTimer is deprecated; use repro.api.TimingSession "
+            "(session.time(path)) instead", DeprecationWarning, stacklevel=2)
         self.library = library if library is not None else default_library()
         self.tech = tech if tech is not None else generic_180nm()
         self.options = options if options is not None else ModelingOptions()
@@ -121,9 +134,21 @@ class PathTimer:
         self.slew_high = slew_high
         self.solver = solver if solver is not None else StageSolver(
             slew_low=slew_low, slew_high=slew_high)
-        self._graph_timer = GraphTimer(
+        self._graph_timer = GraphEngine(
             library=self.library, tech=self.tech, options=self.options,
             slew_low=self.slew_low, slew_high=self.slew_high, solver=self.solver)
+
+    # --- lifecycle --------------------------------------------------------------------
+    def __enter__(self) -> "PathTimer":
+        self._graph_timer.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._graph_timer.__exit__(exc_type, exc, tb)
+
+    def close(self) -> None:
+        """Shut down the underlying graph engine's worker pool (idempotent)."""
+        self._graph_timer.close()
 
     # --- helpers ---------------------------------------------------------------------
     def _stage_load(self, stage: TimingStage) -> float:

@@ -1,0 +1,328 @@
+"""The repro.api front door: session, config, builder, unified report.
+
+The acceptance-critical parts live here:
+
+* ``TimingSession.time(...)`` reproduces ``PathTimer.analyze`` and
+  ``GraphTimer.analyze`` bit-identically on the PR-2 graph workloads,
+* ``TimingReport`` JSON round-trips losslessly and serializes stably across
+  runs (rise/fall event ordering included), and
+* the old entry points keep working while emitting ``DeprecationWarning``.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import DesignBuilder, SessionConfig, TimingReport, TimingSession
+from repro.errors import ModelingError
+from repro.experiments import parallel_chains, reconvergent_graph
+from repro.interconnect import RLCLine
+from repro.sta import GraphTimer, PathTimer, TimingPath, TimingStage
+from repro.sta.batch import GraphEngine
+from repro.units import mm, nH, pF, ps
+
+
+@pytest.fixture(scope="module")
+def line():
+    return RLCLine(resistance=20.0, inductance=nH(1.05), capacitance=pF(0.22),
+                   length=mm(1))
+
+
+@pytest.fixture(scope="module")
+def four_stage_path(line):
+    return TimingPath("four", [
+        TimingStage("s1", driver_size=75, line=line, receiver_size=100),
+        TimingStage("s2", driver_size=100, line=line, receiver_size=75),
+        TimingStage("s3", driver_size=75, line=line, receiver_size=100),
+        TimingStage("s4", driver_size=100, line=line, receiver_size=50),
+    ], input_slew=ps(100))
+
+
+@pytest.fixture(scope="module")
+def session(library):
+    with TimingSession() as active:
+        yield active
+
+
+def legacy_path_timer(**kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return PathTimer(**kwargs)
+
+
+def legacy_graph_timer(**kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return GraphTimer(**kwargs)
+
+
+class TestSessionConfig:
+    def test_validation(self):
+        with pytest.raises(ModelingError):
+            SessionConfig(jobs=0)
+        with pytest.raises(ModelingError):
+            SessionConfig(memo_size=-1)
+        with pytest.raises(ModelingError):
+            SessionConfig(slew_quantum=0.0)
+        with pytest.raises(ModelingError):
+            SessionConfig(slew_low=0.8, slew_high=0.2)
+        with pytest.raises(ModelingError):
+            SessionConfig(options="not options")
+
+    def test_replace_revalidates(self):
+        config = SessionConfig()
+        assert config.replace(jobs=4).jobs == 4
+        with pytest.raises(ModelingError):
+            config.replace(jobs=-1)
+
+    def test_from_env_reads_documented_variables(self, tmp_path):
+        environ = {"REPRO_CACHE_DIR": str(tmp_path), "REPRO_JOBS": "3",
+                   "REPRO_PERSISTENT_STAGES": "1"}
+        config = SessionConfig.from_env(environ)
+        assert config.cache_dir == tmp_path
+        assert config.jobs == 3
+        assert config.persistent_stages is True
+
+    def test_from_env_overrides_win(self, tmp_path):
+        environ = {"REPRO_JOBS": "3"}
+        assert SessionConfig.from_env(environ, jobs=2).jobs == 2
+
+    def test_from_env_zero_jobs_means_cpu_count(self):
+        assert SessionConfig.from_env({"REPRO_JOBS": "0"}).jobs >= 1
+
+    def test_from_env_rejects_bad_jobs(self):
+        with pytest.raises(ModelingError):
+            SessionConfig.from_env({"REPRO_JOBS": "many"})
+
+    def test_dict_round_trip(self, tmp_path):
+        config = SessionConfig(cache_dir=tmp_path, jobs=2, slew_quantum=ps(1.0),
+                               persistent_stages=True)
+        assert SessionConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ModelingError):
+            SessionConfig.from_dict({"warp_speed": 9})
+
+
+class TestDesignBuilder:
+    def test_fluent_graph_construction(self, line):
+        graph = (DesignBuilder("d")
+                 .net("root", driver_size=100, line=line)
+                 .net("leaf", driver_size=50, line=line, receiver_size=25)
+                 .connect("root", "leaf")
+                 .input("root", ps(100))
+                 .build())
+        assert graph.nets["root"].fanout == ("leaf",)
+        assert graph.levels == [["root"], ["leaf"]]
+
+    def test_chain_builds_linear_route(self, line):
+        builder = DesignBuilder("d").chain(
+            "c", sizes=(75, 100, 75), line=line, input_slew=ps(100),
+            receiver_size=50)
+        graph = builder.build()
+        assert builder.net_names == ("c_s0", "c_s1", "c_s2")
+        assert graph.nets["c_s0"].fanout == ("c_s1",)
+        assert graph.nets["c_s2"].receiver_size == 50
+        assert graph.primary_inputs["c_s0"].slew == ps(100)
+
+    def test_chain_cycles_line_flavors(self, line):
+        other = RLCLine(resistance=40.0, inductance=nH(2.0),
+                        capacitance=pF(0.4), length=mm(2))
+        graph = (DesignBuilder("d")
+                 .chain("c", sizes=(75, 75, 75), line=[line, other],
+                        input_slew=ps(100))
+                 .build())
+        assert graph.nets["c_s0"].line is line
+        assert graph.nets["c_s1"].line is other
+        assert graph.nets["c_s2"].line is line
+
+    def test_duplicate_nets_and_inputs_rejected(self, line):
+        builder = DesignBuilder("d").net("n", driver_size=75, line=line)
+        with pytest.raises(ModelingError):
+            builder.net("n", driver_size=50, line=line)
+        builder.input("n", ps(100))
+        with pytest.raises(ModelingError):
+            builder.input("n", ps(50))
+
+    def test_connect_requires_declared_driver(self, line):
+        with pytest.raises(ModelingError):
+            DesignBuilder("d").connect("ghost", "x")
+        with pytest.raises(ModelingError):
+            DesignBuilder("d").net("n", driver_size=75, line=line).connect("n")
+
+    def test_build_validates_structure(self, line):
+        builder = (DesignBuilder("d")
+                   .net("n", driver_size=75, line=line, fanout=("ghost",))
+                   .input("n", ps(100)))
+        with pytest.raises(ModelingError):
+            builder.build()
+
+    def test_builder_reusable_after_build(self, line):
+        builder = DesignBuilder("d").chain("c", sizes=(75,), line=line,
+                                           input_slew=ps(100))
+        first = builder.build()
+        builder.net("tap", driver_size=50, line=line).connect("c_s0", "tap")
+        second = builder.build()
+        assert len(first) == 1 and len(second) == 2
+
+
+class TestSessionEquivalence:
+    """Acceptance: session results are bit-identical to the legacy entry points."""
+
+    def test_session_matches_path_timer_exactly(self, session, library,
+                                                four_stage_path):
+        report = session.time(four_stage_path)
+        assert report.kind == "path"
+        legacy = legacy_path_timer(library=library).analyze(four_stage_path)
+        assert len(report.critical_path) == len(legacy.stages)
+        for (name, transition), stage in zip(report.critical_path,
+                                             legacy.stages):
+            event = report.events[name][transition]
+            assert event.input_slew == stage.input_slew
+            assert event.gate_delay == stage.gate_delay
+            assert event.interconnect_delay == stage.interconnect_delay
+            assert event.far_slew == stage.output_slew
+        assert report.total_delay == sum(s.stage_delay for s in legacy.stages)
+        assert report.output_slew == legacy.output_slew
+
+    @pytest.mark.parametrize("case", ["chains", "diamond"])
+    def test_session_matches_graph_timer_exactly(self, session, library, line,
+                                                 case):
+        if case == "chains":
+            graph = parallel_chains(3, 2, lines=[line], input_slew=ps(100))
+        else:
+            graph = reconvergent_graph(line=line)
+        report = session.time(graph, name=case)
+        legacy = legacy_graph_timer(library=library).analyze(graph)
+        assert report.n_events == legacy.n_events
+        for name, per_net in legacy.events.items():
+            for transition, event in per_net.items():
+                ours = report.events[name][transition]
+                assert ours.input_arrival == event.input_arrival
+                assert ours.output_arrival == event.output_arrival
+                assert ours.input_slew == event.input_slew
+                assert ours.far_slew == event.solution.far_slew
+                assert ours.source == event.source
+        legacy_critical = [(e.net.name, e.input_transition)
+                           for e in legacy.critical_path()]
+        assert report.critical_path == legacy_critical
+
+    def test_builder_and_graph_agree(self, session, line):
+        graph = parallel_chains(1, 2, lines=[line], sizes=(75.0, 100.0),
+                                terminal_size=50.0, input_slew=ps(100))
+        builder = DesignBuilder("one_chain").chain(
+            "c", sizes=(75, 100), line=line, input_slew=ps(100),
+            receiver_size=50)
+        from_builder = session.time(builder)
+        from_graph = session.time(graph)
+        assert from_builder.total_delay == from_graph.total_delay
+
+    def test_time_rejects_unknown_designs(self, session):
+        with pytest.raises(ModelingError):
+            session.time("not a design")
+
+
+class TestDeprecatedShims:
+    def test_path_timer_warns_but_works(self, library, four_stage_path):
+        with pytest.warns(DeprecationWarning, match="TimingSession"):
+            timer = PathTimer(library=library)
+        assert timer.analyze(four_stage_path).total_delay > 0
+
+    def test_graph_timer_warns_but_works(self, library, line):
+        with pytest.warns(DeprecationWarning, match="TimingSession"):
+            timer = GraphTimer(library=library)
+        report = timer.analyze(reconvergent_graph(line=line))
+        assert report.n_events == 6
+
+    def test_graph_engine_does_not_warn(self, library):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            GraphEngine(library=library)
+
+
+class TestContextManagers:
+    def test_engine_pool_closed_on_exit(self, library, line):
+        engine = GraphEngine(library=library, jobs=2)
+        graph = parallel_chains(2, 1, lines=[line], input_slew=ps(100))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with engine:
+                engine.analyze(graph)
+                pooled = engine._executor  # may be None if fork is unavailable
+            assert engine._executor is None
+            # Unmanaged analyses clean up after themselves.
+            engine.analyze(graph)
+            assert engine._executor is None
+        engine.close()  # idempotent
+        del pooled
+
+    def test_characterization_runner_context(self):
+        from repro.characterization import CharacterizationRunner
+        with CharacterizationRunner(jobs=1) as runner:
+            assert runner.jobs == 1
+        runner.close()  # idempotent
+
+    def test_session_close_is_idempotent_and_reusable(self, library, line,
+                                                      four_stage_path):
+        session = TimingSession()
+        session.close()
+        assert session.closed
+        session.close()
+        report = session.time(four_stage_path)  # usable again after close
+        assert report.total_delay > 0
+        assert not session.closed
+        session.close()
+
+    def test_session_shares_memo_across_analyses(self, library,
+                                                 four_stage_path):
+        with TimingSession() as fresh:
+            fresh.time(four_stage_path)
+            computed = fresh.stats.computed
+            fresh.time(four_stage_path)
+            assert fresh.stats.computed == computed
+            assert fresh.stats.memo_hits >= len(four_stage_path)
+
+
+class TestSessionResources:
+    def test_default_session_shares_process_library(self, library):
+        assert TimingSession().library is library
+
+    def test_explicit_cache_dir_builds_private_library(self, tmp_path, library):
+        session = TimingSession(cache_dir=tmp_path)
+        assert session.library is not library
+        assert set(session.library.sizes) == set(library.sizes)
+
+    def test_custom_grid_characterization_not_registered(self, tmp_path):
+        # A non-standard (here: tiny) grid must never enter the session's
+        # library — with the default config that library is the process-shared
+        # default_library(), and a coarse cell would degrade everyone's timing.
+        from repro.characterization import CharacterizationGrid
+        from repro.units import fF
+        tiny = CharacterizationGrid(input_slews=(ps(50), ps(150)),
+                                    loads=(fF(30), fF(150)))
+        with TimingSession(cache_dir=tmp_path) as fresh:
+            (cell,) = fresh.characterize(60, grid=tiny)
+        assert cell.driver_size == 60
+        assert 60.0 not in fresh.library
+
+    def test_unmanaged_session_cleans_up_pool_per_call(self, library, line):
+        graph = parallel_chains(2, 1, lines=[line], input_slew=ps(100))
+        unmanaged = TimingSession(jobs=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            unmanaged.time(graph)
+        assert unmanaged._engine._executor is None  # no leak without close()
+
+    def test_persistent_stages_land_in_cache_dir(self, tmp_path, line):
+        config = SessionConfig(cache_dir=tmp_path, persistent_stages=True)
+        with TimingSession(config) as session:
+            path = TimingPath("p", [TimingStage("s", 75, line)],
+                              input_slew=ps(100))
+            session.time(path)
+        stage_files = list((tmp_path / "stages").glob("*.json"))
+        assert len(stage_files) == 1
+
+    def test_describe_mentions_resources(self, session):
+        text = session.describe()
+        assert "timing session" in text
+        assert "library" in text

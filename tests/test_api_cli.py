@@ -1,0 +1,101 @@
+"""The ``python -m repro`` CLI: parsing, timing runs, report round trip."""
+
+import json
+
+import pytest
+
+from repro.api import TimingReport, TimingSession
+from repro.api.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommand_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+        assert "usage" in capsys.readouterr().err
+
+    def test_help_mentions_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("time", "characterize", "bench", "report"):
+            assert command in out
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_characterize_flags_parse(self):
+        args = build_parser().parse_args(
+            ["characterize", "--sizes", "30", "60", "--coarse", "--jobs", "2",
+             "--no-cache", "--output", "cells"])
+        assert args.sizes == [30.0, 60.0]
+        assert args.coarse and args.no_cache
+        assert args.jobs == 2
+
+    def test_bad_chain_reports_error(self, capsys):
+        assert main(["time", "--chain", "75,abc"]) == 2
+        assert "driver sizes" in capsys.readouterr().err
+
+
+class TestTimeCommand:
+    def test_diamond_run_writes_loadable_report(self, library, tmp_path,
+                                                capsys):
+        out = tmp_path / "diamond.json"
+        assert main(["time", "--case", "diamond", "--json", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "critical path" in stdout
+        report = TimingReport.load(out)
+        assert report.kind == "graph"
+        assert set(report.events["sink"]) == {"rise", "fall"}
+
+    def test_custom_chain(self, library, capsys):
+        assert main(["time", "--chain", "75,100"]) == 0
+        stdout = capsys.readouterr().out
+        assert "chain_s0" in stdout and "chain_s1" in stdout
+
+    def test_report_command_round_trips(self, library, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        assert main(["time", "--case", "diamond", "--json", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out), "--events"]) == 0
+        stdout = capsys.readouterr().out
+        assert "all events" in stdout
+        assert "produced by repro" in stdout
+
+
+class TestBenchCommand:
+    def test_small_bench_without_baseline(self, library, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--nets", "8", "--chain-length", "4",
+                     "--no-baseline", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["events"] >= 8
+        assert "speedup" not in payload  # no baseline requested
+        assert "nets/s" in capsys.readouterr().out
+
+
+class TestCharacterizeCommand:
+    def test_wires_session_characterize_and_output(self, library, tmp_path,
+                                                   monkeypatch, capsys):
+        calls = {}
+
+        def fake_characterize(self, size, *, grid=None, progress=None):
+            calls.setdefault("sizes", []).append(size)
+            calls["grid"] = grid
+            return [library.get(75)]
+
+        monkeypatch.setattr(TimingSession, "characterize", fake_characterize)
+        out = tmp_path / "cells"
+        assert main(["characterize", "--sizes", "30", "60", "--coarse",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--output", str(out)]) == 0
+        assert calls["sizes"] == [30.0, 60.0]
+        assert len(calls["grid"].input_slews) == 3  # the coarse grid
+        written = sorted(p.name for p in out.glob("*.json"))
+        assert written == ["inv_75x.json"]  # one fake cell, saved once per size
+        assert "characterizing 2 cells" in capsys.readouterr().out

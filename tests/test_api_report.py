@@ -1,0 +1,140 @@
+"""TimingReport serialization: lossless JSON round-trip, stable across runs."""
+
+import json
+
+import pytest
+
+from repro.api import TimingReport, TimingSession
+from repro.errors import ModelingError
+from repro.experiments import reconvergent_graph
+from repro.interconnect import RLCLine
+from repro.sta import TimingPath, TimingStage
+from repro.units import mm, nH, pF, ps
+
+
+@pytest.fixture(scope="module")
+def line():
+    return RLCLine(resistance=20.0, inductance=nH(1.05), capacitance=pF(0.22),
+                   length=mm(1))
+
+
+@pytest.fixture(scope="module")
+def chain_path(line):
+    return TimingPath("chain", [
+        TimingStage("s1", driver_size=75, line=line, receiver_size=100),
+        TimingStage("s2", driver_size=100, line=line, receiver_size=50),
+    ], input_slew=ps(100))
+
+
+@pytest.fixture(scope="module")
+def session(library):
+    with TimingSession() as active:
+        yield active
+
+
+@pytest.fixture(scope="module")
+def chain_report(session, chain_path):
+    return session.time(chain_path)
+
+
+@pytest.fixture(scope="module")
+def diamond_report(session, line):
+    return session.time(reconvergent_graph(line=line), name="diamond")
+
+
+def strip_wall_clock(payload):
+    """The serialized report minus run-dependent metadata (wall clock, cache
+    counters that depend on what else the producing session already solved)."""
+    clean = json.loads(json.dumps(payload))
+    clean.pop("meta")
+    return clean
+
+
+class TestLosslessRoundTrip:
+    @pytest.mark.parametrize("fixture", ["chain_report", "diamond_report"])
+    def test_dict_and_json_round_trip_exactly(self, fixture, request):
+        report = request.getfixturevalue(fixture)
+        assert TimingReport.from_dict(report.to_dict()) == report
+        assert TimingReport.from_json(report.to_json()) == report
+
+    def test_floats_survive_bit_exactly(self, diamond_report):
+        clone = TimingReport.from_json(diamond_report.to_json())
+        for name, per_net in diamond_report.events.items():
+            for transition, event in per_net.items():
+                other = clone.events[name][transition]
+                assert other.output_arrival == event.output_arrival
+                assert other.far_slew == event.far_slew
+                assert other.ceff1 == event.ceff1
+                assert other.tr1 == event.tr1
+
+    def test_save_and_load(self, chain_report, tmp_path):
+        path = chain_report.save(tmp_path / "report.json")
+        assert TimingReport.load(path) == chain_report
+
+    def test_unknown_format_rejected(self, chain_report):
+        payload = chain_report.to_dict()
+        payload["format"] = 999
+        with pytest.raises(ModelingError):
+            TimingReport.from_dict(payload)
+
+
+class TestStabilityAcrossRuns:
+    def test_chain_serialization_is_run_independent(self, chain_report,
+                                                    chain_path, library):
+        with TimingSession() as rerun:
+            again = rerun.time(chain_path)
+        assert strip_wall_clock(again.to_dict()) == \
+            strip_wall_clock(chain_report.to_dict())
+
+    def test_diamond_serialization_is_run_independent(self, diamond_report,
+                                                      line, library):
+        with TimingSession() as rerun:
+            again = rerun.time(reconvergent_graph(line=line), name="diamond")
+        assert strip_wall_clock(again.to_dict()) == \
+            strip_wall_clock(diamond_report.to_dict())
+
+    def test_rise_fall_event_ordering_is_sorted(self, diamond_report):
+        payload = diamond_report.to_dict()
+        # The diamond's sink sees both transitions; serialization orders them
+        # deterministically (fall before rise) and nets alphabetically.
+        assert list(payload["events"]["sink"]) == ["fall", "rise"]
+        assert list(payload["events"]) == sorted(payload["events"])
+
+    def test_json_text_is_byte_stable(self, diamond_report, line, library):
+        with TimingSession() as rerun:
+            again = rerun.time(reconvergent_graph(line=line), name="diamond")
+        first = json.dumps(strip_wall_clock(diamond_report.to_dict()),
+                           sort_keys=True)
+        second = json.dumps(strip_wall_clock(again.to_dict()), sort_keys=True)
+        assert first == second
+
+
+class TestReportQueries:
+    def test_path_report_reads_like_a_path(self, chain_report, chain_path):
+        assert chain_report.kind == "path"
+        assert chain_report.design == "chain"
+        assert len(chain_report.critical_path) == len(chain_path)
+        assert chain_report.nets == [name for name, _ in
+                                     chain_report.critical_path]
+        delays = chain_report.stage_delays()
+        assert chain_report.total_delay == pytest.approx(sum(delays))
+
+    def test_event_lookup_and_errors(self, diamond_report):
+        worst = diamond_report.worst_event()
+        assert worst.net == "sink"
+        assert diamond_report.arrival("sink") == worst.output_arrival
+        with pytest.raises(ModelingError):
+            diamond_report.event("ghost")
+        with pytest.raises(ModelingError):
+            diamond_report.event("root", "fall")  # the PI rises
+
+    def test_format_report_mentions_critical_path(self, diamond_report):
+        text = diamond_report.format_report()
+        assert "critical path" in text
+        assert "worst sink arrival" in text
+        assert "diamond" in text
+
+    def test_meta_records_version_and_cache_behaviour(self, chain_report):
+        from repro import __version__
+        assert chain_report.meta.version == __version__
+        assert chain_report.meta.requests >= chain_report.n_events
