@@ -11,8 +11,12 @@ The workload is :func:`repro.experiments.benchmark_graph` (parallel repeatered
 routes over four line flavors — heavy stage-configuration repetition, the profile
 a bus or clock distribution presents).  Results land in
 ``benchmarks/reports/graph_throughput.txt`` and, machine-readably, in
-``benchmarks/reports/BENCH_graph_throughput.json`` so CI can track the
-nets/second trajectory.  Set ``REPRO_FULL=1`` to scale from 1k to 4k nets.
+``benchmarks/reports/BENCH_graph_throughput.json``.  The JSON separates a
+``tracked`` section (machine-independent workload facts: net/event counts,
+unique solves, cache hit rate, the asserted speedup floor — CI compares these
+against the committed file) from a ``machine`` section (wall times, nets/s and
+the measured speedup, which are runner-dependent and deliberately not
+compared).  Set ``REPRO_FULL=1`` to scale from 1k to 4k nets.
 """
 
 import json
@@ -54,20 +58,25 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
     meta = batched.meta
     payload = {
         "benchmark": "graph_throughput",
-        "full_sweep": full,
-        "nets": len(graph),
-        "levels": graph.n_levels,
-        "events": n_events,
-        "unique_stage_solves": meta.computed + meta.installed,
-        "jobs": meta.jobs,
-        "naive_seconds": round(naive_elapsed, 3),
-        "batched_seconds": round(batched_elapsed, 3),
-        "naive_nets_per_second": round(n_events / naive_elapsed, 1),
-        "batched_nets_per_second": round(n_events / batched_elapsed, 1),
-        "speedup": round(speedup, 2),
-        "cache_hit_rate": round(meta.hit_rate, 4),
-        "memo_hits": meta.memo_hits,
-        "persistent_hits": meta.persistent_hits,
+        "tracked": {
+            "full_sweep": full,
+            "nets": len(graph),
+            "levels": graph.n_levels,
+            "events": n_events,
+            "unique_stage_solves": meta.computed + meta.installed,
+            "cache_hit_rate": round(meta.hit_rate, 4),
+            "memo_hits": meta.memo_hits,
+            "persistent_hits": meta.persistent_hits,
+            "speedup_floor": 2.0,
+        },
+        "machine": {
+            "jobs": meta.jobs,
+            "naive_seconds": round(naive_elapsed, 3),
+            "batched_seconds": round(batched_elapsed, 3),
+            "naive_nets_per_second": round(n_events / naive_elapsed, 1),
+            "batched_nets_per_second": round(n_events / batched_elapsed, 1),
+            "speedup": round(speedup, 2),
+        },
     }
     REPORT_DIRECTORY.mkdir(exist_ok=True)
     json_path = REPORT_DIRECTORY / "BENCH_graph_throughput.json"

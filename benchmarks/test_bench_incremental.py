@@ -1,0 +1,155 @@
+"""Benchmark: incremental re-timing cost vs dirty-region size.
+
+The claim the incremental kernel has to earn: after a local edit,
+``TimingSession.update()`` must cost proportionally to the *dirty cone* of the
+edit, not to the graph — and stay bit-identical to a full re-analysis of the
+same state.  On the ≥1k-net benchmark graph a single-net edit touches a
+two-net cone (the edited net plus the fanin whose load changed), so the update
+must beat ``session.time(graph)`` by well over the 5x acceptance floor.
+
+Protocol (everything runs inside one session, sharing one memoized solver):
+
+1. attach the graph (full analysis; its solves warm the memo),
+2. per edit site, *warm* both toggle states — the stage solves an edit
+   introduces are paid identically by the full and the incremental path, so
+   warming isolates the quantity this benchmark tracks: the re-timing
+   machinery's cost as a function of cone size,
+3. per repetition: toggle the driver size, measure a full re-analysis, measure
+   the incremental update of the same state, and assert the two reports carry
+   bit-identical events.
+
+Results land in ``benchmarks/reports/incremental.txt`` and
+``benchmarks/reports/BENCH_incremental.json``.  The JSON is split into a
+``tracked`` section (machine-independent: graph shape, cone sizes, the
+speedup floor — compared against the committed file by CI) and a ``machine``
+section (wall times and measured speedups, which vary run to run).
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.api import TimingSession
+from repro.experiments import benchmark_graph
+from repro.units import ps
+
+REPORT_DIRECTORY = Path(__file__).resolve().parent / "reports"
+
+#: Required speedup of a single-net-edit update over full re-analysis.
+SPEEDUP_FLOOR = 5.0
+
+#: Edit sites on the 64x16-chain benchmark graph, shallowest cone first.
+#: (label, net, toggle size) — the net's driver toggles between its original
+#: size and the toggle size, so after one warm-up lap every stage solve of
+#: both states is memoized.
+EDIT_SITES = [
+    ("tail_net", "c0s15", 50.0),     # chain tail: cone = net + loaded fanin
+    ("mid_chain", "c0s8", 50.0),     # mid chain: half the chain re-times
+    ("chain_root", "c0s0", 50.0),    # chain head: the whole 16-net chain
+]
+
+
+def assert_events_identical(incremental, full):
+    for name, per_net in full.events.items():
+        ours = incremental.events[name]
+        for transition, event in per_net.items():
+            other = ours[transition]
+            assert other.output_arrival == event.output_arrival
+            assert other.input_slew == event.input_slew
+            assert other.required == event.required
+            assert other.source == event.source
+
+
+def test_incremental_retime_vs_full_reanalysis(library, report_writer):
+    graph = benchmark_graph(1024)
+    assert len(graph) >= 1000
+    graph.set_clock_period(ps(2500))  # met everywhere: slack is maintained too
+    reps = 3
+
+    rows = []
+    with TimingSession() as session:
+        attach = session.update(graph, name="bench")
+        assert attach.meta.retimed_nets == len(graph)
+
+        for label, net, toggle in EDIT_SITES:
+            original = graph.nets[net].driver_size
+            # Warm both toggle states: the edit-induced stage solves happen
+            # once here, so the measured laps compare re-timing machinery only.
+            for size in (toggle, original):
+                graph.resize_driver(net, size)
+                session.update(graph)
+
+            full_seconds, incr_seconds = [], []
+            dirty = retimed = 0
+            for rep in range(reps):
+                size = toggle if rep % 2 == 0 else original
+                graph.resize_driver(net, size)
+                started = time.perf_counter()
+                full = session.time(graph, name="full")
+                full_seconds.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                incremental = session.update(graph, name="incremental")
+                incr_seconds.append(time.perf_counter() - started)
+                assert_events_identical(incremental, full)
+                dirty = incremental.meta.dirty_nets
+                retimed = incremental.meta.retimed_nets
+            # Leave the graph in its original state for the next edit site.
+            if graph.nets[net].driver_size != original:
+                graph.resize_driver(net, original)
+                session.update(graph)
+            full_avg = statistics.mean(full_seconds)
+            incr_avg = statistics.mean(incr_seconds)
+            rows.append({
+                "label": label, "net": net, "dirty_nets": dirty,
+                "retimed_nets": retimed,
+                "full_seconds": round(full_avg, 5),
+                "incremental_seconds": round(incr_avg, 5),
+                "speedup": round(full_avg / incr_avg, 2),
+            })
+
+    single = rows[0]
+    payload = {
+        "benchmark": "incremental",
+        "tracked": {
+            "nets": len(graph),
+            "levels": graph.n_levels,
+            "events": attach.n_events,
+            "clock_ps": 2500,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "edits": [{"label": row["label"], "net": row["net"],
+                       "dirty_nets": row["dirty_nets"],
+                       "retimed_nets": row["retimed_nets"]} for row in rows],
+        },
+        "machine": {
+            "jobs": attach.meta.jobs,
+            "repetitions": reps,
+            "edits": [{"label": row["label"],
+                       "full_seconds": row["full_seconds"],
+                       "incremental_seconds": row["incremental_seconds"],
+                       "speedup": row["speedup"]} for row in rows],
+            "single_net_edit_speedup": single["speedup"],
+        },
+    }
+    REPORT_DIRECTORY.mkdir(exist_ok=True)
+    json_path = REPORT_DIRECTORY / "BENCH_incremental.json"
+    json_path.write_text(json.dumps(payload, indent=1) + "\n")
+
+    lines = [
+        "incremental re-time vs full re-analysis (warm caches, bit-identical)",
+        f"  {graph.describe()}",
+        f"  {'edit site':12s} {'cone':>5s}  {'full':>9s}  {'incremental':>11s}"
+        f"  {'speedup':>8s}",
+    ]
+    lines.extend(
+        f"  {row['label']:12s} {row['retimed_nets']:5d}  "
+        f"{row['full_seconds'] * 1e3:7.1f} ms  "
+        f"{row['incremental_seconds'] * 1e3:9.1f} ms  {row['speedup']:7.1f}x"
+        for row in rows)
+    lines.append(f"  machine-readable     : {json_path.name}")
+    report_writer("incremental", "\n".join(lines))
+
+    # The acceptance bar: a single-net edit re-times in a fraction of a full
+    # pass.  The cone there is 2 of 1024 nets, so the measured headroom over
+    # 5x is typically an order of magnitude.
+    assert single["speedup"] >= SPEEDUP_FLOOR

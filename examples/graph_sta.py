@@ -11,7 +11,11 @@ time.  This example drives whole DAGs through one ``repro.api.TimingSession``:
   different inverter parity, so the sink legitimately sees both a rising and a
   falling event and both are timed,
 * a design assembled fluently with ``DesignBuilder`` — no ``GraphNet`` tuples or
-  fanout lists by hand — rides through the same ``session.time()`` call, and
+  fanout lists by hand — rides through the same ``session.time()`` call,
+* the same design is then constrained (a clock period on every endpoint),
+  edited in place (a driver resize) and *incrementally* re-timed with
+  ``session.update()`` — only the edit's dirty cone is re-solved, and the
+  report carries per-endpoint slack and WNS, and
 * the session statistics show what graph-scale batching buys: far fewer unique
   stage solves than timed events.
 
@@ -60,6 +64,17 @@ def main() -> None:
                   .connect("bus_s1", "tap"))
         report = session.time(design)
         print(report.format_report())
+
+        print("\n== slack + incremental what-if on the same design ==")
+        graph = design.clock(ps(450)).build()  # constrain every endpoint
+        report = session.update(graph, name="bus_with_tap")  # attach: full
+        print(report.format_slack_table())
+        graph.resize_driver("bus_s1", 125.0)  # what-if: upsize the mid buffer
+        report = session.update(name="bus_with_tap (125X mid)")
+        print(f"after resize: re-timed {report.meta.retimed_nets} of "
+              f"{len(graph)} nets (dirty: {report.meta.dirty_nets}), "
+              f"WNS {to_ps(report.wns):.1f} ps")
+        print(report.format_slack_table())
 
         stats = session.stats
         print(f"\nsession totals: {stats.requests} stage requests, "

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Compare the ``tracked`` sections of benchmark reports against a baseline.
+
+Benchmark JSONs under ``benchmarks/reports/BENCH_*.json`` are split into two
+sections: ``tracked`` holds machine-independent facts (workload shape, unique
+solve counts, cache hit rates, asserted floors) and ``machine`` holds wall
+times and measured speedups.  Only ``tracked`` is meaningful to diff across
+runs — this script compares it field by field and exits nonzero on any drift,
+so CI can run the benchmarks on whatever runner it gets and still catch real
+changes (a workload that silently shrank, a cache hit rate that moved, a floor
+that was relaxed) without chasing wall-clock noise.
+
+Usage::
+
+    python scripts/compare_bench_reports.py BASELINE_DIR CURRENT_DIR
+
+BASELINE_DIR is typically a snapshot of the committed ``benchmarks/reports``
+taken before the benchmarks ran; CURRENT_DIR the directory they wrote into.
+Baseline files missing from CURRENT_DIR fail the comparison; extra BENCH files
+in CURRENT_DIR (a newly added benchmark) are reported but do not fail.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def flatten(value, prefix=""):
+    """(path, leaf) pairs of a nested JSON structure, deterministically ordered."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            yield from flatten(value[key], f"{prefix}.{key}" if prefix else key)
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            yield from flatten(item, f"{prefix}[{index}]")
+    else:
+        yield prefix, value
+
+
+def compare_tracked(name: str, baseline: dict, current: dict) -> list:
+    """Human-readable mismatch lines between two reports' tracked sections."""
+    problems = []
+    for payload, label in ((baseline, "baseline"), (current, "current")):
+        if "tracked" not in payload:
+            problems.append(f"{name}: {label} report has no 'tracked' section")
+    if problems:
+        return problems
+    old = dict(flatten(baseline["tracked"]))
+    new = dict(flatten(current["tracked"]))
+    for path in sorted(old.keys() | new.keys()):
+        if path not in new:
+            problems.append(f"{name}: tracked.{path} disappeared "
+                            f"(baseline: {old[path]!r})")
+        elif path not in old:
+            problems.append(f"{name}: tracked.{path} appeared "
+                            f"(current: {new[path]!r})")
+        elif old[path] != new[path]:
+            problems.append(f"{name}: tracked.{path} changed "
+                            f"{old[path]!r} -> {new[path]!r}")
+    return problems
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[0])
+        print("usage: python scripts/compare_bench_reports.py "
+              "BASELINE_DIR CURRENT_DIR", file=sys.stderr)
+        return 2
+    baseline_dir, current_dir = Path(argv[1]), Path(argv[2])
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {baseline_dir}",
+              file=sys.stderr)
+        return 2
+    problems = []
+    compared = 0
+    for path in baselines:
+        current_path = current_dir / path.name
+        if not current_path.is_file():
+            problems.append(f"{path.name}: benchmark did not produce a report")
+            continue
+        baseline = json.loads(path.read_text())
+        current = json.loads(current_path.read_text())
+        problems.extend(compare_tracked(path.name, baseline, current))
+        compared += 1
+    for path in sorted(current_dir.glob("BENCH_*.json")):
+        if not (baseline_dir / path.name).is_file():
+            print(f"note: {path.name} has no committed baseline yet")
+    if problems:
+        print(f"tracked benchmark fields drifted ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"tracked benchmark fields match the baseline "
+          f"({compared} report(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,9 +12,15 @@ is the coherent surface over them:
 * :class:`DesignBuilder` — fluent chain/DAG construction without touching
   :class:`~repro.sta.graph.GraphNet` internals,
 * :class:`TimingReport` / :class:`TimingEvent` / :class:`RunInfo` — the unified
-  result model (per-net rise/fall events, critical path, run metadata) with a
-  lossless ``to_dict``/``from_dict``/JSON round-trip, and
+  result model (per-net rise/fall events, required times and slack, critical
+  path, run metadata) with a lossless ``to_dict``/``from_dict``/JSON
+  round-trip, plus :func:`compare_reports` for diffing two saved reports, and
 * the ``python -m repro`` CLI (:mod:`repro.api.cli`) built on top of it all.
+
+Sessions are incremental-aware: :meth:`TimingSession.update` stays attached to
+one (mutable) :class:`~repro.sta.graph.TimingGraph` and re-times only the dirty
+cone of in-place edits; ``SessionConfig.corners`` names per-corner modeling
+options that all share the session's one stage-solution memo.
 
 Quickstart::
 
@@ -32,7 +38,8 @@ Quickstart::
 
 from .builder import DesignBuilder
 from .config import SessionConfig
-from .report import RunInfo, TimingEvent, TimingReport
+from .report import (ReportDiff, RunInfo, TimingEvent, TimingReport,
+                     compare_reports)
 from .session import TimingSession
 
 __all__ = [
@@ -42,4 +49,6 @@ __all__ = [
     "TimingReport",
     "TimingEvent",
     "RunInfo",
+    "ReportDiff",
+    "compare_reports",
 ]

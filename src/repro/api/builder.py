@@ -14,6 +14,16 @@ hand::
 
 Because fanout is resolved only at build time, nets can be declared in any order
 and edges added after the fact with :meth:`~DesignBuilder.connect`.
+
+Beyond declaration, the builder carries *edit verbs* mirroring the in-place
+edit operations of :class:`~repro.sta.graph.TimingGraph` —
+:meth:`~DesignBuilder.resize`, :meth:`~DesignBuilder.set_line`,
+:meth:`~DesignBuilder.set_load`, :meth:`~DesignBuilder.set_receiver`,
+:meth:`~DesignBuilder.disconnect` — plus endpoint constraints
+(:meth:`~DesignBuilder.require`, :meth:`~DesignBuilder.clock`), so a what-if
+variant of a design is a few chained calls and a re-``build()``.  For
+*incremental* what-ifs, edit the built :class:`TimingGraph` itself and hand it
+to :meth:`repro.api.TimingSession.update`.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ModelingError
 from ..interconnect.rlc_line import RLCLine
-from ..sta.graph import GraphNet, PrimaryInput, TimingGraph
+from ..sta.graph import GraphNet, PrimaryInput, TimingGraph, flip_transition
 
 __all__ = ["DesignBuilder"]
 
@@ -51,6 +61,8 @@ class DesignBuilder:
         self.name = name
         self._nets: Dict[str, _NetSpec] = {}
         self._inputs: Dict[str, PrimaryInput] = {}
+        self._required: List[Tuple[str, float, Optional[str]]] = []
+        self._clock_period: Optional[float] = None
 
     # --- declaration ------------------------------------------------------------------
     def net(self, name: str, *, driver_size: float, line: RLCLine,
@@ -122,6 +134,72 @@ class DesignBuilder:
         return self.input(names[0], input_slew, transition=transition,
                           arrival=arrival)
 
+    # --- constraints ------------------------------------------------------------------
+    def require(self, name: str, required: float, *,
+                transition: Optional[str] = None) -> "DesignBuilder":
+        """Pin a required far-end arrival on net ``name`` [s] (chainable).
+
+        ``transition`` is the far-end edge direction the constraint applies to
+        (None = both); the pin is applied to the graph at build time via
+        :meth:`TimingGraph.set_required`.
+        """
+        if transition is not None:
+            flip_transition(transition)  # validates the direction name
+        self._required.append((name, required, transition))
+        return self
+
+    def clock(self, period: float) -> "DesignBuilder":
+        """Constrain every endpoint to arrive within ``period`` [s] (chainable)."""
+        if period <= 0:
+            raise ModelingError("clock period must be positive")
+        self._clock_period = period
+        return self
+
+    # --- edit verbs -------------------------------------------------------------------
+    def _spec(self, name: str, action: str) -> _NetSpec:
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise ModelingError(
+                f"design {self.name!r} has no net {name!r} to {action}; "
+                "declare it with net() or chain() first") from None
+
+    def resize(self, name: str, driver_size: float) -> "DesignBuilder":
+        """Change a declared net's driver strength [X] (chainable)."""
+        self._spec(name, "resize").driver_size = driver_size
+        return self
+
+    def set_line(self, name: str, line: RLCLine) -> "DesignBuilder":
+        """Swap a declared net's RLC line (chainable)."""
+        if not isinstance(line, RLCLine):
+            raise ModelingError("set_line() expects an RLCLine")
+        self._spec(name, "re-route").line = line
+        return self
+
+    def set_load(self, name: str, extra_load: float) -> "DesignBuilder":
+        """Change a declared net's additional lumped load [F] (chainable)."""
+        self._spec(name, "re-load").extra_load = extra_load
+        return self
+
+    def set_receiver(self, name: str,
+                     receiver_size: Optional[float]) -> "DesignBuilder":
+        """Change (or with None remove) a declared net's terminal receiver."""
+        self._spec(name, "re-terminate").receiver_size = receiver_size
+        return self
+
+    def disconnect(self, driver: str, *sinks: str) -> "DesignBuilder":
+        """Remove fanout edges from ``driver`` to each sink (chainable)."""
+        if not sinks:
+            raise ModelingError("disconnect() needs at least one sink net")
+        spec = self._spec(driver, "disconnect from")
+        for sink in sinks:
+            if sink not in spec.fanout:
+                raise ModelingError(
+                    f"design {self.name!r}: net {driver!r} does not drive "
+                    f"{sink!r}")
+            spec.fanout.remove(sink)
+        return self
+
     # --- introspection ----------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._nets)
@@ -147,4 +225,9 @@ class DesignBuilder:
                          receiver_size=spec.receiver_size,
                          extra_load=spec.extra_load)
                 for name, spec in self._nets.items()]
-        return TimingGraph(nets, dict(self._inputs))
+        graph = TimingGraph(nets, dict(self._inputs),
+                            clock_period=self._clock_period)
+        for name, required, transition in self._required:
+            graph.set_required(name, required, transition=transition)
+        graph.clear_dirty()  # a fresh build has no stale timing to invalidate
+        return graph

@@ -4,14 +4,18 @@ Four subcommands cover the stack end to end::
 
     python -m repro time --case chain3            # time a built-in design
     python -m repro time --chain 75,100,75 --json timing.json
+    python -m repro time --case bench --clock 800 --slack   # slack table + WNS
     python -m repro characterize --sizes 50 75 --coarse
     python -m repro bench --nets 256 --jobs 4     # memoized vs naive throughput
     python -m repro report timing.json            # pretty-print a saved report
+    python -m repro report --diff old.json new.json  # exit 1 on WNS regression
 
 Every subcommand builds one :class:`~.session.TimingSession` from the documented
 environment layer (``REPRO_CACHE_DIR``, ``REPRO_JOBS``,
 ``REPRO_PERSISTENT_STAGES``) plus its own flags, so CLI runs and library runs
-resolve configuration identically.
+resolve configuration identically.  ``report --diff`` is CI-gate friendly: its
+exit code is nonzero exactly when the new report's worst negative slack is
+worse than the old one's.
 """
 
 from __future__ import annotations
@@ -75,9 +79,29 @@ def _build_design(args: argparse.Namespace):
 
 def _cmd_time(args: argparse.Namespace) -> int:
     design = _build_design(args)
+    name = None
+    if args.clock is not None:
+        if args.clock <= 0:
+            raise ReproError("--clock expects a positive period in ps")
+        # Constraints live on the graph, so materialize one: builders build,
+        # paths become their chain-shaped graph equivalent.  The design label
+        # rides along — materializing must not rename the report.
+        from ..sta.graph import TimingGraph, chain_graph
+        from ..sta.stage import TimingPath
+        if isinstance(design, DesignBuilder):
+            design, name = design.build(), design.name
+        elif isinstance(design, TimingPath):
+            name = design.name
+            design, _ = chain_graph(design)
+        assert isinstance(design, TimingGraph)
+        design.set_clock_period(ps(args.clock))
+    elif args.slack:
+        raise ReproError("--slack needs a constraint; add --clock PS")
     with TimingSession(_session_config(args)) as session:
-        report = session.time(design)
+        report = session.time(design, name=name)
     print(report.format_report(limit=args.limit))
+    if args.slack:
+        print(report.format_slack_table(limit=args.limit))
     if args.json is not None:
         path = report.save(args.json)
         print(f"report written to {path}")
@@ -163,12 +187,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _load_report(path: Path) -> TimingReport:
     try:
-        report = TimingReport.load(args.path)
+        return TimingReport.load(path)
     except OSError as exc:
-        raise ReproError(f"cannot read report {args.path}: {exc}") from exc
+        raise ReproError(f"cannot read report {path}: {exc}") from exc
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.diff is not None:
+        if args.path is not None:
+            raise ReproError("give either a report file or --diff, not both")
+        from .report import compare_reports
+        old_path, new_path = args.diff
+        diff = compare_reports(_load_report(old_path), _load_report(new_path))
+        print(diff.describe(limit=args.limit))
+        # The CI gate: nonzero exactly when worst negative slack worsened.
+        return 1 if diff.regressed else 0
+    if args.path is None:
+        raise ReproError("report needs a report file (or --diff OLD NEW)")
+    report = _load_report(args.path)
     print(report.format_report(limit=args.limit))
+    if args.slack:
+        print(report.format_slack_table(limit=args.limit))
     if args.events:
         print("all events:")
         for name in report.nets:
@@ -217,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="net count for --case bench (default: 128)")
     timer.add_argument("--limit", type=int, default=20,
                        help="critical-path lines to print (default: 20)")
+    timer.add_argument("--clock", type=float, default=None, metavar="PS",
+                       help="constrain every endpoint to this clock period "
+                            "(ps); enables required-time/slack propagation")
+    timer.add_argument("--slack", action="store_true",
+                       help="print the per-endpoint slack table and WNS "
+                            "(requires --clock)")
     timer.add_argument("--json", type=Path, default=None, metavar="PATH",
                        help="also write the TimingReport as JSON")
     _add_session_flags(timer, jobs_help="worker processes per graph level "
@@ -255,11 +302,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=_cmd_bench)
 
     shower = commands.add_parser(
-        "report", help="pretty-print a TimingReport JSON file")
-    shower.add_argument("path", type=Path, help="report file written by "
-                                                "`time --json` / report.save()")
+        "report", help="pretty-print a TimingReport JSON file, or diff two "
+                       "(exit 1 on WNS regression)")
+    shower.add_argument("path", type=Path, nargs="?", default=None,
+                        help="report file written by `time --json` / "
+                             "report.save()")
+    shower.add_argument("--diff", type=Path, nargs=2, default=None,
+                        metavar=("OLD", "NEW"),
+                        help="compare two saved reports; exit code 1 when the "
+                             "new report's WNS is worse (CI gate)")
     shower.add_argument("--limit", type=int, default=20,
                         help="critical-path lines to print (default: 20)")
+    shower.add_argument("--slack", action="store_true",
+                        help="also print the per-endpoint slack table")
     shower.add_argument("--events", action="store_true",
                         help="also list every solved (net, transition) event")
     shower.set_defaults(func=_cmd_report)

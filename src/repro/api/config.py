@@ -87,6 +87,12 @@ class SessionConfig:
     slew_low: float = SLEW_LOW_THRESHOLD  #: lower slew measurement threshold
     slew_high: float = SLEW_HIGH_THRESHOLD  #: upper slew measurement threshold
     options: ModelingOptions = field(default_factory=ModelingOptions)
+    #: Named analysis corners: corner name -> the ModelingOptions that corner
+    #: times with.  All corners run through the session's *single* memoized
+    #: stage solver — every ModelingOptions field is part of the memo
+    #: fingerprint, so each corner's solutions are keyed apart (no collisions)
+    #: while identical stage configurations still share one solve per corner.
+    corners: Optional[Dict[str, ModelingOptions]] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -101,6 +107,20 @@ class SessionConfig:
                 f"({self.slew_low}, {self.slew_high})")
         if not isinstance(self.options, ModelingOptions):
             raise ModelingError("options must be a ModelingOptions instance")
+        if self.corners is not None:
+            if not isinstance(self.corners, Mapping) or not self.corners:
+                raise ModelingError(
+                    "corners must be a non-empty mapping of corner name -> "
+                    "ModelingOptions (or None)")
+            for name, options in self.corners.items():
+                if not name or not isinstance(name, str):
+                    raise ModelingError(
+                        f"corner names must be non-empty strings, got {name!r}")
+                if not isinstance(options, ModelingOptions):
+                    raise ModelingError(
+                        f"corner {name!r} must map to a ModelingOptions "
+                        "instance")
+            object.__setattr__(self, "corners", dict(self.corners))
         for name in ("library_dir", "cache_dir"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, Path):
@@ -151,6 +171,9 @@ class SessionConfig:
             "slew_low": self.slew_low,
             "slew_high": self.slew_high,
             "options": _options_to_dict(self.options),
+            "corners": {name: _options_to_dict(options)
+                        for name, options in self.corners.items()}
+            if self.corners is not None else None,
         }
 
     @classmethod
@@ -160,6 +183,11 @@ class SessionConfig:
         options = data.get("options")
         if isinstance(options, Mapping):
             data["options"] = _options_from_dict(options)
+        corners = data.get("corners")
+        if isinstance(corners, Mapping):
+            data["corners"] = {name: _options_from_dict(value)
+                               if isinstance(value, Mapping) else value
+                               for name, value in corners.items()}
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -171,8 +199,10 @@ class SessionConfig:
         """Single-line human-readable summary."""
         library = self.library_dir if self.library_dir else "shipped"
         cache = self.cache_dir if self.cache_dir else "default"
+        corners = (f", corners={sorted(self.corners)}"
+                   if self.corners is not None else "")
         return (f"session config: library={library}, cache={cache} "
                 f"(cells {'on' if self.use_characterization_cache else 'off'}, "
                 f"stages {'on' if self.persistent_stages else 'off'}), "
                 f"jobs={self.jobs}, memo={self.memo_size}, "
-                f"quantum={self.slew_quantum}")
+                f"quantum={self.slew_quantum}{corners}")

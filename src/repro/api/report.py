@@ -12,7 +12,11 @@ references, topological levels, and run metadata (:class:`RunInfo`).
 Serialization is lossless and stable: ``from_dict(to_dict(r)) == r`` exactly
 (floats survive because JSON encodes them via ``repr``, which round-trips), and
 two analyses of the same design produce byte-identical payloads apart from the
-wall-clock fields in ``meta``.
+wall-clock fields in ``meta``.  Constrained analyses additionally carry
+``required`` / ``slack`` per event plus the endpoint flag, so saved reports
+answer WNS and per-endpoint slack queries offline — and two saved reports can
+be compared with :func:`compare_reports` (the ``python -m repro report --diff``
+backend, whose exit code gates CI on WNS regressions).
 """
 
 from __future__ import annotations
@@ -26,7 +30,8 @@ from ..errors import ModelingError
 from ..sta.graph import GraphTimingReport, NetEventTiming
 from ..units import to_ps
 
-__all__ = ["TimingEvent", "RunInfo", "TimingReport"]
+__all__ = ["TimingEvent", "RunInfo", "TimingReport", "ReportDiff",
+           "compare_reports"]
 
 #: Bump when the report schema changes incompatibly.
 REPORT_FORMAT_VERSION = 1
@@ -60,6 +65,9 @@ class TimingEvent:
     tr2_effective: Optional[float]
     fingerprint: str  #: stage-solution memo key (content fingerprint)
     source: Optional[Tuple[str, str]] = None  #: winning fanin (net, transition)
+    required: Optional[float] = None  #: latest admissible far-end arrival [s]
+    slack: Optional[float] = None  #: required - output_arrival [s]
+    endpoint: bool = False  #: True when the net consumes data (receiver / no fanout)
 
     @property
     def stage_delay(self) -> float:
@@ -82,7 +90,9 @@ class TimingEvent:
             load_capacitance=solution.load_capacitance, ceff1=solution.ceff1,
             tr1=solution.tr1, ceff2=solution.ceff2,
             tr2_effective=solution.tr2_effective,
-            fingerprint=solution.fingerprint, source=event.source)
+            fingerprint=solution.fingerprint, source=event.source,
+            required=event.required, slack=event.slack,
+            endpoint=event.is_endpoint)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible representation (inverse of :meth:`from_dict`)."""
@@ -106,6 +116,9 @@ class TimingEvent:
             "tr2_effective": self.tr2_effective,
             "fingerprint": self.fingerprint,
             "source": list(self.source) if self.source is not None else None,
+            "required": self.required,
+            "slack": self.slack,
+            "endpoint": self.endpoint,
         }
 
     @classmethod
@@ -119,10 +132,11 @@ class TimingEvent:
 
     def describe(self) -> str:
         """Single-line summary in ps."""
+        suffix = "" if self.slack is None else f", slack {to_ps(self.slack):7.1f} ps"
         return (f"{self.net}[{self.input_transition}->{self.output_transition}]"
                 f": {self.kind:11s} in {to_ps(self.input_arrival):7.1f} ps"
                 f" -> out {to_ps(self.output_arrival):7.1f} ps"
-                f" (slew {to_ps(self.far_slew):6.1f} ps)")
+                f" (slew {to_ps(self.far_slew):6.1f} ps{suffix})")
 
 
 @dataclass(frozen=True)
@@ -136,6 +150,8 @@ class RunInfo:
     computed: int = 0
     installed: int = 0  #: solutions computed by workers and adopted
     version: str = ""  #: repro package version that produced the report
+    dirty_nets: Optional[int] = None  #: incremental runs: nets the edits dirtied
+    retimed_nets: Optional[int] = None  #: incremental runs: forward-cone size
 
     @property
     def requests(self) -> int:
@@ -147,6 +163,11 @@ class RunInfo:
         total = self.requests
         return (self.memo_hits + self.persistent_hits) / total if total else 0.0
 
+    @property
+    def incremental(self) -> bool:
+        """True when the producing run re-timed a dirty cone, not the whole graph."""
+        return self.dirty_nets is not None
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "elapsed": self.elapsed,
@@ -156,6 +177,8 @@ class RunInfo:
             "computed": self.computed,
             "installed": self.installed,
             "version": self.version,
+            "dirty_nets": self.dirty_nets,
+            "retimed_nets": self.retimed_nets,
         }
 
     @classmethod
@@ -196,11 +219,16 @@ class TimingReport:
         critical = [(event.net.name, event.input_transition)
                     for event in report.critical_path()] if events else []
         stats = report.stats
+        incremental = report.incremental
         meta = RunInfo(elapsed=report.elapsed, jobs=report.jobs,
                        memo_hits=stats.memo_hits,
                        persistent_hits=stats.persistent_hits,
                        computed=stats.computed, installed=stats.installed,
-                       version=version)
+                       version=version,
+                       dirty_nets=incremental.dirty_nets
+                       if incremental is not None else None,
+                       retimed_nets=incremental.retimed_nets
+                       if incremental is not None else None)
         return cls(design=design, kind=kind, events=events,
                    levels=[list(level) for level in report.levels],
                    critical_path=critical, meta=meta)
@@ -258,6 +286,89 @@ class TimingReport:
     def stage_delays(self) -> List[float]:
         """Per-event stage delays along the critical path [s]."""
         return [event.stage_delay for event in self.critical_events()]
+
+    # --- slack ------------------------------------------------------------------------
+    @property
+    def constrained(self) -> bool:
+        """True when the producing analysis carried required-time constraints."""
+        return any(event.slack is not None
+                   for per_net in self.events.values()
+                   for event in per_net.values())
+
+    def slack(self, name: str, transition: Optional[str] = None
+              ) -> Optional[float]:
+        """Slack of net ``name`` [s]: minimum over its constrained events.
+
+        With an explicit ``transition`` (the input edge direction), the slack of
+        exactly that event; None when the queried events are unconstrained.
+        """
+        if transition is not None:
+            return self.event(name, transition).slack
+        slacks = [event.slack for event in self.events.get(name, {}).values()
+                  if event.slack is not None]
+        if not slacks:
+            self.event(name)  # raises ModelingError on unknown/un-timed nets
+            return None
+        return min(slacks)
+
+    @property
+    def worst_slack(self) -> Optional[float]:
+        """Worst (most negative) slack over every endpoint, None if unconstrained.
+
+        Defined over endpoint events (the conventional WNS domain), so the
+        summary always agrees with :meth:`endpoint_slacks`.
+        """
+        slacks = [event.slack for per_net in self.events.values()
+                  for event in per_net.values()
+                  if event.endpoint and event.slack is not None]
+        return min(slacks) if slacks else None
+
+    @property
+    def wns(self) -> Optional[float]:
+        """Worst negative slack [s]: 0.0 when every constraint is met."""
+        worst = self.worst_slack
+        if worst is None:
+            return None
+        return min(worst, 0.0)
+
+    def endpoint_slacks(self) -> List[TimingEvent]:
+        """Constrained endpoint events, worst (smallest) slack first."""
+        events = [event for per_net in self.events.values()
+                  for event in per_net.values()
+                  if event.endpoint and event.slack is not None]
+        return sorted(events, key=lambda e: (e.slack, e.net,
+                                             e.input_transition))
+
+    def worst_slack_event(self) -> TimingEvent:
+        """The constrained endpoint event with the smallest slack."""
+        table = self.endpoint_slacks()
+        if not table:
+            raise ModelingError(
+                f"timing report of {self.design!r} has no constrained "
+                "endpoints; set a required time or a clock period before "
+                "querying slack")
+        return table[0]
+
+    def format_slack_table(self, *, limit: int = 20) -> str:
+        """Per-endpoint slack table (worst first), or a hint when unconstrained."""
+        table = self.endpoint_slacks()
+        if not table:
+            return ("no constrained endpoints (set a clock period or a "
+                    "required time to get slack)")
+        lines = [f"endpoint slacks ({len(table)} constrained endpoint "
+                 f"event(s), WNS {to_ps(self.wns):.1f} ps):",
+                 f"  {'endpoint':24s} {'edge':12s} {'arrival':>10s} "
+                 f"{'required':>10s} {'slack':>10s}"]
+        shown = table if len(table) <= limit else table[:limit]
+        for event in shown:
+            edge = f"{event.input_transition}->{event.output_transition}"
+            lines.append(
+                f"  {event.net:24s} {edge:12s} "
+                f"{to_ps(event.output_arrival):8.1f} ps "
+                f"{to_ps(event.required):7.1f} ps {to_ps(event.slack):7.1f} ps")
+        if len(table) > limit:
+            lines.append(f"  ... ({len(table) - limit} more endpoints)")
+        return "\n".join(lines)
 
     # --- serialization ----------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -342,6 +453,9 @@ class TimingReport:
             f"  solved in {meta.elapsed:.3f} s ({meta.jobs} worker(s), "
             f"cache hit rate {100 * meta.hit_rate:.1f}%)",
         ]
+        if meta.incremental:
+            lines.append(f"  incremental: {meta.dirty_nets} dirty net(s) -> "
+                         f"{meta.retimed_nets} retimed")
         if not self.critical_path:
             lines.append("  (no events: nothing to time)")
             return "\n".join(lines)
@@ -349,6 +463,9 @@ class TimingReport:
         lines.append(f"  worst sink arrival: {worst.net} "
                      f"{to_ps(worst.output_arrival):.1f} ps "
                      f"(far slew {to_ps(worst.far_slew):.1f} ps)")
+        if self.worst_slack is not None:
+            lines.append(f"  worst slack: {to_ps(self.worst_slack):.1f} ps "
+                         f"(WNS {to_ps(self.wns):.1f} ps)")
         lines.append("  critical path:")
         path = self.critical_events()
         shown = path if len(path) <= limit else path[:limit]
@@ -356,3 +473,97 @@ class TimingReport:
         if len(path) > limit:
             lines.append(f"    ... ({len(path) - limit} more events)")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ReportDiff:
+    """What changed between two timing reports of (nominally) the same design.
+
+    ``regressed`` is the CI gate: True when the new report's worst negative
+    slack is worse than the old one's — both constrained and WNS dropped, or
+    the new report introduces a violation the old one could not have had — and
+    also when the old report was constrained but the new one is not: losing
+    slack coverage must fail the gate rather than silently stop gating.
+    Arrival-only changes (no constraints on either side) never regress.
+    """
+
+    old_design: str
+    new_design: str
+    old_total_delay: Optional[float]
+    new_total_delay: Optional[float]
+    old_wns: Optional[float]
+    new_wns: Optional[float]
+    changed_endpoints: List[Tuple[str, str, Optional[float], Optional[float]]]
+    #: (net, input transition, old slack, new slack), worst new slack first
+    added_events: int
+    removed_events: int
+
+    @property
+    def regressed(self) -> bool:
+        """True when worst negative slack worsened (the nonzero-exit condition)."""
+        if self.new_wns is None:
+            # Constraints vanished: gate on the coverage loss, not silence.
+            return self.old_wns is not None
+        if self.old_wns is None:
+            return self.new_wns < 0.0
+        return self.new_wns < self.old_wns
+
+    def describe(self, *, limit: int = 10) -> str:
+        """Multi-line human-readable summary of the differences."""
+        def fmt(value: Optional[float]) -> str:
+            return "-" if value is None else f"{to_ps(value):.1f} ps"
+
+        lines = [f"report diff: {self.old_design!r} -> {self.new_design!r}",
+                 f"  total delay: {fmt(self.old_total_delay)} -> "
+                 f"{fmt(self.new_total_delay)}",
+                 f"  WNS: {fmt(self.old_wns)} -> {fmt(self.new_wns)}"]
+        if self.added_events or self.removed_events:
+            lines.append(f"  events: +{self.added_events} / "
+                         f"-{self.removed_events}")
+        if self.changed_endpoints:
+            lines.append(f"  endpoint slack changes "
+                         f"({len(self.changed_endpoints)}):")
+            shown = self.changed_endpoints[:limit]
+            for net, transition, old, new in shown:
+                lines.append(f"    {net}[{transition}]: {fmt(old)} -> {fmt(new)}")
+            if len(self.changed_endpoints) > limit:
+                lines.append(f"    ... ({len(self.changed_endpoints) - limit} "
+                             "more)")
+        if self.regressed:
+            if self.new_wns is None:
+                lines.append("  RESULT: slack coverage lost (old report was "
+                             "constrained, new one is not)")
+            else:
+                lines.append("  RESULT: WNS regression")
+        else:
+            lines.append("  RESULT: no slack regression")
+        return "\n".join(lines)
+
+
+def compare_reports(old: TimingReport, new: TimingReport) -> ReportDiff:
+    """Structured comparison of two reports (the ``report --diff`` backend)."""
+    def keys(report: TimingReport) -> set:
+        return {(name, transition) for name, per_net in report.events.items()
+                for transition in per_net}
+
+    old_keys, new_keys = keys(old), keys(new)
+    changed: List[Tuple[str, str, Optional[float], Optional[float]]] = []
+    for name, transition in sorted(old_keys & new_keys):
+        old_event = old.events[name][transition]
+        new_event = new.events[name][transition]
+        if not (old_event.endpoint or new_event.endpoint):
+            continue
+        if old_event.slack != new_event.slack:
+            changed.append((name, transition, old_event.slack, new_event.slack))
+    changed.sort(key=lambda entry: (entry[3] is None,
+                                    entry[3] if entry[3] is not None else 0.0))
+
+    def total(report: TimingReport) -> Optional[float]:
+        return report.total_delay if report.critical_path else None
+
+    return ReportDiff(
+        old_design=old.design, new_design=new.design,
+        old_total_delay=total(old), new_total_delay=total(new),
+        old_wns=old.wns, new_wns=new.wns, changed_endpoints=changed,
+        added_events=len(new_keys - old_keys),
+        removed_events=len(old_keys - new_keys))

@@ -40,9 +40,10 @@ from ..characterization.library import (CellLibrary, default_library,
                                         shipped_data_directory)
 from ..characterization.parallel import (CharacterizationRunner,
                                          characterize_inverter_parallel)
+from ..core.driver_model import ModelingOptions
 from ..core.stage_solver import SolverStats, StageSolver
 from ..errors import ModelingError
-from ..sta.batch import GraphEngine
+from ..sta.batch import GraphEngine, IncrementalEngine
 from ..sta.graph import TimingGraph, chain_graph
 from ..sta.stage import TimingPath
 from ..tech.inverter import InverterSpec
@@ -102,6 +103,7 @@ class TimingSession:
             library=self.library, tech=self.library.tech, options=cfg.options,
             slew_low=cfg.slew_low, slew_high=cfg.slew_high, solver=self.solver,
             jobs=cfg.jobs)
+        self._incremental: Optional[IncrementalEngine] = None
         self._runner: Optional[CharacterizationRunner] = None
         self._managed = False
         self._closed = False
@@ -114,11 +116,15 @@ class TimingSession:
         # GraphEngine — so an un-close()d session never leaks worker processes.
         self._managed = True
         self._engine.__enter__()
+        if self._incremental is not None:
+            self._incremental.__enter__()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._managed = False
         self._engine.__exit__(exc_type, exc, tb)
+        if self._incremental is not None:
+            self._incremental.__exit__(exc_type, exc, tb)
         self.close()
 
     def close(self) -> None:
@@ -131,6 +137,8 @@ class TimingSession:
             self._runner.close()
             self._runner = None
         self._engine.close()
+        if self._incremental is not None:
+            self._incremental.close()
         self._closed = True
 
     @property
@@ -168,8 +176,24 @@ class TimingSession:
         return self._runner
 
     # --- timing -----------------------------------------------------------------------
+    def corner_options(self, corner: Optional[str]) -> ModelingOptions:
+        """The :class:`ModelingOptions` a named corner times with.
+
+        ``None`` is the implicit default corner (``config.options``); any other
+        name must exist in ``config.corners``.
+        """
+        if corner is None:
+            return self.config.options
+        corners = self.config.corners or {}
+        if corner not in corners:
+            raise ModelingError(
+                f"unknown corner {corner!r}; configured corners: "
+                f"{sorted(corners) if corners else 'none'}")
+        return corners[corner]
+
     def time(self, design: Design, *, jobs: Optional[int] = None,
-             memoize: bool = True, name: Optional[str] = None) -> TimingReport:
+             memoize: bool = True, name: Optional[str] = None,
+             corner: Optional[str] = None) -> TimingReport:
         """Time ``design`` and return the unified :class:`TimingReport`.
 
         Accepts a :class:`TimingPath` (timed as its chain-shaped graph, report
@@ -179,17 +203,21 @@ class TimingSession:
         there is nothing to fan out) and report ``meta.jobs == 1``.
         ``memoize=False`` bypasses every cache layer (the naive baseline
         benchmarks compare against); ``name`` overrides the report's design
-        label.
+        label; ``corner`` times the design under that configured corner's
+        modeling options (all corners share the session's one stage-solution
+        memo — option fields are part of every fingerprint, so corners never
+        alias each other's entries).
         """
         self._closed = False
+        options = self.corner_options(corner)
         if isinstance(design, DesignBuilder):
             graph, kind, label = design.build(), "graph", design.name
         elif isinstance(design, TimingPath):
             # A chain has one net per level, so worker fan-out cannot help;
             # jobs=1 keeps the path flow exactly on the PathTimer code path.
-            graph, _ = chain_graph(design,
-                                   input_transition=self.config.options.transition)
-            report = self._engine.analyze(graph, jobs=1, memoize=memoize)
+            graph, _ = chain_graph(design, input_transition=options.transition)
+            report = self._engine.analyze(graph, jobs=1, memoize=memoize,
+                                          options=options)
             return TimingReport.from_graph_report(
                 report, design=name if name is not None else design.name,
                 kind="path", version=__version__)
@@ -199,9 +227,81 @@ class TimingSession:
             raise ModelingError(
                 "time() expects a TimingPath, TimingGraph or DesignBuilder, "
                 f"got {type(design).__name__}")
-        report = self._engine.analyze(graph, jobs=jobs, memoize=memoize)
+        report = self._engine.analyze(graph, jobs=jobs, memoize=memoize,
+                                      options=options)
         return TimingReport.from_graph_report(
             report, design=name if name is not None else label, kind=kind,
+            version=__version__)
+
+    def time_corners(self, design: Design, *, jobs: Optional[int] = None,
+                     name: Optional[str] = None) -> "dict[str, TimingReport]":
+        """Time ``design`` under every configured corner: name -> report.
+
+        All corners run through the session's single memoized solver; within
+        each corner, repeated stage configurations still hit the memo, while the
+        per-corner option fields keep the corners' entries apart.
+        """
+        corners = self.config.corners
+        if not corners:
+            raise ModelingError(
+                "no corners configured; set SessionConfig.corners (a mapping "
+                "of corner name -> ModelingOptions)")
+        return {corner: self.time(design, jobs=jobs, corner=corner,
+                                  name=f"{name}@{corner}" if name else None)
+                for corner in sorted(corners)}
+
+    def update(self, design: Optional[TimingGraph] = None, *,
+               jobs: Optional[int] = None,
+               name: Optional[str] = None) -> TimingReport:
+        """Incrementally re-time a graph after in-place edits.
+
+        The first call for a graph performs (and caches) a full analysis;
+        afterwards the session stays attached to it, and each call re-times only
+        the dirty cone of the edits made through the graph's edit operations
+        (``resize_driver``, ``set_line``, ``add_fanout``, ``set_required``, ...)
+        — see :class:`repro.sta.IncrementalEngine`.  ``design`` defaults to the
+        graph of the previous :meth:`update`; passing a different graph
+        re-attaches the session (dropping the old incremental state).  Results
+        are bit-identical to ``session.time(graph)`` on the same state; the
+        report's ``meta.dirty_nets`` / ``meta.retimed_nets`` say how much work
+        the update actually did.
+
+        Incremental updates always time the default corner — re-time other
+        corners in full with ``time(design, corner=...)``.  Builders build a
+        *fresh* graph per ``build()``; call update on the built
+        :class:`TimingGraph` itself.
+        """
+        self._closed = False
+        if design is None:
+            if self._incremental is None:
+                raise ModelingError(
+                    "update() without a design needs a previously attached "
+                    "graph; call update(graph) first")
+            engine = self._incremental
+        elif isinstance(design, TimingGraph):
+            engine = self._incremental
+            if engine is None or engine.graph is not design:
+                if engine is not None:
+                    engine.close()
+                cfg = self.config
+                engine = IncrementalEngine(
+                    design, library=self.library, tech=self.library.tech,
+                    options=cfg.options, slew_low=cfg.slew_low,
+                    slew_high=cfg.slew_high, solver=self.solver, jobs=cfg.jobs)
+                if self._managed:
+                    engine.__enter__()
+                self._incremental = engine
+        elif isinstance(design, DesignBuilder):
+            raise ModelingError(
+                "update() needs the TimingGraph itself — a DesignBuilder "
+                "builds a fresh graph on every build(); keep the built graph, "
+                "edit it in place, and pass it here")
+        else:
+            raise ModelingError(
+                f"update() expects a TimingGraph, got {type(design).__name__}")
+        report = engine.update(jobs=jobs)
+        return TimingReport.from_graph_report(
+            report, design=name if name is not None else "graph", kind="graph",
             version=__version__)
 
     # --- characterization -------------------------------------------------------------

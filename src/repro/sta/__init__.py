@@ -10,7 +10,12 @@ Layering, bottom up:
 * :mod:`repro.sta.batch` — :class:`~.batch.GraphEngine`, the batched executor:
   each level's unique stage solves are answered from the memo or fanned across a
   worker pool the engine owns (created lazily, reused across analyses, closed
-  deterministically via ``close()`` / its ``with`` block).
+  deterministically via ``close()`` / its ``with`` block).  Constrained graphs
+  (``set_required`` / ``set_clock_period``) additionally get a backward
+  required-time pass, so every event carries ``required`` and ``slack``; and
+  :class:`~.batch.IncrementalEngine` re-times only the dirty cone of in-place
+  graph edits (``resize_driver``, ``set_line``, ``add_fanout``, ...), bit-identical
+  to a from-scratch run.
 
 The recommended front door to all of this is :class:`repro.api.TimingSession`,
 which owns the cell library, the caches and the worker pool, accepts
@@ -21,10 +26,11 @@ remain as thin deprecation shims over the same engine, so their results are
 bit-identical to the session's.
 """
 
-from .batch import GraphEngine, GraphTimer
+from .batch import GraphEngine, GraphTimer, IncrementalEngine
 from .engine import PathTimer, PathTimingReport, StageTiming
-from .graph import (GraphNet, GraphTimingReport, NetEventTiming, PrimaryInput,
-                    TimingGraph, chain_graph, flip_transition)
+from .graph import (GraphNet, GraphTimingReport, IncrementalStats,
+                    NetEventTiming, PrimaryInput, TimingGraph, chain_graph,
+                    flip_transition)
 from .stage import TimingPath, TimingStage
 from .validation import PathReference, simulate_path_reference
 
@@ -41,7 +47,9 @@ __all__ = [
     "flip_transition",
     "NetEventTiming",
     "GraphTimingReport",
+    "IncrementalStats",
     "GraphEngine",
+    "IncrementalEngine",
     "GraphTimer",
     "PathReference",
     "simulate_path_reference",

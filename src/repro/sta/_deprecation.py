@@ -1,0 +1,36 @@
+"""Once-per-process deprecation warnings for the legacy STA entry points.
+
+``PathTimer`` / ``GraphTimer`` are constructed inside loops by code that
+predates :class:`repro.api.TimingSession`; warning on every construction turns
+a migration hint into log spam.  :func:`warn_deprecated_once` emits each
+distinct message once per process, attributed (via ``stacklevel``) to the
+caller's caller — the line that constructed the shim, not the shim itself.
+:func:`reset_deprecation_warnings` exists for tests that assert the warning
+actually fires.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_deprecated_once", "reset_deprecation_warnings"]
+
+_warned: Set[str] = set()
+
+
+def warn_deprecated_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a DeprecationWarning, once per process per ``key``.
+
+    The default ``stacklevel=3`` attributes the warning to whoever called the
+    deprecated constructor (user code -> ``__init__`` -> this helper).
+    """
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecations already fired (test hook)."""
+    _warned.clear()

@@ -18,6 +18,23 @@ Workers return scalar :class:`~repro.core.stage_solver.StageSolution` objects â€
 waveforms never cross the process boundary â€” and the parent installs them into the
 shared memo, so later levels (and later analyses) reuse them.
 
+After the forward pass, a constrained graph (clock period or explicit
+``set_required`` pins) gets a backward pass: required times propagate from the
+endpoints against the arrival flow â€” the minimum required over a net's fanout
+consumers, mirrored per rise/fall the way the forward merge takes the maximum
+arrival â€” and every event gains ``required`` / ``slack``.  The backward pass is
+pure arithmetic over already-solved stage delays, so it costs microseconds even
+on 1k-net graphs.
+
+:class:`IncrementalEngine` adds what-if speed on top: it stays attached to one
+(now mutable) :class:`TimingGraph` and, on :meth:`IncrementalEngine.update`,
+re-times only the *dirty cone* of the edits made since the last update â€” the
+dirty nets' transitive fanout for arrivals, and the transitive fanin of the
+affected nets for required times â€” reusing the cached events everywhere else.
+Because stage solves are memoized by content fingerprint, an incremental update
+is bit-identical to a from-scratch analysis, just proportional to the size of
+the edit instead of the size of the graph.
+
 The engine owns its worker pool: the pool is created lazily on the first parallel
 analysis, reused by every later one, and closed deterministically by
 :meth:`GraphEngine.close` (or by leaving the engine's ``with`` block) instead of
@@ -44,10 +61,11 @@ from ..core.driver_model import ModelingOptions
 from ..core.stage_solver import SolverStats, StageSolution, StageSolver, solve_stage
 from ..errors import ModelingError
 from ..tech.technology import Technology, generic_180nm
-from .graph import (GraphNet, GraphTimingReport, NetEventTiming, TimingGraph,
-                    flip_transition)
+from ._deprecation import warn_deprecated_once
+from .graph import (GraphNet, GraphTimingReport, IncrementalStats,
+                    NetEventTiming, TimingGraph, flip_transition)
 
-__all__ = ["GraphEngine", "GraphTimer"]
+__all__ = ["GraphEngine", "IncrementalEngine", "GraphTimer"]
 
 #: (arrival, slew, source) triple tracked per pending (net, transition) state.
 _PendingState = Tuple[float, float, Optional[Tuple[str, str]]]
@@ -160,18 +178,26 @@ class GraphEngine:
             load += self.tech.inverter_input_capacitance(net.receiver_size)
         return load
 
-    def _event_options(self, input_transition: str) -> ModelingOptions:
-        return replace(self.options, transition=flip_transition(input_transition),
+    def _event_options(self, input_transition: str,
+                       base: Optional[ModelingOptions] = None) -> ModelingOptions:
+        base = base if base is not None else self.options
+        return replace(base, transition=flip_transition(input_transition),
                        reference_time=0.0)
 
     @staticmethod
     def _merge(pending: Dict[str, Dict[str, _PendingState]], name: str,
                transition: str, arrival: float, slew: float,
                source: Tuple[str, str]) -> None:
-        """Worst-arrival merge of one propagated event into a pending input state."""
+        """Worst-arrival merge of one propagated event into a pending input state.
+
+        The tie-break on exactly equal (arrival, slew) falls through to the
+        source name, making the merge independent of the order fanins are
+        visited in â€” a full analysis and an incremental cone re-seed must elect
+        the same winner bit-for-bit.
+        """
         states = pending.setdefault(name, {})
         current = states.get(transition)
-        if current is None or (arrival, slew) > (current[0], current[1]):
+        if current is None or (arrival, slew, source) > current:
             states[transition] = (arrival, slew, source)
 
     # --- level solving ---------------------------------------------------------------
@@ -241,16 +267,126 @@ class GraphEngine:
         return solutions, pool_ok
 
     # --- analysis ----------------------------------------------------------------------
+    def _time_levels(self, graph: TimingGraph, levels: List[List[str]],
+                     pending: Dict[str, Dict[str, _PendingState]],
+                     events: Dict[str, Dict[str, NetEventTiming]], *,
+                     jobs: int, need_waveforms: bool, memoize: bool,
+                     options: Optional[ModelingOptions] = None) -> int:
+        """Forward pass over ``levels``: solve, record into ``events``, propagate.
+
+        The shared core of full analysis (all levels, pending seeded from the
+        primary inputs) and incremental updates (cone levels, pending seeded
+        from the cached fanin events).  Mutates ``events`` and ``pending`` in
+        place and returns the worker count actually used.
+        """
+        for level in levels:
+            items: List[_WorkItem] = []
+            for name in level:
+                net = graph.nets[name]
+                load = self.net_load(graph, net)
+                for transition, state in sorted(pending.get(name, {}).items()):
+                    arrival, slew, source = state
+                    event_options = self._event_options(transition, options)
+                    cell = self.library.get(net.driver_size)
+                    # Quantize once here so the fingerprint, the serial
+                    # solver and the worker tasks all see the same slew.
+                    slew = self.solver.quantize_slew(slew)
+                    items.append(_WorkItem(
+                        net=net, cell=cell, load=load,
+                        input_transition=transition, input_arrival=arrival,
+                        input_slew=slew, options=event_options,
+                        fingerprint=self.solver.fingerprint_for(
+                            cell, slew, net.line, load, event_options),
+                        source=source))
+            if not items:
+                continue
+            executor = self._get_executor(jobs) if jobs > 1 else None
+            if executor is None:
+                jobs = 1
+            if executor is not None:
+                solutions, pool_ok = self._solve_level_parallel(items, executor)
+                if not pool_ok:
+                    self.close()
+                    jobs = 1
+            else:
+                solutions = self._solve_level_serial(
+                    items, need_waveforms=need_waveforms, memoize=memoize)
+
+            for item in items:
+                solution = solutions[item.fingerprint]
+                event = NetEventTiming(
+                    net=item.net, input_transition=item.input_transition,
+                    output_transition=solution.transition,
+                    input_arrival=item.input_arrival,
+                    input_slew=item.input_slew, solution=solution,
+                    source=item.source)
+                events.setdefault(item.net.name, {})[item.input_transition] = event
+                for target in item.net.fanout:
+                    self._merge(pending, target, solution.transition,
+                                event.output_arrival, solution.propagated_slew,
+                                (item.net.name, item.input_transition))
+        return jobs
+
+    @staticmethod
+    def _apply_required(graph: TimingGraph,
+                        events: Dict[str, Dict[str, NetEventTiming]],
+                        targets: Optional[set] = None) -> int:
+        """Backward pass: propagate required times, rewrite events in place.
+
+        Mirrors the forward merge against the arrival flow: an event's required
+        far-end time is the minimum of its constraint seed and, per consumer in
+        its fanout, that consumer's required time minus the consumer's stage
+        delay (the consumer event keyed by this event's output transition â€”
+        min-required wins per rise/fall).  ``targets`` restricts the rewrite to
+        a net subset (the incremental backward region); consumers outside it
+        contribute their cached required times.  Pure arithmetic â€” no stage is
+        ever re-solved here.  Returns the number of nets visited.
+        """
+        if not graph.constrained and targets is None:
+            # Nothing seeds a required time; strip any stale ones cheaply.
+            for name, per_net in events.items():
+                for transition, event in per_net.items():
+                    if event.required is not None:
+                        per_net[transition] = replace(event, required=None)
+            return 0
+        visited = 0
+        for level in reversed(graph.levels):
+            for name in level:
+                if targets is not None and name not in targets:
+                    continue
+                per_net = events.get(name)
+                if not per_net:
+                    continue
+                visited += 1
+                for transition, event in per_net.items():
+                    required = graph.required_for(name, event.output_transition)
+                    for target in event.net.fanout:
+                        consumer = events.get(target, {}).get(
+                            event.output_transition)
+                        if consumer is None or consumer.required is None:
+                            continue
+                        candidate = (consumer.required
+                                     - consumer.solution.stage_delay)
+                        if required is None or candidate < required:
+                            required = candidate
+                    if required != event.required:
+                        per_net[transition] = replace(event, required=required)
+        return visited
+
     def analyze(self, graph: TimingGraph, *, jobs: Optional[int] = None,
-                need_waveforms: bool = False,
-                memoize: bool = True) -> GraphTimingReport:
+                need_waveforms: bool = False, memoize: bool = True,
+                options: Optional[ModelingOptions] = None) -> GraphTimingReport:
         """Time every (net, transition) event of ``graph``.
 
         ``jobs`` overrides the timer's default worker count for this analysis;
         ``need_waveforms`` keeps full models/far-end responses on every solution
         (forces serial solving â€” waveforms do not cross process boundaries);
         ``memoize=False`` bypasses the solver's caches entirely, which is the
-        naive per-stage baseline the benchmarks compare against.
+        naive per-stage baseline the benchmarks compare against; ``options``
+        overrides the engine's modeling options for this analysis only (the
+        corner axis â€” every corner shares the engine's memoized solver, and the
+        per-corner option fields are part of every memo fingerprint, so corners
+        never collide in the cache).
         """
         if not isinstance(graph, TimingGraph):
             raise ModelingError("analyze() expects a TimingGraph")
@@ -267,55 +403,13 @@ class GraphEngine:
 
         events: Dict[str, Dict[str, NetEventTiming]] = {}
         try:
-            for level in graph.levels:
-                items: List[_WorkItem] = []
-                for name in level:
-                    net = graph.nets[name]
-                    load = self.net_load(graph, net)
-                    for transition, state in sorted(pending.get(name, {}).items()):
-                        arrival, slew, source = state
-                        options = self._event_options(transition)
-                        cell = self.library.get(net.driver_size)
-                        # Quantize once here so the fingerprint, the serial
-                        # solver and the worker tasks all see the same slew.
-                        slew = self.solver.quantize_slew(slew)
-                        items.append(_WorkItem(
-                            net=net, cell=cell, load=load,
-                            input_transition=transition, input_arrival=arrival,
-                            input_slew=slew, options=options,
-                            fingerprint=self.solver.fingerprint_for(
-                                cell, slew, net.line, load, options),
-                            source=source))
-                if not items:
-                    continue
-                executor = self._get_executor(jobs) if jobs > 1 else None
-                if executor is None:
-                    jobs = 1
-                if executor is not None:
-                    solutions, pool_ok = self._solve_level_parallel(items, executor)
-                    if not pool_ok:
-                        self.close()
-                        jobs = 1
-                else:
-                    solutions = self._solve_level_serial(
-                        items, need_waveforms=need_waveforms, memoize=memoize)
-
-                for item in items:
-                    solution = solutions[item.fingerprint]
-                    event = NetEventTiming(
-                        net=item.net, input_transition=item.input_transition,
-                        output_transition=solution.transition,
-                        input_arrival=item.input_arrival,
-                        input_slew=item.input_slew, solution=solution,
-                        source=item.source)
-                    events.setdefault(item.net.name, {})[item.input_transition] = event
-                    for target in item.net.fanout:
-                        self._merge(pending, target, solution.transition,
-                                    event.output_arrival, solution.propagated_slew,
-                                    (item.net.name, item.input_transition))
+            jobs = self._time_levels(graph, graph.levels, pending, events,
+                                     jobs=jobs, need_waveforms=need_waveforms,
+                                     memoize=memoize, options=options)
         finally:
             if not self._persistent_pool:
                 self.close()
+        self._apply_required(graph, events)
 
         after = self.solver.stats
         stats = SolverStats(
@@ -326,6 +420,144 @@ class GraphEngine:
         return GraphTimingReport(graph=graph, events=events, levels=graph.levels,
                                  stats=stats, jobs=jobs,
                                  elapsed=time.perf_counter() - started)
+
+
+class IncrementalEngine(GraphEngine):
+    """A :class:`GraphEngine` that stays attached to one graph and re-times edits.
+
+    The first :meth:`update` is a full analysis; afterwards the engine keeps the
+    solved events and, on every later update, consumes the graph's dirty set
+    (see the edit operations on :class:`~.graph.TimingGraph`):
+
+    * **arrivals** â€” the dirty nets' transitive fanout cone is re-levelized (the
+      graph's current levels filtered to the cone) and re-timed, seeded with the
+      cached events of the cone's unchanged fanins; everything outside the cone
+      is reused untouched.
+    * **required times** â€” recomputed over the transitive fanin of the cone
+      (or the whole graph when constraints themselves changed), again reusing
+      cached values at the region boundary.
+
+    Updates are bit-identical to a from-scratch :meth:`GraphEngine.analyze` of
+    the same graph state: the same memoized solver answers the same fingerprints,
+    and the merge tie-break is order-independent.  The engine is the single
+    consumer of its graph's dirty set â€” attach one engine per graph.
+    """
+
+    def __init__(self, graph: TimingGraph, **kwargs) -> None:
+        if not isinstance(graph, TimingGraph):
+            raise ModelingError("IncrementalEngine expects a TimingGraph")
+        super().__init__(**kwargs)
+        self.graph = graph
+        self._events: Dict[str, Dict[str, NetEventTiming]] = {}
+        self._timed = False
+
+    def _snapshot(self) -> Dict[str, Dict[str, NetEventTiming]]:
+        """A report-safe copy of the cached events (updates must not mutate it)."""
+        return {name: dict(per_net) for name, per_net in self._events.items()}
+
+    def update(self, *, jobs: Optional[int] = None) -> GraphTimingReport:
+        """Re-time what the edits since the last update actually dirtied.
+
+        The first call (and any call after :meth:`invalidate`) times the whole
+        graph.  Later calls clear the graph's dirty state and return a report
+        whose :attr:`~.graph.GraphTimingReport.incremental` stats say how much
+        of the graph was touched.
+        """
+        graph = self.graph
+        dirty = set(graph.dirty_nets)
+        constraints_dirty = graph.constraints_dirty
+        graph.clear_dirty()
+
+        if not self._timed:
+            report = self.analyze(graph, jobs=jobs)
+            self._events = {name: dict(per_net)
+                            for name, per_net in report.events.items()}
+            self._timed = True
+            return replace(report, incremental=IncrementalStats(
+                dirty_nets=len(graph), retimed_nets=len(graph),
+                retimed_events=report.n_events, required_nets=len(graph)))
+
+        started = time.perf_counter()
+        before = self.solver.stats.snapshot()
+        try:
+            cone = graph.fanout_cone(dirty) if dirty else set()
+
+            # Seed the cone's pending states from primary inputs and from the
+            # cached events of fanins outside the cone (in-cone fanins
+            # contribute while the cone itself is re-timed, exactly as in a
+            # full analysis).
+            pending: Dict[str, Dict[str, _PendingState]] = {}
+            for name in cone:
+                primary = graph.primary_inputs.get(name)
+                if primary is not None:
+                    pending[name] = {primary.transition:
+                                     (primary.arrival, primary.slew, None)}
+                for fanin in sorted(graph.fanin(name)):
+                    if fanin in cone:
+                        continue
+                    for transition, event in sorted(
+                            self._events[fanin].items()):
+                        self._merge(pending, name, event.output_transition,
+                                    event.output_arrival,
+                                    event.propagated_slew,
+                                    (fanin, transition))
+            for name in cone:
+                self._events.pop(name, None)
+
+            retimed_events = 0
+            jobs_used = 1
+            if cone:
+                levels = [[name for name in level if name in cone]
+                          for level in graph.levels]
+                levels = [level for level in levels if level]
+                jobs_requested = self.jobs if jobs is None else resolve_jobs(jobs)
+                try:
+                    jobs_used = self._time_levels(
+                        graph, levels, pending, self._events,
+                        jobs=jobs_requested, need_waveforms=False,
+                        memoize=True)
+                finally:
+                    if not self._persistent_pool:
+                        self.close()
+                retimed_events = sum(len(self._events.get(name, {}))
+                                     for name in cone)
+
+            # Required times change where a stage delay changed (the cone),
+            # where an event appeared/disappeared (also the cone), or
+            # everywhere when the constraints themselves moved.
+            if constraints_dirty:
+                required_targets = None
+            else:
+                required_targets = graph.fanin_cone(cone) if cone else set()
+            required_nets = 0
+            if required_targets is None or required_targets:
+                required_nets = self._apply_required(graph, self._events,
+                                                     required_targets)
+        except Exception:
+            # The dirty set was already consumed and the cone's cached events
+            # may be partially rebuilt; a half-updated cache must never serve
+            # later queries, so drop it â€” the next update re-times in full.
+            self.invalidate()
+            raise
+
+        after = self.solver.stats
+        stats = SolverStats(
+            memo_hits=after.memo_hits - before.memo_hits,
+            persistent_hits=after.persistent_hits - before.persistent_hits,
+            computed=after.computed - before.computed,
+            installed=after.installed - before.installed)
+        return GraphTimingReport(
+            graph=graph, events=self._snapshot(), levels=graph.levels,
+            stats=stats, jobs=jobs_used,
+            elapsed=time.perf_counter() - started,
+            incremental=IncrementalStats(
+                dirty_nets=len(dirty), retimed_nets=len(cone),
+                retimed_events=retimed_events, required_nets=required_nets))
+
+    def invalidate(self) -> None:
+        """Drop the cached events; the next :meth:`update` re-times everything."""
+        self._events = {}
+        self._timed = False
 
 
 class GraphTimer(GraphEngine):
@@ -342,8 +574,8 @@ class GraphTimer(GraphEngine):
     """
 
     def __init__(self, **kwargs) -> None:
-        warnings.warn(
+        warn_deprecated_once(
+            "GraphTimer",
             "GraphTimer is deprecated; use repro.api.TimingSession "
-            "(session.time(graph)) or repro.sta.batch.GraphEngine instead",
-            DeprecationWarning, stacklevel=2)
+            "(session.time(graph)) or repro.sta.batch.GraphEngine instead")
         super().__init__(**kwargs)

@@ -22,7 +22,6 @@ door :class:`repro.api.TimingSession`.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import List, Optional
 
@@ -34,6 +33,7 @@ from ..core.stage_solver import StageSolver
 from ..errors import ModelingError
 from ..tech.technology import Technology, generic_180nm
 from ..units import to_ps
+from ._deprecation import warn_deprecated_once
 from .batch import GraphEngine
 from .graph import chain_graph
 from .stage import TimingPath, TimingStage
@@ -124,9 +124,10 @@ class PathTimer:
                  slew_low: float = SLEW_LOW_THRESHOLD,
                  slew_high: float = SLEW_HIGH_THRESHOLD,
                  solver: Optional[StageSolver] = None) -> None:
-        warnings.warn(
+        warn_deprecated_once(
+            "PathTimer",
             "PathTimer is deprecated; use repro.api.TimingSession "
-            "(session.time(path)) instead", DeprecationWarning, stacklevel=2)
+            "(session.time(path)) instead")
         self.library = library if library is not None else default_library()
         self.tech = tech if tech is not None else generic_180nm()
         self.options = options if options is not None else ModelingOptions()

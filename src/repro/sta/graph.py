@@ -14,14 +14,31 @@ inverter parity).  :class:`TimingGraph` captures that shape:
 * per-node rise/fall states are merged with worst-arrival semantics (the slew of
   the latest-arriving fanin wins; ties take the larger slew).
 
+Beyond the static shape, a graph carries two kinds of mutable state that make
+incremental, slack-aware analysis possible:
+
+* **endpoint constraints** — :meth:`TimingGraph.set_required` pins a required
+  time on an endpoint's far-end event (per rise/fall, or both), and
+  :meth:`TimingGraph.set_clock_period` constrains every endpoint at once.  The
+  backward pass in :mod:`repro.sta.batch` propagates required times against the
+  arrival flow (min-required wins per transition), which is where per-event
+  ``required`` / ``slack`` come from.
+* **edit operations** — :meth:`resize_driver`, :meth:`set_line`,
+  :meth:`set_extra_load`, :meth:`set_receiver`, :meth:`add_fanout`,
+  :meth:`remove_fanout` and :meth:`set_input` mutate the design *in place* while
+  keeping every construction-time invariant (edits that would break the graph
+  raise and leave it untouched).  Instead of invalidating previous analyses,
+  each edit marks the affected nets dirty; ``repro.sta.batch.IncrementalEngine``
+  consumes :attr:`TimingGraph.dirty_nets` to re-time only the dirty cone.
+
 The chain-shaped special case is produced by :func:`chain_graph`, which is how
 :meth:`PathTimer.analyze` adapts onto the graph subsystem.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.stage_solver import SolverStats, StageSolution
 from ..errors import ModelingError
@@ -30,7 +47,8 @@ from ..units import to_ps
 from .stage import TimingPath, TimingStage
 
 __all__ = ["GraphNet", "PrimaryInput", "TimingGraph", "chain_graph",
-           "NetEventTiming", "GraphTimingReport", "flip_transition"]
+           "NetEventTiming", "GraphTimingReport", "IncrementalStats",
+           "flip_transition"]
 
 
 def flip_transition(transition: str) -> str:
@@ -73,6 +91,11 @@ class GraphNet:
         if len(set(self.fanout)) != len(self.fanout):
             raise ModelingError(f"net {self.name!r} lists a fanout twice")
 
+    @property
+    def is_endpoint(self) -> bool:
+        """True when data is consumed here: a terminal receiver, or no fanout."""
+        return self.receiver_size is not None or not self.fanout
+
 
 @dataclass(frozen=True)
 class PrimaryInput:
@@ -93,11 +116,14 @@ class TimingGraph:
 
     Construction validates the shape once — unknown fanout targets, duplicate
     names, inputs attached to non-root nets, roots without inputs, and cycles all
-    raise :class:`ModelingError` — so analysis code can trust the structure.
+    raise :class:`ModelingError` — so analysis code can trust the structure.  The
+    edit operations preserve those invariants: an edit that would break the graph
+    raises and leaves it unchanged, so a graph is *always* analyzable.
     """
 
     def __init__(self, nets: Sequence[GraphNet],
-                 primary_inputs: Mapping[str, PrimaryInput]) -> None:
+                 primary_inputs: Mapping[str, PrimaryInput], *,
+                 clock_period: Optional[float] = None) -> None:
         if not nets:
             raise ModelingError("a timing graph needs at least one net")
         self.nets: Dict[str, GraphNet] = {}
@@ -128,6 +154,13 @@ class TimingGraph:
             raise ModelingError(
                 f"root nets without a primary input: {sorted(missing)}")
         self._levels = self._levelize()
+        # --- constraint + dirty state (consumed by IncrementalEngine) ------------
+        if clock_period is not None and clock_period <= 0:
+            raise ModelingError("clock period must be positive when given")
+        self._clock_period: Optional[float] = clock_period
+        self._required: Dict[str, Dict[str, float]] = {}
+        self._dirty: Set[str] = set()
+        self._constraints_dirty = False
 
     # --- structure ----------------------------------------------------------------
     def _levelize(self) -> List[List[str]]:
@@ -174,6 +207,47 @@ class TimingGraph:
         """Nets with no fanout (the endpoints arrival queries care about)."""
         return [name for name, net in self.nets.items() if not net.fanout]
 
+    @property
+    def endpoints(self) -> List[str]:
+        """Nets where data is consumed: terminal receivers and fanout-less sinks.
+
+        These are the nets required-time constraints attach to (a clock period
+        constrains all of them); a net can be both an endpoint and a
+        through-point when it carries a terminal receiver *and* fanout.
+        """
+        return [name for name, net in self.nets.items() if net.is_endpoint]
+
+    def _check_names(self, names, operation: str) -> None:
+        unknown = sorted(name for name in names if name not in self.nets)
+        if unknown:
+            raise ModelingError(f"{operation} given unknown net(s): {unknown}")
+
+    def fanout_cone(self, names: "Sequence[str] | Set[str]") -> Set[str]:
+        """``names`` plus their transitive fanout (the arrival dirty cone)."""
+        self._check_names(names, "fanout_cone()")
+        cone: Set[str] = set()
+        stack = [name for name in names]
+        while stack:
+            name = stack.pop()
+            if name in cone:
+                continue
+            cone.add(name)
+            stack.extend(self.nets[name].fanout)
+        return cone
+
+    def fanin_cone(self, names: "Sequence[str] | Set[str]") -> Set[str]:
+        """``names`` plus their transitive fanin (the required-time dirty cone)."""
+        self._check_names(names, "fanin_cone()")
+        cone: Set[str] = set()
+        stack = [name for name in names]
+        while stack:
+            name = stack.pop()
+            if name in cone:
+                continue
+            cone.add(name)
+            stack.extend(self._fanin[name])
+        return cone
+
     def __len__(self) -> int:
         return len(self.nets)
 
@@ -184,6 +258,197 @@ class TimingGraph:
         """Single-line structural summary."""
         return (f"timing graph: {len(self.nets)} nets in {self.n_levels} levels, "
                 f"{len(self.roots)} roots, {len(self.sinks)} sinks")
+
+    # --- endpoint constraints -----------------------------------------------------
+    @property
+    def clock_period(self) -> Optional[float]:
+        """The default required time applied to every endpoint (None = none)."""
+        return self._clock_period
+
+    def set_clock_period(self, period: Optional[float]) -> None:
+        """Constrain every endpoint's far-end event to arrive by ``period`` [s].
+
+        An explicit :meth:`set_required` on an endpoint overrides the period for
+        that event (the tighter of the two wins during propagation).  ``None``
+        removes the constraint.
+        """
+        if period is not None and period <= 0:
+            raise ModelingError("clock period must be positive when given")
+        self._clock_period = period
+        self._constraints_dirty = True
+
+    def set_required(self, name: str, required: Optional[float], *,
+                     transition: Optional[str] = None) -> None:
+        """Pin a required time on net ``name``'s far-end event [s].
+
+        ``transition`` is the *far-end* (output) edge direction the constraint
+        applies to; ``None`` constrains both directions.  ``required=None``
+        removes the constraint.  Constraints are usually placed on
+        :attr:`endpoints`, but any net accepts one (it acts as an intermediate
+        check point: propagation takes the minimum of the pin and the fanout-
+        derived required time).
+        """
+        if name not in self.nets:
+            raise ModelingError(f"cannot constrain unknown net {name!r}")
+        directions = ([transition] if transition is not None
+                      else ["rise", "fall"])
+        for direction in directions:
+            flip_transition(direction)  # validates the direction name
+        per_net = self._required.setdefault(name, {})
+        for direction in directions:
+            if required is None:
+                per_net.pop(direction, None)
+            else:
+                per_net[direction] = required
+        if not per_net:
+            self._required.pop(name, None)
+        self._constraints_dirty = True
+
+    def required_for(self, name: str, transition: str) -> Optional[float]:
+        """The constraint seed of net ``name``'s ``transition`` far-end event.
+
+        Explicit pins win; otherwise endpoints inherit the clock period; other
+        nets are unconstrained (None).  Propagated required times from fanout are
+        layered on top of this seed by the engine's backward pass.
+        """
+        pinned = self._required.get(name, {}).get(transition)
+        if pinned is not None:
+            return pinned
+        if self._clock_period is not None and self.nets[name].is_endpoint:
+            return self._clock_period
+        return None
+
+    @property
+    def constrained(self) -> bool:
+        """True when any required-time constraint is in force."""
+        return self._clock_period is not None or bool(self._required)
+
+    # --- dirty tracking -----------------------------------------------------------
+    @property
+    def dirty_nets(self) -> FrozenSet[str]:
+        """Nets whose timing is stale since the last :meth:`clear_dirty`."""
+        return frozenset(self._dirty)
+
+    @property
+    def constraints_dirty(self) -> bool:
+        """True when constraints changed since the last :meth:`clear_dirty`."""
+        return self._constraints_dirty
+
+    def clear_dirty(self) -> None:
+        """Mark the current state as timed (one incremental consumer's ack)."""
+        self._dirty.clear()
+        self._constraints_dirty = False
+
+    # --- edits ----------------------------------------------------------------------
+    def _replace_net(self, name: str, **changes) -> GraphNet:
+        net = replace(self.nets[name], **changes)
+        self.nets[name] = net
+        return net
+
+    def resize_driver(self, name: str, driver_size: float) -> None:
+        """Change net ``name``'s driver strength [X].
+
+        Dirties the net itself *and* its fanin nets — the resized driver's input
+        capacitance is part of every fanin net's far-end load.
+        """
+        if name not in self.nets:
+            raise ModelingError(f"cannot resize unknown net {name!r}")
+        self._replace_net(name, driver_size=driver_size)  # GraphNet validates
+        self._dirty.add(name)
+        self._dirty.update(self._fanin[name])
+
+    def set_line(self, name: str, line: RLCLine) -> None:
+        """Swap net ``name``'s RLC line (a re-route); dirties the net."""
+        if name not in self.nets:
+            raise ModelingError(f"cannot re-route unknown net {name!r}")
+        if not isinstance(line, RLCLine):
+            raise ModelingError("set_line() expects an RLCLine")
+        self._replace_net(name, line=line)
+        self._dirty.add(name)
+
+    def set_extra_load(self, name: str, extra_load: float) -> None:
+        """Change net ``name``'s additional lumped far-end load [F]."""
+        if name not in self.nets:
+            raise ModelingError(f"cannot re-load unknown net {name!r}")
+        self._replace_net(name, extra_load=extra_load)
+        self._dirty.add(name)
+
+    def set_receiver(self, name: str, receiver_size: Optional[float]) -> None:
+        """Change (or with None remove) net ``name``'s terminal receiver."""
+        if name not in self.nets:
+            raise ModelingError(f"cannot re-terminate unknown net {name!r}")
+        net = self.nets[name]
+        if receiver_size is None and not net.fanout:
+            raise ModelingError(
+                f"net {name!r} has no fanout; removing its receiver would leave "
+                "a floating sink")
+        self._replace_net(name, receiver_size=receiver_size)
+        self._dirty.add(name)
+
+    def set_input(self, name: str, primary_input: PrimaryInput) -> None:
+        """Replace the stimulus of root net ``name``."""
+        if name not in self.primary_inputs:
+            raise ModelingError(
+                f"net {name!r} has no primary input to replace")
+        if not isinstance(primary_input, PrimaryInput):
+            raise ModelingError("set_input() expects a PrimaryInput")
+        self.primary_inputs[name] = primary_input
+        self._dirty.add(name)
+
+    def add_fanout(self, driver: str, sink: str) -> None:
+        """Connect ``driver``'s far end to ``sink``'s driver input.
+
+        Rejects edits that would break the graph: unknown nets, self loops,
+        duplicate edges, edges into a stimulated root (a primary input may only
+        sit on a root), and cycles (detected by re-levelizing; the edge is
+        reverted).  Dirties both nets — the driver's load changed and the sink
+        gained an arrival source.
+        """
+        if driver not in self.nets:
+            raise ModelingError(f"cannot connect from unknown net {driver!r}")
+        if sink not in self.nets:
+            raise ModelingError(f"cannot connect to unknown net {sink!r}")
+        if driver == sink:
+            raise ModelingError(f"net {driver!r} cannot drive itself")
+        old = self.nets[driver]
+        if sink in old.fanout:
+            raise ModelingError(f"net {driver!r} already drives {sink!r}")
+        if sink in self.primary_inputs:
+            raise ModelingError(
+                f"net {sink!r} is stimulated by a primary input; it cannot also "
+                "be driven by another net")
+        self._replace_net(driver, fanout=old.fanout + (sink,))
+        self._fanin[sink].append(driver)
+        try:
+            self._levels = self._levelize()
+        except ModelingError:
+            self.nets[driver] = old
+            self._fanin[sink].remove(driver)
+            raise
+        self._dirty.update((driver, sink))
+
+    def remove_fanout(self, driver: str, sink: str) -> None:
+        """Disconnect ``driver``'s far end from ``sink``'s driver input.
+
+        Raises (leaving the graph unchanged) when the edge does not exist or
+        when removing it would orphan ``sink`` — a root must carry a primary
+        input, so attach one with :meth:`set_input` only after re-rooting is
+        made valid by other structure.
+        """
+        if driver not in self.nets:
+            raise ModelingError(f"cannot disconnect unknown net {driver!r}")
+        old = self.nets[driver]
+        if sink not in old.fanout:
+            raise ModelingError(f"net {driver!r} does not drive {sink!r}")
+        if len(self._fanin[sink]) == 1 and sink not in self.primary_inputs:
+            raise ModelingError(
+                f"removing {driver!r} -> {sink!r} would leave {sink!r} a root "
+                "without a primary input")
+        self._replace_net(
+            driver, fanout=tuple(n for n in old.fanout if n != sink))
+        self._fanin[sink].remove(driver)
+        self._levels = self._levelize()
+        self._dirty.update((driver, sink))
 
 
 def chain_graph(path: TimingPath, *, input_transition: str = "rise"
@@ -228,6 +493,9 @@ class NetEventTiming:
 
     ``source`` names the fanin event that set the merged worst-case input arrival
     (None at primary inputs), which is what critical-path traceback follows.
+    ``required`` is filled in by the engine's backward pass when the graph is
+    constrained: the latest far-end arrival that still meets every downstream
+    requirement (None on unconstrained events).
     """
 
     net: GraphNet
@@ -237,6 +505,7 @@ class NetEventTiming:
     input_slew: float  #: full-swing input ramp time the stage was solved at [s]
     solution: StageSolution
     source: Optional[Tuple[str, str]] = None  #: (net name, input transition) of the winning fanin
+    required: Optional[float] = None  #: latest admissible far-end arrival [s]
 
     @property
     def output_arrival(self) -> float:
@@ -248,12 +517,41 @@ class NetEventTiming:
         """Full-swing ramp time handed to fanout driver inputs [s]."""
         return self.solution.propagated_slew
 
+    @property
+    def slack(self) -> Optional[float]:
+        """``required - output_arrival`` [s]; None on unconstrained events."""
+        if self.required is None:
+            return None
+        return self.required - self.output_arrival
+
+    @property
+    def is_endpoint(self) -> bool:
+        """True when the net consumes data (terminal receiver or no fanout)."""
+        return self.net.is_endpoint
+
     def describe(self) -> str:
         """Single-line summary in ps."""
+        slack = self.slack
+        suffix = "" if slack is None else f", slack {to_ps(slack):7.1f} ps"
         return (f"{self.net.name}[{self.input_transition}->{self.output_transition}]"
                 f": {self.solution.kind:11s} in {to_ps(self.input_arrival):7.1f} ps"
                 f" -> out {to_ps(self.output_arrival):7.1f} ps"
-                f" (slew {to_ps(self.solution.far_slew):6.1f} ps)")
+                f" (slew {to_ps(self.solution.far_slew):6.1f} ps{suffix})")
+
+
+@dataclass(frozen=True)
+class IncrementalStats:
+    """How much of the graph one incremental update actually touched."""
+
+    dirty_nets: int  #: nets the edits marked dirty
+    retimed_nets: int  #: forward cone: nets whose arrivals were recomputed
+    retimed_events: int  #: (net, transition) events re-solved or re-merged
+    required_nets: int  #: backward region: nets whose required times were refreshed
+
+    def describe(self) -> str:
+        return (f"incremental: {self.dirty_nets} dirty -> {self.retimed_nets} "
+                f"retimed nets ({self.retimed_events} events), "
+                f"{self.required_nets} required-time refreshes")
 
 
 @dataclass(frozen=True)
@@ -266,6 +564,7 @@ class GraphTimingReport:
     stats: SolverStats  #: solver counters accumulated over this analysis
     jobs: int  #: worker processes the batch executor actually used
     elapsed: float  #: wall-clock analysis time [s]
+    incremental: Optional[IncrementalStats] = None  #: set on incremental updates
 
     @property
     def n_events(self) -> int:
@@ -289,22 +588,101 @@ class GraphTimingReport:
         return self.event(name, transition).output_arrival
 
     def worst_event(self) -> NetEventTiming:
-        """The sink event with the largest far-end arrival."""
-        candidates = [event for name in self.graph.sinks
-                      for event in self.events.get(name, {}).values()]
+        """The sink event with the largest far-end arrival.
+
+        Sinks are derived from the events' snapshotted nets, not from
+        ``self.graph`` — the graph is mutable and may have been edited after
+        this report was produced, and a report must keep describing the state
+        it analyzed.
+        """
+        candidates = [event for per_net in self.events.values()
+                      for event in per_net.values() if not event.net.fanout]
         if not candidates:
             raise ModelingError("graph analysis produced no sink events")
         return max(candidates, key=lambda e: e.output_arrival)
 
     def critical_path(self) -> List[NetEventTiming]:
         """Events from a primary input to the worst sink, in arrival order."""
+        return self._trace(self.worst_event())
+
+    def _trace(self, endpoint: NetEventTiming) -> List[NetEventTiming]:
+        """Worst-arrival traceback from ``endpoint`` to a primary input."""
         chain: List[NetEventTiming] = []
-        cursor: Optional[NetEventTiming] = self.worst_event()
+        cursor: Optional[NetEventTiming] = endpoint
         while cursor is not None:
             chain.append(cursor)
             source = cursor.source
             cursor = self.events[source[0]][source[1]] if source is not None else None
         return list(reversed(chain))
+
+    # --- slack ---------------------------------------------------------------------
+    def required(self, name: str, transition: Optional[str] = None
+                 ) -> Optional[float]:
+        """Required far-end arrival of net ``name`` [s] (worst event when ambiguous)."""
+        return self.event(name, transition).required
+
+    def slack(self, name: str, transition: Optional[str] = None
+              ) -> Optional[float]:
+        """Slack of net ``name`` [s]: the minimum over its constrained events.
+
+        With an explicit ``transition`` (the *input* edge direction, matching
+        :meth:`event`), the slack of exactly that event; None when the queried
+        events are unconstrained.
+        """
+        if transition is not None:
+            return self.event(name, transition).slack
+        slacks = [event.slack for event in self.events.get(name, {}).values()
+                  if event.slack is not None]
+        if not slacks:
+            self.event(name)  # raises ModelingError on unknown/un-timed nets
+            return None
+        return min(slacks)
+
+    def endpoint_events(self) -> List[NetEventTiming]:
+        """Every endpoint event, worst (smallest) slack first.
+
+        Unconstrained endpoint events sort after constrained ones, by arrival.
+        """
+        events = [event for per_net in self.events.values()
+                  for event in per_net.values() if event.is_endpoint]
+        return sorted(events, key=lambda e: (
+            e.slack is None,
+            e.slack if e.slack is not None else -e.output_arrival))
+
+    def worst_slack_event(self) -> NetEventTiming:
+        """The constrained endpoint event with the smallest slack."""
+        for event in self.endpoint_events():
+            if event.slack is not None:
+                return event
+        raise ModelingError(
+            "graph has no constrained endpoints; set a required time or a "
+            "clock period before querying slack")
+
+    @property
+    def worst_slack(self) -> Optional[float]:
+        """Worst (most negative) slack over every endpoint, None if unconstrained.
+
+        Defined over endpoint events (the conventional WNS domain): mid-path
+        slacks are the same quantities propagated backward and can drift from
+        the endpoint value by a float ULP, so including them would make the
+        summary disagree with the endpoint table.
+        """
+        slacks = [event.slack for per_net in self.events.values()
+                  for event in per_net.values()
+                  if event.is_endpoint and event.slack is not None]
+        return min(slacks) if slacks else None
+
+    @property
+    def wns(self) -> Optional[float]:
+        """Worst negative slack [s]: 0.0 when all constraints are met."""
+        worst = self.worst_slack
+        if worst is None:
+            return None
+        return min(worst, 0.0)
+
+    def slack_path(self) -> List[NetEventTiming]:
+        """Events from a primary input to the worst-slack endpoint."""
+        return self._trace(self.worst_slack_event())
 
     def format_report(self, *, limit: int = 20) -> str:
         """Multi-line human-readable summary (critical path + totals)."""
@@ -312,12 +690,20 @@ class GraphTimingReport:
                  f"  {self.n_events} events solved in {self.elapsed:.3f} s "
                  f"({self.jobs} worker(s), cache hit rate "
                  f"{100 * self.stats.hit_rate:.1f}%)"]
+        if self.incremental is not None:
+            lines.append(f"  {self.incremental.describe()}")
         if not self.events:
             lines.append("  (no events: nothing to time)")
             return "\n".join(lines)
         worst = self.worst_event()
         lines.append(f"  worst sink arrival: {worst.net.name} "
                      f"{to_ps(worst.output_arrival):.1f} ps")
+        worst_slack = self.worst_slack
+        if worst_slack is not None:
+            slack_event = self.worst_slack_event()
+            lines.append(f"  worst slack: {slack_event.net.name} "
+                         f"{to_ps(worst_slack):.1f} ps "
+                         f"(WNS {to_ps(self.wns):.1f} ps)")
         lines.append("  critical path:")
         path = self.critical_path()
         shown = path if len(path) <= limit else path[:limit]

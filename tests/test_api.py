@@ -14,10 +14,12 @@ import warnings
 import pytest
 
 from repro.api import DesignBuilder, SessionConfig, TimingReport, TimingSession
+from repro.core.driver_model import ModelingOptions
 from repro.errors import ModelingError
 from repro.experiments import parallel_chains, reconvergent_graph
 from repro.interconnect import RLCLine
 from repro.sta import GraphTimer, PathTimer, TimingPath, TimingStage
+from repro.sta._deprecation import reset_deprecation_warnings
 from repro.sta.batch import GraphEngine
 from repro.units import mm, nH, pF, ps
 
@@ -224,15 +226,35 @@ class TestSessionEquivalence:
 
 class TestDeprecatedShims:
     def test_path_timer_warns_but_works(self, library, four_stage_path):
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning, match="TimingSession"):
             timer = PathTimer(library=library)
         assert timer.analyze(four_stage_path).total_delay > 0
 
     def test_graph_timer_warns_but_works(self, library, line):
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning, match="TimingSession"):
             timer = GraphTimer(library=library)
         report = timer.analyze(reconvergent_graph(line=line))
         assert report.n_events == 6
+
+    def test_shims_warn_once_per_process(self, library):
+        # Constructing shims in a loop must not spam one warning per iteration.
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            GraphTimer(library=library)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for _ in range(3):
+                GraphTimer(library=library)
+
+    def test_warning_points_at_the_constructing_line(self, library):
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            GraphTimer(library=library)  # the line the warning must blame
+        (record,) = caught
+        assert record.filename == __file__
 
     def test_graph_engine_does_not_warn(self, library):
         with warnings.catch_warnings():
@@ -326,3 +348,109 @@ class TestSessionResources:
         text = session.describe()
         assert "timing session" in text
         assert "library" in text
+
+
+class TestIncrementalSession:
+    def test_update_attaches_then_retimes_dirty_cone(self, library, line):
+        graph = parallel_chains(2, 3, lines=[line], input_slew=ps(100))
+        with TimingSession() as session:
+            first = session.update(graph)
+            assert first.meta.retimed_nets == len(graph)
+            graph.resize_driver("c0s2", 50.0)
+            second = session.update()  # design defaults to the attached graph
+            # Chain 0's tail was edited; chain 1 must not be re-timed.
+            assert second.meta.dirty_nets == 2  # the net + its fanin
+            assert second.meta.retimed_nets < len(graph)
+            full = session.time(graph)
+            for name, per_net in full.events.items():
+                for transition, event in per_net.items():
+                    ours = second.events[name][transition]
+                    assert ours.output_arrival == event.output_arrival
+                    assert ours.input_slew == event.input_slew
+                    assert ours.source == event.source
+
+    def test_update_reflects_constraint_edits_without_solves(self, library,
+                                                             line):
+        graph = parallel_chains(1, 2, lines=[line], input_slew=ps(100))
+        with TimingSession() as session:
+            session.update(graph)
+            computed = session.stats.computed
+            graph.set_clock_period(ps(500))
+            report = session.update()
+            assert session.stats.computed == computed  # arithmetic only
+            assert report.wns == 0.0
+            assert report.worst_slack == pytest.approx(
+                ps(500) - report.total_delay)
+
+    def test_update_rejects_builders_and_non_graphs(self, library, line):
+        with TimingSession() as session:
+            with pytest.raises(ModelingError, match="update"):
+                session.update()
+            builder = DesignBuilder("d").chain("c", sizes=(75,), line=line,
+                                               input_slew=ps(100))
+            with pytest.raises(ModelingError, match="built graph|build"):
+                session.update(builder)
+            with pytest.raises(ModelingError):
+                session.update("not a graph")
+
+    def test_update_reattaches_to_a_new_graph(self, library, line):
+        first_graph = parallel_chains(1, 2, lines=[line], input_slew=ps(100))
+        second_graph = reconvergent_graph(line=line)
+        with TimingSession() as session:
+            session.update(first_graph)
+            report = session.update(second_graph)
+            assert set(report.events) == set(second_graph.nets)
+
+
+class TestCorners:
+    @pytest.fixture(scope="class")
+    def corner_config(self):
+        return SessionConfig(corners={
+            "nom": ModelingOptions(),
+            "no_plateau": ModelingOptions(plateau_correction=False),
+        })
+
+    def test_corner_round_trips_through_config_dict(self, corner_config):
+        clone = SessionConfig.from_dict(corner_config.to_dict())
+        assert clone == corner_config
+
+    def test_corner_validation(self):
+        with pytest.raises(ModelingError):
+            SessionConfig(corners={})
+        with pytest.raises(ModelingError):
+            SessionConfig(corners={"": ModelingOptions()})
+        with pytest.raises(ModelingError):
+            SessionConfig(corners={"bad": "not options"})
+
+    def test_unknown_corner_rejected(self, library, corner_config,
+                                     four_stage_path):
+        with TimingSession(corner_config) as session:
+            with pytest.raises(ModelingError, match="unknown corner"):
+                session.time(four_stage_path, corner="ghost")
+
+    def test_corners_share_one_memo_keyed_apart(self, library, corner_config,
+                                                line):
+        graph = parallel_chains(1, 2, lines=[line], input_slew=ps(100))
+        with TimingSession(corner_config) as session:
+            reports = session.time_corners(graph, name="g")
+            assert set(reports) == {"nom", "no_plateau"}
+            # Each corner solved its own stages through the one shared solver...
+            first_pass = session.stats.computed
+            assert first_pass > 0
+            # ...and re-timing either corner is now pure memo hits.
+            again = session.time(graph, corner="nom")
+            assert session.stats.computed == first_pass
+            assert again.total_delay == reports["nom"].total_delay
+
+    def test_default_corner_matches_plain_time(self, library, corner_config,
+                                               four_stage_path):
+        with TimingSession(corner_config) as session:
+            plain = session.time(four_stage_path)
+            nom = session.time(four_stage_path, corner="nom")
+        assert plain.total_delay == nom.total_delay
+
+    def test_time_corners_requires_configuration(self, library,
+                                                 four_stage_path):
+        with TimingSession() as session:
+            with pytest.raises(ModelingError, match="no corners"):
+                session.time_corners(four_stage_path)

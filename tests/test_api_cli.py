@@ -67,6 +67,64 @@ class TestTimeCommand:
         assert "all events" in stdout
         assert "produced by repro" in stdout
 
+    def test_slack_requires_clock(self, capsys):
+        assert main(["time", "--case", "diamond", "--slack"]) == 2
+        assert "--clock" in capsys.readouterr().err
+
+    def test_clock_enables_slack_table(self, library, tmp_path, capsys):
+        out = tmp_path / "slack.json"
+        assert main(["time", "--case", "diamond", "--clock", "900", "--slack",
+                     "--json", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "endpoint slacks" in stdout
+        assert "WNS" in stdout
+        report = TimingReport.load(out)
+        assert report.wns == 0.0  # 900 ps is comfortably met
+        assert report.worst_slack_event().net == "sink"
+
+    def test_clock_keeps_the_design_name(self, library, tmp_path):
+        # Materializing a builder/path into a constrained graph must not
+        # relabel the report: diffs key on the design field.
+        out = tmp_path / "named.json"
+        assert main(["time", "--chain", "75,100", "--clock", "900",
+                     "--json", str(out)]) == 0
+        assert TimingReport.load(out).design == "cli_chain"
+        assert main(["time", "--case", "chain3", "--clock", "900",
+                     "--json", str(out)]) == 0
+        assert TimingReport.load(out).design == "global_route"
+
+
+class TestReportDiffCommand:
+    @pytest.fixture(scope="class")
+    def saved(self, library, tmp_path_factory):
+        root = tmp_path_factory.mktemp("diffs")
+        paths = {}
+        for label, clock in (("loose", "900"), ("tight", "150"),
+                             ("tighter", "140")):
+            paths[label] = root / f"{label}.json"
+            assert main(["time", "--case", "diamond", "--clock", clock,
+                         "--json", str(paths[label])]) == 0
+        return paths
+
+    def test_diff_without_regression_exits_zero(self, saved, capsys):
+        assert main(["report", "--diff", str(saved["tight"]),
+                     str(saved["loose"])]) == 0
+        stdout = capsys.readouterr().out
+        assert "report diff" in stdout
+        assert "no slack regression" in stdout
+
+    def test_wns_regression_exits_nonzero(self, saved, capsys):
+        assert main(["report", "--diff", str(saved["tight"]),
+                     str(saved["tighter"])]) == 1
+        assert "WNS regression" in capsys.readouterr().out
+
+    def test_diff_and_path_are_exclusive(self, saved, capsys):
+        assert main(["report", str(saved["loose"]), "--diff",
+                     str(saved["loose"]), str(saved["tight"])]) == 2
+        assert "either" in capsys.readouterr().err
+        assert main(["report"]) == 2  # neither mode given
+        assert "report file" in capsys.readouterr().err
+
 
 class TestBenchCommand:
     def test_small_bench_without_baseline(self, library, tmp_path, capsys):

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.api import TimingReport, TimingSession
+from repro.api import TimingReport, TimingSession, compare_reports
 from repro.errors import ModelingError
 from repro.experiments import reconvergent_graph
 from repro.interconnect import RLCLine
@@ -40,6 +40,14 @@ def chain_report(session, chain_path):
 @pytest.fixture(scope="module")
 def diamond_report(session, line):
     return session.time(reconvergent_graph(line=line), name="diamond")
+
+
+@pytest.fixture(scope="module")
+def constrained_report(session, line):
+    graph = reconvergent_graph(line=line)
+    graph.set_clock_period(ps(400))
+    graph.set_required("sink", ps(180), transition="rise")
+    return session.time(graph, name="constrained")
 
 
 def strip_wall_clock(payload):
@@ -138,3 +146,93 @@ class TestReportQueries:
         from repro import __version__
         assert chain_report.meta.version == __version__
         assert chain_report.meta.requests >= chain_report.n_events
+
+
+class TestSlackSerialization:
+    def test_unconstrained_report_has_no_slack(self, diamond_report):
+        assert not diamond_report.constrained
+        assert diamond_report.wns is None
+        assert diamond_report.endpoint_slacks() == []
+        with pytest.raises(ModelingError):
+            diamond_report.worst_slack_event()
+        assert "no constrained endpoints" in diamond_report.format_slack_table()
+
+    def test_slack_survives_round_trip_bit_exactly(self, constrained_report):
+        clone = TimingReport.from_json(constrained_report.to_json())
+        assert clone == constrained_report
+        assert clone.wns == constrained_report.wns
+        for name, per_net in constrained_report.events.items():
+            for transition, event in per_net.items():
+                other = clone.events[name][transition]
+                assert other.required == event.required
+                assert other.slack == event.slack
+                assert other.endpoint == event.endpoint
+
+    def test_slack_queries_and_table(self, constrained_report):
+        report = constrained_report
+        assert report.constrained
+        worst = report.worst_slack_event()
+        assert worst.net == "sink"
+        assert worst.slack == report.worst_slack
+        # The tight 180 ps rise pin wins over the 400 ps clock on the other edge.
+        assert worst.output_transition == "rise"
+        assert report.slack("sink") == report.worst_slack
+        assert report.slack("sink", worst.input_transition) == worst.slack
+        table = report.format_slack_table()
+        assert "endpoint" in table and "WNS" in table
+        assert "slack" in report.format_report()
+
+    def test_legacy_payload_without_slack_fields_loads(self, diamond_report):
+        # Reports saved before the slack-aware kernel lack the three new event
+        # keys and the two incremental meta keys; they must still load.
+        payload = diamond_report.to_dict()
+        for per_net in payload["events"].values():
+            for event in per_net.values():
+                for key in ("required", "slack", "endpoint"):
+                    event.pop(key)
+        for key in ("dirty_nets", "retimed_nets"):
+            payload["meta"].pop(key)
+        loaded = TimingReport.from_dict(payload)
+        assert loaded.wns is None
+        assert loaded.total_delay == diamond_report.total_delay
+
+
+class TestReportDiff:
+    def test_no_regression_between_identical_reports(self, constrained_report):
+        diff = compare_reports(constrained_report, constrained_report)
+        assert not diff.regressed
+        assert diff.changed_endpoints == []
+        assert "no slack regression" in diff.describe()
+
+    def test_wns_worsening_regresses(self, session, line):
+        graph = reconvergent_graph(line=line)
+        graph.set_clock_period(ps(150))  # violated: arrivals exceed 150 ps
+        tight = session.time(graph, name="tight")
+        graph.set_clock_period(ps(140))  # even more violated
+        tighter = session.time(graph, name="tighter")
+        assert tight.wns < 0
+        diff = compare_reports(tight, tighter)
+        assert diff.regressed
+        assert "WNS regression" in diff.describe()
+        assert not compare_reports(tighter, tight).regressed  # improvement
+
+    def test_new_violation_on_unconstrained_baseline_regresses(
+            self, session, line, diamond_report):
+        graph = reconvergent_graph(line=line)
+        graph.set_clock_period(ps(150))
+        violating = session.time(graph, name="violating")
+        assert compare_reports(diamond_report, violating).regressed
+        # The reverse direction drops the constraints entirely — the gate must
+        # flag the coverage loss instead of silently passing.
+        lost = compare_reports(violating, diamond_report)
+        assert lost.regressed
+        assert "coverage lost" in lost.describe()
+
+    def test_unconstrained_pair_never_regresses(self, chain_report,
+                                                diamond_report):
+        assert not compare_reports(chain_report, chain_report).regressed
+        assert not compare_reports(chain_report, diamond_report).regressed
+
+    def test_diff_tracks_event_population(self, chain_report, diamond_report):
+        diff = compare_reports(chain_report, diamond_report)
+        assert diff.added_events > 0 and diff.removed_events > 0

@@ -8,8 +8,9 @@ from repro.core import StageSolver
 from repro.errors import ModelingError
 from repro.experiments import (fanout_tree, parallel_chains, reconvergent_graph)
 from repro.interconnect import RLCLine
-from repro.sta import (GraphNet, GraphTimer, PathTimer, PrimaryInput, TimingGraph,
-                       TimingPath, TimingStage, chain_graph, flip_transition)
+from repro.sta import (GraphEngine, GraphNet, GraphTimer, PathTimer,
+                       PrimaryInput, TimingGraph, TimingPath, TimingStage,
+                       chain_graph, flip_transition)
 from repro.units import mm, nH, pF, ps
 
 
@@ -19,8 +20,7 @@ def line():
                    length=mm(1))
 
 
-@pytest.fixture(scope="module")
-def diamond(line):
+def build_diamond(line):
     nets = [
         GraphNet("root", 100.0, line, fanout=("a", "b")),
         GraphNet("a", 75.0, line, fanout=("sink",)),
@@ -29,6 +29,23 @@ def diamond(line):
         GraphNet("sink", 50.0, line, receiver_size=25.0),
     ]
     return TimingGraph(nets, {"root": PrimaryInput(slew=ps(100))})
+
+
+@pytest.fixture(scope="module")
+def diamond(line):
+    return build_diamond(line)
+
+
+@pytest.fixture()
+def fresh_diamond(line):
+    """A private diamond per test — for tests that edit/constrain the graph."""
+    return build_diamond(line)
+
+
+@pytest.fixture(scope="module")
+def shared_solver():
+    """One memo for the constraint/edit tests: repeated configs solve once."""
+    return StageSolver()
 
 
 class TestStructure:
@@ -245,3 +262,223 @@ class TestGraphTimer:
                 assert event.output_arrival == other.output_arrival
                 assert event.input_slew == other.input_slew
                 assert event.solution.far_slew == other.solution.far_slew
+
+
+class TestConstraintsAndSlack:
+    def engine(self, library, shared_solver):
+        return GraphEngine(library=library, solver=shared_solver)
+
+    def test_constraint_validation(self, line, fresh_diamond):
+        graph = fresh_diamond
+        with pytest.raises(ModelingError):
+            graph.set_clock_period(0.0)
+        with pytest.raises(ModelingError):
+            graph.set_required("ghost", ps(500))
+        with pytest.raises(ModelingError):
+            graph.set_required("sink", ps(500), transition="sideways")
+        assert not graph.constrained
+        graph.set_clock_period(ps(500))
+        assert graph.constrained and graph.constraints_dirty
+
+    def test_unconstrained_graph_reports_no_slack(self, library, shared_solver,
+                                                  fresh_diamond):
+        report = self.engine(library, shared_solver).analyze(fresh_diamond)
+        assert report.worst_slack is None and report.wns is None
+        assert report.slack("sink") is None
+        with pytest.raises(ModelingError):
+            report.worst_slack_event()
+
+    def test_clock_period_constrains_every_endpoint(self, library,
+                                                    shared_solver,
+                                                    fresh_diamond):
+        fresh_diamond.set_clock_period(ps(800))
+        report = self.engine(library, shared_solver).analyze(fresh_diamond)
+        for event in report.events["sink"].values():
+            assert event.required == ps(800)
+            assert event.slack == ps(800) - event.output_arrival
+        # Required times propagate to the root: the tightest path wins.
+        assert report.worst_slack == report.slack("sink")
+        assert report.wns == 0.0  # 800 ps is comfortably met
+        root = report.events["root"]["rise"]
+        assert root.required is not None
+        assert root.slack >= report.worst_slack - 1e-15  # 1 fs float headroom
+
+    def test_mixed_rise_fall_required_pins(self, library, shared_solver, line):
+        # The diamond's sink legitimately sees both transitions (its fanin
+        # branches differ in parity); pin each far-end direction to a different
+        # requirement and check they stay separate.
+        graph = reconvergent_graph(line=line)
+        engine = self.engine(library, shared_solver)
+        base = engine.analyze(graph)
+        rise_arrival = base.events["sink"]["fall"].output_arrival  # out rises
+        fall_arrival = base.events["sink"]["rise"].output_arrival  # out falls
+        # Make the *earlier-arriving* output edge the critical one: its pin is
+        # much tighter, so worst slack must not follow worst arrival.
+        early_out, late_out = ("rise", "fall") \
+            if rise_arrival <= fall_arrival else ("fall", "rise")
+        graph.set_required("sink", ps(220), transition=early_out)
+        graph.set_required("sink", ps(900), transition=late_out)
+        report = engine.analyze(graph)
+        events = {event.output_transition: event
+                  for event in report.events["sink"].values()}
+        assert events[early_out].required == ps(220)
+        assert events[late_out].required == ps(900)
+        worst = report.worst_slack_event()
+        assert worst.output_transition == early_out
+        assert worst is not report.worst_event()  # slack-critical != arrival-critical
+        # Slack traceback follows the constrained event's worst-arrival sources
+        # back to the primary input, and slack never improves along the path.
+        path = report.slack_path()
+        assert path[0].net.name == "root" and path[0].source is None
+        assert path[-1] is worst
+        slacks = [event.slack for event in path]
+        assert all(s is not None for s in slacks)
+        assert slacks[-1] == report.worst_slack
+        # Upstream slacks equal the endpoint slack along the critical chain
+        # (up to float re-association: backward propagation re-brackets the
+        # same sum, so mid-path values may sit one ULP off).
+        assert min(slacks) == pytest.approx(report.worst_slack, rel=1e-12)
+
+    def test_explicit_pin_overrides_clock_period(self, library, shared_solver,
+                                                 fresh_diamond):
+        fresh_diamond.set_clock_period(ps(800))
+        fresh_diamond.set_required("sink", ps(300))  # both directions
+        report = self.engine(library, shared_solver).analyze(fresh_diamond)
+        for event in report.events["sink"].values():
+            assert event.required == ps(300)
+
+    def test_negative_slack_and_wns(self, library, shared_solver,
+                                    fresh_diamond):
+        fresh_diamond.set_required("sink", ps(100))
+        report = self.engine(library, shared_solver).analyze(fresh_diamond)
+        assert report.worst_slack < 0
+        assert report.wns == report.worst_slack
+        table = report.endpoint_events()
+        assert table[0] is report.worst_slack_event()
+        assert "slack" in report.format_report()
+
+    def test_required_merges_min_over_fanout(self, library, shared_solver,
+                                             line):
+        # root fans out to two sinks with different pins; the root's required
+        # time must be the tighter branch's requirement minus that branch's
+        # stage delay (min-required mirror of the worst-arrival merge).
+        nets = [
+            GraphNet("root", 100.0, line, fanout=("a", "b")),
+            GraphNet("a", 75.0, line, receiver_size=25.0),
+            GraphNet("b", 75.0, line, receiver_size=25.0),
+        ]
+        graph = TimingGraph(nets, {"root": PrimaryInput(slew=ps(100))})
+        graph.set_required("a", ps(400))
+        graph.set_required("b", ps(300))
+        report = self.engine(library, shared_solver).analyze(graph)
+        root = report.events["root"]["rise"]
+        a = report.events["a"]["fall"]
+        b = report.events["b"]["fall"]
+        assert root.required == min(ps(400) - a.solution.stage_delay,
+                                    ps(300) - b.solution.stage_delay)
+
+
+class TestGraphEdits:
+    def chain(self, line):
+        return parallel_chains(1, 3, lines=[line], input_slew=ps(100))
+
+    def test_resize_dirties_net_and_fanin(self, line):
+        graph = self.chain(line)
+        graph.clear_dirty()
+        graph.resize_driver("c0s1", 50.0)
+        assert graph.dirty_nets == {"c0s0", "c0s1"}
+        assert graph.nets["c0s1"].driver_size == 50.0
+
+    def test_local_edits_dirty_only_their_net(self, line, fresh_diamond):
+        fresh_diamond.clear_dirty()
+        other = RLCLine(resistance=40.0, inductance=nH(2.0),
+                        capacitance=pF(0.4), length=mm(2))
+        fresh_diamond.set_line("a", other)
+        fresh_diamond.set_extra_load("b", 1e-15)
+        fresh_diamond.set_receiver("sink", 50.0)
+        assert fresh_diamond.dirty_nets == {"a", "b", "sink"}
+        fresh_diamond.clear_dirty()
+        fresh_diamond.set_input("root", PrimaryInput(slew=ps(80)))
+        assert fresh_diamond.dirty_nets == {"root"}
+
+    def test_edit_validation(self, line, fresh_diamond):
+        with pytest.raises(ModelingError):
+            fresh_diamond.resize_driver("ghost", 50.0)
+        with pytest.raises(ModelingError):
+            fresh_diamond.resize_driver("a", -1.0)  # GraphNet still validates
+        with pytest.raises(ModelingError):
+            fresh_diamond.set_line("a", "not a line")
+        with pytest.raises(ModelingError):
+            fresh_diamond.set_input("a", PrimaryInput(slew=ps(100)))  # non-root
+        with pytest.raises(ModelingError):
+            fresh_diamond.set_receiver("sink", None)  # would float the sink
+
+    def test_add_fanout_rejects_cycles_and_reverts(self, line):
+        graph = self.chain(line)
+        graph.clear_dirty()
+        with pytest.raises(ModelingError, match="cycle"):
+            graph.add_fanout("c0s2", "c0s1")
+        # The failed edit left no trace: structure, levels and dirt unchanged.
+        assert graph.nets["c0s2"].fanout == ()
+        assert graph.fanin("c0s1") == ["c0s0"]
+        assert graph.levels == [["c0s0"], ["c0s1"], ["c0s2"]]
+        assert not graph.dirty_nets
+
+    def test_add_fanout_rechains_structure(self, line):
+        nets = [GraphNet("a", 75.0, line, receiver_size=50.0),
+                GraphNet("b", 75.0, line, receiver_size=50.0)]
+        graph = TimingGraph(nets, {"a": PrimaryInput(slew=ps(100)),
+                                   "b": PrimaryInput(slew=ps(100))})
+        with pytest.raises(ModelingError, match="primary input"):
+            graph.add_fanout("a", "b")  # b is stimulated: cannot gain fanin
+        nets = [GraphNet("a", 75.0, line, receiver_size=50.0),
+                GraphNet("b", 75.0, line, fanout=("c",)),
+                GraphNet("c", 75.0, line, receiver_size=50.0)]
+        graph = TimingGraph(nets, {"a": PrimaryInput(slew=ps(100)),
+                                   "b": PrimaryInput(slew=ps(100))})
+        graph.clear_dirty()
+        graph.add_fanout("a", "c")
+        assert graph.fanin("c") == ["b", "a"]
+        assert graph.dirty_nets == {"a", "c"}
+        assert graph.levels == [["a", "b"], ["c"]]
+
+    def test_fanout_cones(self, fresh_diamond):
+        assert fresh_diamond.fanout_cone({"root"}) == set(fresh_diamond.nets)
+        assert fresh_diamond.fanout_cone({"c"}) == {"c", "sink"}
+        assert fresh_diamond.fanin_cone({"a"}) == {"a", "root"}
+        assert fresh_diamond.endpoints == ["sink"]
+
+    def test_report_keeps_its_snapshot_after_structural_edits(
+            self, library, shared_solver, line):
+        # A report must keep describing the state it analyzed even after the
+        # (mutable) graph is edited: its sinks come from the events' snapshotted
+        # nets, not from the live structure.
+        nets = [GraphNet("a", 100.0, line, fanout=("b",)),
+                GraphNet("b", 75.0, line, receiver_size=25.0),
+                GraphNet("c", 25.0, line, receiver_size=125.0)]
+        graph = TimingGraph(nets, {"a": PrimaryInput(slew=ps(100)),
+                                   "c": PrimaryInput(slew=ps(100))})
+        report = GraphEngine(library=library, solver=shared_solver).analyze(graph)
+        worst = report.worst_event()
+        assert worst.net.name == "c"  # the weak, heavily loaded driver
+        graph.add_fanout("c", "b")  # c is no longer a sink of the live graph
+        assert report.worst_event() is worst
+        assert report.critical_path()[-1] is worst
+
+    def test_cone_queries_validate_names(self, fresh_diamond):
+        with pytest.raises(ModelingError, match="unknown net"):
+            fresh_diamond.fanout_cone({"ghost"})
+        with pytest.raises(ModelingError, match="unknown net"):
+            fresh_diamond.fanin_cone(["sink", "ghost"])
+
+    def test_remove_fanout_guards_orphans(self, line, fresh_diamond):
+        with pytest.raises(ModelingError, match="does not drive"):
+            fresh_diamond.remove_fanout("root", "sink")
+        with pytest.raises(ModelingError, match="without a primary input"):
+            fresh_diamond.remove_fanout("root", "a")  # a's only fanin
+        fresh_diamond.clear_dirty()
+        fresh_diamond.remove_fanout("c", "sink")  # sink keeps its fanin from a
+        assert fresh_diamond.fanin("sink") == ["a"]
+        assert fresh_diamond.dirty_nets == {"c", "sink"}
+        # c became a receiver-less sink but stays analyzable.
+        assert "c" in fresh_diamond.sinks
