@@ -7,6 +7,14 @@ producing bit-identical arrivals and slews.  Both runs go through one
 ``repro.api.TimingSession`` — the naive baseline is ``session.time(...,
 memoize=False, jobs=1)``, which bypasses every cache layer.
 
+The naive loop's cost is strictly linear in the event count (one uncached stage
+solve per event, no sharing), so it is *measured* on a deterministic 128-net
+subset of the same workload — the benchmark graph is parallel chains cycling
+four line flavors, and the subset covers every flavor with identical per-stage
+configurations, asserted bit-identical against the full batched run — and
+*extrapolated* to the full event count.  That keeps the ≥2x speedup gate honest
+while cutting ~90% of the baseline's wall-clock out of the tier-1 run.
+
 The workload is :func:`repro.experiments.benchmark_graph` (parallel repeatered
 routes over four line flavors — heavy stage-configuration repetition, the profile
 a bus or clock distribution presents).  Results land in
@@ -28,31 +36,42 @@ from repro.experiments import benchmark_graph
 
 REPORT_DIRECTORY = Path(__file__).resolve().parent / "reports"
 
+#: Nets in the deterministic naive-baseline subset (8 chains x 16 stages:
+#: every line flavor of the full graph appears, with identical stage configs).
+NAIVE_SUBSET_NETS = 128
+
 
 def test_graph_throughput_vs_naive_loop(library, report_writer):
     full = os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
     n_target = 4096 if full else 1024
     graph = benchmark_graph(n_target)
     assert len(graph) >= 1000
+    subset = benchmark_graph(NAIVE_SUBSET_NETS)
+    assert set(subset.nets) <= set(graph.nets)
 
     with TimingSession(jobs=max(os.cpu_count() or 1, 1)) as session:
-        # Naive baseline: the per-stage loop the single-path engine used to run —
-        # same solver code, every cache layer bypassed, strictly serial.
-        naive = session.time(graph, jobs=1, memoize=False, name="naive")
+        # Naive baseline: the per-stage loop the single-path engine used to
+        # run — same solver code, every cache layer bypassed, strictly serial —
+        # measured on the subset (its per-event cost is the full graph's:
+        # chains are independent and stage configurations repeat by design).
+        naive = session.time(subset, jobs=1, memoize=False, name="naive")
 
         # Graph subsystem: memoized stage solving + per-level process fan-out.
         batched = session.time(graph, name="batched")
 
-    # The speedup must not come from approximation: arrivals and slews are
-    # bit-identical between the naive and the batched run.
-    for name in graph.nets:
+    # The speedup must not come from approximation: on the shared subset nets,
+    # arrivals and slews are bit-identical between the naive and batched runs.
+    for name in subset.nets:
         for transition, event in naive.events[name].items():
             other = batched.events[name][transition]
             assert event.output_arrival == other.output_arrival
             assert event.far_slew == other.far_slew
 
-    n_events = naive.n_events
-    naive_elapsed = naive.meta.elapsed
+    n_events = batched.n_events
+    subset_events = naive.n_events
+    naive_measured = naive.meta.elapsed
+    # The naive loop is one uncached solve per event: scale by event count.
+    naive_elapsed = naive_measured * (n_events / subset_events)
     batched_elapsed = batched.meta.elapsed
     speedup = naive_elapsed / batched_elapsed
     meta = batched.meta
@@ -63,6 +82,8 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
             "nets": len(graph),
             "levels": graph.n_levels,
             "events": n_events,
+            "naive_subset_nets": len(subset),
+            "naive_subset_events": subset_events,
             "unique_stage_solves": meta.computed + meta.installed,
             "cache_hit_rate": round(meta.hit_rate, 4),
             "memo_hits": meta.memo_hits,
@@ -71,9 +92,10 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
         },
         "machine": {
             "jobs": meta.jobs,
+            "naive_subset_seconds": round(naive_measured, 3),
             "naive_seconds": round(naive_elapsed, 3),
             "batched_seconds": round(batched_elapsed, 3),
-            "naive_nets_per_second": round(n_events / naive_elapsed, 1),
+            "naive_nets_per_second": round(subset_events / naive_measured, 1),
             "batched_nets_per_second": round(n_events / batched_elapsed, 1),
             "speedup": round(speedup, 2),
         },
@@ -86,7 +108,8 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
         f"graph throughput ({'full' if full else 'default'} sweep)",
         f"  {graph.describe()}",
         f"  naive per-stage loop : {naive_elapsed:8.2f} s "
-        f"({n_events / naive_elapsed:7.1f} nets/s)",
+        f"({subset_events / naive_measured:7.1f} nets/s; measured on "
+        f"{len(subset)} nets, extrapolated by event count)",
         f"  memoized batched run : {batched_elapsed:8.2f} s "
         f"({n_events / batched_elapsed:7.1f} nets/s, {meta.jobs} worker(s))",
         f"  unique stage solves  : {meta.computed + meta.installed} of {n_events} "

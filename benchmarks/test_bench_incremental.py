@@ -18,11 +18,20 @@ Protocol (everything runs inside one session, sharing one memoized solver):
    the incremental update of the same state, and assert the two reports carry
    bit-identical events.
 
+After the late-only protocol, a *dual-mode* phase turns on the hold plane
+(``set_clock_period(..., hold_margin=...)``) and tracks the second polarity's
+cost model: a dual-mode full analysis must issue exactly the solver traffic of
+the late-only one (the ``dual_mode_extra_solves`` counter, asserted zero — the
+acceptance criterion of the min/max refactor), and a single-net dual-mode edit
+reports its hold cone (the backward region whose hold requirements were
+refreshed) alongside the setup cone.
+
 Results land in ``benchmarks/reports/incremental.txt`` and
 ``benchmarks/reports/BENCH_incremental.json``.  The JSON is split into a
 ``tracked`` section (machine-independent: graph shape, cone sizes, the
-speedup floor — compared against the committed file by CI) and a ``machine``
-section (wall times and measured speedups, which vary run to run).
+speedup floor, the dual-mode counters — compared against the committed file by
+CI) and a ``machine`` section (wall times and measured speedups, which vary
+run to run).
 """
 
 import json
@@ -59,6 +68,9 @@ def assert_events_identical(incremental, full):
             assert other.input_slew == event.input_slew
             assert other.required == event.required
             assert other.source == event.source
+            assert other.early_arrival == event.early_arrival
+            assert other.early_source == event.early_source
+            assert other.hold_required == event.hold_required
 
 
 def test_incremental_retime_vs_full_reanalysis(library, report_writer):
@@ -108,6 +120,35 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
                 "speedup": round(full_avg / incr_avg, 2),
             })
 
+        # --- dual-mode phase: turn on the hold plane, count the cost ---------
+        # A dual-mode full analysis must issue exactly the late-only solver
+        # traffic: delay/slew solves are mode-independent, only the merges and
+        # the backward pass differ.  Both runs below are fully warm, so equal
+        # request counts mean equal solves (and equal memo traffic).
+        late_full = session.time(graph, name="late_only")
+        graph.set_clock_period(ps(2500), hold_margin=ps(100))
+        dual_full = session.time(graph, name="dual")
+        extra_solves = dual_full.meta.requests - late_full.meta.requests
+        assert extra_solves == 0, \
+            "dual-mode analysis issued additional stage solves"
+        assert dual_full.meta.computed == late_full.meta.computed
+        assert dual_full.whs is not None  # the hold plane is really on
+
+        session.update(graph)  # absorb the constraint flip (arithmetic only)
+        label, net, toggle = EDIT_SITES[0]
+        graph.resize_driver(net, toggle)
+        started = time.perf_counter()
+        dual_incr = session.update(graph, name="dual_incremental")
+        dual_incr_seconds = time.perf_counter() - started
+        assert_events_identical(dual_incr, session.time(graph, name="full"))
+        hold_edit = {
+            "label": label, "net": net,
+            "dirty_nets": dual_incr.meta.dirty_nets,
+            "retimed_nets": dual_incr.meta.retimed_nets,
+            "setup_cone_nets": dual_incr.meta.required_nets,
+            "hold_cone_nets": dual_incr.meta.hold_required_nets,
+        }
+
     single = rows[0]
     payload = {
         "benchmark": "incremental",
@@ -120,6 +161,11 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
             "edits": [{"label": row["label"], "net": row["net"],
                        "dirty_nets": row["dirty_nets"],
                        "retimed_nets": row["retimed_nets"]} for row in rows],
+            "hold": {
+                "hold_margin_ps": 100,
+                "dual_mode_extra_solves": extra_solves,
+                "single_edit": hold_edit,
+            },
         },
         "machine": {
             "jobs": attach.meta.jobs,
@@ -129,6 +175,7 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
                        "incremental_seconds": row["incremental_seconds"],
                        "speedup": row["speedup"]} for row in rows],
             "single_net_edit_speedup": single["speedup"],
+            "dual_incremental_seconds": round(dual_incr_seconds, 5),
         },
     }
     REPORT_DIRECTORY.mkdir(exist_ok=True)
@@ -146,6 +193,11 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
         f"{row['full_seconds'] * 1e3:7.1f} ms  "
         f"{row['incremental_seconds'] * 1e3:9.1f} ms  {row['speedup']:7.1f}x"
         for row in rows)
+    lines.append(f"  dual-mode (hold margin 100 ps): +{extra_solves} stage "
+                 f"solves over late-only; single-net edit cone "
+                 f"{hold_edit['retimed_nets']} fwd / "
+                 f"{hold_edit['hold_cone_nets']} hold "
+                 f"({dual_incr_seconds * 1e3:.1f} ms)")
     lines.append(f"  machine-readable     : {json_path.name}")
     report_writer("incremental", "\n".join(lines))
 

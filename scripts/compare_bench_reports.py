@@ -10,6 +10,13 @@ so CI can run the benchmarks on whatever runner it gets and still catch real
 changes (a workload that silently shrank, a cache hit rate that moved, a floor
 that was relaxed) without chasing wall-clock noise.
 
+Beyond the baseline diff, a few tracked fields are *required outright*
+(:data:`REQUIRED_TRACKED`): the dual-mode counters of the incremental
+benchmark — the zero-extra-solve guarantee and the hold-cone sizes — and the
+naive-subset facts of the throughput benchmark must be present in every fresh
+report (with the pinned value, where one is given), so dual-mode coverage
+cannot silently disappear even if the committed baseline is regenerated.
+
 Usage::
 
     python scripts/compare_bench_reports.py BASELINE_DIR CURRENT_DIR
@@ -26,6 +33,22 @@ import json
 import sys
 from pathlib import Path
 
+#: Tracked fields every fresh report must carry: ``path`` -> pinned value
+#: (``...`` means "present, any value").  These guard workload coverage that
+#: the plain baseline diff cannot — a regenerated baseline could silently
+#: drop them, a required field cannot be dropped.
+REQUIRED_TRACKED = {
+    "BENCH_incremental.json": {
+        "hold.dual_mode_extra_solves": 0,  # dual-mode adds zero stage solves
+        "hold.single_edit.hold_cone_nets": ...,
+        "hold.single_edit.setup_cone_nets": ...,
+    },
+    "BENCH_graph_throughput.json": {
+        "naive_subset_events": ...,  # the naive baseline is measured, not skipped
+        "speedup_floor": 2.0,
+    },
+}
+
 
 def flatten(value, prefix=""):
     """(path, leaf) pairs of a nested JSON structure, deterministically ordered."""
@@ -37,6 +60,19 @@ def flatten(value, prefix=""):
             yield from flatten(item, f"{prefix}[{index}]")
     else:
         yield prefix, value
+
+
+def check_required(name: str, current: dict) -> list:
+    """Mismatch lines for :data:`REQUIRED_TRACKED` fields of one report."""
+    problems = []
+    tracked = dict(flatten(current.get("tracked", {})))
+    for path, expected in REQUIRED_TRACKED.get(name, {}).items():
+        if path not in tracked:
+            problems.append(f"{name}: required tracked.{path} is missing")
+        elif expected is not ... and tracked[path] != expected:
+            problems.append(f"{name}: tracked.{path} must be {expected!r}, "
+                            f"got {tracked[path]!r}")
+    return problems
 
 
 def compare_tracked(name: str, baseline: dict, current: dict) -> list:
@@ -84,6 +120,7 @@ def main(argv) -> int:
         baseline = json.loads(path.read_text())
         current = json.loads(current_path.read_text())
         problems.extend(compare_tracked(path.name, baseline, current))
+        problems.extend(check_required(path.name, current))
         compared += 1
     for path in sorted(current_dir.glob("BENCH_*.json")):
         if not (baseline_dir / path.name).is_file():

@@ -12,9 +12,11 @@ is the coherent surface over them:
 * :class:`DesignBuilder` — fluent chain/DAG construction without touching
   :class:`~repro.sta.graph.GraphNet` internals,
 * :class:`TimingReport` / :class:`TimingEvent` / :class:`RunInfo` — the unified
-  result model (per-net rise/fall events, required times and slack, critical
-  path, run metadata) with a lossless ``to_dict``/``from_dict``/JSON
-  round-trip, plus :func:`compare_reports` for diffing two saved reports, and
+  result model (per-net rise/fall events, setup *and* hold required times and
+  slack over the late/early arrival planes, critical path, run metadata) with
+  a lossless ``to_dict``/``from_dict``/JSON round-trip, plus
+  :func:`compare_reports` for diffing two saved reports (gating on both WNS
+  and WHS), and
 * the ``python -m repro`` CLI (:mod:`repro.api.cli`) built on top of it all.
 
 Sessions are incremental-aware: :meth:`TimingSession.update` stays attached to
@@ -38,8 +40,7 @@ Quickstart::
 
 from .builder import DesignBuilder
 from .config import SessionConfig
-from .report import (ReportDiff, RunInfo, TimingEvent, TimingReport,
-                     compare_reports)
+from .report import ReportDiff, RunInfo, TimingEvent, TimingReport, compare_reports
 from .session import TimingSession
 
 __all__ = [

@@ -19,9 +19,9 @@ Beyond declaration, the builder carries *edit verbs* mirroring the in-place
 edit operations of :class:`~repro.sta.graph.TimingGraph` —
 :meth:`~DesignBuilder.resize`, :meth:`~DesignBuilder.set_line`,
 :meth:`~DesignBuilder.set_load`, :meth:`~DesignBuilder.set_receiver`,
-:meth:`~DesignBuilder.disconnect` — plus endpoint constraints
-(:meth:`~DesignBuilder.require`, :meth:`~DesignBuilder.clock`), so a what-if
-variant of a design is a few chained calls and a re-``build()``.  For
+:meth:`~DesignBuilder.disconnect` — plus endpoint constraints of both analysis
+modes (:meth:`~DesignBuilder.require`, :meth:`~DesignBuilder.clock`), so a
+what-if variant of a design is a few chained calls and a re-``build()``.  For
 *incremental* what-ifs, edit the built :class:`TimingGraph` itself and hand it
 to :meth:`repro.api.TimingSession.update`.
 """
@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ModelingError
 from ..interconnect.rlc_line import RLCLine
-from ..sta.graph import GraphNet, PrimaryInput, TimingGraph, flip_transition
+from ..sta.graph import GraphNet, PrimaryInput, TimingGraph, check_mode, flip_transition
 
 __all__ = ["DesignBuilder"]
 
@@ -42,9 +42,14 @@ class _NetSpec:
 
     __slots__ = ("driver_size", "line", "fanout", "receiver_size", "extra_load")
 
-    def __init__(self, driver_size: float, line: RLCLine,
-                 fanout: List[str], receiver_size: Optional[float],
-                 extra_load: float) -> None:
+    def __init__(
+        self,
+        driver_size: float,
+        line: RLCLine,
+        fanout: List[str],
+        receiver_size: Optional[float],
+        extra_load: float,
+    ) -> None:
         self.driver_size = driver_size
         self.line = line
         self.fanout = fanout
@@ -61,30 +66,40 @@ class DesignBuilder:
         self.name = name
         self._nets: Dict[str, _NetSpec] = {}
         self._inputs: Dict[str, PrimaryInput] = {}
-        self._required: List[Tuple[str, float, Optional[str]]] = []
+        self._required: List[Tuple[str, float, Optional[str], str]] = []
         self._clock_period: Optional[float] = None
+        self._hold_margin: Optional[float] = None
 
     # --- declaration ------------------------------------------------------------------
-    def net(self, name: str, *, driver_size: float, line: RLCLine,
-            fanout: Sequence[str] = (), receiver_size: Optional[float] = None,
-            extra_load: float = 0.0) -> "DesignBuilder":
+    def net(
+        self,
+        name: str,
+        *,
+        driver_size: float,
+        line: RLCLine,
+        fanout: Sequence[str] = (),
+        receiver_size: Optional[float] = None,
+        extra_load: float = 0.0,
+    ) -> "DesignBuilder":
         """Declare one driver + RLC net cell (chainable)."""
         if name in self._nets:
             raise ModelingError(f"design {self.name!r} already has a net {name!r}")
-        self._nets[name] = _NetSpec(driver_size=driver_size, line=line,
-                                    fanout=list(fanout),
-                                    receiver_size=receiver_size,
-                                    extra_load=extra_load)
+        self._nets[name] = _NetSpec(
+            driver_size=driver_size,
+            line=line,
+            fanout=list(fanout),
+            receiver_size=receiver_size,
+            extra_load=extra_load,
+        )
         return self
 
-    def input(self, name: str, slew: float, *, transition: str = "rise",
-              arrival: float = 0.0) -> "DesignBuilder":
+    def input(
+        self, name: str, slew: float, *, transition: str = "rise", arrival: float = 0.0
+    ) -> "DesignBuilder":
         """Attach a primary-input stimulus to net ``name`` (chainable)."""
         if name in self._inputs:
-            raise ModelingError(
-                f"design {self.name!r} already stimulates net {name!r}")
-        self._inputs[name] = PrimaryInput(slew=slew, transition=transition,
-                                          arrival=arrival)
+            raise ModelingError(f"design {self.name!r} already stimulates net {name!r}")
+        self._inputs[name] = PrimaryInput(slew=slew, transition=transition, arrival=arrival)
         return self
 
     def connect(self, driver: str, *sinks: str) -> "DesignBuilder":
@@ -100,17 +115,24 @@ class DesignBuilder:
         except KeyError:
             raise ModelingError(
                 f"design {self.name!r} has no net {driver!r} to connect from; "
-                "declare it with net() or chain() first") from None
+                "declare it with net() or chain() first"
+            ) from None
         for sink in sinks:
             if sink not in spec.fanout:
                 spec.fanout.append(sink)
         return self
 
-    def chain(self, prefix: str, *, sizes: Sequence[float],
-              line: "RLCLine | Sequence[RLCLine]", input_slew: float,
-              receiver_size: Optional[float] = None,
-              transition: str = "rise", arrival: float = 0.0
-              ) -> "DesignBuilder":
+    def chain(
+        self,
+        prefix: str,
+        *,
+        sizes: Sequence[float],
+        line: "RLCLine | Sequence[RLCLine]",
+        input_slew: float,
+        receiver_size: Optional[float] = None,
+        transition: str = "rise",
+        arrival: float = 0.0,
+    ) -> "DesignBuilder":
         """Declare a linear repeatered route plus its stimulus (chainable).
 
         Stage ``i`` is named ``{prefix}_s{i}``, drives with ``sizes[i]`` over
@@ -128,31 +150,52 @@ class DesignBuilder:
         names = [f"{prefix}_s{index}" for index in range(len(sizes))]
         for index, (name, size) in enumerate(zip(names, sizes)):
             last = index == len(sizes) - 1
-            self.net(name, driver_size=size, line=lines[index % len(lines)],
-                     fanout=() if last else (names[index + 1],),
-                     receiver_size=receiver_size if last else None)
-        return self.input(names[0], input_slew, transition=transition,
-                          arrival=arrival)
+            self.net(
+                name,
+                driver_size=size,
+                line=lines[index % len(lines)],
+                fanout=() if last else (names[index + 1],),
+                receiver_size=receiver_size if last else None,
+            )
+        return self.input(names[0], input_slew, transition=transition, arrival=arrival)
 
     # --- constraints ------------------------------------------------------------------
-    def require(self, name: str, required: float, *,
-                transition: Optional[str] = None) -> "DesignBuilder":
+    def require(
+        self,
+        name: str,
+        required: float,
+        *,
+        transition: Optional[str] = None,
+        mode: str = "setup",
+    ) -> "DesignBuilder":
         """Pin a required far-end arrival on net ``name`` [s] (chainable).
 
         ``transition`` is the far-end edge direction the constraint applies to
-        (None = both); the pin is applied to the graph at build time via
+        (None = both); ``mode`` the polarity — a ``"setup"`` pin bounds the
+        late arrival from above, a ``"hold"`` pin bounds the early arrival from
+        below.  The pin is applied to the graph at build time via
         :meth:`TimingGraph.set_required`.
         """
         if transition is not None:
             flip_transition(transition)  # validates the direction name
-        self._required.append((name, required, transition))
+        check_mode(mode)
+        self._required.append((name, required, transition, mode))
         return self
 
-    def clock(self, period: float) -> "DesignBuilder":
-        """Constrain every endpoint to arrive within ``period`` [s] (chainable)."""
+    def clock(
+        self, period: float, *, hold_margin: Optional[float] = None
+    ) -> "DesignBuilder":
+        """Constrain every endpoint to arrive within ``period`` [s] (chainable).
+
+        ``hold_margin`` additionally requires every endpoint's *early* arrival
+        to clear that margin [s] — the min-delay (hold/race) check.
+        """
         if period <= 0:
             raise ModelingError("clock period must be positive")
+        if hold_margin is not None and hold_margin < 0:
+            raise ModelingError("hold margin must be non-negative when given")
         self._clock_period = period
+        self._hold_margin = hold_margin
         return self
 
     # --- edit verbs -------------------------------------------------------------------
@@ -162,7 +205,8 @@ class DesignBuilder:
         except KeyError:
             raise ModelingError(
                 f"design {self.name!r} has no net {name!r} to {action}; "
-                "declare it with net() or chain() first") from None
+                "declare it with net() or chain() first"
+            ) from None
 
     def resize(self, name: str, driver_size: float) -> "DesignBuilder":
         """Change a declared net's driver strength [X] (chainable)."""
@@ -181,8 +225,7 @@ class DesignBuilder:
         self._spec(name, "re-load").extra_load = extra_load
         return self
 
-    def set_receiver(self, name: str,
-                     receiver_size: Optional[float]) -> "DesignBuilder":
+    def set_receiver(self, name: str, receiver_size: Optional[float]) -> "DesignBuilder":
         """Change (or with None remove) a declared net's terminal receiver."""
         self._spec(name, "re-terminate").receiver_size = receiver_size
         return self
@@ -195,8 +238,8 @@ class DesignBuilder:
         for sink in sinks:
             if sink not in spec.fanout:
                 raise ModelingError(
-                    f"design {self.name!r}: net {driver!r} does not drive "
-                    f"{sink!r}")
+                    f"design {self.name!r}: net {driver!r} does not drive {sink!r}"
+                )
             spec.fanout.remove(sink)
         return self
 
@@ -220,14 +263,21 @@ class DesignBuilder:
         structural problems — unknown fanout targets, cycles, roots without
         stimuli — surface here as :class:`~repro.errors.ModelingError`.
         """
-        nets = [GraphNet(name=name, driver_size=spec.driver_size, line=spec.line,
-                         fanout=tuple(spec.fanout),
-                         receiver_size=spec.receiver_size,
-                         extra_load=spec.extra_load)
-                for name, spec in self._nets.items()]
-        graph = TimingGraph(nets, dict(self._inputs),
-                            clock_period=self._clock_period)
-        for name, required, transition in self._required:
-            graph.set_required(name, required, transition=transition)
+        nets = [
+            GraphNet(
+                name=name,
+                driver_size=spec.driver_size,
+                line=spec.line,
+                fanout=tuple(spec.fanout),
+                receiver_size=spec.receiver_size,
+                extra_load=spec.extra_load,
+            )
+            for name, spec in self._nets.items()
+        ]
+        graph = TimingGraph(nets, dict(self._inputs), clock_period=self._clock_period)
+        if self._hold_margin is not None:
+            graph.set_clock_period(self._clock_period, hold_margin=self._hold_margin)
+        for name, required, transition, mode in self._required:
+            graph.set_required(name, required, transition=transition, mode=mode)
         graph.clear_dirty()  # a fresh build has no stale timing to invalidate
         return graph

@@ -5,17 +5,19 @@ Four subcommands cover the stack end to end::
     python -m repro time --case chain3            # time a built-in design
     python -m repro time --chain 75,100,75 --json timing.json
     python -m repro time --case bench --clock 800 --slack   # slack table + WNS
+    python -m repro time --case bench --clock 800 --hold-margin 30 --hold
     python -m repro characterize --sizes 50 75 --coarse
     python -m repro bench --nets 256 --jobs 4     # memoized vs naive throughput
     python -m repro report timing.json            # pretty-print a saved report
-    python -m repro report --diff old.json new.json  # exit 1 on WNS regression
+    python -m repro report timing.json --hold     # per-endpoint hold slacks
+    python -m repro report --diff old.json new.json  # exit 1 on WNS/WHS regression
 
 Every subcommand builds one :class:`~.session.TimingSession` from the documented
 environment layer (``REPRO_CACHE_DIR``, ``REPRO_JOBS``,
 ``REPRO_PERSISTENT_STAGES``) plus its own flags, so CLI runs and library runs
 resolve configuration identically.  ``report --diff`` is CI-gate friendly: its
-exit code is nonzero exactly when the new report's worst negative slack is
-worse than the old one's.
+exit code is nonzero exactly when the new report's worst negative setup slack
+(WNS) or hold slack (WHS) is worse than the old one's.
 """
 
 from __future__ import annotations
@@ -52,24 +54,34 @@ def _session_config(args: argparse.Namespace) -> SessionConfig:
 
 def _build_design(args: argparse.Namespace):
     """The design a ``time`` invocation asks for (path, builder or graph)."""
-    from ..experiments.graph_cases import (benchmark_graph, fanout_tree,
-                                           global_route_path,
-                                           reconvergent_graph, standard_lines)
+    from ..experiments.graph_cases import (
+        benchmark_graph,
+        fanout_tree,
+        global_route_path,
+        race_graph,
+        reconvergent_graph,
+        standard_lines,
+    )
+
     input_slew = ps(args.input_slew)
     if args.chain:
         try:
             sizes = [float(token) for token in args.chain.split(",") if token]
         except ValueError:
             raise ReproError(
-                f"--chain expects comma-separated driver sizes, got {args.chain!r}")
+                f"--chain expects comma-separated driver sizes, got {args.chain!r}"
+            )
         if not sizes:
             raise ReproError("--chain needs at least one driver size")
         return DesignBuilder("cli_chain").chain(
-            "chain", sizes=sizes, line=standard_lines(), input_slew=input_slew)
+            "chain", sizes=sizes, line=standard_lines(), input_slew=input_slew
+        )
     if args.case == "chain3":
         return global_route_path(input_slew=input_slew)
     if args.case == "diamond":
         return reconvergent_graph(input_slew=input_slew)
+    if args.case == "race":
+        return race_graph(input_slew=input_slew)
     if args.case == "tree":
         return fanout_tree(args.depth, input_slew=input_slew)
     if args.case == "bench":
@@ -80,28 +92,42 @@ def _build_design(args: argparse.Namespace):
 def _cmd_time(args: argparse.Namespace) -> int:
     design = _build_design(args)
     name = None
+    hold_margin = args.hold_margin
+    if hold_margin is None and args.hold:
+        # --hold alone runs the conventional "no earlier than the clock edge"
+        # race check: a zero margin still propagates hold required times.
+        hold_margin = 0.0
     if args.clock is not None:
         if args.clock <= 0:
             raise ReproError("--clock expects a positive period in ps")
+        if hold_margin is not None and hold_margin < 0:
+            raise ReproError("--hold-margin expects a non-negative margin in ps")
         # Constraints live on the graph, so materialize one: builders build,
         # paths become their chain-shaped graph equivalent.  The design label
         # rides along — materializing must not rename the report.
         from ..sta.graph import TimingGraph, chain_graph
         from ..sta.stage import TimingPath
+
         if isinstance(design, DesignBuilder):
             design, name = design.build(), design.name
         elif isinstance(design, TimingPath):
             name = design.name
             design, _ = chain_graph(design)
         assert isinstance(design, TimingGraph)
-        design.set_clock_period(ps(args.clock))
+        design.set_clock_period(
+            ps(args.clock), hold_margin=ps(hold_margin) if hold_margin is not None else None
+        )
     elif args.slack:
         raise ReproError("--slack needs a constraint; add --clock PS")
+    elif hold_margin is not None:
+        raise ReproError("hold analysis needs a constraint; add --clock PS")
     with TimingSession(_session_config(args)) as session:
         report = session.time(design, name=name)
     print(report.format_report(limit=args.limit))
     if args.slack:
         print(report.format_slack_table(limit=args.limit))
+    if args.hold:
+        print(report.format_slack_table(limit=args.limit, mode="hold"))
     if args.json is not None:
         path = report.save(args.json)
         print(f"report written to {path}")
@@ -110,16 +136,18 @@ def _cmd_time(args: argparse.Namespace) -> int:
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
     from ..characterization.characterize import CharacterizationGrid
-    grid = CharacterizationGrid.coarse() if args.coarse \
-        else CharacterizationGrid.default()
+
+    grid = CharacterizationGrid.coarse() if args.coarse else CharacterizationGrid.default()
     points = len(grid.input_slews) * len(grid.loads) * 2
     config = _session_config(args)
     with TimingSession(config) as session:
         cache = session.characterization_cache
-        print(f"characterizing {len(args.sizes)} cells ({points} simulations "
-              f"each, {config.jobs} worker{'s' if config.jobs != 1 else ''}, "
-              f"cache: {cache.directory if cache is not None else 'disabled'})",
-              flush=True)
+        print(
+            f"characterizing {len(args.sizes)} cells ({points} simulations "
+            f"each, {config.jobs} worker{'s' if config.jobs != 1 else ''}, "
+            f"cache: {cache.directory if cache is not None else 'disabled'})",
+            flush=True,
+        )
         total_start = time_module.time()
         cells = []
         for size in args.sizes:
@@ -131,44 +159,51 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
                 if done == total or done % 25 == 0:
                     print(f"  {done}/{total} points", flush=True)
 
-            (cell,) = session.characterize(size, grid=grid,
-                                           progress=show_progress)
+            (cell,) = session.characterize(size, grid=grid, progress=show_progress)
             cells.append(cell)
             was_cached = cache is not None and cache.hits > hits_before
-            source = "cache hit" if was_cached \
-                else f"{time_module.time() - start:.1f} s"
-            print(f"  done ({source}; Rs_rise @ max load = "
-                  f"{cell.driver_resistance(cell.input_slews[2], cell.max_load):.1f}"
-                  " ohm)", flush=True)
+            source = "cache hit" if was_cached else f"{time_module.time() - start:.1f} s"
+            print(
+                f"  done ({source}; Rs_rise @ max load = "
+                f"{cell.driver_resistance(cell.input_slews[2], cell.max_load):.1f}"
+                " ohm)",
+                flush=True,
+            )
         if args.output is not None:
             args.output.mkdir(parents=True, exist_ok=True)
             for cell in cells:
                 cell.save(args.output / f"{cell.cell_name}.json")
-            print(f"wrote {len(cells)} cells to {args.output} "
-                  f"in {time_module.time() - total_start:.1f} s total")
+            print(
+                f"wrote {len(cells)} cells to {args.output} "
+                f"in {time_module.time() - total_start:.1f} s total"
+            )
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from ..experiments.graph_cases import benchmark_graph
+
     graph = benchmark_graph(args.nets, chain_length=args.chain_length)
     config = _session_config(args)
     with TimingSession(config) as session:
         print(f"benchmark graph: {graph.describe()}", flush=True)
         naive_elapsed = None
         if args.baseline:
-            print("naive per-stage loop (every cache layer bypassed) ...",
-                  flush=True)
+            print("naive per-stage loop (every cache layer bypassed) ...", flush=True)
             naive = session.time(graph, jobs=1, memoize=False, name="naive")
             naive_elapsed = naive.meta.elapsed
-            print(f"  {naive_elapsed:.2f} s "
-                  f"({naive.n_events / naive_elapsed:.1f} nets/s)", flush=True)
+            print(
+                f"  {naive_elapsed:.2f} s ({naive.n_events / naive_elapsed:.1f} nets/s)",
+                flush=True,
+            )
         print(f"memoized batched run ({config.jobs} worker(s)) ...", flush=True)
         batched = session.time(graph, name="batched")
     meta = batched.meta
-    print(f"  {meta.elapsed:.2f} s ({batched.n_events / meta.elapsed:.1f} nets/s, "
-          f"cache hit rate {100 * meta.hit_rate:.1f}%, "
-          f"{meta.computed + meta.installed} unique solves)")
+    print(
+        f"  {meta.elapsed:.2f} s ({batched.n_events / meta.elapsed:.1f} nets/s, "
+        f"cache hit rate {100 * meta.hit_rate:.1f}%, "
+        f"{meta.computed + meta.installed} unique solves)"
+    )
     payload = {
         "nets": len(batched.events),
         "events": batched.n_events,
@@ -199,6 +234,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if args.path is not None:
             raise ReproError("give either a report file or --diff, not both")
         from .report import compare_reports
+
         old_path, new_path = args.diff
         diff = compare_reports(_load_report(old_path), _load_report(new_path))
         print(diff.describe(limit=args.limit))
@@ -210,113 +246,218 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(report.format_report(limit=args.limit))
     if args.slack:
         print(report.format_slack_table(limit=args.limit))
+    if args.hold:
+        print(report.format_slack_table(limit=args.limit, mode="hold"))
     if args.events:
         print("all events:")
         for name in report.nets:
             for _, event in sorted(report.events.get(name, {}).items()):
                 print(f"  {event.describe()}")
     meta = report.meta
-    print(f"produced by repro {meta.version or '?'} in {meta.elapsed:.3f} s "
-          f"({meta.jobs} worker(s))")
+    print(
+        f"produced by repro {meta.version or '?'} in {meta.elapsed:.3f} s "
+        f"({meta.jobs} worker(s))"
+    )
     return 0
 
 
-def _add_session_flags(parser: argparse.ArgumentParser, *,
-                       jobs_help: str) -> None:
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help=jobs_help)
-    parser.add_argument("--cache-dir", type=Path, default=None,
-                        help="persistent cache root (default: $REPRO_CACHE_DIR "
-                             "or ~/.cache/repro/cells)")
+def _add_session_flags(parser: argparse.ArgumentParser, *, jobs_help: str) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N", help=jobs_help)
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro/cells)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Effective-capacitance two-ramp timing (DAC'03 "
-                    "reproduction): one CLI over the characterization, "
-                    "stage-solving and graph-timing stack.")
+        "reproduction): one CLI over the characterization, "
+        "stage-solving and graph-timing stack.",
+    )
     from .._version import __version__
-    parser.add_argument("--version", action="version",
-                        version=f"repro {__version__}")
+
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     timer = commands.add_parser(
-        "time", help="time a design and print/serialize its TimingReport")
+        "time", help="time a design and print/serialize its TimingReport"
+    )
     case = timer.add_mutually_exclusive_group()
-    case.add_argument("--case", choices=("chain3", "diamond", "tree", "bench"),
-                      default="chain3",
-                      help="built-in design (default: the 3-stage example route)")
-    case.add_argument("--chain", default=None, metavar="SIZES",
-                      help="custom chain: comma-separated driver sizes, e.g. "
-                           "75,100,75 (cycles the standard line flavors)")
-    timer.add_argument("--input-slew", type=float, default=100.0, metavar="PS",
-                       help="primary-input slew in ps (default: 100)")
-    timer.add_argument("--depth", type=int, default=3,
-                       help="fanout-tree depth for --case tree (default: 3)")
-    timer.add_argument("--nets", type=int, default=128,
-                       help="net count for --case bench (default: 128)")
-    timer.add_argument("--limit", type=int, default=20,
-                       help="critical-path lines to print (default: 20)")
-    timer.add_argument("--clock", type=float, default=None, metavar="PS",
-                       help="constrain every endpoint to this clock period "
-                            "(ps); enables required-time/slack propagation")
-    timer.add_argument("--slack", action="store_true",
-                       help="print the per-endpoint slack table and WNS "
-                            "(requires --clock)")
-    timer.add_argument("--json", type=Path, default=None, metavar="PATH",
-                       help="also write the TimingReport as JSON")
-    _add_session_flags(timer, jobs_help="worker processes per graph level "
-                                        "(default: $REPRO_JOBS or 1)")
+    case.add_argument(
+        "--case",
+        choices=("chain3", "diamond", "race", "tree", "bench"),
+        default="chain3",
+        help="built-in design (default: the 3-stage example route)",
+    )
+    case.add_argument(
+        "--chain",
+        default=None,
+        metavar="SIZES",
+        help="custom chain: comma-separated driver sizes, e.g. "
+        "75,100,75 (cycles the standard line flavors)",
+    )
+    timer.add_argument(
+        "--input-slew",
+        type=float,
+        default=100.0,
+        metavar="PS",
+        help="primary-input slew in ps (default: 100)",
+    )
+    timer.add_argument(
+        "--depth",
+        type=int,
+        default=3,
+        help="fanout-tree depth for --case tree (default: 3)",
+    )
+    timer.add_argument(
+        "--nets", type=int, default=128, help="net count for --case bench (default: 128)"
+    )
+    timer.add_argument(
+        "--limit", type=int, default=20, help="critical-path lines to print (default: 20)"
+    )
+    timer.add_argument(
+        "--clock",
+        type=float,
+        default=None,
+        metavar="PS",
+        help="constrain every endpoint to this clock period "
+        "(ps); enables required-time/slack propagation",
+    )
+    timer.add_argument(
+        "--slack",
+        action="store_true",
+        help="print the per-endpoint slack table and WNS (requires --clock)",
+    )
+    timer.add_argument(
+        "--hold-margin",
+        type=float,
+        default=None,
+        metavar="PS",
+        help="also require every endpoint's early arrival to "
+        "clear this margin (ps); enables hold/min-delay "
+        "analysis (requires --clock)",
+    )
+    timer.add_argument(
+        "--hold",
+        action="store_true",
+        help="print the per-endpoint hold slack table and WHS "
+        "(requires --clock; implies --hold-margin 0)",
+    )
+    timer.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the TimingReport as JSON",
+    )
+    _add_session_flags(
+        timer, jobs_help="worker processes per graph level (default: $REPRO_JOBS or 1)"
+    )
     timer.set_defaults(func=_cmd_time)
 
     char = commands.add_parser(
-        "characterize", help="characterize driver cells through the session "
-                             "cache and worker pool")
-    char.add_argument("--sizes", type=float, nargs="+",
-                      default=list(LIBRARY_SIZES),
-                      help="driver sizes (X) to characterize")
-    char.add_argument("--coarse", action="store_true",
-                      help="use the small test grid instead of the full grid")
-    char.add_argument("--no-cache", action="store_true",
-                      help="ignore the persistent cache and re-simulate")
-    char.add_argument("--output", type=Path, default=None, metavar="DIR",
-                      help="write the characterized cells as JSON files here")
-    _add_session_flags(char, jobs_help="worker processes per grid "
-                                       "(default: $REPRO_JOBS or 1)")
+        "characterize",
+        help="characterize driver cells through the session cache and worker pool",
+    )
+    char.add_argument(
+        "--sizes",
+        type=float,
+        nargs="+",
+        default=list(LIBRARY_SIZES),
+        help="driver sizes (X) to characterize",
+    )
+    char.add_argument(
+        "--coarse",
+        action="store_true",
+        help="use the small test grid instead of the full grid",
+    )
+    char.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the persistent cache and re-simulate",
+    )
+    char.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write the characterized cells as JSON files here",
+    )
+    _add_session_flags(
+        char, jobs_help="worker processes per grid (default: $REPRO_JOBS or 1)"
+    )
     char.set_defaults(func=_cmd_characterize)
 
     bench = commands.add_parser(
-        "bench", help="graph-timing throughput: memoized batched run vs the "
-                      "naive per-stage loop")
-    bench.add_argument("--nets", type=int, default=128,
-                       help="benchmark graph size (default: 128 nets)")
-    bench.add_argument("--chain-length", type=int, default=16,
-                       help="stages per chain in the benchmark graph")
-    bench.add_argument("--no-baseline", dest="baseline", action="store_false",
-                       help="skip the naive baseline (just measure throughput)")
-    bench.add_argument("--json", type=Path, default=None, metavar="PATH",
-                       help="write the machine-readable payload here")
-    _add_session_flags(bench, jobs_help="worker processes per graph level "
-                                        "(default: $REPRO_JOBS or 1)")
+        "bench",
+        help="graph-timing throughput: memoized batched run vs the naive per-stage loop",
+    )
+    bench.add_argument(
+        "--nets", type=int, default=128, help="benchmark graph size (default: 128 nets)"
+    )
+    bench.add_argument(
+        "--chain-length",
+        type=int,
+        default=16,
+        help="stages per chain in the benchmark graph",
+    )
+    bench.add_argument(
+        "--no-baseline",
+        dest="baseline",
+        action="store_false",
+        help="skip the naive baseline (just measure throughput)",
+    )
+    bench.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable payload here",
+    )
+    _add_session_flags(
+        bench, jobs_help="worker processes per graph level (default: $REPRO_JOBS or 1)"
+    )
     bench.set_defaults(func=_cmd_bench)
 
     shower = commands.add_parser(
-        "report", help="pretty-print a TimingReport JSON file, or diff two "
-                       "(exit 1 on WNS regression)")
-    shower.add_argument("path", type=Path, nargs="?", default=None,
-                        help="report file written by `time --json` / "
-                             "report.save()")
-    shower.add_argument("--diff", type=Path, nargs=2, default=None,
-                        metavar=("OLD", "NEW"),
-                        help="compare two saved reports; exit code 1 when the "
-                             "new report's WNS is worse (CI gate)")
-    shower.add_argument("--limit", type=int, default=20,
-                        help="critical-path lines to print (default: 20)")
-    shower.add_argument("--slack", action="store_true",
-                        help="also print the per-endpoint slack table")
-    shower.add_argument("--events", action="store_true",
-                        help="also list every solved (net, transition) event")
+        "report",
+        help="pretty-print a TimingReport JSON file, or diff two "
+        "(exit 1 on WNS regression)",
+    )
+    shower.add_argument(
+        "path",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="report file written by `time --json` / report.save()",
+    )
+    shower.add_argument(
+        "--diff",
+        type=Path,
+        nargs=2,
+        default=None,
+        metavar=("OLD", "NEW"),
+        help="compare two saved reports; exit code 1 when the "
+        "new report's WNS or WHS is worse (CI gate)",
+    )
+    shower.add_argument(
+        "--limit", type=int, default=20, help="critical-path lines to print (default: 20)"
+    )
+    shower.add_argument(
+        "--slack", action="store_true", help="also print the per-endpoint slack table"
+    )
+    shower.add_argument(
+        "--hold", action="store_true", help="also print the per-endpoint hold slack table"
+    )
+    shower.add_argument(
+        "--events",
+        action="store_true",
+        help="also list every solved (net, transition) event",
+    )
     shower.set_defaults(func=_cmd_report)
     return parser
 

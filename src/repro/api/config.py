@@ -34,6 +34,7 @@ from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
 from ..core.criteria import CriteriaThresholds
 from ..core.driver_model import ModelingOptions
 from ..errors import ModelingError
+from ..sta.graph import check_mode
 
 __all__ = ["SessionConfig"]
 
@@ -60,7 +61,8 @@ def _options_from_dict(payload: Mapping[str, Any]) -> ModelingOptions:
     unknown = set(data) - known
     if unknown:
         raise ModelingError(
-            f"unknown ModelingOptions field(s) in config payload: {sorted(unknown)}")
+            f"unknown ModelingOptions field(s) in config payload: {sorted(unknown)}"
+        )
     return ModelingOptions(**data)
 
 
@@ -86,6 +88,12 @@ class SessionConfig:
     slew_quantum: Optional[float] = None  #: slew snapping grid [s]; None = exact
     slew_low: float = SLEW_LOW_THRESHOLD  #: lower slew measurement threshold
     slew_high: float = SLEW_HIGH_THRESHOLD  #: upper slew measurement threshold
+    #: Default analysis mode for :meth:`TimingSession.time`: which constraint
+    #: polarities the backward pass computes — "setup", "hold" or "both".
+    #: Both event planes are always carried forward (dual-mode adds zero stage
+    #: solves), so "both" is the safe default; narrowing to one mode only
+    #: strips the other mode's required times from the reports.
+    mode: str = "both"
     options: ModelingOptions = field(default_factory=ModelingOptions)
     #: Named analysis corners: corner name -> the ModelingOptions that corner
     #: times with.  All corners run through the session's *single* memoized
@@ -104,22 +112,26 @@ class SessionConfig:
         if not 0.0 < self.slew_low < self.slew_high < 1.0:
             raise ModelingError(
                 "slew thresholds must satisfy 0 < slew_low < slew_high < 1, got "
-                f"({self.slew_low}, {self.slew_high})")
+                f"({self.slew_low}, {self.slew_high})"
+            )
+        check_mode(self.mode, allow_both=True)
         if not isinstance(self.options, ModelingOptions):
             raise ModelingError("options must be a ModelingOptions instance")
         if self.corners is not None:
             if not isinstance(self.corners, Mapping) or not self.corners:
                 raise ModelingError(
                     "corners must be a non-empty mapping of corner name -> "
-                    "ModelingOptions (or None)")
+                    "ModelingOptions (or None)"
+                )
             for name, options in self.corners.items():
                 if not name or not isinstance(name, str):
                     raise ModelingError(
-                        f"corner names must be non-empty strings, got {name!r}")
+                        f"corner names must be non-empty strings, got {name!r}"
+                    )
                 if not isinstance(options, ModelingOptions):
                     raise ModelingError(
-                        f"corner {name!r} must map to a ModelingOptions "
-                        "instance")
+                        f"corner {name!r} must map to a ModelingOptions instance"
+                    )
             object.__setattr__(self, "corners", dict(self.corners))
         for name in ("library_dir", "cache_dir"):
             value = getattr(self, name)
@@ -132,8 +144,9 @@ class SessionConfig:
         return dataclasses.replace(self, **overrides)
 
     @classmethod
-    def from_env(cls, environ: Optional[Mapping[str, str]] = None,
-                 **overrides: Any) -> "SessionConfig":
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None, **overrides: Any
+    ) -> "SessionConfig":
         """A config seeded from the documented environment variables.
 
         Explicit ``overrides`` win over the environment; ``environ`` defaults to
@@ -150,7 +163,8 @@ class SessionConfig:
                 parsed = int(jobs)
             except ValueError:
                 raise ModelingError(
-                    f"{ENV_JOBS} must be an integer, got {jobs!r}") from None
+                    f"{ENV_JOBS} must be an integer, got {jobs!r}"
+                ) from None
             seeded["jobs"] = max(os.cpu_count() or 1, 1) if parsed == 0 else parsed
         if environ.get(ENV_PERSISTENT_STAGES, "") in _TRUTHY:
             seeded["persistent_stages"] = True
@@ -170,10 +184,13 @@ class SessionConfig:
             "slew_quantum": self.slew_quantum,
             "slew_low": self.slew_low,
             "slew_high": self.slew_high,
+            "mode": self.mode,
             "options": _options_to_dict(self.options),
-            "corners": {name: _options_to_dict(options)
-                        for name, options in self.corners.items()}
-            if self.corners is not None else None,
+            "corners": {
+                name: _options_to_dict(options) for name, options in self.corners.items()
+            }
+            if self.corners is not None
+            else None,
         }
 
     @classmethod
@@ -185,24 +202,25 @@ class SessionConfig:
             data["options"] = _options_from_dict(options)
         corners = data.get("corners")
         if isinstance(corners, Mapping):
-            data["corners"] = {name: _options_from_dict(value)
-                               if isinstance(value, Mapping) else value
-                               for name, value in corners.items()}
+            data["corners"] = {
+                name: _options_from_dict(value) if isinstance(value, Mapping) else value
+                for name, value in corners.items()
+            }
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
-            raise ModelingError(
-                f"unknown SessionConfig field(s): {sorted(unknown)}")
+            raise ModelingError(f"unknown SessionConfig field(s): {sorted(unknown)}")
         return cls(**data)
 
     def describe(self) -> str:
         """Single-line human-readable summary."""
         library = self.library_dir if self.library_dir else "shipped"
         cache = self.cache_dir if self.cache_dir else "default"
-        corners = (f", corners={sorted(self.corners)}"
-                   if self.corners is not None else "")
-        return (f"session config: library={library}, cache={cache} "
-                f"(cells {'on' if self.use_characterization_cache else 'off'}, "
-                f"stages {'on' if self.persistent_stages else 'off'}), "
-                f"jobs={self.jobs}, memo={self.memo_size}, "
-                f"quantum={self.slew_quantum}{corners}")
+        corners = f", corners={sorted(self.corners)}" if self.corners is not None else ""
+        return (
+            f"session config: library={library}, cache={cache} "
+            f"(cells {'on' if self.use_characterization_cache else 'off'}, "
+            f"stages {'on' if self.persistent_stages else 'off'}), "
+            f"jobs={self.jobs}, memo={self.memo_size}, "
+            f"quantum={self.slew_quantum}, mode={self.mode}{corners}"
+        )

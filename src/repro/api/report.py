@@ -12,11 +12,14 @@ references, topological levels, and run metadata (:class:`RunInfo`).
 Serialization is lossless and stable: ``from_dict(to_dict(r)) == r`` exactly
 (floats survive because JSON encodes them via ``repr``, which round-trips), and
 two analyses of the same design produce byte-identical payloads apart from the
-wall-clock fields in ``meta``.  Constrained analyses additionally carry
-``required`` / ``slack`` per event plus the endpoint flag, so saved reports
-answer WNS and per-endpoint slack queries offline — and two saved reports can
-be compared with :func:`compare_reports` (the ``python -m repro report --diff``
-backend, whose exit code gates CI on WNS regressions).
+wall-clock fields in ``meta``.  Constrained analyses additionally carry, per
+event, ``required`` / ``slack`` (setup), the early-plane arrival and
+``hold_required`` / ``hold_slack`` (hold), plus the endpoint flag, so saved
+reports answer WNS/WHS and per-endpoint slack queries offline in either mode —
+and two saved reports can be compared with :func:`compare_reports` (the
+``python -m repro report --diff`` backend, whose exit code gates CI on both WNS
+and WHS regressions).  Payloads written before the dual-mode fields existed
+still load: the new fields default to None/absent.
 """
 
 from __future__ import annotations
@@ -27,11 +30,10 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ModelingError
-from ..sta.graph import GraphTimingReport, NetEventTiming
+from ..sta.graph import GraphTimingReport, NetEventTiming, check_mode
 from ..units import to_ps
 
-__all__ = ["TimingEvent", "RunInfo", "TimingReport", "ReportDiff",
-           "compare_reports"]
+__all__ = ["TimingEvent", "RunInfo", "TimingReport", "ReportDiff", "compare_reports"]
 
 #: Bump when the report schema changes incompatibly.
 REPORT_FORMAT_VERSION = 1
@@ -68,31 +70,53 @@ class TimingEvent:
     required: Optional[float] = None  #: latest admissible far-end arrival [s]
     slack: Optional[float] = None  #: required - output_arrival [s]
     endpoint: bool = False  #: True when the net consumes data (receiver / no fanout)
+    early_arrival: Optional[float] = None  #: best-case 50% arrival at the far end [s]
+    early_source: Optional[Tuple[str, str]] = None  #: winning fanin of the early plane
+    hold_required: Optional[float] = None  #: earliest admissible far-end arrival [s]
+    hold_slack: Optional[float] = None  #: early_arrival - hold_required [s]
 
     @property
     def stage_delay(self) -> float:
         """Total stage delay: input 50% to far-end 50% [s]."""
         return self.gate_delay + self.interconnect_delay
 
+    def slack_for(self, mode: str) -> Optional[float]:
+        """The ``mode`` slack of this event (:attr:`slack` / :attr:`hold_slack`)."""
+        check_mode(mode)
+        return self.slack if mode == "setup" else self.hold_slack
+
     @classmethod
     def from_net_event(cls, event: NetEventTiming) -> "TimingEvent":
         """Flatten one live graph event into its serializable record."""
         solution = event.solution
         return cls(
-            net=event.net.name, input_transition=event.input_transition,
+            net=event.net.name,
+            input_transition=event.input_transition,
             output_transition=event.output_transition,
             input_arrival=event.input_arrival,
-            output_arrival=event.output_arrival, input_slew=event.input_slew,
+            output_arrival=event.output_arrival,
+            input_slew=event.input_slew,
             gate_delay=solution.gate_delay,
             interconnect_delay=solution.interconnect_delay,
-            far_slew=solution.far_slew, propagated_slew=solution.propagated_slew,
-            kind=solution.kind, cell_name=solution.cell_name,
-            load_capacitance=solution.load_capacitance, ceff1=solution.ceff1,
-            tr1=solution.tr1, ceff2=solution.ceff2,
+            far_slew=solution.far_slew,
+            propagated_slew=solution.propagated_slew,
+            kind=solution.kind,
+            cell_name=solution.cell_name,
+            load_capacitance=solution.load_capacitance,
+            ceff1=solution.ceff1,
+            tr1=solution.tr1,
+            ceff2=solution.ceff2,
             tr2_effective=solution.tr2_effective,
-            fingerprint=solution.fingerprint, source=event.source,
-            required=event.required, slack=event.slack,
-            endpoint=event.is_endpoint)
+            fingerprint=solution.fingerprint,
+            source=event.source,
+            required=event.required,
+            slack=event.slack,
+            endpoint=event.is_endpoint,
+            early_arrival=event.early_output_arrival,
+            early_source=event.early_source,
+            hold_required=event.hold_required,
+            hold_slack=event.hold_slack,
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible representation (inverse of :meth:`from_dict`)."""
@@ -119,24 +143,40 @@ class TimingEvent:
             "required": self.required,
             "slack": self.slack,
             "endpoint": self.endpoint,
+            "early_arrival": self.early_arrival,
+            "early_source": list(self.early_source)
+            if self.early_source is not None
+            else None,
+            "hold_required": self.hold_required,
+            "hold_slack": self.hold_slack,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "TimingEvent":
-        """Rebuild an event from :meth:`to_dict` output."""
+        """Rebuild an event from :meth:`to_dict` output.
+
+        Payloads written before the dual-mode fields existed (no
+        ``early_arrival`` / ``hold_*`` keys) load fine: the fields default to
+        None.
+        """
         data = dict(payload)
-        source = data.get("source")
-        if source is not None:
-            data["source"] = (source[0], source[1])
+        for key in ("source", "early_source"):
+            ref = data.get(key)
+            if ref is not None:
+                data[key] = (ref[0], ref[1])
         return cls(**data)
 
     def describe(self) -> str:
         """Single-line summary in ps."""
         suffix = "" if self.slack is None else f", slack {to_ps(self.slack):7.1f} ps"
-        return (f"{self.net}[{self.input_transition}->{self.output_transition}]"
-                f": {self.kind:11s} in {to_ps(self.input_arrival):7.1f} ps"
-                f" -> out {to_ps(self.output_arrival):7.1f} ps"
-                f" (slew {to_ps(self.far_slew):6.1f} ps{suffix})")
+        if self.hold_slack is not None:
+            suffix += f", hold {to_ps(self.hold_slack):7.1f} ps"
+        return (
+            f"{self.net}[{self.input_transition}->{self.output_transition}]"
+            f": {self.kind:11s} in {to_ps(self.input_arrival):7.1f} ps"
+            f" -> out {to_ps(self.output_arrival):7.1f} ps"
+            f" (slew {to_ps(self.far_slew):6.1f} ps{suffix})"
+        )
 
 
 @dataclass(frozen=True)
@@ -152,6 +192,9 @@ class RunInfo:
     version: str = ""  #: repro package version that produced the report
     dirty_nets: Optional[int] = None  #: incremental runs: nets the edits dirtied
     retimed_nets: Optional[int] = None  #: incremental runs: forward-cone size
+    mode: str = "both"  #: which constraint polarities the analysis computed
+    required_nets: Optional[int] = None  #: incremental runs: backward-region size
+    hold_required_nets: Optional[int] = None  #: incremental runs: hold-cone size
 
     @property
     def requests(self) -> int:
@@ -179,6 +222,9 @@ class RunInfo:
             "version": self.version,
             "dirty_nets": self.dirty_nets,
             "retimed_nets": self.retimed_nets,
+            "mode": self.mode,
+            "required_nets": self.required_nets,
+            "hold_required_nets": self.hold_required_nets,
         }
 
     @classmethod
@@ -205,33 +251,57 @@ class TimingReport:
 
     # --- construction -----------------------------------------------------------------
     @classmethod
-    def from_graph_report(cls, report: GraphTimingReport, *, design: str,
-                          kind: str = "graph",
-                          version: str = "") -> "TimingReport":
+    def from_graph_report(
+        cls,
+        report: GraphTimingReport,
+        *,
+        design: str,
+        kind: str = "graph",
+        version: str = "",
+        mode: str = "both",
+    ) -> "TimingReport":
         """Flatten a live :class:`GraphTimingReport` into the unified model."""
         if kind not in ("path", "graph"):
             raise ModelingError(f"report kind must be 'path' or 'graph', got {kind!r}")
+        check_mode(mode, allow_both=True)
         events = {
-            name: {transition: TimingEvent.from_net_event(event)
-                   for transition, event in sorted(per_net.items())}
+            name: {
+                transition: TimingEvent.from_net_event(event)
+                for transition, event in sorted(per_net.items())
+            }
             for name, per_net in sorted(report.events.items())
         }
-        critical = [(event.net.name, event.input_transition)
-                    for event in report.critical_path()] if events else []
+        critical = (
+            [(event.net.name, event.input_transition) for event in report.critical_path()]
+            if events
+            else []
+        )
         stats = report.stats
         incremental = report.incremental
-        meta = RunInfo(elapsed=report.elapsed, jobs=report.jobs,
-                       memo_hits=stats.memo_hits,
-                       persistent_hits=stats.persistent_hits,
-                       computed=stats.computed, installed=stats.installed,
-                       version=version,
-                       dirty_nets=incremental.dirty_nets
-                       if incremental is not None else None,
-                       retimed_nets=incremental.retimed_nets
-                       if incremental is not None else None)
-        return cls(design=design, kind=kind, events=events,
-                   levels=[list(level) for level in report.levels],
-                   critical_path=critical, meta=meta)
+        meta = RunInfo(
+            elapsed=report.elapsed,
+            jobs=report.jobs,
+            memo_hits=stats.memo_hits,
+            persistent_hits=stats.persistent_hits,
+            computed=stats.computed,
+            installed=stats.installed,
+            version=version,
+            dirty_nets=incremental.dirty_nets if incremental is not None else None,
+            retimed_nets=incremental.retimed_nets if incremental is not None else None,
+            mode=mode,
+            required_nets=incremental.required_nets if incremental is not None else None,
+            hold_required_nets=incremental.hold_required_nets
+            if incremental is not None
+            else None,
+        )
+        return cls(
+            design=design,
+            kind=kind,
+            events=events,
+            levels=[list(level) for level in report.levels],
+            critical_path=critical,
+            meta=meta,
+        )
 
     # --- queries ----------------------------------------------------------------------
     @property
@@ -251,8 +321,7 @@ class TimingReport:
             raise ModelingError(f"net {name!r} has no timed event")
         if transition is not None:
             if transition not in per_net:
-                raise ModelingError(
-                    f"net {name!r} has no {transition!r} input event")
+                raise ModelingError(f"net {name!r} has no {transition!r} input event")
             return per_net[transition]
         return max(per_net.values(), key=lambda e: e.output_arrival)
 
@@ -263,15 +332,13 @@ class TimingReport:
     def worst_event(self) -> TimingEvent:
         """The critical-path endpoint (the worst sink event)."""
         if not self.critical_path:
-            raise ModelingError(
-                f"timing report of {self.design!r} has no critical path")
+            raise ModelingError(f"timing report of {self.design!r} has no critical path")
         name, transition = self.critical_path[-1]
         return self.events[name][transition]
 
     def critical_events(self) -> List[TimingEvent]:
         """The critical path as resolved events, in arrival order."""
-        return [self.events[name][transition]
-                for name, transition in self.critical_path]
+        return [self.events[name][transition] for name, transition in self.critical_path]
 
     @property
     def total_delay(self) -> float:
@@ -290,82 +357,168 @@ class TimingReport:
     # --- slack ------------------------------------------------------------------------
     @property
     def constrained(self) -> bool:
-        """True when the producing analysis carried required-time constraints."""
-        return any(event.slack is not None
-                   for per_net in self.events.values()
-                   for event in per_net.values())
+        """True when the producing analysis carried setup constraints."""
+        return any(
+            event.slack is not None
+            for per_net in self.events.values()
+            for event in per_net.values()
+        )
 
-    def slack(self, name: str, transition: Optional[str] = None
-              ) -> Optional[float]:
-        """Slack of net ``name`` [s]: minimum over its constrained events.
+    @property
+    def hold_constrained(self) -> bool:
+        """True when the producing analysis carried hold (min-delay) constraints."""
+        return any(
+            event.hold_slack is not None
+            for per_net in self.events.values()
+            for event in per_net.values()
+        )
 
-        With an explicit ``transition`` (the input edge direction), the slack of
-        exactly that event; None when the queried events are unconstrained.
+    def early_arrival(self, name: str, transition: Optional[str] = None) -> Optional[float]:
+        """Best-case (early) far-end arrival of net ``name`` [s].
+
+        Without a ``transition``, the minimum over the net's events — the
+        mirror of :meth:`arrival`, which takes the worst late arrival.  None
+        when the report predates early-plane tracking (old payloads).
         """
         if transition is not None:
-            return self.event(name, transition).slack
-        slacks = [event.slack for event in self.events.get(name, {}).values()
-                  if event.slack is not None]
+            return self.event(name, transition).early_arrival
+        self.event(name)  # raises ModelingError on unknown/un-timed nets
+        arrivals = [
+            event.early_arrival
+            for event in self.events[name].values()
+            if event.early_arrival is not None
+        ]
+        return min(arrivals) if arrivals else None
+
+    def slack(
+        self, name: str, transition: Optional[str] = None, *, mode: str = "setup"
+    ) -> Optional[float]:
+        """``mode`` slack of net ``name`` [s]: minimum over its constrained events.
+
+        With an explicit ``transition`` (the input edge direction), the slack of
+        exactly that event; None when the queried events are unconstrained in
+        ``mode``.
+        """
+        check_mode(mode)
+        if transition is not None:
+            return self.event(name, transition).slack_for(mode)
+        slacks = [
+            event.slack_for(mode)
+            for event in self.events.get(name, {}).values()
+            if event.slack_for(mode) is not None
+        ]
         if not slacks:
             self.event(name)  # raises ModelingError on unknown/un-timed nets
             return None
         return min(slacks)
 
+    def _worst_endpoint_slack(self, mode: str) -> Optional[float]:
+        slacks = [
+            event.slack_for(mode)
+            for per_net in self.events.values()
+            for event in per_net.values()
+            if event.endpoint and event.slack_for(mode) is not None
+        ]
+        return min(slacks) if slacks else None
+
     @property
     def worst_slack(self) -> Optional[float]:
-        """Worst (most negative) slack over every endpoint, None if unconstrained.
+        """Worst (most negative) setup slack over every endpoint, None if unconstrained.
 
         Defined over endpoint events (the conventional WNS domain), so the
         summary always agrees with :meth:`endpoint_slacks`.
         """
-        slacks = [event.slack for per_net in self.events.values()
-                  for event in per_net.values()
-                  if event.endpoint and event.slack is not None]
-        return min(slacks) if slacks else None
+        return self._worst_endpoint_slack("setup")
+
+    @property
+    def worst_hold_slack(self) -> Optional[float]:
+        """Worst (most negative) hold slack over every endpoint, None if unconstrained."""
+        return self._worst_endpoint_slack("hold")
 
     @property
     def wns(self) -> Optional[float]:
-        """Worst negative slack [s]: 0.0 when every constraint is met."""
+        """Worst negative setup slack [s]: 0.0 when every constraint is met."""
         worst = self.worst_slack
         if worst is None:
             return None
         return min(worst, 0.0)
 
-    def endpoint_slacks(self) -> List[TimingEvent]:
-        """Constrained endpoint events, worst (smallest) slack first."""
-        events = [event for per_net in self.events.values()
-                  for event in per_net.values()
-                  if event.endpoint and event.slack is not None]
-        return sorted(events, key=lambda e: (e.slack, e.net,
-                                             e.input_transition))
+    @property
+    def whs(self) -> Optional[float]:
+        """Worst negative hold slack [s]: 0.0 when every hold check is met."""
+        worst = self.worst_hold_slack
+        if worst is None:
+            return None
+        return min(worst, 0.0)
 
-    def worst_slack_event(self) -> TimingEvent:
-        """The constrained endpoint event with the smallest slack."""
-        table = self.endpoint_slacks()
+    def endpoint_slacks(self, *, mode: str = "setup") -> List[TimingEvent]:
+        """``mode``-constrained endpoint events, worst (smallest) slack first."""
+        check_mode(mode)
+        events = [
+            event
+            for per_net in self.events.values()
+            for event in per_net.values()
+            if event.endpoint and event.slack_for(mode) is not None
+        ]
+        return sorted(events, key=lambda e: (e.slack_for(mode), e.net, e.input_transition))
+
+    def hold_slacks(self) -> List[TimingEvent]:
+        """Hold-constrained endpoint events, worst (smallest) hold slack first."""
+        return self.endpoint_slacks(mode="hold")
+
+    def worst_slack_event(self, *, mode: str = "setup") -> TimingEvent:
+        """The constrained endpoint event with the smallest ``mode`` slack."""
+        table = self.endpoint_slacks(mode=mode)
         if not table:
             raise ModelingError(
-                f"timing report of {self.design!r} has no constrained "
+                f"timing report of {self.design!r} has no {mode}-constrained "
                 "endpoints; set a required time or a clock period before "
-                "querying slack")
+                "querying slack"
+            )
         return table[0]
 
-    def format_slack_table(self, *, limit: int = 20) -> str:
-        """Per-endpoint slack table (worst first), or a hint when unconstrained."""
-        table = self.endpoint_slacks()
+    def format_slack_table(self, *, limit: int = 20, mode: str = "setup") -> str:
+        """Per-endpoint ``mode`` slack table (worst first), or a hint when unconstrained."""
+        check_mode(mode)
+        table = self.endpoint_slacks(mode=mode)
         if not table:
-            return ("no constrained endpoints (set a clock period or a "
-                    "required time to get slack)")
-        lines = [f"endpoint slacks ({len(table)} constrained endpoint "
-                 f"event(s), WNS {to_ps(self.wns):.1f} ps):",
-                 f"  {'endpoint':24s} {'edge':12s} {'arrival':>10s} "
-                 f"{'required':>10s} {'slack':>10s}"]
+            if mode == "hold":
+                return (
+                    "no hold-constrained endpoints (set a hold margin or "
+                    "a hold required time to get hold slack)"
+                )
+            return (
+                "no constrained endpoints (set a clock period or a "
+                "required time to get slack)"
+            )
+        if mode == "hold":
+            lines = [
+                f"endpoint hold slacks ({len(table)} constrained "
+                f"endpoint event(s), WHS {to_ps(self.whs):.1f} ps):",
+                f"  {'endpoint':24s} {'edge':12s} {'early':>10s} "
+                f"{'required':>10s} {'slack':>10s}",
+            ]
+        else:
+            lines = [
+                f"endpoint slacks ({len(table)} constrained endpoint "
+                f"event(s), WNS {to_ps(self.wns):.1f} ps):",
+                f"  {'endpoint':24s} {'edge':12s} {'arrival':>10s} "
+                f"{'required':>10s} {'slack':>10s}",
+            ]
         shown = table if len(table) <= limit else table[:limit]
         for event in shown:
             edge = f"{event.input_transition}->{event.output_transition}"
+            if mode == "hold":
+                arrival = event.early_arrival
+                required, slack = event.hold_required, event.hold_slack
+            else:
+                arrival = event.output_arrival
+                required, slack = event.required, event.slack
             lines.append(
                 f"  {event.net:24s} {edge:12s} "
-                f"{to_ps(event.output_arrival):8.1f} ps "
-                f"{to_ps(event.required):7.1f} ps {to_ps(event.slack):7.1f} ps")
+                f"{to_ps(arrival):8.1f} ps "
+                f"{to_ps(required):7.1f} ps {to_ps(slack):7.1f} ps"
+            )
         if len(table) > limit:
             lines.append(f"  ... ({len(table) - limit} more endpoints)")
         return "\n".join(lines)
@@ -382,8 +535,10 @@ class TimingReport:
             "design": self.design,
             "kind": self.kind,
             "events": {
-                name: {transition: event.to_dict()
-                       for transition, event in sorted(per_net.items())}
+                name: {
+                    transition: event.to_dict()
+                    for transition, event in sorted(per_net.items())
+                }
                 for name, per_net in sorted(self.events.items())
             },
             "levels": [list(level) for level in self.levels],
@@ -400,22 +555,26 @@ class TimingReport:
         """
         if payload.get("format") != REPORT_FORMAT_VERSION:
             raise ModelingError(
-                f"timing report format {payload.get('format')!r} is not supported")
+                f"timing report format {payload.get('format')!r} is not supported"
+            )
         try:
             events = {
-                name: {transition: TimingEvent.from_dict(event)
-                       for transition, event in per_net.items()}
+                name: {
+                    transition: TimingEvent.from_dict(event)
+                    for transition, event in per_net.items()
+                }
                 for name, per_net in payload["events"].items()
             }
-            return cls(design=payload["design"], kind=payload["kind"],
-                       events=events,
-                       levels=[list(level) for level in payload["levels"]],
-                       critical_path=[(ref[0], ref[1])
-                                      for ref in payload["critical_path"]],
-                       meta=RunInfo.from_dict(payload["meta"]))
+            return cls(
+                design=payload["design"],
+                kind=payload["kind"],
+                events=events,
+                levels=[list(level) for level in payload["levels"]],
+                critical_path=[(ref[0], ref[1]) for ref in payload["critical_path"]],
+                meta=RunInfo.from_dict(payload["meta"]),
+            )
         except (TypeError, KeyError, IndexError, AttributeError) as exc:
-            raise ModelingError(
-                f"malformed timing report payload: {exc!r}") from exc
+            raise ModelingError(f"malformed timing report payload: {exc!r}") from exc
 
     def to_json(self, *, indent: Optional[int] = 1) -> str:
         """The report as a JSON document."""
@@ -454,18 +613,29 @@ class TimingReport:
             f"cache hit rate {100 * meta.hit_rate:.1f}%)",
         ]
         if meta.incremental:
-            lines.append(f"  incremental: {meta.dirty_nets} dirty net(s) -> "
-                         f"{meta.retimed_nets} retimed")
+            lines.append(
+                f"  incremental: {meta.dirty_nets} dirty net(s) -> "
+                f"{meta.retimed_nets} retimed"
+            )
         if not self.critical_path:
             lines.append("  (no events: nothing to time)")
             return "\n".join(lines)
         worst = self.worst_event()
-        lines.append(f"  worst sink arrival: {worst.net} "
-                     f"{to_ps(worst.output_arrival):.1f} ps "
-                     f"(far slew {to_ps(worst.far_slew):.1f} ps)")
+        lines.append(
+            f"  worst sink arrival: {worst.net} "
+            f"{to_ps(worst.output_arrival):.1f} ps "
+            f"(far slew {to_ps(worst.far_slew):.1f} ps)"
+        )
         if self.worst_slack is not None:
-            lines.append(f"  worst slack: {to_ps(self.worst_slack):.1f} ps "
-                         f"(WNS {to_ps(self.wns):.1f} ps)")
+            lines.append(
+                f"  worst slack: {to_ps(self.worst_slack):.1f} ps "
+                f"(WNS {to_ps(self.wns):.1f} ps)"
+            )
+        if self.worst_hold_slack is not None:
+            lines.append(
+                f"  worst hold slack: {to_ps(self.worst_hold_slack):.1f} ps "
+                f"(WHS {to_ps(self.whs):.1f} ps)"
+            )
         lines.append("  critical path:")
         path = self.critical_events()
         shown = path if len(path) <= limit else path[:limit]
@@ -475,16 +645,32 @@ class TimingReport:
         return "\n".join(lines)
 
 
+#: (net, input transition, old slack, new slack) rows of a slack-change table.
+_SlackChange = Tuple[str, str, Optional[float], Optional[float]]
+
+
+def _mode_regressed(old_worst: Optional[float], new_worst: Optional[float]) -> bool:
+    """One polarity's gate: worst negative slack worsened or coverage vanished."""
+    if new_worst is None:
+        # Constraints vanished: gate on the coverage loss, not silence.
+        return old_worst is not None
+    if old_worst is None:
+        return new_worst < 0.0
+    return new_worst < old_worst
+
+
 @dataclass(frozen=True)
 class ReportDiff:
     """What changed between two timing reports of (nominally) the same design.
 
-    ``regressed`` is the CI gate: True when the new report's worst negative
-    slack is worse than the old one's — both constrained and WNS dropped, or
-    the new report introduces a violation the old one could not have had — and
-    also when the old report was constrained but the new one is not: losing
-    slack coverage must fail the gate rather than silently stop gating.
-    Arrival-only changes (no constraints on either side) never regress.
+    ``regressed`` is the CI gate, applied to *both* polarities: True when the
+    new report's worst negative setup slack (WNS) or worst negative hold slack
+    (WHS) is worse than the old one's — both constrained and the figure
+    dropped, or the new report introduces a violation the old one could not
+    have had — and also when the old report carried constraints of a mode the
+    new one lost: losing slack coverage must fail the gate rather than
+    silently stop gating.  Arrival-only changes (no constraints on either
+    side) never regress.
     """
 
     old_design: str
@@ -493,48 +679,71 @@ class ReportDiff:
     new_total_delay: Optional[float]
     old_wns: Optional[float]
     new_wns: Optional[float]
-    changed_endpoints: List[Tuple[str, str, Optional[float], Optional[float]]]
+    changed_endpoints: List[_SlackChange]
     #: (net, input transition, old slack, new slack), worst new slack first
     added_events: int
     removed_events: int
+    old_whs: Optional[float] = None
+    new_whs: Optional[float] = None
+    changed_hold_endpoints: List[_SlackChange] = field(default_factory=list)
+    #: the hold-plane mirror of ``changed_endpoints``
+
+    @property
+    def setup_regressed(self) -> bool:
+        """True when WNS worsened (or setup coverage was lost)."""
+        return _mode_regressed(self.old_wns, self.new_wns)
+
+    @property
+    def hold_regressed(self) -> bool:
+        """True when WHS worsened (or hold coverage was lost)."""
+        return _mode_regressed(self.old_whs, self.new_whs)
 
     @property
     def regressed(self) -> bool:
-        """True when worst negative slack worsened (the nonzero-exit condition)."""
-        if self.new_wns is None:
-            # Constraints vanished: gate on the coverage loss, not silence.
-            return self.old_wns is not None
-        if self.old_wns is None:
-            return self.new_wns < 0.0
-        return self.new_wns < self.old_wns
+        """True when either polarity worsened (the nonzero-exit condition)."""
+        return self.setup_regressed or self.hold_regressed
 
     def describe(self, *, limit: int = 10) -> str:
         """Multi-line human-readable summary of the differences."""
+
         def fmt(value: Optional[float]) -> str:
             return "-" if value is None else f"{to_ps(value):.1f} ps"
 
-        lines = [f"report diff: {self.old_design!r} -> {self.new_design!r}",
-                 f"  total delay: {fmt(self.old_total_delay)} -> "
-                 f"{fmt(self.new_total_delay)}",
-                 f"  WNS: {fmt(self.old_wns)} -> {fmt(self.new_wns)}"]
+        lines = [
+            f"report diff: {self.old_design!r} -> {self.new_design!r}",
+            f"  total delay: {fmt(self.old_total_delay)} -> {fmt(self.new_total_delay)}",
+            f"  WNS: {fmt(self.old_wns)} -> {fmt(self.new_wns)}",
+        ]
+        if self.old_whs is not None or self.new_whs is not None:
+            lines.append(f"  WHS: {fmt(self.old_whs)} -> {fmt(self.new_whs)}")
         if self.added_events or self.removed_events:
-            lines.append(f"  events: +{self.added_events} / "
-                         f"-{self.removed_events}")
-        if self.changed_endpoints:
-            lines.append(f"  endpoint slack changes "
-                         f"({len(self.changed_endpoints)}):")
-            shown = self.changed_endpoints[:limit]
-            for net, transition, old, new in shown:
+            lines.append(f"  events: +{self.added_events} / -{self.removed_events}")
+        for label, changes in (
+            ("endpoint slack changes", self.changed_endpoints),
+            ("endpoint hold slack changes", self.changed_hold_endpoints),
+        ):
+            if not changes:
+                continue
+            lines.append(f"  {label} ({len(changes)}):")
+            for net, transition, old, new in changes[:limit]:
                 lines.append(f"    {net}[{transition}]: {fmt(old)} -> {fmt(new)}")
-            if len(self.changed_endpoints) > limit:
-                lines.append(f"    ... ({len(self.changed_endpoints) - limit} "
-                             "more)")
+            if len(changes) > limit:
+                lines.append(f"    ... ({len(changes) - limit} more)")
         if self.regressed:
-            if self.new_wns is None:
-                lines.append("  RESULT: slack coverage lost (old report was "
-                             "constrained, new one is not)")
-            else:
+            if self.setup_regressed and self.new_wns is None:
+                lines.append(
+                    "  RESULT: slack coverage lost (old report was "
+                    "constrained, new one is not)"
+                )
+            elif self.setup_regressed:
                 lines.append("  RESULT: WNS regression")
+            if self.hold_regressed and self.new_whs is None:
+                lines.append(
+                    "  RESULT: hold coverage lost (old report had "
+                    "hold constraints, new one does not)"
+                )
+            elif self.hold_regressed:
+                lines.append("  RESULT: WHS regression")
         else:
             lines.append("  RESULT: no slack regression")
         return "\n".join(lines)
@@ -542,28 +751,46 @@ class ReportDiff:
 
 def compare_reports(old: TimingReport, new: TimingReport) -> ReportDiff:
     """Structured comparison of two reports (the ``report --diff`` backend)."""
+
     def keys(report: TimingReport) -> set:
-        return {(name, transition) for name, per_net in report.events.items()
-                for transition in per_net}
+        return {
+            (name, transition)
+            for name, per_net in report.events.items()
+            for transition in per_net
+        }
 
     old_keys, new_keys = keys(old), keys(new)
-    changed: List[Tuple[str, str, Optional[float], Optional[float]]] = []
-    for name, transition in sorted(old_keys & new_keys):
-        old_event = old.events[name][transition]
-        new_event = new.events[name][transition]
-        if not (old_event.endpoint or new_event.endpoint):
-            continue
-        if old_event.slack != new_event.slack:
-            changed.append((name, transition, old_event.slack, new_event.slack))
-    changed.sort(key=lambda entry: (entry[3] is None,
-                                    entry[3] if entry[3] is not None else 0.0))
+
+    def changed_slacks(mode: str) -> List[_SlackChange]:
+        changed: List[_SlackChange] = []
+        for name, transition in sorted(old_keys & new_keys):
+            old_event = old.events[name][transition]
+            new_event = new.events[name][transition]
+            if not (old_event.endpoint or new_event.endpoint):
+                continue
+            if old_event.slack_for(mode) != new_event.slack_for(mode):
+                changed.append(
+                    (name, transition, old_event.slack_for(mode), new_event.slack_for(mode))
+                )
+        changed.sort(
+            key=lambda entry: (entry[3] is None, entry[3] if entry[3] is not None else 0.0)
+        )
+        return changed
 
     def total(report: TimingReport) -> Optional[float]:
         return report.total_delay if report.critical_path else None
 
     return ReportDiff(
-        old_design=old.design, new_design=new.design,
-        old_total_delay=total(old), new_total_delay=total(new),
-        old_wns=old.wns, new_wns=new.wns, changed_endpoints=changed,
+        old_design=old.design,
+        new_design=new.design,
+        old_total_delay=total(old),
+        new_total_delay=total(new),
+        old_wns=old.wns,
+        new_wns=new.wns,
+        changed_endpoints=changed_slacks("setup"),
         added_events=len(new_keys - old_keys),
-        removed_events=len(old_keys - new_keys))
+        removed_events=len(old_keys - new_keys),
+        old_whs=old.whs,
+        new_whs=new.whs,
+        changed_hold_endpoints=changed_slacks("hold"),
+    )

@@ -36,15 +36,16 @@ from .._version import __version__
 from ..characterization.cache import CharacterizationCache, cached_characterize_inverter
 from ..characterization.cell import CellCharacterization
 from ..characterization.characterize import CharacterizationGrid
-from ..characterization.library import (CellLibrary, default_library,
-                                        shipped_data_directory)
-from ..characterization.parallel import (CharacterizationRunner,
-                                         characterize_inverter_parallel)
+from ..characterization.library import CellLibrary, default_library, shipped_data_directory
+from ..characterization.parallel import (
+    CharacterizationRunner,
+    characterize_inverter_parallel,
+)
 from ..core.driver_model import ModelingOptions
 from ..core.stage_solver import SolverStats, StageSolver
 from ..errors import ModelingError
 from ..sta.batch import GraphEngine, IncrementalEngine
-from ..sta.graph import TimingGraph, chain_graph
+from ..sta.graph import TimingGraph, chain_graph, check_mode
 from ..sta.stage import TimingPath
 from ..tech.inverter import InverterSpec
 from .builder import DesignBuilder
@@ -87,22 +88,31 @@ class TimingSession:
             # one process load the shipped cell data exactly once.
             self.library = default_library()
         else:
-            directory = cfg.library_dir if cfg.library_dir is not None \
-                else shipped_data_directory()
+            directory = (
+                cfg.library_dir if cfg.library_dir is not None else shipped_data_directory()
+            )
             self.library = CellLibrary.from_directory(directory, cache=cache)
 
         persistent: "bool | Path" = False
         if cfg.persistent_stages:
-            persistent = cfg.cache_dir / "stages" if cfg.cache_dir is not None \
-                else True
-        self.solver = StageSolver(memo_size=cfg.memo_size, persistent=persistent,
-                                  slew_quantum=cfg.slew_quantum,
-                                  slew_low=cfg.slew_low, slew_high=cfg.slew_high)
+            persistent = cfg.cache_dir / "stages" if cfg.cache_dir is not None else True
+        self.solver = StageSolver(
+            memo_size=cfg.memo_size,
+            persistent=persistent,
+            slew_quantum=cfg.slew_quantum,
+            slew_low=cfg.slew_low,
+            slew_high=cfg.slew_high,
+        )
 
         self._engine = GraphEngine(
-            library=self.library, tech=self.library.tech, options=cfg.options,
-            slew_low=cfg.slew_low, slew_high=cfg.slew_high, solver=self.solver,
-            jobs=cfg.jobs)
+            library=self.library,
+            tech=self.library.tech,
+            options=cfg.options,
+            slew_low=cfg.slew_low,
+            slew_high=cfg.slew_high,
+            solver=self.solver,
+            jobs=cfg.jobs,
+        )
         self._incremental: Optional[IncrementalEngine] = None
         self._runner: Optional[CharacterizationRunner] = None
         self._managed = False
@@ -188,12 +198,20 @@ class TimingSession:
         if corner not in corners:
             raise ModelingError(
                 f"unknown corner {corner!r}; configured corners: "
-                f"{sorted(corners) if corners else 'none'}")
+                f"{sorted(corners) if corners else 'none'}"
+            )
         return corners[corner]
 
-    def time(self, design: Design, *, jobs: Optional[int] = None,
-             memoize: bool = True, name: Optional[str] = None,
-             corner: Optional[str] = None) -> TimingReport:
+    def time(
+        self,
+        design: Design,
+        *,
+        jobs: Optional[int] = None,
+        memoize: bool = True,
+        name: Optional[str] = None,
+        corner: Optional[str] = None,
+        mode: Optional[str] = None,
+    ) -> TimingReport:
         """Time ``design`` and return the unified :class:`TimingReport`.
 
         Accepts a :class:`TimingPath` (timed as its chain-shaped graph, report
@@ -206,9 +224,14 @@ class TimingSession:
         label; ``corner`` times the design under that configured corner's
         modeling options (all corners share the session's one stage-solution
         memo — option fields are part of every fingerprint, so corners never
-        alias each other's entries).
+        alias each other's entries); ``mode`` overrides the session's default
+        analysis mode (``config.mode``) — which constraint polarities the
+        backward pass computes (``"setup"``, ``"hold"`` or ``"both"``).  Both
+        arrival planes are always carried, and a single traversal serves both
+        polarities with zero additional stage solves.
         """
         self._closed = False
+        mode = self.config.mode if mode is None else check_mode(mode, allow_both=True)
         options = self.corner_options(corner)
         if isinstance(design, DesignBuilder):
             graph, kind, label = design.build(), "graph", design.name
@@ -216,25 +239,42 @@ class TimingSession:
             # A chain has one net per level, so worker fan-out cannot help;
             # jobs=1 keeps the path flow exactly on the PathTimer code path.
             graph, _ = chain_graph(design, input_transition=options.transition)
-            report = self._engine.analyze(graph, jobs=1, memoize=memoize,
-                                          options=options)
+            report = self._engine.analyze(
+                graph, jobs=1, memoize=memoize, options=options, mode=mode
+            )
             return TimingReport.from_graph_report(
-                report, design=name if name is not None else design.name,
-                kind="path", version=__version__)
+                report,
+                design=name if name is not None else design.name,
+                kind="path",
+                version=__version__,
+                mode=mode,
+            )
         elif isinstance(design, TimingGraph):
             graph, kind, label = design, "graph", "graph"
         else:
             raise ModelingError(
                 "time() expects a TimingPath, TimingGraph or DesignBuilder, "
-                f"got {type(design).__name__}")
-        report = self._engine.analyze(graph, jobs=jobs, memoize=memoize,
-                                      options=options)
+                f"got {type(design).__name__}"
+            )
+        report = self._engine.analyze(
+            graph, jobs=jobs, memoize=memoize, options=options, mode=mode
+        )
         return TimingReport.from_graph_report(
-            report, design=name if name is not None else label, kind=kind,
-            version=__version__)
+            report,
+            design=name if name is not None else label,
+            kind=kind,
+            version=__version__,
+            mode=mode,
+        )
 
-    def time_corners(self, design: Design, *, jobs: Optional[int] = None,
-                     name: Optional[str] = None) -> "dict[str, TimingReport]":
+    def time_corners(
+        self,
+        design: Design,
+        *,
+        jobs: Optional[int] = None,
+        name: Optional[str] = None,
+        mode: Optional[str] = None,
+    ) -> "dict[str, TimingReport]":
         """Time ``design`` under every configured corner: name -> report.
 
         All corners run through the session's single memoized solver; within
@@ -245,14 +285,26 @@ class TimingSession:
         if not corners:
             raise ModelingError(
                 "no corners configured; set SessionConfig.corners (a mapping "
-                "of corner name -> ModelingOptions)")
-        return {corner: self.time(design, jobs=jobs, corner=corner,
-                                  name=f"{name}@{corner}" if name else None)
-                for corner in sorted(corners)}
+                "of corner name -> ModelingOptions)"
+            )
+        return {
+            corner: self.time(
+                design,
+                jobs=jobs,
+                corner=corner,
+                name=f"{name}@{corner}" if name else None,
+                mode=mode,
+            )
+            for corner in sorted(corners)
+        }
 
-    def update(self, design: Optional[TimingGraph] = None, *,
-               jobs: Optional[int] = None,
-               name: Optional[str] = None) -> TimingReport:
+    def update(
+        self,
+        design: Optional[TimingGraph] = None,
+        *,
+        jobs: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> TimingReport:
         """Incrementally re-time a graph after in-place edits.
 
         The first call for a graph performs (and caches) a full analysis;
@@ -266,17 +318,19 @@ class TimingSession:
         report's ``meta.dirty_nets`` / ``meta.retimed_nets`` say how much work
         the update actually did.
 
-        Incremental updates always time the default corner — re-time other
-        corners in full with ``time(design, corner=...)``.  Builders build a
-        *fresh* graph per ``build()``; call update on the built
-        :class:`TimingGraph` itself.
+        Incremental updates always time the default corner in both analysis
+        modes (dual-mode costs no extra stage solves) — re-time other corners
+        in full with ``time(design, corner=...)``.  Builders build a *fresh*
+        graph per ``build()``; call update on the built :class:`TimingGraph`
+        itself.
         """
         self._closed = False
         if design is None:
             if self._incremental is None:
                 raise ModelingError(
                     "update() without a design needs a previously attached "
-                    "graph; call update(graph) first")
+                    "graph; call update(graph) first"
+                )
             engine = self._incremental
         elif isinstance(design, TimingGraph):
             engine = self._incremental
@@ -285,9 +339,15 @@ class TimingSession:
                     engine.close()
                 cfg = self.config
                 engine = IncrementalEngine(
-                    design, library=self.library, tech=self.library.tech,
-                    options=cfg.options, slew_low=cfg.slew_low,
-                    slew_high=cfg.slew_high, solver=self.solver, jobs=cfg.jobs)
+                    design,
+                    library=self.library,
+                    tech=self.library.tech,
+                    options=cfg.options,
+                    slew_low=cfg.slew_low,
+                    slew_high=cfg.slew_high,
+                    solver=self.solver,
+                    jobs=cfg.jobs,
+                )
                 if self._managed:
                     engine.__enter__()
                 self._incremental = engine
@@ -295,20 +355,28 @@ class TimingSession:
             raise ModelingError(
                 "update() needs the TimingGraph itself — a DesignBuilder "
                 "builds a fresh graph on every build(); keep the built graph, "
-                "edit it in place, and pass it here")
+                "edit it in place, and pass it here"
+            )
         else:
             raise ModelingError(
-                f"update() expects a TimingGraph, got {type(design).__name__}")
+                f"update() expects a TimingGraph, got {type(design).__name__}"
+            )
         report = engine.update(jobs=jobs)
         return TimingReport.from_graph_report(
-            report, design=name if name is not None else "graph", kind="graph",
-            version=__version__)
+            report,
+            design=name if name is not None else "graph",
+            kind="graph",
+            version=__version__,
+        )
 
     # --- characterization -------------------------------------------------------------
-    def characterize(self, sizes: "float | Sequence[float]", *,
-                     grid: Optional[CharacterizationGrid] = None,
-                     progress: Optional[Callable[[int, int], None]] = None
-                     ) -> List[CellCharacterization]:
+    def characterize(
+        self,
+        sizes: "float | Sequence[float]",
+        *,
+        grid: Optional[CharacterizationGrid] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> List[CellCharacterization]:
         """Characterize driver cells through the session's cache and pool.
 
         ``sizes`` is one driver size or a sequence; ``grid`` overrides the
@@ -330,12 +398,17 @@ class TimingSession:
             spec = InverterSpec(tech=self.library.tech, size=float(size))
             if self._characterization_cache is not None:
                 cell, _ = cached_characterize_inverter(
-                    spec, grid=grid, cache=self._characterization_cache,
-                    jobs=self.config.jobs, runner=runner, progress=progress)
+                    spec,
+                    grid=grid,
+                    cache=self._characterization_cache,
+                    jobs=self.config.jobs,
+                    runner=runner,
+                    progress=progress,
+                )
             else:
                 cell = characterize_inverter_parallel(
-                    spec, grid=grid, jobs=self.config.jobs, runner=runner,
-                    progress=progress)
+                    spec, grid=grid, jobs=self.config.jobs, runner=runner, progress=progress
+                )
             if standard_grid and float(size) not in self.library:
                 self.library.add(cell)
             cells.append(cell)

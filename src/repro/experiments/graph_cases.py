@@ -9,7 +9,10 @@ library (25X-125X) and the paper's parasitic regime:
   levelized batch sweet spot, with heavy stage-configuration repetition,
 * :func:`fanout_tree` — a buffered distribution tree (clock-tree shaped),
 * :func:`reconvergent_graph` — a diamond whose branch parities differ, so the
-  reconvergence sink legitimately sees both rising and falling events, and
+  reconvergence sink legitimately sees both rising and falling events,
+* :func:`race_graph` — two same-parity branches of different speed into one
+  sink: the minimal min-delay (hold/race) workload, where the sink's early and
+  late arrival planes split apart, and
 * :func:`benchmark_graph` — the ≥1k-net mixed workload the throughput benchmark
   times (parallel chains cycling through a handful of line flavors).
 
@@ -28,7 +31,8 @@ from ..sta.stage import TimingPath, TimingStage
 from ..units import mm, nH, pF, ps
 
 __all__ = ["standard_lines", "global_route_path", "parallel_chains",
-           "fanout_tree", "reconvergent_graph", "benchmark_graph"]
+           "fanout_tree", "reconvergent_graph", "race_graph",
+           "benchmark_graph"]
 
 #: Driver sizes shipped with the repository's cell library.
 LIBRARY_SIZES: Tuple[float, ...] = (25.0, 50.0, 75.0, 100.0, 125.0)
@@ -153,6 +157,28 @@ def reconvergent_graph(*, line: RLCLine = None,
         GraphNet("short", 75.0, line, fanout=("sink",)),
         GraphNet("long_a", 75.0, line, fanout=("long_b",)),
         GraphNet("long_b", 75.0, line, fanout=("sink",)),
+        GraphNet("sink", 50.0, line, receiver_size=25.0),
+    ]
+    return TimingGraph(nets, {"root": PrimaryInput(slew=input_slew)})
+
+
+def race_graph(*, line: RLCLine = None,
+               input_slew: float = ps(100.0)) -> TimingGraph:
+    """Two same-parity branches of different speed reconverging on one sink.
+
+    Both branches are one stage long, so the sink's driver input sees two
+    events of the *same* edge direction: the late (setup) plane keeps the slow
+    25X branch, the early (hold) plane the fast 125X one.  This is the minimal
+    min-delay workload — the gap between the sink's early and late arrivals is
+    exactly the branch-delay mismatch a race check has to catch, so a hold
+    margin between the two arrival planes produces a violation on the fast
+    branch while setup stays clean.
+    """
+    line = line if line is not None else standard_lines()[0]
+    nets = [
+        GraphNet("root", 100.0, line, fanout=("fast", "slow")),
+        GraphNet("fast", 125.0, line, fanout=("sink",)),
+        GraphNet("slow", 25.0, line, fanout=("sink",)),
         GraphNet("sink", 50.0, line, receiver_size=25.0),
     ]
     return TimingGraph(nets, {"root": PrimaryInput(slew=input_slew)})

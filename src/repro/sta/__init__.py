@@ -10,9 +10,12 @@ Layering, bottom up:
 * :mod:`repro.sta.batch` — :class:`~.batch.GraphEngine`, the batched executor:
   each level's unique stage solves are answered from the memo or fanned across a
   worker pool the engine owns (created lazily, reused across analyses, closed
-  deterministically via ``close()`` / its ``with`` block).  Constrained graphs
-  (``set_required`` / ``set_clock_period``) additionally get a backward
-  required-time pass, so every event carries ``required`` and ``slack``; and
+  deterministically via ``close()`` / its ``with`` block).  One traversal
+  carries *both analysis planes* — late (setup) and early (hold) arrivals share
+  every stage solve, so dual-mode analysis costs zero extra solves.
+  Constrained graphs (``set_required`` / ``set_clock_period``, either mode)
+  additionally get a backward required-time pass, so every event carries
+  ``required`` / ``slack`` and ``hold_required`` / ``hold_slack``; and
   :class:`~.batch.IncrementalEngine` re-times only the dirty cone of in-place
   graph edits (``resize_driver``, ``set_line``, ``add_fanout``, ...), bit-identical
   to a from-scratch run.
@@ -28,9 +31,9 @@ bit-identical to the session's.
 
 from .batch import GraphEngine, GraphTimer, IncrementalEngine
 from .engine import PathTimer, PathTimingReport, StageTiming
-from .graph import (GraphNet, GraphTimingReport, IncrementalStats,
-                    NetEventTiming, PrimaryInput, TimingGraph, chain_graph,
-                    flip_transition)
+from .graph import (ANALYSIS_MODES, CHECK_MODES, GraphNet, GraphTimingReport,
+                    IncrementalStats, NetEventTiming, PrimaryInput,
+                    TimingGraph, chain_graph, check_mode, flip_transition)
 from .stage import TimingPath, TimingStage
 from .validation import PathReference, simulate_path_reference
 
@@ -45,6 +48,9 @@ __all__ = [
     "TimingGraph",
     "chain_graph",
     "flip_transition",
+    "check_mode",
+    "ANALYSIS_MODES",
+    "CHECK_MODES",
     "NetEventTiming",
     "GraphTimingReport",
     "IncrementalStats",

@@ -12,19 +12,26 @@ natural unit of fan-out:
    as :mod:`repro.characterization.parallel`: if worker processes cannot be
    started, the level transparently finishes serially), and
 4. far-end arrivals and slews are merged into the fanout nets' pending states
-   (worst arrival wins; ties take the larger slew).
+   in *both event planes*: the late plane takes the worst arrival (ties take
+   the larger slew), the early plane the best arrival (ties take the smaller
+   slew) — one traversal carries setup and hold analysis together.
 
 Workers return scalar :class:`~repro.core.stage_solver.StageSolution` objects —
 waveforms never cross the process boundary — and the parent installs them into the
 shared memo, so later levels (and later analyses) reuse them.
 
-After the forward pass, a constrained graph (clock period or explicit
-``set_required`` pins) gets a backward pass: required times propagate from the
-endpoints against the arrival flow — the minimum required over a net's fanout
-consumers, mirrored per rise/fall the way the forward merge takes the maximum
-arrival — and every event gains ``required`` / ``slack``.  The backward pass is
-pure arithmetic over already-solved stage delays, so it costs microseconds even
-on 1k-net graphs.
+Stage solves are mode-independent: each (net, transition) event is solved once,
+at its late-merged slew, and the early plane rides along as pure arithmetic —
+dual-mode analysis performs **zero additional stage solves** over late-only.
+
+After the forward pass, a constrained graph (clock period / hold margin or
+explicit ``set_required`` pins of either mode) gets a backward pass: required
+times propagate from the endpoints against the arrival flow — per rise/fall,
+the minimum required over a net's fanout consumers for setup and the maximum
+for hold, mirroring how the forward merge takes the extreme arrival — and every
+event gains ``required`` / ``slack`` plus ``hold_required`` / ``hold_slack``.
+The backward pass is pure arithmetic over already-solved stage delays, so it
+costs microseconds even on 1k-net graphs.
 
 :class:`IncrementalEngine` adds what-if speed on top: it stays attached to one
 (now mutable) :class:`TimingGraph` and, on :meth:`IncrementalEngine.update`,
@@ -63,12 +70,15 @@ from ..errors import ModelingError
 from ..tech.technology import Technology, generic_180nm
 from ._deprecation import warn_deprecated_once
 from .graph import (GraphNet, GraphTimingReport, IncrementalStats,
-                    NetEventTiming, TimingGraph, flip_transition)
+                    NetEventTiming, TimingGraph, check_mode, flip_transition)
 
 __all__ = ["GraphEngine", "IncrementalEngine", "GraphTimer"]
 
-#: (arrival, slew, source) triple tracked per pending (net, transition) state.
-_PendingState = Tuple[float, float, Optional[Tuple[str, str]]]
+#: (arrival, slew, source) triple: one event plane of a pending input state.
+_PlaneState = Tuple[float, float, Optional[Tuple[str, str]]]
+
+#: (late, early) plane pair tracked per pending (net, transition) state.
+_PendingState = Tuple[_PlaneState, _PlaneState]
 
 
 def _solve_stage_task(args) -> Tuple[str, StageSolution]:
@@ -86,7 +96,12 @@ def _solve_stage_task(args) -> Tuple[str, StageSolution]:
 
 @dataclass(frozen=True)
 class _WorkItem:
-    """One pending (net, input-transition) event of the current level."""
+    """One pending (net, input-transition) event of the current level.
+
+    ``input_arrival`` / ``source`` describe the late (setup) plane the stage is
+    solved at; ``early_arrival`` / ``early_source`` ride along for the hold
+    plane and never influence the solve.
+    """
 
     net: GraphNet
     cell: CellCharacterization
@@ -97,6 +112,8 @@ class _WorkItem:
     options: ModelingOptions
     fingerprint: str
     source: Optional[Tuple[str, str]]
+    early_arrival: float
+    early_source: Optional[Tuple[str, str]]
 
 
 class GraphEngine:
@@ -186,19 +203,26 @@ class GraphEngine:
 
     @staticmethod
     def _merge(pending: Dict[str, Dict[str, _PendingState]], name: str,
-               transition: str, arrival: float, slew: float,
-               source: Tuple[str, str]) -> None:
-        """Worst-arrival merge of one propagated event into a pending input state.
+               transition: str, arrival: float, early_arrival: float,
+               slew: float, source: Tuple[str, str]) -> None:
+        """Merge one propagated event into a pending input state, both planes.
 
-        The tie-break on exactly equal (arrival, slew) falls through to the
-        source name, making the merge independent of the order fanins are
-        visited in — a full analysis and an incremental cone re-seed must elect
-        the same winner bit-for-bit.
+        The late plane takes the maximum (arrival, slew, source) triple — worst
+        arrival wins, ties take the larger slew — and the early plane the
+        minimum of (early arrival, slew, source) — best arrival wins, ties take
+        the smaller slew.  Both tie-breaks fall through to the source name,
+        making the merge independent of the order fanins are visited in — a
+        full analysis and an incremental cone re-seed must elect the same
+        winners bit-for-bit.
         """
         states = pending.setdefault(name, {})
         current = states.get(transition)
-        if current is None or (arrival, slew, source) > current:
-            states[transition] = (arrival, slew, source)
+        late = (arrival, slew, source)
+        early = (early_arrival, slew, source)
+        if current is None:
+            states[transition] = (late, early)
+            return
+        states[transition] = (max(late, current[0]), min(early, current[1]))
 
     # --- level solving ---------------------------------------------------------------
     def _solve_level_serial(self, items: List[_WorkItem], *, need_waveforms: bool,
@@ -285,11 +309,15 @@ class GraphEngine:
                 net = graph.nets[name]
                 load = self.net_load(graph, net)
                 for transition, state in sorted(pending.get(name, {}).items()):
-                    arrival, slew, source = state
+                    (arrival, slew, source), (early, _, early_source) = state
                     event_options = self._event_options(transition, options)
                     cell = self.library.get(net.driver_size)
                     # Quantize once here so the fingerprint, the serial
                     # solver and the worker tasks all see the same slew.
+                    # The late-plane slew is the one the stage is solved at
+                    # (worst-slew propagation): the early plane shares the
+                    # solution, which is what keeps dual-mode at zero extra
+                    # stage solves.
                     slew = self.solver.quantize_slew(slew)
                     items.append(_WorkItem(
                         net=net, cell=cell, load=load,
@@ -297,7 +325,8 @@ class GraphEngine:
                         input_slew=slew, options=event_options,
                         fingerprint=self.solver.fingerprint_for(
                             cell, slew, net.line, load, event_options),
-                        source=source))
+                        source=source, early_arrival=early,
+                        early_source=early_source))
             if not items:
                 continue
             executor = self._get_executor(jobs) if jobs > 1 else None
@@ -319,35 +348,48 @@ class GraphEngine:
                     output_transition=solution.transition,
                     input_arrival=item.input_arrival,
                     input_slew=item.input_slew, solution=solution,
-                    source=item.source)
+                    source=item.source,
+                    early_input_arrival=item.early_arrival,
+                    early_source=item.early_source)
                 events.setdefault(item.net.name, {})[item.input_transition] = event
                 for target in item.net.fanout:
                     self._merge(pending, target, solution.transition,
-                                event.output_arrival, solution.propagated_slew,
+                                event.output_arrival,
+                                event.early_output_arrival,
+                                solution.propagated_slew,
                                 (item.net.name, item.input_transition))
         return jobs
 
     @staticmethod
     def _apply_required(graph: TimingGraph,
                         events: Dict[str, Dict[str, NetEventTiming]],
-                        targets: Optional[set] = None) -> int:
+                        targets: Optional[set] = None, *,
+                        setup: bool = True, hold: bool = True) -> int:
         """Backward pass: propagate required times, rewrite events in place.
 
-        Mirrors the forward merge against the arrival flow: an event's required
-        far-end time is the minimum of its constraint seed and, per consumer in
-        its fanout, that consumer's required time minus the consumer's stage
-        delay (the consumer event keyed by this event's output transition —
-        min-required wins per rise/fall).  ``targets`` restricts the rewrite to
-        a net subset (the incremental backward region); consumers outside it
-        contribute their cached required times.  Pure arithmetic — no stage is
-        ever re-solved here.  Returns the number of nets visited.
+        Mirrors the forward merge against the arrival flow, per enabled mode:
+        an event's *setup* required far-end time is the minimum of its
+        constraint seed and, per consumer in its fanout, that consumer's
+        required time minus the consumer's stage delay (the consumer event
+        keyed by this event's output transition — min-required wins per
+        rise/fall); its *hold* required time is the exact mirror with the
+        maximum (the early arrival must clear every downstream minimum).  A
+        disabled mode strips that mode's required times instead.  ``targets``
+        restricts the rewrite to a net subset (the incremental backward
+        region); consumers outside it contribute their cached required times.
+        Pure arithmetic — no stage is ever re-solved here.  Returns the number
+        of nets visited.
         """
-        if not graph.constrained and targets is None:
+        do_setup = setup and graph.setup_constrained
+        do_hold = hold and graph.hold_constrained
+        if not do_setup and not do_hold and targets is None:
             # Nothing seeds a required time; strip any stale ones cheaply.
             for name, per_net in events.items():
                 for transition, event in per_net.items():
-                    if event.required is not None:
-                        per_net[transition] = replace(event, required=None)
+                    if event.required is not None \
+                            or event.hold_required is not None:
+                        per_net[transition] = replace(
+                            event, required=None, hold_required=None)
             return 0
         visited = 0
         for level in reversed(graph.levels):
@@ -359,23 +401,41 @@ class GraphEngine:
                     continue
                 visited += 1
                 for transition, event in per_net.items():
-                    required = graph.required_for(name, event.output_transition)
+                    required = None
+                    if do_setup:
+                        required = graph.required_for(
+                            name, event.output_transition)
+                    hold_required = None
+                    if do_hold:
+                        hold_required = graph.required_for(
+                            name, event.output_transition, mode="hold")
                     for target in event.net.fanout:
                         consumer = events.get(target, {}).get(
                             event.output_transition)
-                        if consumer is None or consumer.required is None:
+                        if consumer is None:
                             continue
-                        candidate = (consumer.required
-                                     - consumer.solution.stage_delay)
-                        if required is None or candidate < required:
-                            required = candidate
-                    if required != event.required:
-                        per_net[transition] = replace(event, required=required)
+                        if do_setup and consumer.required is not None:
+                            candidate = (consumer.required
+                                         - consumer.solution.stage_delay)
+                            if required is None or candidate < required:
+                                required = candidate
+                        if do_hold and consumer.hold_required is not None:
+                            candidate = (consumer.hold_required
+                                         - consumer.solution.stage_delay)
+                            if hold_required is None \
+                                    or candidate > hold_required:
+                                hold_required = candidate
+                    if required != event.required \
+                            or hold_required != event.hold_required:
+                        per_net[transition] = replace(
+                            event, required=required,
+                            hold_required=hold_required)
         return visited
 
     def analyze(self, graph: TimingGraph, *, jobs: Optional[int] = None,
                 need_waveforms: bool = False, memoize: bool = True,
-                options: Optional[ModelingOptions] = None) -> GraphTimingReport:
+                options: Optional[ModelingOptions] = None,
+                mode: str = "both") -> GraphTimingReport:
         """Time every (net, transition) event of ``graph``.
 
         ``jobs`` overrides the timer's default worker count for this analysis;
@@ -386,10 +446,15 @@ class GraphEngine:
         overrides the engine's modeling options for this analysis only (the
         corner axis — every corner shares the engine's memoized solver, and the
         per-corner option fields are part of every memo fingerprint, so corners
-        never collide in the cache).
+        never collide in the cache); ``mode`` selects which constraint
+        polarities the backward pass computes — ``"setup"``, ``"hold"`` or
+        ``"both"`` (the default).  Both event planes are always carried forward
+        (that is free); the mode only gates the required-time passes, so a
+        late-only and a dual-mode analysis perform identical stage solves.
         """
         if not isinstance(graph, TimingGraph):
             raise ModelingError("analyze() expects a TimingGraph")
+        check_mode(mode, allow_both=True)
         jobs = self.jobs if jobs is None else resolve_jobs(jobs)
         if need_waveforms or not memoize:
             jobs = 1
@@ -398,8 +463,8 @@ class GraphEngine:
 
         pending: Dict[str, Dict[str, _PendingState]] = {}
         for name, primary in graph.primary_inputs.items():
-            pending[name] = {primary.transition:
-                             (primary.arrival, primary.slew, None)}
+            plane = (primary.arrival, primary.slew, None)
+            pending[name] = {primary.transition: (plane, plane)}
 
         events: Dict[str, Dict[str, NetEventTiming]] = {}
         try:
@@ -409,7 +474,8 @@ class GraphEngine:
         finally:
             if not self._persistent_pool:
                 self.close()
-        self._apply_required(graph, events)
+        self._apply_required(graph, events, setup=mode in ("setup", "both"),
+                             hold=mode in ("hold", "both"))
 
         after = self.solver.stats
         stats = SolverStats(
@@ -430,12 +496,14 @@ class IncrementalEngine(GraphEngine):
     (see the edit operations on :class:`~.graph.TimingGraph`):
 
     * **arrivals** — the dirty nets' transitive fanout cone is re-levelized (the
-      graph's current levels filtered to the cone) and re-timed, seeded with the
+      graph's current levels filtered to the cone) and re-timed in both event
+      planes (late and early ride on the same stage solves), seeded with the
       cached events of the cone's unchanged fanins; everything outside the cone
       is reused untouched.
-    * **required times** — recomputed over the transitive fanin of the cone
-      (or the whole graph when constraints themselves changed), again reusing
-      cached values at the region boundary.
+    * **required times** — setup and hold requirements recomputed in one
+      backward sweep over the transitive fanin of the cone (or the whole graph
+      when constraints themselves changed), again reusing cached values at the
+      region boundary.
 
     Updates are bit-identical to a from-scratch :meth:`GraphEngine.analyze` of
     the same graph state: the same memoized solver answers the same fingerprints,
@@ -475,7 +543,9 @@ class IncrementalEngine(GraphEngine):
             self._timed = True
             return replace(report, incremental=IncrementalStats(
                 dirty_nets=len(graph), retimed_nets=len(graph),
-                retimed_events=report.n_events, required_nets=len(graph)))
+                retimed_events=report.n_events, required_nets=len(graph),
+                hold_required_nets=len(graph) if graph.hold_constrained
+                else 0))
 
         started = time.perf_counter()
         before = self.solver.stats.snapshot()
@@ -490,8 +560,8 @@ class IncrementalEngine(GraphEngine):
             for name in cone:
                 primary = graph.primary_inputs.get(name)
                 if primary is not None:
-                    pending[name] = {primary.transition:
-                                     (primary.arrival, primary.slew, None)}
+                    plane = (primary.arrival, primary.slew, None)
+                    pending[name] = {primary.transition: (plane, plane)}
                 for fanin in sorted(graph.fanin(name)):
                     if fanin in cone:
                         continue
@@ -499,6 +569,7 @@ class IncrementalEngine(GraphEngine):
                             self._events[fanin].items()):
                         self._merge(pending, name, event.output_transition,
                                     event.output_arrival,
+                                    event.early_output_arrival,
                                     event.propagated_slew,
                                     (fanin, transition))
             for name in cone:
@@ -524,7 +595,8 @@ class IncrementalEngine(GraphEngine):
 
             # Required times change where a stage delay changed (the cone),
             # where an event appeared/disappeared (also the cone), or
-            # everywhere when the constraints themselves moved.
+            # everywhere when the constraints themselves moved.  Setup and
+            # hold share one backward sweep over the same fanin region.
             if constraints_dirty:
                 required_targets = None
             else:
@@ -533,6 +605,8 @@ class IncrementalEngine(GraphEngine):
             if required_targets is None or required_targets:
                 required_nets = self._apply_required(graph, self._events,
                                                      required_targets)
+            hold_required_nets = (required_nets if graph.hold_constrained
+                                  else 0)
         except Exception:
             # The dirty set was already consumed and the cone's cached events
             # may be partially rebuilt; a half-updated cache must never serve
@@ -552,7 +626,8 @@ class IncrementalEngine(GraphEngine):
             elapsed=time.perf_counter() - started,
             incremental=IncrementalStats(
                 dirty_nets=len(dirty), retimed_nets=len(cone),
-                retimed_events=retimed_events, required_nets=required_nets))
+                retimed_events=retimed_events, required_nets=required_nets,
+                hold_required_nets=hold_required_nets))
 
     def invalidate(self) -> None:
         """Drop the cached events; the next :meth:`update` re-times everything."""

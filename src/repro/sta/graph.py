@@ -14,15 +14,28 @@ inverter parity).  :class:`TimingGraph` captures that shape:
 * per-node rise/fall states are merged with worst-arrival semantics (the slew of
   the latest-arriving fanin wins; ties take the larger slew).
 
+Timing is analyzed in *two event planes* over the same solved stages:
+
+* the **late** plane answers setup questions — worst (maximum) arrival wins the
+  per-node merge, ties take the larger slew — and
+* the **early** plane answers hold/min-delay questions — best (minimum) arrival
+  wins, ties take the *smaller* slew, mirroring the late merge.
+
+Stage delays and slews are mode-independent (a stage is solved once, at the
+late-merged slew), so carrying the early plane costs arithmetic only: dual-mode
+analysis performs zero additional stage solves.
+
 Beyond the static shape, a graph carries two kinds of mutable state that make
 incremental, slack-aware analysis possible:
 
 * **endpoint constraints** — :meth:`TimingGraph.set_required` pins a required
-  time on an endpoint's far-end event (per rise/fall, or both), and
-  :meth:`TimingGraph.set_clock_period` constrains every endpoint at once.  The
+  time on an endpoint's far-end event (per rise/fall, or both, in either
+  analysis mode), and :meth:`TimingGraph.set_clock_period` constrains every
+  endpoint at once (its ``hold_margin`` seeds the min-delay checks).  The
   backward pass in :mod:`repro.sta.batch` propagates required times against the
-  arrival flow (min-required wins per transition), which is where per-event
-  ``required`` / ``slack`` come from.
+  arrival flow (min-required wins per transition for setup, max-required for
+  hold), which is where per-event ``required`` / ``slack`` and
+  ``hold_required`` / ``hold_slack`` come from.
 * **edit operations** — :meth:`resize_driver`, :meth:`set_line`,
   :meth:`set_extra_load`, :meth:`set_receiver`, :meth:`add_fanout`,
   :meth:`remove_fanout` and :meth:`set_input` mutate the design *in place* while
@@ -48,7 +61,22 @@ from .stage import TimingPath, TimingStage
 
 __all__ = ["GraphNet", "PrimaryInput", "TimingGraph", "chain_graph",
            "NetEventTiming", "GraphTimingReport", "IncrementalStats",
-           "flip_transition"]
+           "flip_transition", "check_mode", "ANALYSIS_MODES", "CHECK_MODES"]
+
+#: Constraint polarities: "setup" checks late arrivals, "hold" checks early ones.
+CHECK_MODES = ("setup", "hold")
+
+#: What an analysis may compute: one polarity, or both planes in one traversal.
+ANALYSIS_MODES = ("setup", "hold", "both")
+
+
+def check_mode(mode: str, *, allow_both: bool = False) -> str:
+    """Validate an analysis-mode name; returns it unchanged."""
+    allowed = ANALYSIS_MODES if allow_both else CHECK_MODES
+    if mode not in allowed:
+        raise ModelingError(
+            f"analysis mode must be one of {allowed}, got {mode!r}")
+    return mode
 
 
 def flip_transition(transition: str) -> str:
@@ -158,7 +186,10 @@ class TimingGraph:
         if clock_period is not None and clock_period <= 0:
             raise ModelingError("clock period must be positive when given")
         self._clock_period: Optional[float] = clock_period
-        self._required: Dict[str, Dict[str, float]] = {}
+        self._hold_margin: Optional[float] = None
+        #: mode -> net -> far-end transition -> pinned required time [s]
+        self._required: Dict[str, Dict[str, Dict[str, float]]] = {
+            mode: {} for mode in CHECK_MODES}
         self._dirty: Set[str] = set()
         self._constraints_dirty = False
 
@@ -262,66 +293,100 @@ class TimingGraph:
     # --- endpoint constraints -----------------------------------------------------
     @property
     def clock_period(self) -> Optional[float]:
-        """The default required time applied to every endpoint (None = none)."""
+        """The default setup required time applied to every endpoint (None = none)."""
         return self._clock_period
 
-    def set_clock_period(self, period: Optional[float]) -> None:
+    @property
+    def hold_margin(self) -> Optional[float]:
+        """The default hold requirement applied to every endpoint (None = none)."""
+        return self._hold_margin
+
+    def set_clock_period(self, period: Optional[float], *,
+                         hold_margin: Optional[float] = None) -> None:
         """Constrain every endpoint's far-end event to arrive by ``period`` [s].
 
         An explicit :meth:`set_required` on an endpoint overrides the period for
         that event (the tighter of the two wins during propagation).  ``None``
         removes the constraint.
+
+        ``hold_margin`` additionally seeds the min-delay (hold) check at every
+        endpoint: each endpoint's *early* arrival must be at least
+        ``hold_margin`` [s] (0.0 is the conventional "no earlier than the clock
+        edge" check).  Every call replaces both defaults — ``hold_margin=None``
+        removes any previous margin.
         """
         if period is not None and period <= 0:
             raise ModelingError("clock period must be positive when given")
+        if hold_margin is not None and hold_margin < 0:
+            raise ModelingError("hold margin must be non-negative when given")
         self._clock_period = period
+        self._hold_margin = hold_margin
         self._constraints_dirty = True
 
     def set_required(self, name: str, required: Optional[float], *,
-                     transition: Optional[str] = None) -> None:
+                     transition: Optional[str] = None,
+                     mode: str = "setup") -> None:
         """Pin a required time on net ``name``'s far-end event [s].
 
         ``transition`` is the *far-end* (output) edge direction the constraint
         applies to; ``None`` constrains both directions.  ``required=None``
-        removes the constraint.  Constraints are usually placed on
+        removes the constraint.  ``mode`` selects the polarity: a ``"setup"``
+        pin bounds the event's late arrival from above, a ``"hold"`` pin bounds
+        its early arrival from below.  Constraints are usually placed on
         :attr:`endpoints`, but any net accepts one (it acts as an intermediate
-        check point: propagation takes the minimum of the pin and the fanout-
-        derived required time).
+        check point: propagation takes the tighter of the pin and the fanout-
+        derived required time — the minimum for setup, the maximum for hold).
         """
         if name not in self.nets:
             raise ModelingError(f"cannot constrain unknown net {name!r}")
+        check_mode(mode)
         directions = ([transition] if transition is not None
                       else ["rise", "fall"])
         for direction in directions:
             flip_transition(direction)  # validates the direction name
-        per_net = self._required.setdefault(name, {})
+        pins = self._required[mode]
+        per_net = pins.setdefault(name, {})
         for direction in directions:
             if required is None:
                 per_net.pop(direction, None)
             else:
                 per_net[direction] = required
         if not per_net:
-            self._required.pop(name, None)
+            pins.pop(name, None)
         self._constraints_dirty = True
 
-    def required_for(self, name: str, transition: str) -> Optional[float]:
-        """The constraint seed of net ``name``'s ``transition`` far-end event.
+    def required_for(self, name: str, transition: str,
+                     mode: str = "setup") -> Optional[float]:
+        """The ``mode`` constraint seed of net ``name``'s ``transition`` event.
 
-        Explicit pins win; otherwise endpoints inherit the clock period; other
-        nets are unconstrained (None).  Propagated required times from fanout are
-        layered on top of this seed by the engine's backward pass.
+        Explicit pins win; otherwise endpoints inherit the clock period (setup)
+        or the hold margin (hold); other nets are unconstrained (None).
+        Propagated required times from fanout are layered on top of this seed
+        by the engine's backward pass.
         """
-        pinned = self._required.get(name, {}).get(transition)
+        check_mode(mode)
+        pinned = self._required[mode].get(name, {}).get(transition)
         if pinned is not None:
             return pinned
-        if self._clock_period is not None and self.nets[name].is_endpoint:
-            return self._clock_period
+        default = self._clock_period if mode == "setup" else self._hold_margin
+        if default is not None and self.nets[name].is_endpoint:
+            return default
         return None
 
     @property
+    def setup_constrained(self) -> bool:
+        """True when any setup (max-delay) constraint is in force."""
+        return self._clock_period is not None or bool(self._required["setup"])
+
+    @property
+    def hold_constrained(self) -> bool:
+        """True when any hold (min-delay) constraint is in force."""
+        return self._hold_margin is not None or bool(self._required["hold"])
+
+    @property
     def constrained(self) -> bool:
-        """True when any required-time constraint is in force."""
-        return self._clock_period is not None or bool(self._required)
+        """True when any required-time constraint (either mode) is in force."""
+        return self.setup_constrained or self.hold_constrained
 
     # --- dirty tracking -----------------------------------------------------------
     @property
@@ -489,13 +554,16 @@ def chain_graph(path: TimingPath, *, input_transition: str = "rise"
 
 @dataclass(frozen=True)
 class NetEventTiming:
-    """One solved (net, input-transition) event.
+    """One solved (net, input-transition) event, carrying both analysis planes.
 
-    ``source`` names the fanin event that set the merged worst-case input arrival
-    (None at primary inputs), which is what critical-path traceback follows.
-    ``required`` is filled in by the engine's backward pass when the graph is
-    constrained: the latest far-end arrival that still meets every downstream
-    requirement (None on unconstrained events).
+    ``source`` names the fanin event that set the merged worst-case (late) input
+    arrival (None at primary inputs), which is what critical-path traceback
+    follows; ``early_source`` is its min-arrival mirror.  The stage solve itself
+    is mode-independent — one :class:`StageSolution` at the late-merged slew
+    serves both planes, so the early plane is pure bookkeeping.  ``required``
+    (setup: latest admissible late arrival) and ``hold_required`` (hold:
+    earliest admissible early arrival) are filled in by the engine's backward
+    pass when the graph carries constraints of that mode (None otherwise).
     """
 
     net: GraphNet
@@ -506,11 +574,22 @@ class NetEventTiming:
     solution: StageSolution
     source: Optional[Tuple[str, str]] = None  #: (net name, input transition) of the winning fanin
     required: Optional[float] = None  #: latest admissible far-end arrival [s]
+    early_input_arrival: Optional[float] = None  #: merged best-case input arrival [s]; None = same as late
+    early_source: Optional[Tuple[str, str]] = None  #: winning fanin of the early plane
+    hold_required: Optional[float] = None  #: earliest admissible far-end arrival [s]
 
     @property
     def output_arrival(self) -> float:
-        """50% arrival time at the far end [s]."""
+        """Late (worst-case) 50% arrival time at the far end [s]."""
         return self.input_arrival + self.solution.stage_delay
+
+    @property
+    def early_output_arrival(self) -> float:
+        """Early (best-case) 50% arrival time at the far end [s]."""
+        early = self.early_input_arrival
+        if early is None:
+            early = self.input_arrival
+        return early + self.solution.stage_delay
 
     @property
     def propagated_slew(self) -> float:
@@ -519,10 +598,22 @@ class NetEventTiming:
 
     @property
     def slack(self) -> Optional[float]:
-        """``required - output_arrival`` [s]; None on unconstrained events."""
+        """Setup slack ``required - output_arrival`` [s]; None when unconstrained."""
         if self.required is None:
             return None
         return self.required - self.output_arrival
+
+    @property
+    def hold_slack(self) -> Optional[float]:
+        """Hold slack ``early_output_arrival - hold_required`` [s]; None when unconstrained."""
+        if self.hold_required is None:
+            return None
+        return self.early_output_arrival - self.hold_required
+
+    def slack_for(self, mode: str) -> Optional[float]:
+        """The ``mode`` slack of this event (:attr:`slack` / :attr:`hold_slack`)."""
+        check_mode(mode)
+        return self.slack if mode == "setup" else self.hold_slack
 
     @property
     def is_endpoint(self) -> bool:
@@ -533,6 +624,9 @@ class NetEventTiming:
         """Single-line summary in ps."""
         slack = self.slack
         suffix = "" if slack is None else f", slack {to_ps(slack):7.1f} ps"
+        hold = self.hold_slack
+        if hold is not None:
+            suffix += f", hold {to_ps(hold):7.1f} ps"
         return (f"{self.net.name}[{self.input_transition}->{self.output_transition}]"
                 f": {self.solution.kind:11s} in {to_ps(self.input_arrival):7.1f} ps"
                 f" -> out {to_ps(self.output_arrival):7.1f} ps"
@@ -547,11 +641,14 @@ class IncrementalStats:
     retimed_nets: int  #: forward cone: nets whose arrivals were recomputed
     retimed_events: int  #: (net, transition) events re-solved or re-merged
     required_nets: int  #: backward region: nets whose required times were refreshed
+    hold_required_nets: int = 0  #: hold cone: nets whose hold requirements were refreshed
 
     def describe(self) -> str:
+        hold = (f" ({self.hold_required_nets} hold)"
+                if self.hold_required_nets else "")
         return (f"incremental: {self.dirty_nets} dirty -> {self.retimed_nets} "
                 f"retimed nets ({self.retimed_events} events), "
-                f"{self.required_nets} required-time refreshes")
+                f"{self.required_nets} required-time refreshes{hold}")
 
 
 @dataclass(frozen=True)
@@ -616,73 +713,129 @@ class GraphTimingReport:
         return list(reversed(chain))
 
     # --- slack ---------------------------------------------------------------------
-    def required(self, name: str, transition: Optional[str] = None
-                 ) -> Optional[float]:
+    def required(self, name: str, transition: Optional[str] = None, *,
+                 mode: str = "setup") -> Optional[float]:
         """Required far-end arrival of net ``name`` [s] (worst event when ambiguous)."""
-        return self.event(name, transition).required
+        event = self.event(name, transition)
+        check_mode(mode)
+        return event.required if mode == "setup" else event.hold_required
 
-    def slack(self, name: str, transition: Optional[str] = None
-              ) -> Optional[float]:
-        """Slack of net ``name`` [s]: the minimum over its constrained events.
+    def early_arrival(self, name: str,
+                      transition: Optional[str] = None) -> float:
+        """Best-case (early) far-end arrival of net ``name`` [s].
+
+        Without a ``transition``, the minimum over the net's events — the
+        mirror of :meth:`arrival`, which takes the worst late arrival.
+        """
+        if transition is not None:
+            return self.event(name, transition).early_output_arrival
+        self.event(name)  # raises ModelingError on unknown/un-timed nets
+        return min(event.early_output_arrival
+                   for event in self.events[name].values())
+
+    def slack(self, name: str, transition: Optional[str] = None, *,
+              mode: str = "setup") -> Optional[float]:
+        """``mode`` slack of net ``name`` [s]: the minimum over its constrained events.
 
         With an explicit ``transition`` (the *input* edge direction, matching
         :meth:`event`), the slack of exactly that event; None when the queried
-        events are unconstrained.
+        events are unconstrained in ``mode``.
         """
+        check_mode(mode)
         if transition is not None:
-            return self.event(name, transition).slack
-        slacks = [event.slack for event in self.events.get(name, {}).values()
-                  if event.slack is not None]
+            return self.event(name, transition).slack_for(mode)
+        slacks = [event.slack_for(mode)
+                  for event in self.events.get(name, {}).values()
+                  if event.slack_for(mode) is not None]
         if not slacks:
             self.event(name)  # raises ModelingError on unknown/un-timed nets
             return None
         return min(slacks)
 
-    def endpoint_events(self) -> List[NetEventTiming]:
-        """Every endpoint event, worst (smallest) slack first.
+    def endpoint_events(self, *, mode: str = "setup") -> List[NetEventTiming]:
+        """Every endpoint event, worst (smallest) ``mode`` slack first.
 
         Unconstrained endpoint events sort after constrained ones, by arrival.
         """
+        check_mode(mode)
         events = [event for per_net in self.events.values()
                   for event in per_net.values() if event.is_endpoint]
-        return sorted(events, key=lambda e: (
-            e.slack is None,
-            e.slack if e.slack is not None else -e.output_arrival))
 
-    def worst_slack_event(self) -> NetEventTiming:
-        """The constrained endpoint event with the smallest slack."""
-        for event in self.endpoint_events():
-            if event.slack is not None:
+        def key(event: NetEventTiming):
+            slack = event.slack_for(mode)
+            return (slack is None,
+                    slack if slack is not None else -event.output_arrival)
+
+        return sorted(events, key=key)
+
+    def worst_slack_event(self, *, mode: str = "setup") -> NetEventTiming:
+        """The constrained endpoint event with the smallest ``mode`` slack."""
+        for event in self.endpoint_events(mode=mode):
+            if event.slack_for(mode) is not None:
                 return event
         raise ModelingError(
-            "graph has no constrained endpoints; set a required time or a "
-            "clock period before querying slack")
+            f"graph has no {mode}-constrained endpoints; set a required time "
+            "or a clock period before querying slack")
+
+    def _worst_endpoint_slack(self, mode: str) -> Optional[float]:
+        slacks = [event.slack_for(mode) for per_net in self.events.values()
+                  for event in per_net.values()
+                  if event.is_endpoint and event.slack_for(mode) is not None]
+        return min(slacks) if slacks else None
 
     @property
     def worst_slack(self) -> Optional[float]:
-        """Worst (most negative) slack over every endpoint, None if unconstrained.
+        """Worst (most negative) setup slack over every endpoint, None if unconstrained.
 
         Defined over endpoint events (the conventional WNS domain): mid-path
         slacks are the same quantities propagated backward and can drift from
         the endpoint value by a float ULP, so including them would make the
         summary disagree with the endpoint table.
         """
-        slacks = [event.slack for per_net in self.events.values()
-                  for event in per_net.values()
-                  if event.is_endpoint and event.slack is not None]
-        return min(slacks) if slacks else None
+        return self._worst_endpoint_slack("setup")
+
+    @property
+    def worst_hold_slack(self) -> Optional[float]:
+        """Worst (most negative) hold slack over every endpoint, None if unconstrained."""
+        return self._worst_endpoint_slack("hold")
 
     @property
     def wns(self) -> Optional[float]:
-        """Worst negative slack [s]: 0.0 when all constraints are met."""
+        """Worst negative setup slack [s]: 0.0 when all constraints are met."""
         worst = self.worst_slack
         if worst is None:
             return None
         return min(worst, 0.0)
 
-    def slack_path(self) -> List[NetEventTiming]:
-        """Events from a primary input to the worst-slack endpoint."""
-        return self._trace(self.worst_slack_event())
+    @property
+    def whs(self) -> Optional[float]:
+        """Worst negative hold slack [s]: 0.0 when every hold check is met."""
+        worst = self.worst_hold_slack
+        if worst is None:
+            return None
+        return min(worst, 0.0)
+
+    def slack_path(self, *, mode: str = "setup") -> List[NetEventTiming]:
+        """Events from a primary input to the worst-``mode``-slack endpoint.
+
+        Setup paths are traced along late-plane (worst-arrival) sources, hold
+        paths along early-plane (best-arrival) sources — the path whose delays
+        actually produced the checked arrival.
+        """
+        endpoint = self.worst_slack_event(mode=mode)
+        if mode == "hold":
+            return self._trace_early(endpoint)
+        return self._trace(endpoint)
+
+    def _trace_early(self, endpoint: NetEventTiming) -> List[NetEventTiming]:
+        """Early-plane traceback from ``endpoint`` to a primary input."""
+        chain: List[NetEventTiming] = []
+        cursor: Optional[NetEventTiming] = endpoint
+        while cursor is not None:
+            chain.append(cursor)
+            source = cursor.early_source
+            cursor = self.events[source[0]][source[1]] if source is not None else None
+        return list(reversed(chain))
 
     def format_report(self, *, limit: int = 20) -> str:
         """Multi-line human-readable summary (critical path + totals)."""
@@ -704,6 +857,12 @@ class GraphTimingReport:
             lines.append(f"  worst slack: {slack_event.net.name} "
                          f"{to_ps(worst_slack):.1f} ps "
                          f"(WNS {to_ps(self.wns):.1f} ps)")
+        worst_hold = self.worst_hold_slack
+        if worst_hold is not None:
+            hold_event = self.worst_slack_event(mode="hold")
+            lines.append(f"  worst hold slack: {hold_event.net.name} "
+                         f"{to_ps(worst_hold):.1f} ps "
+                         f"(WHS {to_ps(self.whs):.1f} ps)")
         lines.append("  critical path:")
         path = self.critical_path()
         shown = path if len(path) <= limit else path[:limit]

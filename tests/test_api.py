@@ -402,6 +402,63 @@ class TestIncrementalSession:
             assert set(report.events) == set(second_graph.nets)
 
 
+class TestDualModeSession:
+    def test_config_mode_is_validated_and_serialized(self):
+        assert SessionConfig().mode == "both"
+        with pytest.raises(ModelingError, match="mode"):
+            SessionConfig(mode="race")
+        config = SessionConfig(mode="setup")
+        assert SessionConfig.from_dict(config.to_dict()) == config
+        assert "mode=setup" in config.describe()
+
+    def test_config_mode_sets_the_session_default(self, library, line):
+        graph = reconvergent_graph(line=line)
+        graph.set_clock_period(ps(600), hold_margin=ps(100))
+        with TimingSession(mode="setup") as session:
+            report = session.time(graph)
+            assert report.meta.mode == "setup"
+            assert report.constrained and not report.hold_constrained
+            # A per-call mode overrides the configured default.
+            dual = session.time(graph, mode="both")
+            assert dual.hold_constrained and dual.whs is not None
+            with pytest.raises(ModelingError, match="mode"):
+                session.time(graph, mode="race")
+
+    def test_builder_hold_constraints_flow_through(self, library, line):
+        builder = (DesignBuilder("held")
+                   .chain("c", sizes=(75, 100), line=line,
+                          input_slew=ps(100), receiver_size=50)
+                   .clock(ps(700), hold_margin=ps(60))
+                   .require("c_s1", ps(90), mode="hold"))
+        with pytest.raises(ModelingError, match="mode"):
+            builder.require("c_s1", ps(90), mode="race")
+        with pytest.raises(ModelingError, match="hold margin"):
+            DesignBuilder("bad").clock(ps(700), hold_margin=-ps(1))
+        with TimingSession() as session:
+            report = session.time(builder)
+        assert report.design == "held"
+        assert report.wns is not None and report.whs is not None
+        event = report.worst_slack_event(mode="hold")
+        assert event.hold_required == ps(90)  # the pin beats the margin
+
+    def test_update_carries_the_hold_plane(self, library, line):
+        graph = parallel_chains(2, 3, lines=[line], input_slew=ps(100))
+        graph.set_clock_period(ps(700), hold_margin=ps(40))
+        with TimingSession() as session:
+            first = session.update(graph)
+            assert first.whs is not None
+            assert first.meta.hold_required_nets == len(graph)
+            graph.resize_driver("c0s2", 50.0)
+            second = session.update()
+            full = session.time(graph)
+            assert second.whs == full.whs
+            for name, per_net in full.events.items():
+                for transition, event in per_net.items():
+                    ours = second.events[name][transition]
+                    assert ours.early_arrival == event.early_arrival
+                    assert ours.hold_slack == event.hold_slack
+
+
 class TestCorners:
     @pytest.fixture(scope="class")
     def corner_config(self):

@@ -82,6 +82,37 @@ class TestTimeCommand:
         assert report.wns == 0.0  # 900 ps is comfortably met
         assert report.worst_slack_event().net == "sink"
 
+    def test_hold_requires_clock(self, capsys):
+        assert main(["time", "--case", "diamond", "--hold"]) == 2
+        assert "--clock" in capsys.readouterr().err
+        assert main(["time", "--case", "diamond", "--hold-margin", "30"]) == 2
+        assert "--clock" in capsys.readouterr().err
+
+    def test_hold_flag_enables_hold_table(self, library, tmp_path, capsys):
+        out = tmp_path / "hold.json"
+        assert main(["time", "--case", "diamond", "--clock", "900",
+                     "--hold-margin", "120", "--hold", "--slack",
+                     "--json", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "endpoint hold slacks" in stdout
+        assert "WHS" in stdout and "WNS" in stdout
+        report = TimingReport.load(out)
+        assert report.hold_constrained
+        assert report.worst_slack_event(mode="hold").hold_required is not None
+        # --hold alone implies a zero margin: the race check is still seeded.
+        assert main(["time", "--case", "diamond", "--clock", "900",
+                     "--hold"]) == 0
+        assert "WHS" in capsys.readouterr().out
+
+    def test_report_hold_flag_reads_saved_reports(self, library, tmp_path,
+                                                  capsys):
+        out = tmp_path / "hold.json"
+        assert main(["time", "--case", "diamond", "--clock", "900",
+                     "--hold-margin", "120", "--json", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out), "--hold"]) == 0
+        assert "endpoint hold slacks" in capsys.readouterr().out
+
     def test_clock_keeps_the_design_name(self, library, tmp_path):
         # Materializing a builder/path into a constrained graph must not
         # relabel the report: diffs key on the design field.
@@ -117,6 +148,22 @@ class TestReportDiffCommand:
         assert main(["report", "--diff", str(saved["tight"]),
                      str(saved["tighter"])]) == 1
         assert "WNS regression" in capsys.readouterr().out
+
+    def test_whs_regression_exits_nonzero(self, library, tmp_path_factory,
+                                          capsys):
+        root = tmp_path_factory.mktemp("hold_diffs")
+        paths = {}
+        for label, margin in (("loose", "250"), ("tight", "280")):
+            paths[label] = root / f"{label}.json"
+            assert main(["time", "--case", "diamond", "--clock", "900",
+                         "--hold-margin", margin,
+                         "--json", str(paths[label])]) == 0
+        capsys.readouterr()
+        assert main(["report", "--diff", str(paths["loose"]),
+                     str(paths["tight"])]) == 1
+        assert "WHS regression" in capsys.readouterr().out
+        assert main(["report", "--diff", str(paths["tight"]),
+                     str(paths["loose"])]) == 0
 
     def test_diff_and_path_are_exclusive(self, saved, capsys):
         assert main(["report", str(saved["loose"]), "--diff",

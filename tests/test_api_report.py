@@ -50,6 +50,15 @@ def constrained_report(session, line):
     return session.time(graph, name="constrained")
 
 
+@pytest.fixture(scope="module")
+def dual_report(session, line):
+    """A dual-mode report: setup clock plus a hold margin and a hold pin."""
+    graph = reconvergent_graph(line=line)
+    graph.set_clock_period(ps(400), hold_margin=ps(120))
+    graph.set_required("sink", ps(250), transition="rise", mode="hold")
+    return session.time(graph, name="dual")
+
+
 def strip_wall_clock(payload):
     """The serialized report minus run-dependent metadata (wall clock, cache
     counters that depend on what else the producing session already solved)."""
@@ -197,6 +206,92 @@ class TestSlackSerialization:
         assert loaded.total_delay == diamond_report.total_delay
 
 
+class TestHoldSerialization:
+    def test_unconstrained_report_has_no_hold_slack(self, diamond_report):
+        assert not diamond_report.hold_constrained
+        assert diamond_report.whs is None
+        assert diamond_report.hold_slacks() == []
+        with pytest.raises(ModelingError):
+            diamond_report.worst_slack_event(mode="hold")
+        table = diamond_report.format_slack_table(mode="hold")
+        assert "no hold-constrained endpoints" in table
+
+    def test_dual_mode_survives_round_trip_bit_exactly(self, dual_report):
+        clone = TimingReport.from_json(dual_report.to_json())
+        assert clone == dual_report
+        assert clone.whs == dual_report.whs
+        assert clone.wns == dual_report.wns
+        for name, per_net in dual_report.events.items():
+            for transition, event in per_net.items():
+                other = clone.events[name][transition]
+                assert other.early_arrival == event.early_arrival
+                assert other.early_source == event.early_source
+                assert other.hold_required == event.hold_required
+                assert other.hold_slack == event.hold_slack
+
+    def test_hold_queries_and_table(self, dual_report):
+        report = dual_report
+        assert report.constrained and report.hold_constrained
+        worst = report.worst_slack_event(mode="hold")
+        # The 250 ps hold pin on the rise edge dominates the 120 ps margin.
+        assert worst.net == "sink"
+        assert worst.hold_slack == report.worst_hold_slack
+        assert report.slack("sink", mode="hold") == report.worst_hold_slack
+        assert report.event("sink", worst.input_transition).hold_required \
+            is not None
+        assert report.early_arrival("sink") is not None
+        assert report.hold_slacks() == report.endpoint_slacks(mode="hold")
+        table = report.format_slack_table(mode="hold")
+        assert "hold" in table and "WHS" in table and "early" in table
+        assert "worst hold slack" in report.format_report()
+        with pytest.raises(ModelingError):
+            report.slack("sink", mode="race")
+
+    def test_every_event_early_no_later_than_late(self, dual_report):
+        for per_net in dual_report.events.values():
+            for event in per_net.values():
+                assert event.early_arrival <= event.output_arrival
+
+    def test_early_arrival_takes_the_minimum_over_events(self, dual_report):
+        # The diamond sink carries rise and fall events: the net-level query
+        # must answer the best case, not the early value of the worst-late one.
+        events = dual_report.events["sink"].values()
+        assert dual_report.early_arrival("sink") == min(
+            event.early_arrival for event in events)
+        for transition, event in dual_report.events["sink"].items():
+            assert (dual_report.early_arrival("sink", transition)
+                    == event.early_arrival)
+
+    def test_meta_records_the_analysis_mode(self, session, line, dual_report):
+        assert dual_report.meta.mode == "both"
+        graph = reconvergent_graph(line=line)
+        graph.set_clock_period(ps(400), hold_margin=ps(120))
+        setup_only = session.time(graph, mode="setup", name="setup_only")
+        assert setup_only.meta.mode == "setup"
+        assert setup_only.constrained and not setup_only.hold_constrained
+        clone = TimingReport.from_json(setup_only.to_json())
+        assert clone.meta.mode == "setup"
+
+    def test_legacy_payload_without_dual_mode_fields_loads(self,
+                                                           diamond_report):
+        # Reports saved before the dual-mode kernel lack the four new event
+        # keys and the three new meta keys; they must still load.
+        payload = diamond_report.to_dict()
+        for per_net in payload["events"].values():
+            for event in per_net.values():
+                for key in ("early_arrival", "early_source", "hold_required",
+                            "hold_slack"):
+                    event.pop(key)
+        for key in ("mode", "required_nets", "hold_required_nets"):
+            payload["meta"].pop(key)
+        loaded = TimingReport.from_dict(payload)
+        assert loaded.whs is None
+        assert not loaded.hold_constrained
+        assert loaded.meta.mode == "both"
+        assert loaded.early_arrival("sink") is None
+        assert loaded.total_delay == diamond_report.total_delay
+
+
 class TestReportDiff:
     def test_no_regression_between_identical_reports(self, constrained_report):
         diff = compare_reports(constrained_report, constrained_report)
@@ -236,3 +331,26 @@ class TestReportDiff:
     def test_diff_tracks_event_population(self, chain_report, diamond_report):
         diff = compare_reports(chain_report, diamond_report)
         assert diff.added_events > 0 and diff.removed_events > 0
+
+    def test_whs_worsening_regresses(self, session, line):
+        graph = reconvergent_graph(line=line)
+        graph.set_clock_period(ps(400), hold_margin=ps(250))  # violated
+        loose = session.time(graph, name="loose")
+        graph.set_clock_period(ps(400), hold_margin=ps(280))  # more violated
+        tighter = session.time(graph, name="tighter")
+        assert loose.whs < 0
+        assert loose.wns == 0.0  # setup is clean: only the hold plane moves
+        diff = compare_reports(loose, tighter)
+        assert diff.hold_regressed and not diff.setup_regressed
+        assert diff.regressed
+        assert "WHS regression" in diff.describe()
+        assert diff.changed_hold_endpoints and not diff.changed_endpoints
+        assert not compare_reports(tighter, loose).regressed  # improvement
+
+    def test_hold_coverage_loss_regresses(self, session, line, dual_report):
+        graph = reconvergent_graph(line=line)
+        graph.set_clock_period(ps(400))  # same clock, hold margin dropped
+        setup_only = session.time(graph, name="setup_only")
+        lost = compare_reports(dual_report, setup_only)
+        assert lost.hold_regressed and lost.regressed
+        assert "hold coverage lost" in lost.describe()

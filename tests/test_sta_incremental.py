@@ -43,7 +43,7 @@ def solver():
 
 
 def assert_reports_identical(incremental, full):
-    """Every event equal, bit for bit (including slack bookkeeping)."""
+    """Every event equal, bit for bit (both planes, both modes' bookkeeping)."""
     assert set(incremental.events) == set(full.events)
     for name, per_net in full.events.items():
         ours = incremental.events[name]
@@ -55,15 +55,26 @@ def assert_reports_identical(incremental, full):
             assert other.output_arrival == event.output_arrival
             assert other.required == event.required
             assert other.source == event.source
+            assert other.early_input_arrival == event.early_input_arrival
+            assert other.early_output_arrival == event.early_output_arrival
+            assert other.early_source == event.early_source
+            assert other.hold_required == event.hold_required
+            assert other.hold_slack == event.hold_slack
             assert other.solution.fingerprint == event.solution.fingerprint
             assert other.solution.far_slew == event.solution.far_slew
 
 
-def random_edit(rng, graph, lines):
+#: Edit kinds that only touch constraints: no structural dirt, no new solves.
+CONSTRAINT_KINDS = ("clock", "require", "hold_require")
+
+#: Edit kinds that dirty nets (stage configurations or connectivity change).
+STRUCTURAL_KINDS = ("resize", "line", "load", "input", "connect", "disconnect")
+
+
+def random_edit(rng, graph, lines, kinds=STRUCTURAL_KINDS + CONSTRAINT_KINDS):
     """Apply one random edit; returns its short description (for repro logs)."""
     names = list(graph.nets)
-    kind = rng.choice(["resize", "line", "load", "input", "clock", "require",
-                       "connect", "disconnect"])
+    kind = rng.choice(list(kinds))
     try:
         if kind == "resize":
             name = rng.choice(names)
@@ -80,12 +91,19 @@ def random_edit(rng, graph, lines):
                 slew=rng.choice([ps(60), ps(100), ps(140)]),
                 transition=rng.choice(["rise", "fall"])))
         elif kind == "clock":
-            graph.set_clock_period(rng.choice([None, ps(300), ps(600)]))
+            graph.set_clock_period(
+                rng.choice([None, ps(300), ps(600)]),
+                hold_margin=rng.choice([None, 0.0, ps(40), ps(120)]))
         elif kind == "require":
             name = rng.choice(graph.endpoints)
             graph.set_required(
                 name, rng.choice([None, ps(150), ps(450)]),
                 transition=rng.choice([None, "rise", "fall"]))
+        elif kind == "hold_require":
+            name = rng.choice(graph.endpoints)
+            graph.set_required(
+                name, rng.choice([None, ps(30), ps(200)]),
+                transition=rng.choice([None, "rise", "fall"]), mode="hold")
         elif kind == "connect":
             graph.add_fanout(rng.choice(names), rng.choice(names))
         elif kind == "disconnect":
@@ -149,9 +167,64 @@ class TestIncrementalProperty:
         assert solver.stats.memo_hits == before.memo_hits
         assert report.incremental.retimed_nets == 0
         assert report.incremental.required_nets == len(graph)
+        assert report.incremental.hold_required_nets == 0
         assert_reports_identical(report,
                                  GraphEngine(library=library,
                                              solver=solver).analyze(graph))
+        # Turning on the hold plane is just as free: zero solver traffic.
+        graph.set_clock_period(ps(500), hold_margin=ps(80))
+        before = solver.stats.snapshot()
+        report = engine.update()
+        assert solver.stats.computed == before.computed
+        assert solver.stats.memo_hits == before.memo_hits
+        assert report.incremental.retimed_nets == 0
+        assert report.incremental.hold_required_nets == len(graph)
+        assert_reports_identical(report,
+                                 GraphEngine(library=library,
+                                             solver=solver).analyze(graph))
+
+    def test_constraint_only_updates_interleaved_with_structural(
+            self, library, solver, lines):
+        """Constraint batches between structural edits stay bit-identical.
+
+        Constraint edits (``set_required`` of either mode,
+        ``set_clock_period`` with/without a hold margin) leave the structural
+        dirty set empty, so their updates must cost zero solver traffic —
+        while the interleaving with structural edits keeps exercising the
+        cached-event re-seeding those updates depend on.
+        """
+        graph = parallel_chains(2, 3, lines=[lines[0]], input_slew=ps(100))
+        rng = random.Random(7)
+        incremental = IncrementalEngine(graph, library=library, solver=solver)
+        baseline = GraphEngine(library=library, solver=solver)
+        incremental.update()
+        constraint_updates = structural_updates = 0
+        for step in range(12):
+            if step % 2 == 0:
+                applied = None
+                for _ in range(rng.choice([1, 2, 3])):
+                    applied = (random_edit(rng, graph, lines,
+                                           kinds=CONSTRAINT_KINDS) or applied)
+                if applied is None:
+                    continue
+                assert not graph.dirty_nets  # constraints dirty no nets
+                assert graph.constraints_dirty
+                before = solver.stats.snapshot()
+                report = incremental.update()
+                assert solver.stats.computed == before.computed
+                assert solver.stats.memo_hits == before.memo_hits
+                assert report.incremental.retimed_nets == 0
+                assert report.incremental.required_nets == len(graph)
+                constraint_updates += 1
+            else:
+                if random_edit(rng, graph, lines,
+                               kinds=STRUCTURAL_KINDS) is None:
+                    continue
+                report = incremental.update()
+                structural_updates += 1
+            assert_reports_identical(report, baseline.analyze(graph))
+        assert constraint_updates >= 3, "constraint batches degenerated"
+        assert structural_updates >= 3, "structural edits degenerated"
 
     def test_cone_stays_local_on_chain_tail_edit(self, library, solver, lines):
         graph = parallel_chains(3, 4, lines=[lines[0]], input_slew=ps(100))
