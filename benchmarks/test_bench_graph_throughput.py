@@ -1,19 +1,30 @@
 """Benchmark: graph-scale STA throughput — memoized, batched analysis vs the naive loop.
 
 This is the claim the graph refactor has to earn: timing a ≥1k-net graph with the
-memoized stage solver plus per-level worker fan-out must beat re-solving every
+memoized stage solver plus array-batched stage solving must beat re-solving every
 stage from scratch (the old single-path engine's behaviour) by well over 2x, while
-producing bit-identical arrivals and slews.  Both runs go through one
+matching arrivals and slews to <= 1e-9 relative (the batched array kernels agree
+with the scalar oracle to complex roundoff, ~1e-15).  Both runs go through one
 ``repro.api.TimingSession`` — the naive baseline is ``session.time(...,
-memoize=False, jobs=1)``, which bypasses every cache layer.
+memoize=False, jobs=1)``, which bypasses every cache layer and every batch.
 
 The naive loop's cost is strictly linear in the event count (one uncached stage
 solve per event, no sharing), so it is *measured* on a deterministic 128-net
 subset of the same workload — the benchmark graph is parallel chains cycling
 four line flavors, and the subset covers every flavor with identical per-stage
-configurations, asserted bit-identical against the full batched run — and
+configurations, asserted to <= 1e-9 relative against the full batched run — and
 *extrapolated* to the full event count.  That keeps the ≥2x speedup gate honest
 while cutting ~90% of the baseline's wall-clock out of the tier-1 run.
+
+Two gates are asserted:
+
+* ``speedup >= 2.0`` — the end-to-end memoized+batched run vs the naive loop.
+* ``uncached_speedup >= 3.0`` — the *uncached* throughput gate for the array
+  batching itself: the scalar cost of the graph's unique stage configurations
+  (naive per-event cost x unique solves) vs the batched run that actually
+  solves them, with the memo serving only repeats.  Memoization cannot help
+  here — every one of those solves is a cache miss — so this isolates the
+  one-array-pass speedup.
 
 The workload is :func:`repro.experiments.benchmark_graph` (parallel repeatered
 routes over four line flavors — heavy stage-configuration repetition, the profile
@@ -30,6 +41,8 @@ compared).  Set ``REPRO_FULL=1`` to scale from 1k to 4k nets.
 import json
 import os
 from pathlib import Path
+
+import pytest
 
 from repro.api import TimingSession
 from repro.experiments import benchmark_graph
@@ -56,16 +69,22 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
         # chains are independent and stage configurations repeat by design).
         naive = session.time(subset, jobs=1, memoize=False, name="naive")
 
-        # Graph subsystem: memoized stage solving + per-level process fan-out.
-        batched = session.time(graph, name="batched")
+        # Graph subsystem: memoized stage solving with each level's cache
+        # misses solved as one batched array computation.  jobs=1 keeps the
+        # run on the batched serial path — on this memo-heavy workload the
+        # single array pass beats process fan-out (which pays pickling and
+        # pool startup to ship scalar solves to workers).
+        batched = session.time(graph, jobs=1, name="batched")
 
     # The speedup must not come from approximation: on the shared subset nets,
-    # arrivals and slews are bit-identical between the naive and batched runs.
+    # arrivals and slews agree to <= 1e-9 relative (batched array kernels vs
+    # the scalar oracle — the difference is complex roundoff, ~1e-15).
     for name in subset.nets:
         for transition, event in naive.events[name].items():
             other = batched.events[name][transition]
-            assert event.output_arrival == other.output_arrival
-            assert event.far_slew == other.far_slew
+            assert event.output_arrival == pytest.approx(
+                other.output_arrival, rel=1e-9)
+            assert event.far_slew == pytest.approx(other.far_slew, rel=1e-9)
 
     n_events = batched.n_events
     subset_events = naive.n_events
@@ -75,6 +94,13 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
     batched_elapsed = batched.meta.elapsed
     speedup = naive_elapsed / batched_elapsed
     meta = batched.meta
+    unique_solves = meta.computed + meta.installed
+    # Uncached gate: what the scalar loop would pay for exactly the solves the
+    # batched run performed (its cache misses), vs the batched run end to end.
+    # Charging the batched run its full wall-clock (memo lookups, level
+    # assembly) keeps the comparison conservative.
+    scalar_cold_estimate = naive_measured * (unique_solves / subset_events)
+    uncached_speedup = scalar_cold_estimate / batched_elapsed
     payload = {
         "benchmark": "graph_throughput",
         "tracked": {
@@ -84,11 +110,14 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
             "events": n_events,
             "naive_subset_nets": len(subset),
             "naive_subset_events": subset_events,
-            "unique_stage_solves": meta.computed + meta.installed,
+            "unique_stage_solves": unique_solves,
             "cache_hit_rate": round(meta.hit_rate, 4),
             "memo_hits": meta.memo_hits,
             "persistent_hits": meta.persistent_hits,
+            "batched_solves": meta.batched_solves,
+            "batch_fill_rate": round(meta.batch_fill_rate, 4),
             "speedup_floor": 2.0,
+            "uncached_speedup_floor": 3.0,
         },
         "machine": {
             "jobs": meta.jobs,
@@ -98,6 +127,8 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
             "naive_nets_per_second": round(subset_events / naive_measured, 1),
             "batched_nets_per_second": round(n_events / batched_elapsed, 1),
             "speedup": round(speedup, 2),
+            "scalar_cold_seconds": round(scalar_cold_estimate, 3),
+            "uncached_speedup": round(uncached_speedup, 2),
         },
     }
     REPORT_DIRECTORY.mkdir(exist_ok=True)
@@ -112,13 +143,26 @@ def test_graph_throughput_vs_naive_loop(library, report_writer):
         f"{len(subset)} nets, extrapolated by event count)",
         f"  memoized batched run : {batched_elapsed:8.2f} s "
         f"({n_events / batched_elapsed:7.1f} nets/s, {meta.jobs} worker(s))",
-        f"  unique stage solves  : {meta.computed + meta.installed} of {n_events} "
+        f"  unique stage solves  : {unique_solves} of {n_events} "
         f"events (cache hit rate {100 * meta.hit_rate:.1f}%)",
+        f"  array-batched solves : {meta.batched_solves} "
+        f"(batch fill rate {100 * meta.batch_fill_rate:.1f}%)",
         f"  speedup              : {speedup:.1f}x",
+        f"  uncached speedup     : {uncached_speedup:.1f}x "
+        f"(scalar cost of the {unique_solves} unique solves: "
+        f"{scalar_cold_estimate:.2f} s)",
         f"  machine-readable     : {json_path.name}",
     ]
     report_writer("graph_throughput", "\n".join(lines))
 
+    # Every cache miss must flow through the array-batched path (jobs=1 has no
+    # worker fan-out to divert them), and the memo must still serve repeats.
+    assert meta.batched_solves == meta.computed
+    assert meta.batch_fill_rate == 1.0
+
     # The acceptance bar: >= 2x on a >= 1k-net graph.  In practice memoization
     # alone clears 10x on this workload; 2x leaves headroom for slow CI runners.
     assert speedup >= 2.0
+    # And the array batching must pay for itself without the memo's help:
+    # >= 3x uncached throughput over the scalar per-stage loop.
+    assert uncached_speedup >= 3.0

@@ -13,9 +13,10 @@ that was relaxed) without chasing wall-clock noise.
 Beyond the baseline diff, a few tracked fields are *required outright*
 (:data:`REQUIRED_TRACKED`): the dual-mode counters of the incremental
 benchmark — the zero-extra-solve guarantee and the hold-cone sizes — and the
-naive-subset facts of the throughput benchmark must be present in every fresh
-report (with the pinned value, where one is given), so dual-mode coverage
-cannot silently disappear even if the committed baseline is regenerated.
+naive-subset facts, batch counters and uncached-speedup floor of the
+throughput benchmark must be present in every fresh report (with the pinned
+value, where one is given), so dual-mode and array-batching coverage cannot
+silently disappear even if the committed baseline is regenerated.
 
 Usage::
 
@@ -46,6 +47,12 @@ REQUIRED_TRACKED = {
     "BENCH_graph_throughput.json": {
         "naive_subset_events": ...,  # the naive baseline is measured, not skipped
         "speedup_floor": 2.0,
+        # Array-batched solving: every cache miss must flow through the batch
+        # path (fill rate 1.0) and the >= 3x uncached-throughput gate must
+        # stay asserted — memoization alone cannot satisfy it.
+        "batched_solves": ...,
+        "batch_fill_rate": 1.0,
+        "uncached_speedup_floor": 3.0,
     },
 }
 

@@ -95,24 +95,28 @@ class Waveform:
             If ``True`` only low-to-high crossings are returned, if ``False`` only
             high-to-low crossings, if ``None`` every crossing is returned.
         """
+        # Vectorized, but element-for-element the same arithmetic as the obvious
+        # python loop over segments: a sample sitting exactly on the level is the
+        # crossing itself (when the segment's direction matches), any other sign
+        # change interpolates linearly inside its segment.
         v = self.values
         t = self.times
+        v0 = v[:-1]
+        v1 = v[1:]
+        direction_up = v1 > v0
+        on_level = v0 == level
         below = v < level
-        crossings = []
-        for i in range(len(v) - 1):
-            v0, v1 = v[i], v[i + 1]
-            if v0 == level:
-                direction_up = v1 > v0
-                if rising is None or rising == direction_up:
-                    crossings.append(t[i])
-                continue
-            if below[i] != below[i + 1]:
-                direction_up = v1 > v0
-                if rising is not None and rising != direction_up:
-                    continue
-                frac = (level - v0) / (v1 - v0)
-                crossings.append(t[i] + frac * (t[i + 1] - t[i]))
-        return np.asarray(crossings, dtype=float)
+        sign_change = below[:-1] != below[1:]
+        if rising is None:
+            direction_ok = np.ones(v0.size, dtype=bool)
+        else:
+            direction_ok = direction_up if rising else ~direction_up
+        exact = np.flatnonzero(on_level & direction_ok)
+        interp = np.flatnonzero(~on_level & sign_change & direction_ok)
+        frac = (level - v0[interp]) / (v1[interp] - v0[interp])
+        interp_times = t[interp] + frac * (t[interp + 1] - t[interp])
+        order = np.argsort(np.concatenate([exact, interp]), kind="stable")
+        return np.concatenate([t[exact], interp_times])[order]
 
     def time_at_level(self, level: float, *, rising: bool | None = None,
                       which: str = "first") -> float:

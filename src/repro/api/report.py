@@ -189,6 +189,7 @@ class RunInfo:
     persistent_hits: int = 0
     computed: int = 0
     installed: int = 0  #: solutions computed by workers and adopted
+    batched_solves: int = 0  #: computed solves that ran inside an array batch
     version: str = ""  #: repro package version that produced the report
     dirty_nets: Optional[int] = None  #: incremental runs: nets the edits dirtied
     retimed_nets: Optional[int] = None  #: incremental runs: forward-cone size
@@ -207,6 +208,11 @@ class RunInfo:
         return (self.memo_hits + self.persistent_hits) / total if total else 0.0
 
     @property
+    def batch_fill_rate(self) -> float:
+        """Fraction of in-process computed solves that ran batched (0 when idle)."""
+        return self.batched_solves / self.computed if self.computed else 0.0
+
+    @property
     def incremental(self) -> bool:
         """True when the producing run re-timed a dirty cone, not the whole graph."""
         return self.dirty_nets is not None
@@ -219,6 +225,7 @@ class RunInfo:
             "persistent_hits": self.persistent_hits,
             "computed": self.computed,
             "installed": self.installed,
+            "batched_solves": self.batched_solves,
             "version": self.version,
             "dirty_nets": self.dirty_nets,
             "retimed_nets": self.retimed_nets,
@@ -285,6 +292,7 @@ class TimingReport:
             persistent_hits=stats.persistent_hits,
             computed=stats.computed,
             installed=stats.installed,
+            batched_solves=stats.batched_solves,
             version=version,
             dirty_nets=incremental.dirty_nets if incremental is not None else None,
             retimed_nets=incremental.retimed_nets if incremental is not None else None,

@@ -79,6 +79,26 @@ class CellCharacterization:
         _, _, resistance_table = self._tables(transition)
         return resistance_table.lookup(input_slew, load)
 
+    # --- batched lookups (array slews/loads in, array values out) ---------------------
+    def delay_many(self, input_slews: np.ndarray, loads: np.ndarray, *,
+                   transition: str = "rise") -> np.ndarray:
+        """Vectorized :meth:`delay`; elementwise bit-identical to the scalar lookup."""
+        delay_table, _, _ = self._tables(transition)
+        return delay_table.lookup_many(input_slews, loads)
+
+    def ramp_time_many(self, input_slews: np.ndarray, loads: np.ndarray, *,
+                       transition: str = "rise") -> np.ndarray:
+        """Vectorized :meth:`ramp_time`; elementwise bit-identical to the scalar path."""
+        _, transition_table, _ = self._tables(transition)
+        measured = transition_table.lookup_many(input_slews, loads)
+        return measured / (self.slew_high - self.slew_low)
+
+    def driver_resistance_many(self, input_slews: np.ndarray, loads: np.ndarray, *,
+                               transition: str = "rise") -> np.ndarray:
+        """Vectorized :meth:`driver_resistance`."""
+        _, _, resistance_table = self._tables(transition)
+        return resistance_table.lookup_many(input_slews, loads)
+
     # --- axes ----------------------------------------------------------------------
     @property
     def input_slews(self) -> np.ndarray:

@@ -67,6 +67,31 @@ class LookupTable2D:
         return float((1 - tr) * ((1 - tc) * v00 + tc * v01)
                      + tr * ((1 - tc) * v10 + tc * v11))
 
+    def lookup_many(self, row_values: np.ndarray,
+                    column_values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lookup`: arrays in, array out.
+
+        Performs the exact same cell selection and bilinear formula as the scalar
+        path element by element, so ``lookup_many(r, c)[k] == lookup(r[k], c[k])``
+        bit for bit — batched solving relies on that equivalence.
+        """
+        rows = np.asarray(row_values, dtype=float)
+        cols = np.asarray(column_values, dtype=float)
+        i = np.clip(np.searchsorted(self.row_axis, rows) - 1,
+                    0, self.row_axis.size - 2)
+        j = np.clip(np.searchsorted(self.column_axis, cols) - 1,
+                    0, self.column_axis.size - 2)
+        r0, r1 = self.row_axis[i], self.row_axis[i + 1]
+        c0, c1 = self.column_axis[j], self.column_axis[j + 1]
+        tr = (rows - r0) / (r1 - r0)
+        tc = (cols - c0) / (c1 - c0)
+        v00 = self.values[i, j]
+        v01 = self.values[i, j + 1]
+        v10 = self.values[i + 1, j]
+        v11 = self.values[i + 1, j + 1]
+        return ((1 - tr) * ((1 - tc) * v00 + tc * v01)
+                + tr * ((1 - tc) * v10 + tc * v11))
+
     def __call__(self, row_value: float, column_value: float) -> float:
         return self.lookup(row_value, column_value)
 

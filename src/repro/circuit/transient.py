@@ -36,7 +36,8 @@ from .mna import MnaIndex, StampAccumulator
 from .mosfet import Mosfet
 from .netlist import Circuit
 
-__all__ = ["TransientOptions", "TransientResult", "run_transient"]
+__all__ = ["TransientOptions", "TransientResult", "linear_source_kernel",
+           "run_transient"]
 
 
 @dataclass(frozen=True)
@@ -420,6 +421,75 @@ class _TransientEngine:
                 branch_store[step] = x[n_nodes:]
 
         return TransientResult(self.index, times, voltages, branch_store)
+
+
+def linear_source_kernel(circuit: Circuit, source_name: str, n_steps: int, *,
+                         options: TransientOptions, output_node: str) -> np.ndarray:
+    """Discrete impulse response of ``output_node`` to the named voltage source.
+
+    For a MOSFET-free circuit the fixed-step companion-model recurrence is exactly
+    linear and time-invariant: the solution at step ``t`` is a superposition of the
+    per-step source values.  This returns the kernel ``g`` of that superposition —
+    ``g[t]`` is the ``output_node`` voltage ``t`` steps after a one-step unit
+    excitation of ``source_name``'s branch equation, starting from an all-zero
+    state — using the same static LU factorization and companion updates as
+    :func:`run_transient`, so convolving ``g`` with a source's sample deltas
+    reproduces the stepped solve to roundoff.  ``g[0]`` is 0 (the excitation lands
+    on step 1, matching how :func:`run_transient` applies sources).
+    """
+    if n_steps < 1:
+        raise SimulationError("t_stop is shorter than one time step")
+    engine = _TransientEngine(circuit, options)
+    if engine.mosfets or engine.isources:
+        raise SimulationError(
+            "linear_source_kernel requires a circuit of R/L/C elements and "
+            "voltage sources only")
+    source = next((v for v in engine.vsources if v.name == source_name), None)
+    if source is None:
+        raise SimulationError(f"unknown voltage source {source_name!r}")
+    branch = engine.index.branch(source)
+    out_idx = engine.index.node(output_node)
+    if out_idx is None:
+        raise SimulationError(f"unknown output node {output_node!r}")
+
+    trap = options.method == "trap"
+    lu = engine._static_lu
+    size = engine.size
+    cap_geq, cap_pos, cap_neg = engine.cap_geq, engine.cap_pos, engine.cap_neg
+    ind_req, ind_branch = engine.ind_req, engine.ind_branch
+    ind_pos, ind_neg = engine.ind_pos, engine.ind_neg
+    n_caps = len(engine.capacitors)
+    n_inds = len(engine.inductors)
+    cap_v = np.zeros(n_caps)
+    cap_i = np.zeros(n_caps)
+    ind_i = np.zeros(n_inds)
+    ind_v = np.zeros(n_inds)
+    x_aug = np.zeros(size + 1)  # trailing ground slot
+    kernel = np.zeros(n_steps + 1)
+    for step in range(1, n_steps + 1):
+        cap_ieq = cap_geq * cap_v + (cap_i if trap else 0.0)
+        rhs_aug = np.zeros(size + 1)
+        if n_caps:
+            np.add.at(rhs_aug, cap_pos, cap_ieq)
+            np.add.at(rhs_aug, cap_neg, -cap_ieq)
+        if n_inds:
+            np.add.at(rhs_aug, ind_branch,
+                      -ind_req * ind_i - (ind_v if trap else 0.0))
+        rhs = rhs_aug[:-1]
+        if step == 1:
+            rhs[branch] += 1.0
+        x = lu.solve(rhs)
+        x_aug[:-1] = x
+        if n_caps:
+            new_cap_v = x_aug[cap_pos] - x_aug[cap_neg]
+            cap_i = cap_geq * new_cap_v - cap_ieq if trap \
+                else cap_geq * (new_cap_v - cap_v)
+            cap_v = new_cap_v
+        if n_inds:
+            ind_i = x[ind_branch]
+            ind_v = x_aug[ind_pos] - x_aug[ind_neg]
+        kernel[step] = x[out_idx]
+    return kernel
 
 
 def run_transient(circuit: Circuit, t_stop: float, dt: Optional[float] = None, *,

@@ -18,7 +18,9 @@ time, and a PWL source that can replace the driver for far-end analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, MutableMapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..characterization.cell import CellCharacterization
 from ..constants import (CEFF_MAX_ITERATIONS, CEFF_REL_TOL, SLEW_HIGH_THRESHOLD,
@@ -27,12 +29,15 @@ from ..errors import ModelingError
 from ..interconnect.admittance import RationalAdmittance, fit_rational_admittance
 from ..interconnect.moments import admittance_moments
 from ..interconnect.rlc_line import RLCLine
+from .ceff import AdmittanceBatch, ceff_first_ramp_batch, ceff_second_ramp_batch
 from .criteria import CriteriaThresholds, InductanceReport, evaluate_inductance_criteria
-from .iteration import CeffIterationResult, iterate_ceff1, iterate_ceff2
+from .iteration import (CeffIterationResult, _fixed_point_batch, iterate_ceff1,
+                        iterate_ceff2)
 from .plateau import modified_second_ramp_time, plateau_duration
 from .two_ramp import TwoRampWaveform, voltage_breakpoint
 
-__all__ = ["ModelingOptions", "DriverOutputModel", "model_driver_output"]
+__all__ = ["ModelingOptions", "DriverOutputModel", "model_driver_output",
+           "model_driver_output_batch"]
 
 
 @dataclass(frozen=True)
@@ -250,3 +255,220 @@ def model_driver_output(cell: CellCharacterization, input_slew: float, line: RLC
         plateau=0.0, gate_delay=gate_delay, inductance_report=report,
         ceff1_iteration=single_result, ceff2_iteration=None,
         reference_time=options.reference_time)
+
+
+#: One batched modeling request: (cell, input_slew, line, load_capacitance, options).
+ModelingRequest = Tuple[CellCharacterization, float, RLCLine, float,
+                        Optional[ModelingOptions]]
+
+
+def _admittance_cache_key(line: RLCLine, load_capacitance: float,
+                          options: ModelingOptions) -> Tuple:
+    return (line.fingerprint(), float(load_capacitance).hex(),
+            options.admittance_order, options.moment_segments)
+
+
+def model_driver_output_batch(
+        requests: Sequence[ModelingRequest], *,
+        admittance_cache: Optional[MutableMapping] = None
+        ) -> List[DriverOutputModel]:
+    """Run the modeling flow for many stages as one array-valued computation.
+
+    Each request lane replays :func:`model_driver_output` with the same arithmetic
+    in the same order — vectorized table lookups, array-valued charge matching and
+    a masked batch fixed point — so the returned models match the scalar flow lane
+    by lane to complex roundoff (~1 ulp, from NumPy's vectorized complex multiply;
+    see :class:`~repro.core.ceff.AdmittanceBatch`), orders of magnitude inside the
+    1e-9 relative equivalence gate.  Identical (line, load, admittance options) lanes
+    share one moment computation; ``admittance_cache`` extends that dedupe across
+    batches (the mapping is read and updated in place).
+    """
+    n = len(requests)
+    if n == 0:
+        return []
+    resolved: List[Tuple[CellCharacterization, float, RLCLine, float,
+                         ModelingOptions]] = []
+    for cell, input_slew, line, load_capacitance, options in requests:
+        options = options if options is not None else ModelingOptions()
+        if input_slew <= 0:
+            raise ModelingError("input slew must be positive")
+        if load_capacitance < 0:
+            raise ModelingError("load capacitance must be non-negative")
+        resolved.append((cell, input_slew, line, load_capacitance, options))
+
+    # Admittance fits deduped within the batch (and across batches via the cache).
+    cache = admittance_cache if admittance_cache is not None else {}
+    admittances: List[RationalAdmittance] = []
+    for cell, input_slew, line, load_capacitance, options in resolved:
+        key = _admittance_cache_key(line, load_capacitance, options)
+        admittance = cache.get(key)
+        if admittance is None:
+            admittance = _admittance_for(line, load_capacitance, options)
+            cache[key] = admittance
+        admittances.append(admittance)
+
+    # Lanes grouped by (cell tables, output transition) for vectorized lookups.
+    group_index: Dict[Tuple[int, str], int] = {}
+    group_defs: List[Tuple[CellCharacterization, str]] = []
+    group_of = np.empty(n, dtype=int)
+    for lane, (cell, _, _, _, options) in enumerate(resolved):
+        key = (id(cell), options.transition)
+        group = group_index.get(key)
+        if group is None:
+            group = len(group_defs)
+            group_index[key] = group
+            group_defs.append((cell, options.transition))
+        group_of[lane] = group
+
+    slews = np.array([req[1] for req in resolved], dtype=float)
+    totals = np.array([adm.total_capacitance for adm in admittances], dtype=float)
+    vdds = np.array([req[0].vdd for req in resolved], dtype=float)
+    rel_tols = np.array([req[4].ceff_rel_tol for req in resolved], dtype=float)
+    iter_limits = np.array([req[4].ceff_max_iterations for req in resolved], dtype=int)
+    dampings = np.array([req[4].ceff_damping for req in resolved], dtype=float)
+
+    def grouped_lookup(accessor, loads: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+        out = np.empty(lanes.size, dtype=float)
+        lane_groups = group_of[lanes]
+        for group, (cell, transition) in enumerate(group_defs):
+            mask = lane_groups == group
+            if np.any(mask):
+                out[mask] = accessor(cell)(slews[lanes[mask]], loads[mask],
+                                           transition=transition)
+        return out
+
+    def ramp_of_load(loads: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+        return grouped_lookup(lambda cell: cell.ramp_time_many, loads, lanes)
+
+    all_lanes = np.arange(n)
+    resistances = grouped_lookup(lambda cell: cell.driver_resistance_many,
+                                 totals, all_lanes)
+    breakpoints = np.array(
+        [voltage_breakpoint(float(resistances[lane]),
+                            resolved[lane][2].characteristic_impedance)
+         for lane in range(n)], dtype=float)
+
+    fractions = np.array(
+        [breakpoints[lane] if not resolved[lane][4].force_single_ramp
+         else resolved[lane][4].ceff_charge_fraction for lane in range(n)],
+        dtype=float)
+    adm_batch = AdmittanceBatch.from_admittances(admittances)
+
+    def ceff1_of_ramp(ramps: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+        return ceff_first_ramp_batch(adm_batch.take(lanes), ramps,
+                                     fractions[lanes], vdd=vdds[lanes])
+
+    ceff1_results = _fixed_point_batch(
+        totals, ceff1_of_ramp, ramp_of_load, rel_tol=rel_tols,
+        max_iterations=iter_limits, damping=dampings, require_convergence=False)
+
+    # Inductance screening (Eq. 9) is a handful of scalar ratio checks per lane.
+    reports: List[InductanceReport] = []
+    two_ramp_lanes: List[int] = []
+    for lane, (cell, input_slew, line, load_capacitance, options) in enumerate(resolved):
+        report = evaluate_inductance_criteria(
+            line, load_capacitance, float(resistances[lane]),
+            ceff1_results[lane].ramp_time, thresholds=options.criteria)
+        reports.append(report)
+        use_two_ramp = report.significant
+        if options.force_two_ramp:
+            use_two_ramp = True
+        if options.force_single_ramp:
+            use_two_ramp = False
+        if use_two_ramp:
+            two_ramp_lanes.append(lane)
+
+    ceff2_results: Dict[int, CeffIterationResult] = {}
+    if two_ramp_lanes:
+        sub = np.asarray(two_ramp_lanes, dtype=int)
+        for lane in two_ramp_lanes:
+            if not 0.0 < breakpoints[lane] < 1.0:
+                raise ModelingError(
+                    "Ceff2 requires a breakpoint fraction strictly below 1")
+            if ceff1_results[lane].ramp_time <= 0:
+                raise ModelingError("tr1 must be positive")
+        tr1_sub = np.array([ceff1_results[lane].ramp_time for lane in two_ramp_lanes],
+                           dtype=float)
+
+        def ceff2_of_ramp(ramps: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+            chosen = sub[lanes]
+            return ceff_second_ramp_batch(adm_batch.take(chosen), tr1_sub[lanes],
+                                          ramps, breakpoints[chosen],
+                                          vdd=vdds[chosen])
+
+        def ramp2_of_load(loads: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+            return ramp_of_load(loads, sub[lanes])
+
+        for lane, result in zip(two_ramp_lanes, _fixed_point_batch(
+                totals[sub], ceff2_of_ramp, ramp2_of_load, rel_tol=rel_tols[sub],
+                max_iterations=iter_limits[sub], damping=dampings[sub],
+                require_convergence=False)):
+            ceff2_results[lane] = result
+
+    # Single-ramp lanes re-iterate at the configured charge fraction exactly when
+    # the scalar flow would (the forced-single fast path reuses the Ceff1 result).
+    single_results: Dict[int, CeffIterationResult] = {}
+    rerun_lanes = [lane for lane in range(n) if lane not in ceff2_results
+                   and (fractions[lane] != resolved[lane][4].ceff_charge_fraction
+                        or not resolved[lane][4].force_single_ramp)]
+    for lane in range(n):
+        if lane not in ceff2_results and lane not in rerun_lanes:
+            single_results[lane] = ceff1_results[lane]
+    if rerun_lanes:
+        sub = np.asarray(rerun_lanes, dtype=int)
+        charge_fractions = np.array(
+            [resolved[lane][4].ceff_charge_fraction for lane in rerun_lanes],
+            dtype=float)
+
+        def single_of_ramp(ramps: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+            chosen = sub[lanes]
+            return ceff_first_ramp_batch(adm_batch.take(chosen), ramps,
+                                         charge_fractions[lanes], vdd=vdds[chosen])
+
+        def ramp1_of_load(loads: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+            return ramp_of_load(loads, sub[lanes])
+
+        for lane, result in zip(rerun_lanes, _fixed_point_batch(
+                totals[sub], single_of_ramp, ramp1_of_load, rel_tol=rel_tols[sub],
+                max_iterations=iter_limits[sub], damping=dampings[sub],
+                require_convergence=False)):
+            single_results[lane] = result
+
+    gate_loads = np.array(
+        [ceff1_results[lane].ceff if lane in ceff2_results
+         else single_results[lane].ceff for lane in range(n)], dtype=float)
+    gate_delays = grouped_lookup(lambda cell: cell.delay_many, gate_loads, all_lanes)
+
+    models: List[DriverOutputModel] = []
+    for lane, (cell, input_slew, line, load_capacitance, options) in enumerate(resolved):
+        z0 = line.characteristic_impedance
+        tf = line.time_of_flight
+        common = dict(
+            transition=options.transition, vdd=cell.vdd, cell_name=cell.cell_name,
+            input_slew=input_slew, line=line, load_capacitance=load_capacitance,
+            admittance=admittances[lane],
+            driver_resistance=float(resistances[lane]),
+            characteristic_impedance=z0, time_of_flight=tf,
+            breakpoint_fraction=float(breakpoints[lane]),
+            gate_delay=float(gate_delays[lane]), inductance_report=reports[lane],
+            reference_time=options.reference_time)
+        ceff2_result = ceff2_results.get(lane)
+        if ceff2_result is not None:
+            tr1 = ceff1_results[lane].ramp_time
+            tr2 = ceff2_result.ramp_time
+            plateau = plateau_duration(tr1, tf)
+            tr2_effective = (
+                modified_second_ramp_time(tr1, tr2, float(breakpoints[lane]), tf)
+                if options.plateau_correction else tr2)
+            models.append(DriverOutputModel(
+                kind="two-ramp", ceff1=ceff1_results[lane].ceff, tr1=tr1,
+                ceff2=ceff2_result.ceff, tr2=tr2, tr2_effective=tr2_effective,
+                plateau=plateau, ceff1_iteration=ceff1_results[lane],
+                ceff2_iteration=ceff2_result, **common))
+        else:
+            single = single_results[lane]
+            models.append(DriverOutputModel(
+                kind="single-ramp", ceff1=single.ceff, tr1=single.ramp_time,
+                ceff2=None, tr2=None, tr2_effective=None, plateau=0.0,
+                ceff1_iteration=single, ceff2_iteration=None, **common))
+    return models

@@ -28,18 +28,20 @@ import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, MutableMapping, Optional, Sequence, Tuple
 
 from ..characterization.cache import FingerprintStore, default_cache_directory
 from ..characterization.cell import CellCharacterization
 from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
 from ..errors import ModelingError
 from ..interconnect.rlc_line import RLCLine
-from .driver_model import DriverOutputModel, ModelingOptions, model_driver_output
-from .far_end import FarEndResponse, far_end_response
+from .driver_model import (DriverOutputModel, ModelingOptions, model_driver_output,
+                           model_driver_output_batch)
+from .far_end import FarEndResponse, far_end_response, far_end_response_batch
 
-__all__ = ["StageSolution", "StageSolver", "StageSolutionStore", "SolverStats",
-           "solve_stage", "stage_fingerprint", "default_stage_cache_directory"]
+__all__ = ["StageRequest", "StageSolution", "StageSolver", "StageSolutionStore",
+           "SolverStats", "solve_stage", "solve_stage_batch", "stage_fingerprint",
+           "default_stage_cache_directory"]
 
 #: Bump when the stage-solving flow changes in a way that invalidates old entries.
 STAGE_CACHE_FORMAT_VERSION = 1
@@ -226,6 +228,74 @@ def solve_stage(cell: CellCharacterization, input_slew: float, line: RLCLine,
         tr2_effective=model.tr2_effective, model=model, far_end=far)
 
 
+@dataclass(frozen=True)
+class StageRequest:
+    """One stage-solve work item for the batched solve path.
+
+    ``fingerprint`` is optional: callers that already ran
+    :meth:`StageSolver.fingerprint_for` (the graph engine does, to dedupe a level)
+    pass it along so the batch never re-hashes; otherwise it is derived on demand.
+    """
+
+    cell: CellCharacterization
+    input_slew: float
+    line: RLCLine
+    load_capacitance: float
+    options: Optional[ModelingOptions] = None
+    fingerprint: Optional[str] = None
+
+
+def solve_stage_batch(requests: Sequence[StageRequest], *,
+                      slew_low: float = SLEW_LOW_THRESHOLD,
+                      slew_high: float = SLEW_HIGH_THRESHOLD,
+                      admittance_cache: Optional[MutableMapping] = None,
+                      kernel_cache: Optional[MutableMapping] = None
+                      ) -> List[StageSolution]:
+    """Run many full (uncached) stage solves as one array-valued computation.
+
+    The batch analog of :func:`solve_stage`: every lane goes through
+    :func:`~repro.core.driver_model.model_driver_output_batch` (vectorized table
+    lookups, array charge matching, masked fixed points) and
+    :func:`~repro.core.far_end.far_end_response_batch` (one impulse kernel per
+    unique circuit, convolution per lane), then is packaged exactly like the
+    scalar flow — waveforms attached.  Results match :func:`solve_stage` lane by
+    lane to floating-point roundoff, far inside the 1e-9 relative equivalence
+    gate the benchmarks enforce.  The two optional caches extend the batch's
+    internal admittance/kernel dedupe across calls.
+    """
+    if not requests:
+        return []
+    resolved: List[Tuple[StageRequest, ModelingOptions, str]] = []
+    for request in requests:
+        options = request.options if request.options is not None else ModelingOptions()
+        fingerprint = request.fingerprint
+        if fingerprint is None:
+            fingerprint = stage_fingerprint(
+                request.cell, request.input_slew, request.line,
+                request.load_capacitance, options,
+                slew_low=slew_low, slew_high=slew_high)
+        resolved.append((request, options, fingerprint))
+    models = model_driver_output_batch(
+        [(request.cell, request.input_slew, request.line,
+          request.load_capacitance, options)
+         for request, options, _ in resolved],
+        admittance_cache=admittance_cache)
+    fars = far_end_response_batch(models, kernel_cache=kernel_cache)
+    solutions: List[StageSolution] = []
+    for (request, options, fingerprint), model, far in zip(resolved, models, fars):
+        far_slew = far.far_slew(low=slew_low, high=slew_high)
+        solutions.append(StageSolution(
+            fingerprint=fingerprint, cell_name=request.cell.cell_name,
+            kind=model.kind, transition=model.transition,
+            input_slew=request.input_slew,
+            load_capacitance=request.load_capacitance, gate_delay=model.delay(),
+            interconnect_delay=far.interconnect_delay(), far_slew=far_slew,
+            propagated_slew=far_slew / (slew_high - slew_low),
+            ceff1=model.ceff1, tr1=model.tr1, ceff2=model.ceff2,
+            tr2_effective=model.tr2_effective, model=model, far_end=far))
+    return solutions
+
+
 @dataclass
 class SolverStats:
     """Counters of how a :class:`StageSolver` satisfied its requests."""
@@ -234,6 +304,7 @@ class SolverStats:
     persistent_hits: int = 0
     computed: int = 0
     installed: int = 0  #: solutions computed elsewhere (workers) and adopted
+    batched_solves: int = 0  #: computed solves that ran inside an array batch
 
     @property
     def requests(self) -> int:
@@ -245,6 +316,11 @@ class SolverStats:
         """Fraction of requests served from a cache layer (0 when idle)."""
         total = self.requests
         return (self.memo_hits + self.persistent_hits) / total if total else 0.0
+
+    @property
+    def batch_fill_rate(self) -> float:
+        """Fraction of locally computed solves that ran batched (0 when idle)."""
+        return self.batched_solves / self.computed if self.computed else 0.0
 
     def snapshot(self) -> "SolverStats":
         """An independent copy of the current counters."""
@@ -287,6 +363,11 @@ class StageSolver:
         # The strong cell reference keeps the id() from being reused by a later
         # object, which would otherwise alias a stale digest onto a new cell.
         self._cell_digests: Dict[int, Tuple[CellCharacterization, str]] = {}
+        # Cross-batch dedupe for the two expensive per-circuit preparations of the
+        # batched solve path: admittance moment fits and far-end impulse kernels.
+        self._admittance_cache: "OrderedDict" = OrderedDict()
+        self._kernel_cache: "OrderedDict" = OrderedDict()
+        self._aux_cache_size = 512
 
     # --- keys -----------------------------------------------------------------------
     def _cell_fingerprint(self, cell: CellCharacterization) -> str:
@@ -340,6 +421,8 @@ class StageSolver:
         """Drop the in-process memo (the persistent store is left untouched)."""
         self._memo.clear()
         self._cell_digests.clear()
+        self._admittance_cache.clear()
+        self._kernel_cache.clear()
 
     def __len__(self) -> int:
         return len(self._memo)
@@ -394,3 +477,70 @@ class StageSolver:
             except OSError:
                 pass  # read-only store: the computed result is still returned
         return solution
+
+    def solve_batch(self, requests: Sequence[StageRequest], *,
+                    need_waveforms: bool = False) -> List[StageSolution]:
+        """Solve many stages at once: memo layers per item, one array pass for misses.
+
+        Every request is checked against the memo (and the persistent store)
+        individually; all misses are then solved together through
+        :func:`solve_stage_batch` and installed back into the memo and the
+        persistent store exactly as :meth:`solve` would have.  Requests repeating
+        an earlier item's fingerprint — within this batch or across calls — are
+        answered from the shared result and counted as memo hits, mirroring the
+        level-dedupe accounting of the parallel fan-out path.  ``batched_solves``
+        advances by the number of lanes actually solved in the array pass.
+        """
+        results: Dict[str, StageSolution] = {}
+        order: List[str] = []
+        misses: List[StageRequest] = []
+        for request in requests:
+            options = (request.options if request.options is not None
+                       else ModelingOptions())
+            input_slew = self.quantize_slew(request.input_slew)
+            fingerprint = request.fingerprint
+            if fingerprint is None:
+                fingerprint = self.fingerprint_for(
+                    request.cell, input_slew, request.line,
+                    request.load_capacitance, options)
+            order.append(fingerprint)
+            if fingerprint in results:
+                self.stats.memo_hits += 1
+                continue
+            memoized = self._memo.get(fingerprint)
+            if memoized is not None and (memoized.has_waveforms or not need_waveforms):
+                self._memo.move_to_end(fingerprint)
+                self.stats.memo_hits += 1
+                results[fingerprint] = memoized
+                continue
+            if memoized is None and self.store is not None and not need_waveforms:
+                stored = self.store.get(fingerprint)
+                if stored is not None:
+                    self.stats.persistent_hits += 1
+                    self._remember(stored)
+                    results[fingerprint] = stored
+                    continue
+            results[fingerprint] = None  # claimed: later repeats are batch-local hits
+            misses.append(StageRequest(
+                cell=request.cell, input_slew=input_slew, line=request.line,
+                load_capacitance=request.load_capacitance, options=options,
+                fingerprint=fingerprint))
+        if misses:
+            solved = solve_stage_batch(
+                misses, slew_low=self.slew_low, slew_high=self.slew_high,
+                admittance_cache=self._admittance_cache,
+                kernel_cache=self._kernel_cache)
+            for cache in (self._admittance_cache, self._kernel_cache):
+                while len(cache) > self._aux_cache_size:
+                    cache.popitem(last=False)
+            self.stats.computed += len(solved)
+            self.stats.batched_solves += len(solved)
+            for solution in solved:
+                results[solution.fingerprint] = solution
+                self._remember(solution)
+                if self.store is not None:
+                    try:
+                        self.store.put(solution.fingerprint, solution.lite())
+                    except OSError:
+                        pass  # read-only store: the computed result is still good
+        return [results[fingerprint] for fingerprint in order]

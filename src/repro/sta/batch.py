@@ -6,11 +6,13 @@ natural unit of fan-out:
 
 1. the pending (net, input-transition) events of the level are collected,
 2. events whose stage fingerprint is already memoized are answered instantly,
-3. the remaining *unique* fingerprints are solved — serially through the shared
-   :class:`~repro.core.stage_solver.StageSolver`, or concurrently on a
-   ``ProcessPoolExecutor`` when ``jobs > 1`` (same fan-out/serial-fallback pattern
-   as :mod:`repro.characterization.parallel`: if worker processes cannot be
-   started, the level transparently finishes serially), and
+3. the remaining *unique* fingerprints are solved — as **one batched array
+   computation** through :meth:`StageSolver.solve_batch` (vectorized table
+   lookups, array charge matching, masked fixed points and kernel-convolution
+   far ends), or concurrently on a ``ProcessPoolExecutor`` when ``jobs > 1``
+   (same fan-out/serial-fallback pattern as
+   :mod:`repro.characterization.parallel`: if worker processes cannot be
+   started, the level transparently finishes through the batched path), and
 4. far-end arrivals and slews are merged into the fanout nets' pending states
    in *both event planes*: the late plane takes the worst arrival (ties take
    the larger slew), the early plane the best arrival (ties take the smaller
@@ -65,7 +67,8 @@ from ..characterization.library import CellLibrary, default_library
 from ..characterization.parallel import resolve_jobs
 from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
 from ..core.driver_model import ModelingOptions
-from ..core.stage_solver import SolverStats, StageSolution, StageSolver, solve_stage
+from ..core.stage_solver import (SolverStats, StageRequest, StageSolution,
+                                 StageSolver, solve_stage)
 from ..errors import ModelingError
 from ..tech.technology import Technology, generic_180nm
 from ._deprecation import warn_deprecated_once
@@ -225,24 +228,47 @@ class GraphEngine:
         states[transition] = (max(late, current[0]), min(early, current[1]))
 
     # --- level solving ---------------------------------------------------------------
+    @staticmethod
+    def _batch_requests(items: List[_WorkItem]) -> List[StageRequest]:
+        return [StageRequest(cell=item.cell, input_slew=item.input_slew,
+                             line=item.net.line, load_capacitance=item.load,
+                             options=item.options, fingerprint=item.fingerprint)
+                for item in items]
+
     def _solve_level_serial(self, items: List[_WorkItem], *, need_waveforms: bool,
                             memoize: bool) -> Dict[str, StageSolution]:
+        """Solve one level in-process: one array batch, or the naive scalar loop.
+
+        The memoized path hands the whole level to
+        :meth:`~repro.core.stage_solver.StageSolver.solve_batch` — memo layers
+        answer per item, the unique misses are solved as one vectorized pass.
+        ``memoize=False`` keeps the per-item scalar :func:`solve_stage` loop:
+        that is the reference oracle the benchmarks (and the equivalence tests)
+        compare the batched path against, so it must not share its code.
+        """
+        if memoize:
+            solved = self.solver.solve_batch(self._batch_requests(items),
+                                             need_waveforms=need_waveforms)
+            return {item.fingerprint: solution
+                    for item, solution in zip(items, solved)}
         solutions: Dict[str, StageSolution] = {}
         for item in items:
             solutions[item.fingerprint] = self.solver.solve(
                 item.cell, item.input_slew, item.net.line, item.load,
                 options=item.options, need_waveforms=need_waveforms,
-                memoize=memoize, fingerprint=item.fingerprint if memoize else None)
+                memoize=False)
         return solutions
 
-    def _solve_level_parallel(self, items: List[_WorkItem],
-                              executor: ProcessPoolExecutor
+    def _solve_level_parallel(self, items: List[_WorkItem], jobs: int
                               ) -> Tuple[Dict[str, StageSolution], bool]:
         """Answer memo hits locally, fan unique misses across worker processes.
 
-        Returns the solutions plus whether the executor is still usable; on a
-        broken pool the level is finished serially and the caller degrades the
-        rest of the analysis to serial mode.
+        The memo layers are consulted *before* any pool exists: a level whose
+        events are all cache hits never spawns (or wakes) a worker process.
+        Returns the solutions plus whether the executor is still usable; when
+        the pool cannot start or breaks mid-level, the level's remaining misses
+        are finished through the batched serial path and the caller degrades
+        the rest of the analysis to serial mode.
         """
         solutions: Dict[str, StageSolution] = {}
         misses: Dict[str, _WorkItem] = {}
@@ -263,6 +289,15 @@ class GraphEngine:
         if not misses:
             return solutions, pool_ok
 
+        executor = self._get_executor(jobs)
+        if executor is None:
+            remaining = list(misses.values())
+            for item, solution in zip(
+                    remaining, self.solver.solve_batch(
+                        self._batch_requests(remaining))):
+                solutions[item.fingerprint] = solution
+            return solutions, False
+
         tasks = [(fp, item.cell, item.input_slew, item.net.line, item.load,
                   item.options, self.solver.slew_low, self.solver.slew_high)
                  for fp, item in misses.items()]
@@ -276,18 +311,18 @@ class GraphEngine:
                     solutions[fingerprint] = solution
         except (BrokenProcessPool, OSError, ImportError, pickle.PicklingError) as exc:
             # Worker processes are unavailable (sandboxed environment, fork
-            # failure): finish the level's remaining misses serially and tell the
-            # caller to stop submitting to the dead pool.
+            # failure): finish the level's remaining misses through the batched
+            # serial path and tell the caller to stop submitting to the dead pool.
             warnings.warn(f"parallel graph timing unavailable ({exc!r}); "
                           "finishing the analysis serially", RuntimeWarning,
                           stacklevel=2)
             pool_ok = False
-            for fingerprint, item in misses.items():
-                if fingerprint in solutions:
-                    continue
-                solutions[fingerprint] = self.solver.solve(
-                    item.cell, item.input_slew, item.net.line, item.load,
-                    options=item.options, fingerprint=fingerprint)
+            remaining = [item for fp, item in misses.items()
+                         if fp not in solutions]
+            for item, solution in zip(
+                    remaining, self.solver.solve_batch(
+                        self._batch_requests(remaining))):
+                solutions[item.fingerprint] = solution
         return solutions, pool_ok
 
     # --- analysis ----------------------------------------------------------------------
@@ -329,11 +364,11 @@ class GraphEngine:
                         early_source=early_source))
             if not items:
                 continue
-            executor = self._get_executor(jobs) if jobs > 1 else None
-            if executor is None:
-                jobs = 1
-            if executor is not None:
-                solutions, pool_ok = self._solve_level_parallel(items, executor)
+            # jobs == 1 goes straight to the batched serial path; the parallel
+            # path creates (or reuses) its worker pool only once it has actual
+            # memo misses to fan out.
+            if jobs > 1 and memoize and not need_waveforms:
+                solutions, pool_ok = self._solve_level_parallel(items, jobs)
                 if not pool_ok:
                     self.close()
                     jobs = 1
@@ -482,7 +517,8 @@ class GraphEngine:
             memo_hits=after.memo_hits - before.memo_hits,
             persistent_hits=after.persistent_hits - before.persistent_hits,
             computed=after.computed - before.computed,
-            installed=after.installed - before.installed)
+            installed=after.installed - before.installed,
+            batched_solves=after.batched_solves - before.batched_solves)
         return GraphTimingReport(graph=graph, events=events, levels=graph.levels,
                                  stats=stats, jobs=jobs,
                                  elapsed=time.perf_counter() - started)
@@ -619,7 +655,8 @@ class IncrementalEngine(GraphEngine):
             memo_hits=after.memo_hits - before.memo_hits,
             persistent_hits=after.persistent_hits - before.persistent_hits,
             computed=after.computed - before.computed,
-            installed=after.installed - before.installed)
+            installed=after.installed - before.installed,
+            batched_solves=after.batched_solves - before.batched_solves)
         return GraphTimingReport(
             graph=graph, events=self._snapshot(), levels=graph.levels,
             stats=stats, jobs=jobs_used,

@@ -245,8 +245,12 @@ class TestGraphTimer:
         for name in graph.nets:
             for transition, event in serial.events[name].items():
                 other = parallel.events[name][transition]
+                # Quantization snaps both runs onto the same grid: exact.
                 assert event.input_slew == other.input_slew
-                assert event.output_arrival == other.output_arrival
+                # Serial solves run batched (kernel-convolution far ends),
+                # workers run the scalar oracle: equal to solver roundoff.
+                assert event.output_arrival == pytest.approx(
+                    other.output_arrival, rel=1e-9)
 
     def test_parallel_jobs_match_serial(self, library):
         graph = parallel_chains(4, 2, input_slew=ps(100))
@@ -259,9 +263,15 @@ class TestGraphTimer:
         for name in graph.nets:
             for transition, event in serial.events[name].items():
                 other = parallel.events[name][transition]
-                assert event.output_arrival == other.output_arrival
-                assert event.input_slew == other.input_slew
-                assert event.solution.far_slew == other.solution.far_slew
+                # Serial levels solve batched, workers solve scalar; the two
+                # paths agree to solver roundoff (<= 1e-9 relative, the
+                # benchmark-enforced equivalence gate).
+                assert event.output_arrival == pytest.approx(
+                    other.output_arrival, rel=1e-9)
+                assert event.input_slew == pytest.approx(
+                    other.input_slew, rel=1e-9)
+                assert event.solution.far_slew == pytest.approx(
+                    other.solution.far_slew, rel=1e-9)
 
 
 class TestConstraintsAndSlack:
