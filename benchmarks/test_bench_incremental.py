@@ -93,7 +93,7 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
                 session.update(graph)
 
             full_seconds, incr_seconds = [], []
-            dirty = retimed = 0
+            dirty = retimed = rebuilt = 0
             for rep in range(reps):
                 size = toggle if rep % 2 == 0 else original
                 graph.resize_driver(net, size)
@@ -106,6 +106,14 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
                 assert_events_identical(incremental, full)
                 dirty = incremental.meta.dirty_nets
                 retimed = incremental.meta.retimed_nets
+                rebuilt = incremental.meta.report_events_rebuilt
+                # Report reuse: a warm update re-flattens only the edit's
+                # forward cone plus the upstream events whose required times
+                # moved — for a chain edit that is (at most) one 16-net chain,
+                # never the 1024-net graph.
+                assert rebuilt is not None
+                assert rebuilt <= 2 * 16
+                assert rebuilt < incremental.n_events // 8
             # Leave the graph in its original state for the next edit site.
             if graph.nets[net].driver_size != original:
                 graph.resize_driver(net, original)
@@ -115,6 +123,7 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
             rows.append({
                 "label": label, "net": net, "dirty_nets": dirty,
                 "retimed_nets": retimed,
+                "report_events_rebuilt": rebuilt,
                 "full_seconds": round(full_avg, 5),
                 "incremental_seconds": round(incr_avg, 5),
                 "speedup": round(full_avg / incr_avg, 2),
@@ -160,7 +169,9 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
             "speedup_floor": SPEEDUP_FLOOR,
             "edits": [{"label": row["label"], "net": row["net"],
                        "dirty_nets": row["dirty_nets"],
-                       "retimed_nets": row["retimed_nets"]} for row in rows],
+                       "retimed_nets": row["retimed_nets"],
+                       "report_events_rebuilt": row["report_events_rebuilt"]}
+                      for row in rows],
             "hold": {
                 "hold_margin_ps": 100,
                 "dual_mode_extra_solves": extra_solves,

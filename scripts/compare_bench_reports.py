@@ -14,9 +14,12 @@ Beyond the baseline diff, a few tracked fields are *required outright*
 (:data:`REQUIRED_TRACKED`): the dual-mode counters of the incremental
 benchmark — the zero-extra-solve guarantee and the hold-cone sizes — and the
 naive-subset facts, batch counters and uncached-speedup floor of the
-throughput benchmark must be present in every fresh report (with the pinned
-value, where one is given), so dual-mode and array-batching coverage cannot
-silently disappear even if the committed baseline is regenerated.
+throughput benchmark, and the 100k-net workload plus throughput/memory gates
+of the scale benchmark must be present in every fresh report (with the pinned
+value, where one is given), so dual-mode, array-batching and scale-tier
+coverage cannot silently disappear even if the committed baseline is
+regenerated.  A few tracked fields are *volatile* (:data:`VOLATILE_TRACKED`):
+required-present but skipped by the equality diff.
 
 Usage::
 
@@ -43,6 +46,15 @@ REQUIRED_TRACKED = {
         "hold.dual_mode_extra_solves": 0,  # dual-mode adds zero stage solves
         "hold.single_edit.hold_cone_nets": ...,
         "hold.single_edit.setup_cone_nets": ...,
+        # Report reuse: warm updates must re-flatten a cone's worth of
+        # events, and the count must stay tracked.
+        "edits[0].report_events_rebuilt": ...,
+    },
+    "BENCH_scale.json": {
+        "nets": 100000,  # the scale tier really runs at 100k nets
+        "nets_per_second_floor": ...,
+        "bytes_per_net_ceiling": ...,
+        "compile_fraction": ...,
     },
     "BENCH_graph_throughput.json": {
         "naive_subset_events": ...,  # the naive baseline is measured, not skipped
@@ -54,6 +66,14 @@ REQUIRED_TRACKED = {
         "batch_fill_rate": 1.0,
         "uncached_speedup_floor": 3.0,
     },
+}
+
+#: Tracked fields whose *presence* is pinned (via :data:`REQUIRED_TRACKED`)
+#: but whose value legitimately varies run to run — measured ratios that are
+#: worth recording next to their workload, yet would make the equality diff
+#: flaky.  They are skipped when comparing against the baseline.
+VOLATILE_TRACKED = {
+    "BENCH_scale.json": {"compile_fraction"},
 }
 
 
@@ -92,7 +112,10 @@ def compare_tracked(name: str, baseline: dict, current: dict) -> list:
         return problems
     old = dict(flatten(baseline["tracked"]))
     new = dict(flatten(current["tracked"]))
+    volatile = VOLATILE_TRACKED.get(name, set())
     for path in sorted(old.keys() | new.keys()):
+        if path in volatile:
+            continue
         if path not in new:
             problems.append(f"{name}: tracked.{path} disappeared "
                             f"(baseline: {old[path]!r})")

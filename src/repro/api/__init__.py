@@ -40,7 +40,14 @@ Quickstart::
 
 from .builder import DesignBuilder
 from .config import SessionConfig
-from .report import ReportDiff, RunInfo, TimingEvent, TimingReport, compare_reports
+from .report import (
+    ReportDiff,
+    RunInfo,
+    StreamingTimingReport,
+    TimingEvent,
+    TimingReport,
+    compare_reports,
+)
 from .session import TimingSession
 
 __all__ = [
@@ -48,6 +55,7 @@ __all__ = [
     "TimingSession",
     "DesignBuilder",
     "TimingReport",
+    "StreamingTimingReport",
     "TimingEvent",
     "RunInfo",
     "ReportDiff",

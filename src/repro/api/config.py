@@ -94,6 +94,11 @@ class SessionConfig:
     #: solves), so "both" is the safe default; narrowing to one mode only
     #: strips the other mode's required times from the reports.
     mode: str = "both"
+    #: Graph size (net count) at which :meth:`TimingSession.time` routes a
+    #: TimingGraph through the compiled struct-of-arrays engine and returns a
+    #: :class:`~repro.api.report.StreamingTimingReport`.  None disables the
+    #: automatic routing (an explicit ``time(..., compiled=True)`` still works).
+    compile_threshold: Optional[int] = 4096
     options: ModelingOptions = field(default_factory=ModelingOptions)
     #: Named analysis corners: corner name -> the ModelingOptions that corner
     #: times with.  All corners run through the session's *single* memoized
@@ -115,6 +120,10 @@ class SessionConfig:
                 f"({self.slew_low}, {self.slew_high})"
             )
         check_mode(self.mode, allow_both=True)
+        if self.compile_threshold is not None and self.compile_threshold < 1:
+            raise ModelingError(
+                f"compile_threshold must be >= 1 or None, got {self.compile_threshold}"
+            )
         if not isinstance(self.options, ModelingOptions):
             raise ModelingError("options must be a ModelingOptions instance")
         if self.corners is not None:
@@ -185,6 +194,7 @@ class SessionConfig:
             "slew_low": self.slew_low,
             "slew_high": self.slew_high,
             "mode": self.mode,
+            "compile_threshold": self.compile_threshold,
             "options": _options_to_dict(self.options),
             "corners": {
                 name: _options_to_dict(options) for name, options in self.corners.items()
@@ -222,5 +232,6 @@ class SessionConfig:
             f"(cells {'on' if self.use_characterization_cache else 'off'}, "
             f"stages {'on' if self.persistent_stages else 'off'}), "
             f"jobs={self.jobs}, memo={self.memo_size}, "
-            f"quantum={self.slew_quantum}, mode={self.mode}{corners}"
+            f"quantum={self.slew_quantum}, mode={self.mode}, "
+            f"compile>={self.compile_threshold}{corners}"
         )

@@ -20,20 +20,48 @@ and two saved reports can be compared with :func:`compare_reports` (the
 ``python -m repro report --diff`` backend, whose exit code gates CI on both WNS
 and WHS regressions).  Payloads written before the dual-mode fields existed
 still load: the new fields default to None/absent.
+
+The 100k-net scale tier adds :class:`StreamingTimingReport`: the same report
+contract, but backed by a :class:`~repro.sta.compiled.CompiledAnalysis` whose
+events materialize per net on first access.  Summary queries (WNS/WHS,
+``n_events``, the slack table) run as array reductions over endpoint events
+only, and :func:`compare_reports` diffs by event keys, so none of them flatten
+O(graph) event records; serialization (``to_dict`` / ``save``) still does, on
+purpose, producing plain payloads.
 """
 
 from __future__ import annotations
 
 import json
+from collections import abc
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..errors import ModelingError
+from ..perf import peak_rss_bytes as _peak_rss_bytes
 from ..sta.graph import GraphTimingReport, NetEventTiming, check_mode
 from ..units import to_ps
 
-__all__ = ["TimingEvent", "RunInfo", "TimingReport", "ReportDiff", "compare_reports"]
+__all__ = [
+    "TimingEvent",
+    "RunInfo",
+    "TimingReport",
+    "StreamingTimingReport",
+    "ReportDiff",
+    "compare_reports",
+]
 
 #: Bump when the report schema changes incompatibly.
 REPORT_FORMAT_VERSION = 1
@@ -196,6 +224,9 @@ class RunInfo:
     mode: str = "both"  #: which constraint polarities the analysis computed
     required_nets: Optional[int] = None  #: incremental runs: backward-region size
     hold_required_nets: Optional[int] = None  #: incremental runs: hold-cone size
+    report_events_rebuilt: Optional[int] = None  #: warm updates: events re-flattened
+    compile_seconds: Optional[float] = None  #: compiled runs: graph freeze time [s]
+    peak_rss_bytes: Optional[int] = None  #: process peak RSS at report build [bytes]
 
     @property
     def requests(self) -> int:
@@ -232,6 +263,9 @@ class RunInfo:
             "mode": self.mode,
             "required_nets": self.required_nets,
             "hold_required_nets": self.hold_required_nets,
+            "report_events_rebuilt": self.report_events_rebuilt,
+            "compile_seconds": self.compile_seconds,
+            "peak_rss_bytes": self.peak_rss_bytes,
         }
 
     @classmethod
@@ -266,18 +300,64 @@ class TimingReport:
         kind: str = "graph",
         version: str = "",
         mode: str = "both",
+        reuse: Optional["TimingReport"] = None,
+        changed_nets: Optional[FrozenSet[str]] = None,
+        changed_events: Optional[Iterable[Tuple[str, str]]] = None,
     ) -> "TimingReport":
-        """Flatten a live :class:`GraphTimingReport` into the unified model."""
+        """Flatten a live :class:`GraphTimingReport` into the unified model.
+
+        ``reuse`` enables the warm-update fast path: when a prior report of the
+        same graph is given together with ``changed_nets`` (nets whose forward
+        timing was re-solved) and ``changed_events`` (individual ``(net,
+        transition)`` events whose required times moved in the backward pass),
+        only those events are re-flattened — every other record is shared with
+        ``reuse`` — and ``meta.report_events_rebuilt`` counts the rebuilds.
+        Without ``reuse`` (or with ``changed_nets=None``, meaning "everything
+        may have changed") the full flatten runs and the counter stays None.
+        """
         if kind not in ("path", "graph"):
             raise ModelingError(f"report kind must be 'path' or 'graph', got {kind!r}")
         check_mode(mode, allow_both=True)
-        events = {
-            name: {
-                transition: TimingEvent.from_net_event(event)
-                for transition, event in sorted(per_net.items())
+        rebuilt: Optional[int] = None
+        if reuse is not None and changed_nets is not None:
+            rebuilt = 0
+            events = dict(reuse.events)
+            for name in list(events):
+                if name not in report.events:
+                    del events[name]
+            for name in changed_nets:
+                per_net = report.events.get(name)
+                if not per_net:
+                    events.pop(name, None)
+                    continue
+                events[name] = {
+                    transition: TimingEvent.from_net_event(event)
+                    for transition, event in sorted(per_net.items())
+                }
+                rebuilt += len(per_net)
+            for name, transition in changed_events or ():
+                if name in changed_nets:
+                    continue  # already rebuilt wholesale above
+                per_net = report.events.get(name)
+                live = per_net.get(transition) if per_net else None
+                current = dict(events.get(name, {}))
+                if live is None:
+                    current.pop(transition, None)
+                else:
+                    current[transition] = TimingEvent.from_net_event(live)
+                    rebuilt += 1
+                if current:
+                    events[name] = current
+                else:
+                    events.pop(name, None)
+        else:
+            events = {
+                name: {
+                    transition: TimingEvent.from_net_event(event)
+                    for transition, event in sorted(per_net.items())
+                }
+                for name, per_net in sorted(report.events.items())
             }
-            for name, per_net in sorted(report.events.items())
-        }
         critical = (
             [(event.net.name, event.input_transition) for event in report.critical_path()]
             if events
@@ -301,6 +381,7 @@ class TimingReport:
             hold_required_nets=incremental.hold_required_nets
             if incremental is not None
             else None,
+            report_events_rebuilt=rebuilt,
         )
         return cls(
             design=design,
@@ -321,6 +402,28 @@ class TimingReport:
     def nets(self) -> List[str]:
         """Net names in topological (level) order."""
         return [name for level in self.levels for name in level]
+
+    def event_keys(self) -> Set[Tuple[str, str]]:
+        """Every solved ``(net, input transition)`` key."""
+        return {
+            (name, transition)
+            for name, per_net in self.events.items()
+            for transition in per_net
+        }
+
+    def endpoint_keys(self) -> Set[Tuple[str, str]]:
+        """The ``(net, input transition)`` keys of endpoint events."""
+        return {
+            (name, transition)
+            for name, per_net in self.events.items()
+            for transition, event in per_net.items()
+            if event.endpoint
+        }
+
+    def iter_events(self) -> Iterator[TimingEvent]:
+        """All events, net by net (streaming reports materialize lazily)."""
+        for per_net in self.events.values():
+            yield from per_net.values()
 
     def event(self, name: str, transition: Optional[str] = None) -> TimingEvent:
         """The event of net ``name`` (worst output arrival when ambiguous)."""
@@ -653,6 +756,142 @@ class TimingReport:
         return "\n".join(lines)
 
 
+class _LazyEvents(abc.Mapping):
+    """The ``events`` mapping of a streaming report, materialized per net.
+
+    Looks exactly like the eager ``Dict[str, Dict[str, TimingEvent]]`` — same
+    keys, same per-net dicts — but each net's records are built from the
+    backing :class:`~repro.sta.compiled.CompiledAnalysis` arrays only when
+    first accessed (then cached).  Whole-mapping iteration (``items()``,
+    ``to_dict``) still works and materializes everything, which is the point:
+    queries that *can* stay columnar go through the report's array-backed
+    overrides instead of this mapping.
+    """
+
+    def __init__(self, analysis: Any) -> None:
+        self._analysis = analysis
+        self._cache: Dict[str, Dict[str, TimingEvent]] = {}
+        self._names: Optional[List[str]] = None
+
+    def _net_names(self) -> List[str]:
+        if self._names is None:
+            self._names = self._analysis.net_names_with_events()
+        return self._names
+
+    def __getitem__(self, name: str) -> Dict[str, TimingEvent]:
+        per_net = self._cache.get(name)
+        if per_net is None:
+            try:
+                per_net = self._analysis.events_of(name)
+            except KeyError:
+                raise KeyError(name) from None
+            if not per_net:
+                raise KeyError(name)
+            self._cache[name] = per_net
+        return per_net
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._net_names())
+
+    def __len__(self) -> int:
+        return len(self._net_names())
+
+
+@dataclass(frozen=True)
+class StreamingTimingReport(TimingReport):
+    """A :class:`TimingReport` over compiled-analysis arrays, events on demand.
+
+    Construction is O(critical path): no per-event records are built up
+    front.  Summary queries (``n_events``, ``constrained``, WNS/WHS) run as
+    array reductions; per-net queries materialize just that net;
+    ``endpoint_slacks`` / ``format_slack_table`` materialize endpoint events
+    only.  Full materialization happens exactly where it must — ``to_dict`` /
+    ``save`` — so saved payloads are plain reports, loadable anywhere.
+    """
+
+    analysis: Optional[Any] = None  #: the backing CompiledAnalysis
+
+    @classmethod
+    def from_compiled(
+        cls,
+        analysis: Any,
+        *,
+        design: str,
+        version: str = "",
+        mode: str = "both",
+        compile_seconds: Optional[float] = None,
+    ) -> "StreamingTimingReport":
+        """Wrap one :meth:`GraphEngine.analyze_compiled` result."""
+        check_mode(mode, allow_both=True)
+        critical = (
+            [analysis.key_of(event) for event in analysis.critical_path_ids()]
+            if analysis.n_events
+            else []
+        )
+        stats = analysis.stats
+        meta = RunInfo(
+            elapsed=analysis.elapsed,
+            jobs=1,
+            memo_hits=stats.memo_hits,
+            persistent_hits=stats.persistent_hits,
+            computed=stats.computed,
+            installed=stats.installed,
+            batched_solves=stats.batched_solves,
+            version=version,
+            mode=mode,
+            compile_seconds=compile_seconds,
+            peak_rss_bytes=_peak_rss_bytes(),
+        )
+        return cls(
+            design=design,
+            kind="graph",
+            events=_LazyEvents(analysis),
+            levels=analysis.graph.level_names(),
+            critical_path=critical,
+            meta=meta,
+            analysis=analysis,
+        )
+
+    # --- array-backed overrides (no event materialization) ----------------------------
+    @property
+    def n_events(self) -> int:
+        return self.analysis.n_events
+
+    def event_keys(self) -> Set[Tuple[str, str]]:
+        return {self.analysis.key_of(int(e)) for e in self.analysis.event_ids()}
+
+    def endpoint_keys(self) -> Set[Tuple[str, str]]:
+        analysis = self.analysis
+        import numpy as np  # local: keep report import light for plain loads
+
+        mask = np.repeat(analysis.graph.is_endpoint, 2) & analysis.state.exists
+        return {analysis.key_of(int(e)) for e in np.flatnonzero(mask)}
+
+    @property
+    def constrained(self) -> bool:
+        return self.analysis.constrained("setup")
+
+    @property
+    def hold_constrained(self) -> bool:
+        return self.analysis.constrained("hold")
+
+    def _worst_endpoint_slack(self, mode: str) -> Optional[float]:
+        return self.analysis.worst_endpoint_slack(mode)
+
+    def endpoint_slacks(self, *, mode: str = "setup") -> List[TimingEvent]:
+        """``mode``-constrained endpoint events, worst (smallest) slack first.
+
+        Materializes endpoint events only — the table never touches the
+        O(graph) interior.
+        """
+        check_mode(mode)
+        analysis = self.analysis
+        events = [
+            analysis.timing_event(int(e)) for e in analysis.endpoint_event_ids(mode)
+        ]
+        return sorted(events, key=lambda e: (e.slack_for(mode), e.net, e.input_transition))
+
+
 #: (net, input transition, old slack, new slack) rows of a slack-change table.
 _SlackChange = Tuple[str, str, Optional[float], Optional[float]]
 
@@ -758,24 +997,21 @@ class ReportDiff:
 
 
 def compare_reports(old: TimingReport, new: TimingReport) -> ReportDiff:
-    """Structured comparison of two reports (the ``report --diff`` backend)."""
+    """Structured comparison of two reports (the ``report --diff`` backend).
 
-    def keys(report: TimingReport) -> set:
-        return {
-            (name, transition)
-            for name, per_net in report.events.items()
-            for transition in per_net
-        }
+    Only event *keys* and endpoint events are touched, so diffing two
+    streaming reports never flattens their O(graph) interiors.
+    """
 
-    old_keys, new_keys = keys(old), keys(new)
+    old_keys, new_keys = old.event_keys(), new.event_keys()
+    shared = old_keys & new_keys
+    endpoint_shared = (old.endpoint_keys() | new.endpoint_keys()) & shared
 
     def changed_slacks(mode: str) -> List[_SlackChange]:
         changed: List[_SlackChange] = []
-        for name, transition in sorted(old_keys & new_keys):
+        for name, transition in sorted(endpoint_shared):
             old_event = old.events[name][transition]
             new_event = new.events[name][transition]
-            if not (old_event.endpoint or new_event.endpoint):
-                continue
             if old_event.slack_for(mode) != new_event.slack_for(mode):
                 changed.append(
                     (name, transition, old_event.slack_for(mode), new_event.slack_for(mode))

@@ -48,9 +48,10 @@ from ..sta.batch import GraphEngine, IncrementalEngine
 from ..sta.graph import TimingGraph, chain_graph, check_mode
 from ..sta.stage import TimingPath
 from ..tech.inverter import InverterSpec
+from ..sta.compiled import CompiledGraph
 from .builder import DesignBuilder
 from .config import SessionConfig
-from .report import TimingReport
+from .report import StreamingTimingReport, TimingReport
 
 __all__ = ["TimingSession"]
 
@@ -117,6 +118,10 @@ class TimingSession:
         self._runner: Optional[CharacterizationRunner] = None
         self._managed = False
         self._closed = False
+        # Single-slot compiled-graph cache: (graph identity, version, compiled).
+        self._compiled_cache: Optional[tuple] = None
+        # The previous update()'s unified report, for warm event reuse.
+        self._update_report: Optional[TimingReport] = None
 
     # --- lifecycle --------------------------------------------------------------------
     def __enter__(self) -> "TimingSession":
@@ -211,6 +216,7 @@ class TimingSession:
         name: Optional[str] = None,
         corner: Optional[str] = None,
         mode: Optional[str] = None,
+        compiled: Optional[bool] = None,
     ) -> TimingReport:
         """Time ``design`` and return the unified :class:`TimingReport`.
 
@@ -229,13 +235,33 @@ class TimingSession:
         backward pass computes (``"setup"``, ``"hold"`` or ``"both"``).  Both
         arrival planes are always carried, and a single traversal serves both
         polarities with zero additional stage solves.
+
+        ``compiled`` selects the struct-of-arrays scale tier: the graph is
+        frozen into a :class:`~repro.sta.compiled.CompiledGraph` (cached across
+        calls until a structural edit bumps the graph's version) and analyzed
+        with whole-level array sweeps, returning a
+        :class:`~repro.api.report.StreamingTimingReport` whose events
+        materialize on demand.  Results are bit-compatible with the object
+        engine.  ``None`` (the default) routes automatically: memoized
+        :class:`TimingGraph` designs with at least
+        ``config.compile_threshold`` nets take the compiled path.
         """
         self._closed = False
         mode = self.config.mode if mode is None else check_mode(mode, allow_both=True)
         options = self.corner_options(corner)
+        if compiled and not memoize:
+            raise ModelingError(
+                "compiled analysis always memoizes its stage solves; "
+                "compiled=True cannot be combined with memoize=False"
+            )
         if isinstance(design, DesignBuilder):
             graph, kind, label = design.build(), "graph", design.name
         elif isinstance(design, TimingPath):
+            if compiled:
+                raise ModelingError(
+                    "compiled analysis applies to TimingGraph designs; paths "
+                    "always run on the object engine"
+                )
             # A chain has one net per level, so worker fan-out cannot help;
             # jobs=1 keeps the path flow exactly on the PathTimer code path.
             graph, _ = chain_graph(design, input_transition=options.transition)
@@ -256,6 +282,21 @@ class TimingSession:
                 "time() expects a TimingPath, TimingGraph or DesignBuilder, "
                 f"got {type(design).__name__}"
             )
+        if compiled is None:
+            threshold = self.config.compile_threshold
+            compiled = memoize and threshold is not None and len(graph) >= threshold
+        if compiled:
+            compiled_graph, fresh = self._compiled_for(graph)
+            analysis = self._engine.analyze_compiled(
+                graph, compiled=compiled_graph, options=options, mode=mode
+            )
+            return StreamingTimingReport.from_compiled(
+                analysis,
+                design=name if name is not None else label,
+                version=__version__,
+                mode=mode,
+                compile_seconds=compiled_graph.compile_seconds if fresh else 0.0,
+            )
         report = self._engine.analyze(
             graph, jobs=jobs, memoize=memoize, options=options, mode=mode
         )
@@ -266,6 +307,21 @@ class TimingSession:
             version=__version__,
             mode=mode,
         )
+
+    def _compiled_for(self, graph: TimingGraph) -> "tuple[CompiledGraph, bool]":
+        """The cached compiled twin of ``graph`` (recompiled when stale).
+
+        Returns ``(compiled, fresh)`` where ``fresh`` says a compile actually
+        ran.  The single-slot cache is keyed on graph identity and version:
+        constraint and primary-input changes are read live at analyze time and
+        never invalidate it, structural edits bump the version and do.
+        """
+        cached = self._compiled_cache
+        if cached is not None and cached[0] is graph and cached[1] == graph.version:
+            return cached[2], False
+        compiled_graph = self._engine.compile(graph)
+        self._compiled_cache = (graph, graph.version, compiled_graph)
+        return compiled_graph, True
 
     def time_corners(
         self,
@@ -351,6 +407,7 @@ class TimingSession:
                 if self._managed:
                     engine.__enter__()
                 self._incremental = engine
+                self._update_report = None  # stale: belongs to the old graph
         elif isinstance(design, DesignBuilder):
             raise ModelingError(
                 "update() needs the TimingGraph itself — a DesignBuilder "
@@ -362,12 +419,17 @@ class TimingSession:
                 f"update() expects a TimingGraph, got {type(design).__name__}"
             )
         report = engine.update(jobs=jobs)
-        return TimingReport.from_graph_report(
+        unified = TimingReport.from_graph_report(
             report,
             design=name if name is not None else "graph",
             kind="graph",
             version=__version__,
+            reuse=self._update_report,
+            changed_nets=engine.last_changed_nets,
+            changed_events=engine.last_changed_events,
         )
+        self._update_report = unified
+        return unified
 
     # --- characterization -------------------------------------------------------------
     def characterize(

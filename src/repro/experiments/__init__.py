@@ -6,7 +6,7 @@ from .figures import (figure1_driver_waveform, figure3_single_ceff_comparison,
                       figure6_single_ramp_and_far_end)
 from .graph_cases import (benchmark_graph, fanout_tree, global_route_path,
                           parallel_chains, race_graph, reconvergent_graph,
-                          standard_lines)
+                          soc_graph, standard_lines)
 from .paper_cases import (FIGURE1_CASE, FIGURE3_CASE, FIGURE5_CASES,
                           FIGURE6_FAR_END_CASE, FIGURE6_SINGLE_RAMP_CASE,
                           TABLE1_CASES, PaperCase, Table1Row, find_table1_row)
@@ -46,4 +46,5 @@ __all__ = [
     "reconvergent_graph",
     "race_graph",
     "benchmark_graph",
+    "soc_graph",
 ]

@@ -14,7 +14,17 @@ library (25X-125X) and the paper's parasitic regime:
   sink: the minimal min-delay (hold/race) workload, where the sink's early and
   late arrival planes split apart, and
 * :func:`benchmark_graph` — the ≥1k-net mixed workload the throughput benchmark
-  times (parallel chains cycling through a handful of line flavors).
+  times (parallel chains cycling through a handful of line flavors), and
+* :func:`soc_graph` — the SoC-shaped scale workload: replicated 125-net
+  clusters mixing distribution trees, repeatered chains and pairwise
+  reconvergence with a realistic fanout distribution, parameterized by target
+  net count (the 10k/100k tiers ``BENCH_scale`` times through the compiled
+  struct-of-arrays path).
+
+Construction is O(nets + edges): chains are emitted through one shared
+:func:`_chain_nets` helper (name lists built once, next-stage links by index)
+and :class:`~repro.sta.graph.TimingGraph` validates in a single pass, so a
+100k-net build costs seconds, not minutes.
 
 Everything is deterministic (no randomness), so two builds of the same case are
 identical and stage-solution memo keys repeat across runs.
@@ -22,7 +32,7 @@ identical and stage-solution memo keys repeat across runs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ModelingError
 from ..interconnect.rlc_line import RLCLine
@@ -32,7 +42,7 @@ from ..units import mm, nH, pF, ps
 
 __all__ = ["standard_lines", "global_route_path", "parallel_chains",
            "fanout_tree", "reconvergent_graph", "race_graph",
-           "benchmark_graph"]
+           "benchmark_graph", "soc_graph"]
 
 #: Driver sizes shipped with the repository's cell library.
 LIBRARY_SIZES: Tuple[float, ...] = (25.0, 50.0, 75.0, 100.0, 125.0)
@@ -77,6 +87,29 @@ def global_route_path(*, input_slew: float = ps(100.0)) -> TimingPath:
     )
 
 
+def _chain_nets(names: Sequence[str], *, lines: Sequence[RLCLine],
+                sizes: Sequence[float],
+                tail_fanout: Tuple[str, ...] = (),
+                tail_receiver: Optional[float] = None) -> List[GraphNet]:
+    """One repeatered chain as a net list, O(len(names)).
+
+    Stage ``s`` is named ``names[s]``, drives ``names[s + 1]`` (links are by
+    index — no name lookups), uses driver size ``sizes[s % len(sizes)]`` and
+    line flavor ``lines[s % len(lines)]``.  The last stage drives
+    ``tail_fanout`` (edges into other nets) and/or carries ``tail_receiver``
+    as a terminal load.  Shared by every chain-shaped generator so the bus
+    benchmark and the SoC clusters emit identical chain structure.
+    """
+    last = len(names) - 1
+    return [GraphNet(
+        name=name,
+        driver_size=sizes[s % len(sizes)],
+        line=lines[s % len(lines)],
+        fanout=tail_fanout if s == last else (names[s + 1],),
+        receiver_size=tail_receiver if s == last else None)
+        for s, name in enumerate(names)]
+
+
 def parallel_chains(n_chains: int, chain_length: int, *,
                     lines: Sequence[RLCLine] = (),
                     sizes: Sequence[float] = (75.0, 100.0),
@@ -95,16 +128,10 @@ def parallel_chains(n_chains: int, chain_length: int, *,
     nets: List[GraphNet] = []
     inputs: Dict[str, PrimaryInput] = {}
     for c in range(n_chains):
-        line = lines[c % len(lines)]
-        for s in range(chain_length):
-            last = s == chain_length - 1
-            nets.append(GraphNet(
-                name=f"c{c}s{s}",
-                driver_size=sizes[s % len(sizes)],
-                line=line,
-                fanout=() if last else (f"c{c}s{s + 1}",),
-                receiver_size=terminal_size if last else None))
-        inputs[f"c{c}s0"] = PrimaryInput(slew=input_slew)
+        names = [f"c{c}s{s}" for s in range(chain_length)]
+        nets.extend(_chain_nets(names, lines=(lines[c % len(lines)],),
+                                sizes=sizes, tail_receiver=terminal_size))
+        inputs[names[0]] = PrimaryInput(slew=input_slew)
     return TimingGraph(nets, inputs)
 
 
@@ -196,3 +223,61 @@ def benchmark_graph(n_nets: int = 1024, *, chain_length: int = 16,
         raise ModelingError("need at least one net")
     n_chains = -(-n_nets // chain_length)  # ceil division
     return parallel_chains(n_chains, chain_length, input_slew=input_slew)
+
+
+def soc_graph(n_nets: int = 100_000, *,
+              input_slew: float = ps(100.0)) -> TimingGraph:
+    """An SoC-shaped scale workload of at least ``n_nets`` nets.
+
+    The graph replicates a deterministic 125-net cluster until the target net
+    count is reached (``ceil(n_nets / 125)`` clusters), each mixing the
+    structures real designs are made of:
+
+    * a buffered **distribution tree** — one 125X root (the cluster's primary
+      input) fans out to four 100X intermediates, each fanning out to four 75X
+      leaves (fanout 4, depth 2),
+    * sixteen 6-stage **repeatered chains** (100X/75X alternating, line flavor
+      rotating per stage) hanging off the leaves, and
+    * pairwise **reconvergence**: chain tails merge two-by-two into eight 50X
+      receiver-terminated endpoint nets, so merge nets legitimately elect
+      worst/best arrivals from competing fanins in both planes.
+
+    The fanout distribution is realistic for synthesized logic — mostly
+    fanout-1 with a fanout-4 spine and ~6% endpoints — and the cluster repeats
+    *exactly*, so unique stage configurations stay bounded (~34) at any size:
+    a 100k-net build performs the same few dozen stage solves as a 1k-net one,
+    which is what lets ``BENCH_scale`` measure graph bookkeeping instead of
+    timing math.  Since ``125 | 1000``, round targets (1k/10k/100k) are met
+    exactly.
+    """
+    if n_nets < 1:
+        raise ModelingError("need at least one net")
+    lines = standard_lines()
+    tree_line = lines[1]
+    n_clusters = -(-n_nets // 125)  # ceil division
+    nets: List[GraphNet] = []
+    inputs: Dict[str, PrimaryInput] = {}
+    for k in range(n_clusters):
+        prefix = f"k{k}"
+        mids = tuple(f"{prefix}m{i}" for i in range(4))
+        nets.append(GraphNet(f"{prefix}t", 125.0, tree_line, fanout=mids))
+        inputs[f"{prefix}t"] = PrimaryInput(slew=input_slew)
+        leaves: List[str] = []
+        for i, mid in enumerate(mids):
+            branch = tuple(f"{prefix}l{4 * i + b}" for b in range(4))
+            nets.append(GraphNet(mid, 100.0, tree_line, fanout=branch))
+            leaves.extend(branch)
+        for j, leaf in enumerate(leaves):
+            chain = [f"{prefix}c{j}s{s}" for s in range(6)]
+            nets.append(GraphNet(leaf, 75.0, lines[j % 4],
+                                 fanout=(chain[0],)))
+            nets.extend(_chain_nets(
+                chain,
+                lines=[lines[(j + s) % 4] for s in range(6)],
+                sizes=(100.0, 75.0),
+                tail_fanout=(f"{prefix}e{j // 2}",)))
+        for m in range(8):
+            # Short lines only: a 50X driver cannot swing the 3mm/5mm flavors.
+            nets.append(GraphNet(f"{prefix}e{m}", 50.0, lines[m % 2],
+                                 receiver_size=25.0))
+    return TimingGraph(nets, inputs)

@@ -1,0 +1,41 @@
+"""Small, dependency-free process-measurement helpers.
+
+One fact lives here so every consumer agrees on it: ``resource.getrusage``
+reports peak RSS in *kilobytes* on Linux but in *bytes* on macOS, and the
+``resource`` module does not exist on Windows.  :func:`peak_rss_bytes`
+normalizes all three cases, which is what lets the scale benchmark's
+bytes-per-net ceiling and :class:`repro.api.report.RunInfo`'s
+``peak_rss_bytes`` field share one definition instead of re-deriving the
+platform rules (and silently disagreeing by a factor of 1024).
+
+Peak RSS is a process-lifetime high-water mark: it only ever grows, so a
+measurement inside a long-lived process (a test runner, a session) reflects
+everything that ran before it.  Callers that need the footprint of one
+workload should measure a baseline first and report the delta — or, like the
+scale benchmark, run the workload in a fresh subprocess.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+__all__ = ["peak_rss_bytes"]
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """The process's peak resident-set size in bytes, or None when unknown.
+
+    Uses ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` with the
+    platform-correct unit (kilobytes everywhere ``resource`` exists, except
+    macOS where the kernel reports bytes).  Returns None on platforms without
+    the ``resource`` module (Windows) instead of raising.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+        return int(peak)
+    return int(peak) * 1024

@@ -19,6 +19,12 @@ Layering, bottom up:
   :class:`~.batch.IncrementalEngine` re-times only the dirty cone of in-place
   graph edits (``resize_driver``, ``set_line``, ``add_fanout``, ...), bit-identical
   to a from-scratch run.
+* :mod:`repro.sta.compiled` — the 100k-net scale tier: :func:`compile_graph`
+  freezes a :class:`TimingGraph` into a :class:`CompiledGraph` (struct-of-arrays
+  CSR form), and :meth:`GraphEngine.analyze_compiled` runs the same forward and
+  backward passes as whole-level numpy sweeps, bit-compatible with the object
+  engine.  :meth:`CompiledGraph.partition` exposes a levelized-region seam with
+  explicit :class:`BoundaryEvents` exchange.
 
 The recommended front door to all of this is :class:`repro.api.TimingSession`,
 which owns the cell library, the caches and the worker pool, accepts
@@ -30,6 +36,8 @@ bit-identical to the session's.
 """
 
 from .batch import GraphEngine, GraphTimer, IncrementalEngine
+from .compiled import (TRANSITIONS, BoundaryEvents, CompiledAnalysis,
+                       CompiledGraph, CompiledRegion, SweepState, compile_graph)
 from .engine import PathTimer, PathTimingReport, StageTiming
 from .graph import (ANALYSIS_MODES, CHECK_MODES, GraphNet, GraphTimingReport,
                     IncrementalStats, NetEventTiming, PrimaryInput,
@@ -59,4 +67,11 @@ __all__ = [
     "GraphTimer",
     "PathReference",
     "simulate_path_reference",
+    "TRANSITIONS",
+    "CompiledGraph",
+    "CompiledRegion",
+    "CompiledAnalysis",
+    "SweepState",
+    "BoundaryEvents",
+    "compile_graph",
 ]

@@ -60,7 +60,9 @@ import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
 
 from ..characterization.cell import CellCharacterization
 from ..characterization.library import CellLibrary, default_library
@@ -68,10 +70,14 @@ from ..characterization.parallel import resolve_jobs
 from ..constants import SLEW_HIGH_THRESHOLD, SLEW_LOW_THRESHOLD
 from ..core.driver_model import ModelingOptions
 from ..core.stage_solver import (SolverStats, StageRequest, StageSolution,
-                                 StageSolver, solve_stage)
+                                 StageSolver, _options_fingerprint,
+                                 solve_stage)
 from ..errors import ModelingError
 from ..tech.technology import Technology, generic_180nm
 from ._deprecation import warn_deprecated_once
+from .compiled import (TRANSITIONS, BoundaryEvents, CompiledAnalysis,
+                       CompiledGraph, SweepState, backward_required,
+                       compile_graph, constraint_seeds, merge_level)
 from .graph import (GraphNet, GraphTimingReport, IncrementalStats,
                     NetEventTiming, TimingGraph, check_mode, flip_transition)
 
@@ -399,7 +405,8 @@ class GraphEngine:
     def _apply_required(graph: TimingGraph,
                         events: Dict[str, Dict[str, NetEventTiming]],
                         targets: Optional[set] = None, *,
-                        setup: bool = True, hold: bool = True) -> int:
+                        setup: bool = True, hold: bool = True,
+                        changed: Optional[Set[Tuple[str, str]]] = None) -> int:
         """Backward pass: propagate required times, rewrite events in place.
 
         Mirrors the forward merge against the arrival flow, per enabled mode:
@@ -414,6 +421,11 @@ class GraphEngine:
         region); consumers outside it contribute their cached required times.
         Pure arithmetic — no stage is ever re-solved here.  Returns the number
         of nets visited.
+
+        ``changed`` (when given) collects the (net, transition) keys of every
+        event actually *replaced* — the precise set whose required times
+        moved, which is what lets report construction reuse the untouched
+        event records instead of re-flattening the whole graph.
         """
         do_setup = setup and graph.setup_constrained
         do_hold = hold and graph.hold_constrained
@@ -425,6 +437,8 @@ class GraphEngine:
                             or event.hold_required is not None:
                         per_net[transition] = replace(
                             event, required=None, hold_required=None)
+                        if changed is not None:
+                            changed.add((name, transition))
             return 0
         visited = 0
         for level in reversed(graph.levels):
@@ -465,6 +479,8 @@ class GraphEngine:
                         per_net[transition] = replace(
                             event, required=required,
                             hold_required=hold_required)
+                        if changed is not None:
+                            changed.add((name, transition))
         return visited
 
     def analyze(self, graph: TimingGraph, *, jobs: Optional[int] = None,
@@ -523,6 +539,176 @@ class GraphEngine:
                                  stats=stats, jobs=jobs,
                                  elapsed=time.perf_counter() - started)
 
+    # --- compiled (struct-of-arrays) analysis ----------------------------------------
+    def compile(self, graph: TimingGraph) -> CompiledGraph:
+        """Freeze ``graph`` into struct-of-arrays form for :meth:`analyze_compiled`.
+
+        The snapshot captures structure only (adjacency, levels, loads, stage
+        configurations); constraints and primary inputs are read live at
+        analysis time, so a compiled graph survives constraint and stimulus
+        edits and only goes stale on structural ones (checked via
+        :attr:`TimingGraph.version`).
+        """
+        return compile_graph(graph, library=self.library, tech=self.tech)
+
+    @staticmethod
+    def _seed_primary_inputs(cg: CompiledGraph, graph: TimingGraph,
+                             state: SweepState) -> None:
+        """Install the live primary-input stimuli as pending root events."""
+        for name, primary in graph.primary_inputs.items():
+            event = cg.index[name] * 2 + TRANSITIONS.index(primary.transition)
+            state.exists[event] = True
+            state.in_arr[event] = primary.arrival
+            state.early_in[event] = primary.arrival
+            state.merged_slew[event] = primary.slew
+
+    def _solve_compiled_level(self, cg: CompiledGraph, state: SweepState,
+                              events: np.ndarray,
+                              options_pair: Dict[int, ModelingOptions],
+                              fp_cache: Dict[Tuple[int, int, float], str],
+                              solutions: List[StageSolution]) -> None:
+        """Solve one level's events: quantize, dedupe, one batch, scatter back.
+
+        The object engine hands the solver one request *per event* and lets
+        the memo dedupe by re-hashing every fingerprint; here the level first
+        collapses to unique ``(stage config, transition, quantized slew)``
+        keys — a numpy ``unique`` over a (n, 3) float matrix — so fingerprints
+        are computed (or fetched from the compiled graph's cache) only per
+        unique key.  That per-event sha256 hashing is exactly the warm-path
+        bottleneck ``BENCH_incremental`` flags, which is where most of the
+        compiled path's warm speedup comes from.
+        """
+        slews = state.merged_slew[events]
+        quantum = self.solver.slew_quantum
+        if quantum is not None:
+            # Vectorized twin of quantize_slew(): round() and np.rint are
+            # both half-even, so the grid snap is bit-identical.
+            slews = np.maximum(np.rint(slews / quantum), 1.0) * quantum
+        state.in_slew[events] = slews
+        keys = np.empty((events.size, 3), dtype=np.float64)
+        keys[:, 0] = cg.config_id[events >> 1]
+        keys[:, 1] = events & 1
+        keys[:, 2] = slews
+        unique, inverse = np.unique(keys, axis=0, return_inverse=True)
+        requests: List[StageRequest] = []
+        for config_key, t_key, slew in unique.tolist():
+            config, t = int(config_key), int(t_key)
+            cache_key = (config, t, slew)
+            cell = cg.config_cell[config]
+            line = cg.config_line[config]
+            load = float(cg.config_load[config])
+            options = options_pair[t]
+            fingerprint = fp_cache.get(cache_key)
+            if fingerprint is None:
+                fingerprint = self.solver.fingerprint_for(
+                    cell, slew, line, load, options)
+                fp_cache[cache_key] = fingerprint
+            requests.append(StageRequest(
+                cell=cell, input_slew=slew, line=line, load_capacitance=load,
+                options=options, fingerprint=fingerprint))
+        solved = self.solver.solve_batch(requests)
+        base = len(solutions)
+        solutions.extend(solved)
+        delays = np.fromiter((s.stage_delay for s in solved),
+                             dtype=np.float64, count=len(solved))
+        prop_slews = np.fromiter((s.propagated_slew for s in solved),
+                                 dtype=np.float64, count=len(solved))
+        state.sol_idx[events] = base + inverse
+        delay = delays[inverse]
+        state.delay[events] = delay
+        state.prop_slew[events] = prop_slews[inverse]
+        state.out_arr[events] = state.in_arr[events] + delay
+        state.early_out[events] = state.early_in[events] + delay
+
+    def analyze_compiled(self, graph: TimingGraph, *,
+                         compiled: Optional[CompiledGraph] = None,
+                         options: Optional[ModelingOptions] = None,
+                         mode: str = "both",
+                         partitions: Optional[int] = None) -> CompiledAnalysis:
+        """Time ``graph`` through the struct-of-arrays path.
+
+        Equivalent to :meth:`analyze` — same merges, same stage solves through
+        the same memoized solver, same backward pass — but each level runs as
+        numpy reductions over event-id arrays instead of per-object Python,
+        and the result is a :class:`~.compiled.CompiledAnalysis` whose event
+        records materialize lazily.  ``compiled`` reuses a prior
+        :meth:`compile` snapshot (it must match the graph's current
+        :attr:`~.graph.TimingGraph.version`); ``partitions`` routes the
+        forward sweep through ``partitions`` contiguous level regions with
+        explicit :class:`~.compiled.BoundaryEvents` exchange — bit-identical
+        to the monolithic sweep, exercising the multi-process seam.
+        """
+        if not isinstance(graph, TimingGraph):
+            raise ModelingError("analyze_compiled() expects a TimingGraph")
+        check_mode(mode, allow_both=True)
+        cg = compiled if compiled is not None else self.compile(graph)
+        if cg.version != graph.version:
+            raise ModelingError(
+                "compiled graph is stale (the graph was structurally edited "
+                "after compile()); recompile before analyzing")
+        started = time.perf_counter()
+        before = self.solver.stats.snapshot()
+        base_options = options if options is not None else self.options
+        options_pair = {
+            t: replace(base_options, transition=flip_transition(TRANSITIONS[t]),
+                       reference_time=0.0)
+            for t in (0, 1)}
+        fp_cache = cg.fingerprints.setdefault(
+            _options_fingerprint(base_options), {})
+        solutions: List[StageSolution] = []
+        state = SweepState.empty(2 * cg.n_nets)
+        if partitions is None:
+            self._seed_primary_inputs(cg, graph, state)
+            for level in range(cg.n_levels):
+                net_lo = int(cg.level_ptr[level])
+                net_hi = int(cg.level_ptr[level + 1])
+                events = merge_level(cg, state, net_lo, net_hi)
+                if events.size:
+                    self._solve_compiled_level(cg, state, events, options_pair,
+                                               fp_cache, solutions)
+        else:
+            # Partitioned sweep: each region runs on a fresh state seeded only
+            # with its boundary packet (plus the primary inputs, which live in
+            # the first region's level 0), then copies its net span back into
+            # the master state.  Regions communicate through BoundaryEvents
+            # only — the explicit seam a multi-process fan-out would ship.
+            for region in cg.partition(partitions):
+                region_state = SweepState.empty(2 * cg.n_nets)
+                if region.level_lo == 0:
+                    self._seed_primary_inputs(cg, graph, region_state)
+                BoundaryEvents.capture(
+                    state, region.boundary_nets).inject(region_state)
+                for level in range(region.level_lo, region.level_hi):
+                    net_lo = int(cg.level_ptr[level])
+                    net_hi = int(cg.level_ptr[level + 1])
+                    events = merge_level(cg, region_state, net_lo, net_hi)
+                    if events.size:
+                        self._solve_compiled_level(
+                            cg, region_state, events, options_pair,
+                            fp_cache, solutions)
+                span = slice(region.net_lo * 2, region.net_hi * 2)
+                for master, local in zip(state.planes(),
+                                         region_state.planes()):
+                    master[span] = local[span]
+        do_setup = mode in ("setup", "both") and graph.setup_constrained
+        do_hold = mode in ("hold", "both") and graph.hold_constrained
+        required, hold_required = backward_required(
+            cg, state,
+            constraint_seeds(cg, graph, "setup") if do_setup else None,
+            constraint_seeds(cg, graph, "hold") if do_hold else None)
+        after = self.solver.stats
+        stats = SolverStats(
+            memo_hits=after.memo_hits - before.memo_hits,
+            persistent_hits=after.persistent_hits - before.persistent_hits,
+            computed=after.computed - before.computed,
+            installed=after.installed - before.installed,
+            batched_solves=after.batched_solves - before.batched_solves)
+        return CompiledAnalysis(
+            graph=cg, state=state, required=required,
+            hold_required=hold_required, solutions=solutions, stats=stats,
+            elapsed=time.perf_counter() - started, mode=mode,
+            partitions=partitions)
+
 
 class IncrementalEngine(GraphEngine):
     """A :class:`GraphEngine` that stays attached to one graph and re-times edits.
@@ -554,6 +740,12 @@ class IncrementalEngine(GraphEngine):
         self.graph = graph
         self._events: Dict[str, Dict[str, NetEventTiming]] = {}
         self._timed = False
+        #: Nets whose events the last update re-timed (the forward cone), and
+        #: (net, transition) keys whose required times it rewrote.  None means
+        #: "potentially everything" (full analysis / after invalidate) —
+        #: report construction uses these to reuse untouched event records.
+        self.last_changed_nets: Optional[FrozenSet[str]] = None
+        self.last_changed_events: Optional[FrozenSet[Tuple[str, str]]] = None
 
     def _snapshot(self) -> Dict[str, Dict[str, NetEventTiming]]:
         """A report-safe copy of the cached events (updates must not mutate it)."""
@@ -577,6 +769,8 @@ class IncrementalEngine(GraphEngine):
             self._events = {name: dict(per_net)
                             for name, per_net in report.events.items()}
             self._timed = True
+            self.last_changed_nets = None
+            self.last_changed_events = None
             return replace(report, incremental=IncrementalStats(
                 dirty_nets=len(graph), retimed_nets=len(graph),
                 retimed_events=report.n_events, required_nets=len(graph),
@@ -638,11 +832,15 @@ class IncrementalEngine(GraphEngine):
             else:
                 required_targets = graph.fanin_cone(cone) if cone else set()
             required_nets = 0
+            changed_events: Set[Tuple[str, str]] = set()
             if required_targets is None or required_targets:
                 required_nets = self._apply_required(graph, self._events,
-                                                     required_targets)
+                                                     required_targets,
+                                                     changed=changed_events)
             hold_required_nets = (required_nets if graph.hold_constrained
                                   else 0)
+            self.last_changed_nets = frozenset(cone)
+            self.last_changed_events = frozenset(changed_events)
         except Exception:
             # The dirty set was already consumed and the cone's cached events
             # may be partially rebuilt; a half-updated cache must never serve
@@ -670,6 +868,8 @@ class IncrementalEngine(GraphEngine):
         """Drop the cached events; the next :meth:`update` re-times everything."""
         self._events = {}
         self._timed = False
+        self.last_changed_nets = None
+        self.last_changed_events = None
 
 
 class GraphTimer(GraphEngine):

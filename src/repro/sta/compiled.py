@@ -1,0 +1,747 @@
+"""Struct-of-arrays timing graphs: the 100k-net scale tier.
+
+:class:`~.graph.TimingGraph` is one Python object, one dict entry and one
+:class:`~.graph.NetEventTiming` per net — comfortable at 1k nets, but at SoC
+scale (100k-1M nets) the per-object bookkeeping (attribute walks, dict churn,
+per-event hashing) dominates wall clock and peak RSS long before any timing
+math runs.  This module freezes a graph into a columnar twin:
+
+* :func:`compile_graph` produces a :class:`CompiledGraph` — CSR fanin/fanout
+  adjacency, level boundaries, per-net loads, deduplicated stage
+  configurations (cell, line, load) and endpoint masks, all as contiguous
+  numpy arrays indexed by *net id* (the position in the level-flattened
+  topological order).
+* A timing event is an integer: ``event = net_id * 2 + transition`` with
+  ``transition`` 0 = ``"fall"``, 1 = ``"rise"`` (the sorted transition order,
+  so array order matches the object engine's per-net iteration order).  All
+  per-event planes — late/early arrivals, slews, stage delays, winning
+  sources, required times — are flat float64/int64 arrays of length
+  ``2 * n_nets``, held by :class:`SweepState` / :class:`CompiledAnalysis`.
+* The per-level merge (:func:`merge_level`) and the backward required pass
+  (:func:`backward_required`) are pure array reductions whose vectorized
+  tie-breaks reproduce the object engine's tuple comparisons *exactly*:
+  the late plane elects ``max((arrival, slew, source))`` and the early plane
+  ``min((early_arrival, slew, source))`` via ``np.lexsort`` with a
+  name-rank ordinal standing in for the source tuple, and required times
+  min/max-reduce per fanout segment with ±inf standing in for None.  Since
+  float comparisons carry no rounding, the compiled engine is bit-identical
+  to the object engine whenever both are answered by the same stage-solution
+  memo (and ≤1e-9 relative otherwise, asserted by the scale benchmark).
+
+The driving loop lives in :meth:`repro.sta.batch.GraphEngine.analyze_compiled`
+(it owns the :class:`~repro.core.stage_solver.StageSolver`); this module holds
+the frozen structure, the array kernels and the :class:`CompiledAnalysis`
+result — which materializes :class:`repro.api.report.TimingEvent` records
+*on demand*, so a 100k-net analysis never flattens O(graph) Python objects
+unless a caller iterates them all.
+
+A :class:`CompiledGraph` also knows how to :meth:`~CompiledGraph.partition`
+itself into contiguous level bands with explicit :class:`BoundaryEvents`
+exchange — the seam future multi-process/multi-host fan-out plugs into, with
+a unit of work much larger than one stage.
+
+Constraints and primary inputs are deliberately *not* compiled: they are read
+live from the :class:`~.graph.TimingGraph` at analysis time (vectorized into
+seed arrays), so clock/required edits and ``set_input`` never invalidate the
+compiled structure.  Only structural edits do — tracked by
+:attr:`TimingGraph.version` and checked on every analysis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..characterization.cell import CellCharacterization
+from ..characterization.library import CellLibrary
+from ..core.stage_solver import StageSolution
+from ..errors import ModelingError
+from ..interconnect.rlc_line import RLCLine
+from ..tech.technology import Technology
+from .graph import TimingGraph, check_mode
+
+__all__ = ["TRANSITIONS", "CompiledGraph", "compile_graph", "SweepState",
+           "CompiledRegion", "BoundaryEvents", "CompiledAnalysis",
+           "merge_level", "constraint_seeds", "backward_required"]
+
+#: Input-transition axis of the event encoding, in sorted order — index 0 is
+#: ``"fall"``, index 1 is ``"rise"``, so event ids enumerate transitions the
+#: same way the object engine's ``sorted(per_net.items())`` does.
+TRANSITIONS: Tuple[str, str] = ("fall", "rise")
+
+
+@dataclass(eq=False)
+class CompiledGraph:
+    """One :class:`~.graph.TimingGraph` frozen into struct-of-arrays form.
+
+    Net ids index the level-flattened topological order (:attr:`order`); the
+    arrays below are all indexed by net id unless noted.  The object is a
+    *snapshot*: :attr:`version` records the source graph's structural edit
+    counter at compile time, and the engine refuses to analyze with a stale
+    snapshot.  The only mutable member is :attr:`fingerprints` — a cache of
+    stage-solution memo keys that grows across analyses (keyed first by the
+    modeling-options fingerprint, so per-corner analyses never collide).
+    """
+
+    order: List[str]  #: net names in level order (net id -> name)
+    index: Dict[str, int]  #: name -> net id
+    level_ptr: np.ndarray  #: int64[n_levels+1], net-id boundaries per level
+    name_rank: np.ndarray  #: int64[n], rank of each net's name in sorted order
+    fo_indptr: np.ndarray  #: int64[n+1], CSR fanout row pointers
+    fo_indices: np.ndarray  #: int64[E], fanout targets, in declaration order
+    fi_indptr: np.ndarray  #: int64[n+1], CSR fanin row pointers
+    fi_indices: np.ndarray  #: int64[E], fanin sources
+    load: np.ndarray  #: float64[n], far-end gate load (same float-add order as net_load)
+    config_id: np.ndarray  #: int64[n], stage-configuration id per net
+    config_cell: List[CellCharacterization]  #: config id -> characterized cell
+    config_line: List[RLCLine]  #: config id -> RLC line
+    config_load: np.ndarray  #: float64[n_configs], load per config
+    is_endpoint: np.ndarray  #: bool[n], data-consuming nets (receiver / no fanout)
+    is_sink: np.ndarray  #: bool[n], fanout-less nets (worst-arrival domain)
+    version: int  #: source graph's structural version at compile time
+    compile_seconds: float  #: wall clock :func:`compile_graph` spent
+    #: options-fingerprint -> (config id, transition, quantized slew) -> stage
+    #: fingerprint; persistent across analyses of this compiled graph.
+    fingerprints: Dict[str, Dict[Tuple[int, int, float], str]] = field(
+        default_factory=dict, repr=False)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.order)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.level_ptr) - 1
+
+    @property
+    def n_configs(self) -> int:
+        """Distinct (cell, line, load) stage configurations in the graph."""
+        return len(self.config_cell)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the structure's numpy arrays (the columnar footprint)."""
+        return sum(array.nbytes for array in (
+            self.level_ptr, self.name_rank, self.fo_indptr, self.fo_indices,
+            self.fi_indptr, self.fi_indices, self.load, self.config_id,
+            self.config_load, self.is_endpoint, self.is_sink))
+
+    def level_names(self) -> List[List[str]]:
+        """The levelization as name lists (the report's ``levels`` field)."""
+        return [self.order[self.level_ptr[i]:self.level_ptr[i + 1]]
+                for i in range(self.n_levels)]
+
+    def describe(self) -> str:
+        return (f"compiled graph: {self.n_nets} nets in {self.n_levels} levels,"
+                f" {len(self.fo_indices)} edges, {self.n_configs} stage"
+                f" configs, {self.nbytes / 1024:.0f} KiB columnar")
+
+    def partition(self, n_regions: int) -> List["CompiledRegion"]:
+        """Split the levelization into ``n_regions`` contiguous level bands.
+
+        Regions are balanced by net count (each closes once it holds at least
+        ``n_nets / n_regions`` nets), never split a level, and carry the net
+        ids of their *boundary* — earlier-region nets whose far-end events
+        feed this region's fanin.  Timing region ``k`` needs exactly its
+        boundary's solved events injected (:class:`BoundaryEvents`), which is
+        what makes a region shippable to another process or host.
+        """
+        if n_regions < 1:
+            raise ModelingError("partition() needs at least one region")
+        n_regions = min(n_regions, self.n_levels)
+        target = self.n_nets / n_regions
+        regions: List[CompiledRegion] = []
+        level_lo = 0
+        for k in range(n_regions):
+            if level_lo >= self.n_levels:
+                break
+            level_hi = level_lo
+            if k == n_regions - 1:
+                level_hi = self.n_levels
+            else:
+                while (level_hi < self.n_levels
+                       and self.level_ptr[level_hi + 1] < target * (k + 1)):
+                    level_hi += 1
+                level_hi = min(level_hi + 1, self.n_levels)
+            net_lo = int(self.level_ptr[level_lo])
+            net_hi = int(self.level_ptr[level_hi])
+            fanin = self.fi_indices[int(self.fi_indptr[net_lo]):
+                                    int(self.fi_indptr[net_hi])]
+            boundary = np.unique(fanin[fanin < net_lo])
+            regions.append(CompiledRegion(
+                level_lo=level_lo, level_hi=level_hi,
+                net_lo=net_lo, net_hi=net_hi, boundary_nets=boundary))
+            level_lo = level_hi
+        return regions
+
+
+def _net_loads(graph: TimingGraph, order: List[str], tech: Technology) -> np.ndarray:
+    """Per-net far-end loads, replicating ``GraphEngine.net_load`` bit-for-bit.
+
+    The float additions run in the exact object-engine order (extra load, then
+    fanout driver input caps in declaration order, then the terminal
+    receiver), via a plain Python loop — a pairwise numpy reduction would sum
+    in a different association order and break bit-compatibility.  Input
+    capacitances are memoized per driver size (they are pure functions of it).
+    """
+    caps: Dict[float, float] = {}
+
+    def cap(size: float) -> float:
+        value = caps.get(size)
+        if value is None:
+            value = tech.inverter_input_capacitance(size)
+            caps[size] = value
+        return value
+
+    nets = graph.nets
+    loads = np.empty(len(order), dtype=np.float64)
+    for i, name in enumerate(order):
+        net = nets[name]
+        load = net.extra_load
+        for target in net.fanout:
+            load += cap(nets[target].driver_size)
+        if net.receiver_size is not None:
+            load += cap(net.receiver_size)
+        loads[i] = load
+    return loads
+
+
+def compile_graph(graph: TimingGraph, *, library: CellLibrary,
+                  tech: Technology) -> CompiledGraph:
+    """Freeze ``graph`` into a :class:`CompiledGraph` snapshot.
+
+    O(nets + edges): one pass builds the order/index, one the CSR adjacency,
+    one the loads and deduplicated stage configurations.  Cells are fetched
+    (and, for never-seen driver sizes, characterized) through ``library`` here
+    — analysis never touches the library again.
+    """
+    if not isinstance(graph, TimingGraph):
+        raise ModelingError("compile_graph() expects a TimingGraph")
+    started = time.perf_counter()
+    levels = graph.levels
+    order = [name for level in levels for name in level]
+    index = {name: i for i, name in enumerate(order)}
+    n = len(order)
+
+    level_ptr = np.zeros(len(levels) + 1, dtype=np.int64)
+    np.cumsum([len(level) for level in levels], out=level_ptr[1:])
+
+    name_rank = np.empty(n, dtype=np.int64)
+    for rank, net_id in enumerate(sorted(range(n), key=order.__getitem__)):
+        name_rank[net_id] = rank
+
+    nets = graph.nets
+    fo_counts = np.fromiter((len(nets[name].fanout) for name in order),
+                            dtype=np.int64, count=n)
+    fo_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(fo_counts, out=fo_indptr[1:])
+    n_edges = int(fo_indptr[-1])
+    fo_indices = np.empty(n_edges, dtype=np.int64)
+    fi_counts = np.zeros(n, dtype=np.int64)
+    position = 0
+    for name in order:
+        for target in nets[name].fanout:
+            target_id = index[target]
+            fo_indices[position] = target_id
+            fi_counts[target_id] += 1
+            position += 1
+    fi_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(fi_counts, out=fi_indptr[1:])
+    fi_fill = fi_indptr[:-1].copy()
+    fi_indices = np.empty(n_edges, dtype=np.int64)
+    for source_id in range(n):
+        for target_id in fo_indices[fo_indptr[source_id]:fo_indptr[source_id + 1]]:
+            fi_indices[fi_fill[target_id]] = source_id
+            fi_fill[target_id] += 1
+
+    loads = _net_loads(graph, order, tech)
+
+    cells: Dict[float, Tuple[int, CellCharacterization]] = {}
+    line_ids: Dict[int, int] = {}
+    line_keys: Dict[str, int] = {}
+    lines: List[RLCLine] = []
+    configs: Dict[Tuple[int, int, float], int] = {}
+    config_cell: List[CellCharacterization] = []
+    config_line: List[RLCLine] = []
+    config_load: List[float] = []
+    config_id = np.empty(n, dtype=np.int64)
+    for i, name in enumerate(order):
+        net = nets[name]
+        cell_entry = cells.get(net.driver_size)
+        if cell_entry is None:
+            cell_entry = (len(cells), library.get(net.driver_size))
+            cells[net.driver_size] = cell_entry
+        line_idx = line_ids.get(id(net.line))
+        if line_idx is None:
+            # Distinct-but-equal line objects fingerprint (and therefore
+            # solve) identically, so dedupe by content behind the id memo.
+            key = net.line.fingerprint()
+            line_idx = line_keys.get(key)
+            if line_idx is None:
+                line_idx = len(lines)
+                lines.append(net.line)
+                line_keys[key] = line_idx
+            line_ids[id(net.line)] = line_idx
+        config_key = (cell_entry[0], line_idx, float(loads[i]))
+        config = configs.get(config_key)
+        if config is None:
+            config = len(config_cell)
+            configs[config_key] = config
+            config_cell.append(cell_entry[1])
+            config_line.append(lines[line_idx])
+            config_load.append(float(loads[i]))
+        config_id[i] = config
+
+    is_endpoint = np.fromiter((nets[name].is_endpoint for name in order),
+                              dtype=bool, count=n)
+    is_sink = fo_counts == 0
+
+    return CompiledGraph(
+        order=order, index=index, level_ptr=level_ptr, name_rank=name_rank,
+        fo_indptr=fo_indptr, fo_indices=fo_indices,
+        fi_indptr=fi_indptr, fi_indices=fi_indices,
+        load=loads, config_id=config_id, config_cell=config_cell,
+        config_line=config_line,
+        config_load=np.array(config_load, dtype=np.float64),
+        is_endpoint=is_endpoint, is_sink=is_sink,
+        version=graph.version,
+        compile_seconds=time.perf_counter() - started)
+
+
+@dataclass(eq=False)
+class SweepState:
+    """Per-event planes of one forward sweep, all indexed by event id.
+
+    ``src`` / ``early_src`` hold winning-fanin *event ids* (-1 = primary-input
+    seed); ``merged_slew`` is the raw late-plane winner (tie-breaks compare
+    raw slews, exactly like the object engine's pending tuples) while
+    ``in_slew`` is its quantized form the stage was actually solved at.
+    ``sol_idx`` points into the analysis's solution list (-1 = unsolved).
+    """
+
+    exists: np.ndarray  #: bool[2n]
+    in_arr: np.ndarray  #: float64[2n], late merged input arrival
+    early_in: np.ndarray  #: float64[2n], early merged input arrival
+    merged_slew: np.ndarray  #: float64[2n], raw late-winner slew
+    in_slew: np.ndarray  #: float64[2n], quantized solve slew
+    src: np.ndarray  #: int64[2n], late winning fanin event (-1 = PI)
+    early_src: np.ndarray  #: int64[2n], early winning fanin event (-1 = PI)
+    out_arr: np.ndarray  #: float64[2n], late far-end arrival
+    early_out: np.ndarray  #: float64[2n], early far-end arrival
+    delay: np.ndarray  #: float64[2n], stage delay (gate + interconnect)
+    prop_slew: np.ndarray  #: float64[2n], propagated full-swing slew
+    sol_idx: np.ndarray  #: int64[2n], index into the solution list
+
+    @classmethod
+    def empty(cls, n_events: int) -> "SweepState":
+        return cls(
+            exists=np.zeros(n_events, dtype=bool),
+            in_arr=np.zeros(n_events, dtype=np.float64),
+            early_in=np.zeros(n_events, dtype=np.float64),
+            merged_slew=np.zeros(n_events, dtype=np.float64),
+            in_slew=np.zeros(n_events, dtype=np.float64),
+            src=np.full(n_events, -1, dtype=np.int64),
+            early_src=np.full(n_events, -1, dtype=np.int64),
+            out_arr=np.zeros(n_events, dtype=np.float64),
+            early_out=np.zeros(n_events, dtype=np.float64),
+            delay=np.zeros(n_events, dtype=np.float64),
+            prop_slew=np.zeros(n_events, dtype=np.float64),
+            sol_idx=np.full(n_events, -1, dtype=np.int64))
+
+    def planes(self) -> Tuple[np.ndarray, ...]:
+        """Every per-event array, for whole-span copies between states."""
+        return (self.exists, self.in_arr, self.early_in, self.merged_slew,
+                self.in_slew, self.src, self.early_src, self.out_arr,
+                self.early_out, self.delay, self.prop_slew, self.sol_idx)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(plane.nbytes for plane in self.planes())
+
+
+@dataclass(eq=False)
+class CompiledRegion:
+    """One contiguous level band of a partitioned compiled graph.
+
+    ``boundary_nets`` are the earlier-region net ids whose far-end events this
+    region's merges read — the complete cross-region data dependency.
+    """
+
+    level_lo: int
+    level_hi: int
+    net_lo: int
+    net_hi: int
+    boundary_nets: np.ndarray  #: int64, sorted net ids feeding this region
+
+    @property
+    def n_nets(self) -> int:
+        return self.net_hi - self.net_lo
+
+    def describe(self) -> str:
+        return (f"region levels [{self.level_lo},{self.level_hi}): "
+                f"{self.n_nets} nets, {len(self.boundary_nets)} boundary nets")
+
+
+@dataclass(eq=False)
+class BoundaryEvents:
+    """Solved far-end events crossing a region boundary — the exchange unit.
+
+    Everything a downstream region's merges need from its producers: event
+    ids plus the three propagated planes.  Scalars-only and array-shaped, so
+    a boundary packet serializes trivially for a future multi-process seam.
+    """
+
+    events: np.ndarray  #: int64, event ids (net_id * 2 + transition)
+    out_arrival: np.ndarray  #: float64, late far-end arrivals
+    early_out_arrival: np.ndarray  #: float64, early far-end arrivals
+    propagated_slew: np.ndarray  #: float64, full-swing propagated slews
+
+    @classmethod
+    def capture(cls, state: SweepState, nets: np.ndarray) -> "BoundaryEvents":
+        """Extract the existing events of ``nets`` from a solved state."""
+        candidates = np.empty(2 * len(nets), dtype=np.int64)
+        candidates[0::2] = nets * 2
+        candidates[1::2] = nets * 2 + 1
+        events = candidates[state.exists[candidates]]
+        return cls(events=events,
+                   out_arrival=state.out_arr[events].copy(),
+                   early_out_arrival=state.early_out[events].copy(),
+                   propagated_slew=state.prop_slew[events].copy())
+
+    def inject(self, state: SweepState) -> None:
+        """Install the boundary events into a (fresh) region state."""
+        state.exists[self.events] = True
+        state.out_arr[self.events] = self.out_arrival
+        state.early_out[self.events] = self.early_out_arrival
+        state.prop_slew[self.events] = self.propagated_slew
+
+
+def merge_level(cg: CompiledGraph, state: SweepState,
+                net_lo: int, net_hi: int) -> np.ndarray:
+    """Merge fanin events into nets ``[net_lo, net_hi)``; return the level's events.
+
+    Vectorized twin of ``GraphEngine._merge`` over one whole level: every
+    fanin edge contributes its two possible source events, the target event is
+    ``target * 2 + (1 - source_transition)`` (the inverter flips the edge),
+    and one ``np.lexsort`` per plane elects the winners — last-in-group for
+    the late plane (``max`` of (arrival, slew, ordinal)), first-in-group for
+    the early plane (``min`` of (early arrival, slew, ordinal)).  The ordinal
+    ``name_rank * 2 + transition`` orders source events exactly like the
+    object engine's ``(name, transition)`` tuple comparison, which is what
+    makes the election independent of edge order, bit-for-bit.
+
+    Returns the event ids existing in the level span *after* the merge —
+    including primary-input seeds installed by the caller (roots have no
+    fanin, so they never compete in a merge).
+    """
+    lo_ptr, hi_ptr = int(cg.fi_indptr[net_lo]), int(cg.fi_indptr[net_hi])
+    if hi_ptr > lo_ptr:
+        source_net = cg.fi_indices[lo_ptr:hi_ptr]
+        counts = np.diff(cg.fi_indptr[net_lo:net_hi + 1])
+        target_net = np.repeat(np.arange(net_lo, net_hi, dtype=np.int64), counts)
+        # Expand each edge into its two candidate source events.
+        sev = np.repeat(source_net * 2, 2)
+        sev[1::2] += 1
+        tnet = np.repeat(target_net, 2)
+        keep = state.exists[sev]
+        sev, tnet = sev[keep], tnet[keep]
+        if sev.size:
+            tev = tnet * 2 + 1 - (sev & 1)
+            arrival = state.out_arr[sev]
+            early = state.early_out[sev]
+            slew = state.prop_slew[sev]
+            ordinal = cg.name_rank[sev >> 1] * 2 + (sev & 1)
+            late = np.lexsort((ordinal, slew, arrival, tev))
+            grouped = tev[late]
+            is_last = np.empty(grouped.size, dtype=bool)
+            is_last[:-1] = grouped[1:] != grouped[:-1]
+            is_last[-1] = True
+            winner = late[is_last]
+            targets = tev[winner]
+            state.exists[targets] = True
+            state.in_arr[targets] = arrival[winner]
+            state.merged_slew[targets] = slew[winner]
+            state.src[targets] = sev[winner]
+            first = np.lexsort((ordinal, slew, early, tev))
+            grouped = tev[first]
+            is_first = np.empty(grouped.size, dtype=bool)
+            is_first[0] = True
+            is_first[1:] = grouped[1:] != grouped[:-1]
+            winner = first[is_first]
+            state.early_in[tev[winner]] = early[winner]
+            state.early_src[tev[winner]] = sev[winner]
+    span = state.exists[net_lo * 2:net_hi * 2]
+    return np.flatnonzero(span) + net_lo * 2
+
+
+def constraint_seeds(cg: CompiledGraph, graph: TimingGraph,
+                     mode: str) -> np.ndarray:
+    """Per-event constraint seeds of ``mode``, read live from ``graph``.
+
+    NaN = unconstrained.  The clock period (setup) / hold margin (hold)
+    lands on every endpoint event; explicit ``set_required`` pins overwrite it
+    afterwards — pins win, exactly as in :meth:`TimingGraph.required_for`.
+    Constraints are keyed by the *output* transition, so a pin on far-end
+    transition ``t`` seeds event ``net * 2 + (1 - t)``.
+    """
+    check_mode(mode)
+    seeds = np.full(2 * cg.n_nets, np.nan)
+    default = graph.clock_period if mode == "setup" else graph.hold_margin
+    if default is not None:
+        endpoint = np.flatnonzero(cg.is_endpoint)
+        seeds[endpoint * 2] = default
+        seeds[endpoint * 2 + 1] = default
+    for name, per_net in graph.required_pins(mode).items():
+        net_id = cg.index.get(name)
+        if net_id is None:
+            raise ModelingError(
+                f"constraint on net {name!r} unknown to the compiled graph; "
+                "recompile after structural edits")
+        for out_transition, value in per_net.items():
+            seeds[net_id * 2 + 1 - TRANSITIONS.index(out_transition)] = value
+    return seeds
+
+
+def _segment_reduce(values: np.ndarray, ptr: np.ndarray, ufunc,
+                    identity: float) -> np.ndarray:
+    """Per-segment ``ufunc`` reduction with empty segments -> ``identity``.
+
+    ``np.ufunc.reduceat`` misbehaves on empty segments (it returns the
+    element *at* the start index), so reduce only the non-empty starts and
+    scatter back.
+    """
+    n_segments = len(ptr) - 1
+    out = np.full(n_segments, identity)
+    counts = np.diff(ptr)
+    non_empty = counts > 0
+    if values.size and non_empty.any():
+        out[non_empty] = ufunc.reduceat(values, ptr[:-1][non_empty])
+    return out
+
+
+def backward_required(cg: CompiledGraph, state: SweepState,
+                      setup_seeds: Optional[np.ndarray],
+                      hold_seeds: Optional[np.ndarray]
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Array backward pass: (required, hold_required) planes, NaN = None.
+
+    Level-by-level against the arrival flow, the exact mirror of
+    ``GraphEngine._apply_required``: an event's setup required time is the
+    minimum of its seed and, per fanout consumer (the consumer event keyed by
+    this event's *output* transition), the consumer's required minus the
+    consumer's stage delay; hold is the mirror with the maximum.  None rides
+    as NaN at the boundary and as ±inf inside the reduction — min/max are
+    exact on floats, so the result is bit-identical to the object pass.
+    A disabled polarity (seeds None) stays all-NaN, mirroring mode stripping.
+    """
+    n_events = 2 * cg.n_nets
+    required = np.full(n_events, np.nan)
+    hold_required = np.full(n_events, np.nan)
+    if setup_seeds is None and hold_seeds is None:
+        return required, hold_required
+    for level in range(cg.n_levels - 1, -1, -1):
+        net_lo, net_hi = int(cg.level_ptr[level]), int(cg.level_ptr[level + 1])
+        events = np.flatnonzero(state.exists[net_lo * 2:net_hi * 2]) + net_lo * 2
+        if not events.size:
+            continue
+        net = events >> 1
+        counts = cg.fo_indptr[net + 1] - cg.fo_indptr[net]
+        ptr = np.zeros(events.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        total = int(ptr[-1])
+        if total:
+            # Gather each event's fanout slice: global CSR positions.
+            positions = (np.arange(total, dtype=np.int64)
+                         - np.repeat(ptr[:-1], counts)
+                         + np.repeat(cg.fo_indptr[net], counts))
+            consumer_net = cg.fo_indices[positions]
+            # The consumer event's input transition is this event's output
+            # transition: 1 - (event & 1).
+            consumer = consumer_net * 2 + np.repeat(1 - (events & 1), counts)
+            consumer_ok = state.exists[consumer]
+            delay = state.delay[consumer]
+        if setup_seeds is not None:
+            base = setup_seeds[events]
+            base = np.where(np.isnan(base), np.inf, base)
+            if total:
+                upstream = required[consumer] - delay
+                upstream = np.where(consumer_ok & ~np.isnan(upstream),
+                                    upstream, np.inf)
+                base = np.minimum(base, _segment_reduce(
+                    upstream, ptr, np.minimum, np.inf))
+            required[events] = np.where(np.isinf(base), np.nan, base)
+        if hold_seeds is not None:
+            base = hold_seeds[events]
+            base = np.where(np.isnan(base), -np.inf, base)
+            if total:
+                upstream = hold_required[consumer] - delay
+                upstream = np.where(consumer_ok & ~np.isnan(upstream),
+                                    upstream, -np.inf)
+                base = np.maximum(base, _segment_reduce(
+                    upstream, ptr, np.maximum, -np.inf))
+            hold_required[events] = np.where(np.isinf(base), np.nan, base)
+    return required, hold_required
+
+
+class CompiledAnalysis:
+    """One compiled-path analysis result: array planes + lazy event records.
+
+    Scalar queries (WNS/WHS, worst sink, endpoint ids, slack planes) are
+    array reductions; :meth:`timing_event` materializes a single
+    :class:`repro.api.report.TimingEvent`-compatible record on demand, which
+    is what :class:`repro.api.report.StreamingTimingReport` builds its lazy
+    event mapping from.  ``solutions`` maps ``state.sol_idx`` to the shared
+    :class:`~repro.core.stage_solver.StageSolution` objects (one per *unique*
+    stage configuration actually solved, not per event).
+    """
+
+    def __init__(self, *, graph: CompiledGraph, state: SweepState,
+                 required: np.ndarray, hold_required: np.ndarray,
+                 solutions: List[StageSolution], stats, elapsed: float,
+                 mode: str, partitions: Optional[int] = None) -> None:
+        self.graph = graph
+        self.state = state
+        self.required = required
+        self.hold_required = hold_required
+        self.solutions = solutions
+        self.stats = stats
+        self.elapsed = elapsed
+        self.mode = mode
+        self.partitions = partitions
+
+    # --- event enumeration --------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        return int(np.count_nonzero(self.state.exists))
+
+    def event_ids(self) -> np.ndarray:
+        """Existing event ids, ascending (level order, fall before rise)."""
+        return np.flatnonzero(self.state.exists)
+
+    def key_of(self, event: int) -> Tuple[str, str]:
+        """(net name, input transition) of an event id."""
+        return self.graph.order[event >> 1], TRANSITIONS[event & 1]
+
+    def events_of(self, name: str) -> Dict[str, "object"]:
+        """Materialized events of one net, keyed by input transition."""
+        net_id = self.graph.index[name]
+        per_net = {}
+        for t in (0, 1):
+            event = net_id * 2 + t
+            if self.state.exists[event]:
+                per_net[TRANSITIONS[t]] = self.timing_event(event)
+        return per_net
+
+    def net_names_with_events(self) -> List[str]:
+        """Names of nets carrying at least one event, in level order."""
+        exists = self.state.exists
+        mask = exists[0::2] | exists[1::2]
+        return [self.graph.order[i] for i in np.flatnonzero(mask)]
+
+    def timing_event(self, event: int):
+        """One event as a :class:`repro.api.report.TimingEvent` record."""
+        # Imported here: repro.api.report imports this module at the top.
+        from ..api.report import TimingEvent
+
+        state = self.state
+        if not state.exists[event]:
+            raise ModelingError(f"event {event} was not timed")
+        solution = self.solutions[state.sol_idx[event]]
+        net_id, t = event >> 1, event & 1
+        required = float(self.required[event])
+        required_value = None if np.isnan(required) else required
+        hold = float(self.hold_required[event])
+        hold_value = None if np.isnan(hold) else hold
+        output_arrival = float(state.out_arr[event])
+        early_output = float(state.early_out[event])
+        return TimingEvent(
+            net=self.graph.order[net_id],
+            input_transition=TRANSITIONS[t],
+            output_transition=solution.transition,
+            input_arrival=float(state.in_arr[event]),
+            output_arrival=output_arrival,
+            input_slew=float(state.in_slew[event]),
+            gate_delay=solution.gate_delay,
+            interconnect_delay=solution.interconnect_delay,
+            far_slew=solution.far_slew,
+            propagated_slew=solution.propagated_slew,
+            kind=solution.kind,
+            cell_name=solution.cell_name,
+            load_capacitance=solution.load_capacitance,
+            ceff1=solution.ceff1,
+            tr1=solution.tr1,
+            ceff2=solution.ceff2,
+            tr2_effective=solution.tr2_effective,
+            fingerprint=solution.fingerprint,
+            source=self._source_key(state.src[event]),
+            required=required_value,
+            slack=(None if required_value is None
+                   else required_value - output_arrival),
+            endpoint=bool(self.graph.is_endpoint[net_id]),
+            early_arrival=early_output,
+            early_source=self._source_key(state.early_src[event]),
+            hold_required=hold_value,
+            hold_slack=(None if hold_value is None
+                        else early_output - hold_value))
+
+    def _source_key(self, source: int) -> Optional[Tuple[str, str]]:
+        if source < 0:
+            return None
+        return self.graph.order[source >> 1], TRANSITIONS[source & 1]
+
+    # --- scalar queries -----------------------------------------------------------
+    def worst_sink_event_id(self) -> int:
+        """The sink event with the largest late arrival (first on exact ties).
+
+        Event-id order equals the object engine's event insertion order, so
+        ``argmax`` (first maximum) elects the same event ``max()`` does.
+        """
+        sink_events = np.repeat(self.graph.is_sink, 2) & self.state.exists
+        if not sink_events.any():
+            raise ModelingError("timed graph has no sink events")
+        arrivals = np.where(sink_events, self.state.out_arr, -np.inf)
+        return int(np.argmax(arrivals))
+
+    def critical_path_ids(self) -> List[int]:
+        """Event ids from a primary-input seed to the worst sink event."""
+        path = [self.worst_sink_event_id()]
+        while True:
+            source = int(self.state.src[path[-1]])
+            if source < 0:
+                break
+            path.append(source)
+        path.reverse()
+        return path
+
+    def endpoint_event_ids(self, mode: str = "setup") -> np.ndarray:
+        """Existing endpoint events carrying a ``mode`` required time."""
+        check_mode(mode)
+        plane = self.required if mode == "setup" else self.hold_required
+        mask = (np.repeat(self.graph.is_endpoint, 2) & self.state.exists
+                & ~np.isnan(plane))
+        return np.flatnonzero(mask)
+
+    def slack_plane(self, mode: str = "setup") -> np.ndarray:
+        """Per-event ``mode`` slack, NaN where unconstrained or untimed."""
+        check_mode(mode)
+        if mode == "setup":
+            return self.required - np.where(self.state.exists,
+                                            self.state.out_arr, np.nan)
+        return np.where(self.state.exists, self.state.early_out,
+                        np.nan) - self.hold_required
+
+    def worst_endpoint_slack(self, mode: str = "setup") -> Optional[float]:
+        """Minimum ``mode`` slack over constrained endpoint events (None = none)."""
+        events = self.endpoint_event_ids(mode)
+        if not events.size:
+            return None
+        return float(np.min(self.slack_plane(mode)[events]))
+
+    def constrained(self, mode: str = "setup") -> bool:
+        """True when any event carries a ``mode`` required time."""
+        check_mode(mode)
+        plane = self.required if mode == "setup" else self.hold_required
+        return bool(np.any(~np.isnan(plane)))

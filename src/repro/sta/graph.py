@@ -192,6 +192,19 @@ class TimingGraph:
             mode: {} for mode in CHECK_MODES}
         self._dirty: Set[str] = set()
         self._constraints_dirty = False
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Structural edit counter: bumps whenever a net is replaced in place.
+
+        Constraints and primary inputs are *not* part of the version — they are
+        read live at analysis time, so a compiled snapshot of the structure
+        (:func:`repro.sta.compiled.compile_graph`) stays valid across
+        :meth:`set_clock_period` / :meth:`set_required` / :meth:`set_input` and
+        only goes stale on edits that change drivers, lines, loads or topology.
+        """
+        return self._version
 
     # --- structure ----------------------------------------------------------------
     def _levelize(self) -> List[List[str]]:
@@ -373,6 +386,19 @@ class TimingGraph:
             return default
         return None
 
+    def required_pins(self, mode: str = "setup") -> Dict[str, Dict[str, float]]:
+        """All explicit :meth:`set_required` pins of ``mode``, as a copy.
+
+        Maps net name -> far-end transition -> pinned required time [s].  The
+        array engine uses this to seed its vectorized backward pass (pins win
+        over the clock-period / hold-margin default, exactly as in
+        :meth:`required_for`); the copy keeps callers from mutating constraint
+        state behind the dirty tracking.
+        """
+        check_mode(mode)
+        return {name: dict(per_net)
+                for name, per_net in self._required[mode].items()}
+
     @property
     def setup_constrained(self) -> bool:
         """True when any setup (max-delay) constraint is in force."""
@@ -408,6 +434,7 @@ class TimingGraph:
     def _replace_net(self, name: str, **changes) -> GraphNet:
         net = replace(self.nets[name], **changes)
         self.nets[name] = net
+        self._version += 1
         return net
 
     def resize_driver(self, name: str, driver_size: float) -> None:
