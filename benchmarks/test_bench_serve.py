@@ -1,0 +1,143 @@
+"""Benchmark: the serve daemon's cost model — attach once, query for free.
+
+The claim the daemon has to earn: holding a design resident makes timing
+queries *lookups*, not analyses.  Three phases over the ≥1k-net benchmark
+graph, all through real HTTP round-trips (loopback TCP, keep-alive):
+
+1. **cold attach** — ``POST /designs`` pays one full analysis (every net
+   re-timed), the price of residency,
+2. **warm queries** — a mixed ``GET /wns`` / ``GET /slack`` stream must not
+   re-run any analysis (the tracked gate: zero analyses, zero re-timed nets
+   across the whole phase) and must sustain at least ``QPS_FLOOR``
+   queries/second — conservative, since snapshot reads are lock-free,
+3. **edit round-trip** — ``POST /edits`` (one driver resize) + ``GET /wns``
+   must hit the incremental path: the re-timed cone is the edit's two-net
+   dirty region (the same pinned cone as ``BENCH_incremental``'s tail-net
+   site), never the graph.
+
+Results land in ``benchmarks/reports/serve.txt`` and
+``benchmarks/reports/BENCH_serve.json`` (``tracked`` = machine-independent
+gates compared by CI, ``machine`` = wall times and measured throughput).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.serve import ServeClient, TimingServer
+
+REPORT_DIRECTORY = Path(__file__).resolve().parent / "reports"
+
+NETS = 1024
+CLOCK_PS = 2500.0
+WARM_QUERIES = 200
+ROUND_TRIPS = 20
+EDIT_NET = "c0s15"  # chain tail: dirty cone = the net + its loaded fanin
+TOGGLE_SIZE = 50.0
+
+#: Sustained warm-query floor [queries/s].  Deliberately conservative: a
+#: loopback round-trip against an in-memory snapshot is orders of magnitude
+#: faster; the gate exists to catch accidental re-analysis on the read path.
+QPS_FLOOR = 50.0
+
+
+def test_serve_attach_query_edit_cost_model(library, report_writer):
+    with TimingServer(port=0) as server:
+        with ServeClient(port=server.port) as client:
+            # --- phase 1: cold attach (one full analysis) --------------------
+            started = time.perf_counter()
+            attach = client.attach("bench", case="bench", nets=NETS,
+                                   clock_ps=CLOCK_PS)
+            attach_seconds = time.perf_counter() - started
+            nets = attach["nets"]
+            assert nets >= 1000
+            stats = client.design_stats("bench")
+            attach_retimed = stats["last_run"]["retimed_nets"]
+            assert attach_retimed == nets  # cold attach pays for everything
+
+            # --- phase 2: warm queries (must be pure snapshot reads) ---------
+            before = client.design_stats("bench")
+            started = time.perf_counter()
+            for index in range(WARM_QUERIES):
+                if index % 2 == 0:
+                    summary = client.wns("bench")
+                    assert summary["seq"] == attach["seq"]
+                else:
+                    client.slack("bench", limit=10)
+            warm_seconds = time.perf_counter() - started
+            after = client.design_stats("bench")
+            warm_analyses = after["analyses"] - before["analyses"]
+            warm_retimed = (after["retimed_nets_total"]
+                            - before["retimed_nets_total"])
+            warm_qps = WARM_QUERIES / warm_seconds
+            assert warm_analyses == 0, "a warm query re-ran analysis"
+            assert warm_retimed == 0, "a warm query re-timed nets"
+            assert warm_qps >= QPS_FLOOR
+
+            # --- phase 3: edit -> update -> query round-trip -----------------
+            # Warm both toggle states so the measured laps compare the serve +
+            # incremental machinery, not one-off stage characterizations.
+            original = 75.0
+            for size in (TOGGLE_SIZE, original):
+                client.resize("bench", EDIT_NET, size)
+
+            round_trip_seconds = []
+            retimed = dirty = 0
+            for rep in range(ROUND_TRIPS):
+                size = TOGGLE_SIZE if rep % 2 == 0 else original
+                started = time.perf_counter()
+                response = client.resize("bench", EDIT_NET, size)
+                summary = client.wns("bench")
+                round_trip_seconds.append(time.perf_counter() - started)
+                assert summary["seq"] == response["seq"]
+                run = client.design_stats("bench")["last_run"]
+                retimed, dirty = run["retimed_nets"], run["dirty_nets"]
+                # The incremental gate: the cone, never the graph.
+                assert retimed == 2
+                assert dirty == 2
+            round_trip_avg = sum(round_trip_seconds) / len(round_trip_seconds)
+
+            final = client.design_stats("bench")
+
+    payload = {
+        "benchmark": "serve",
+        "tracked": {
+            "nets": nets,
+            "clock_ps": CLOCK_PS,
+            "attach_retimed_nets": attach_retimed,
+            "warm_queries": WARM_QUERIES,
+            "warm_query_analyses": warm_analyses,
+            "warm_query_retimed_nets": warm_retimed,
+            "warm_qps_floor": QPS_FLOOR,
+            "round_trip": {
+                "net": EDIT_NET,
+                "repetitions": ROUND_TRIPS,
+                "dirty_nets": dirty,
+                "retimed_nets": retimed,
+            },
+        },
+        "machine": {
+            "attach_seconds": round(attach_seconds, 5),
+            "warm_seconds": round(warm_seconds, 5),
+            "warm_qps": round(warm_qps, 1),
+            "round_trip_avg_ms": round(round_trip_avg * 1e3, 3),
+            "edit_batches": final["edit_batches"],
+            "queries": final["queries"],
+        },
+    }
+    REPORT_DIRECTORY.mkdir(exist_ok=True)
+    json_path = REPORT_DIRECTORY / "BENCH_serve.json"
+    json_path.write_text(json.dumps(payload, indent=1) + "\n")
+
+    lines = [
+        "serve daemon cost model (loopback HTTP, keep-alive)",
+        f"  design               : {nets} nets, clock {CLOCK_PS:.0f} ps",
+        f"  cold attach          : {attach_seconds * 1e3:8.1f} ms "
+        f"({attach_retimed} nets re-timed — the price of residency)",
+        f"  warm queries         : {warm_qps:8.1f} qps over {WARM_QUERIES} "
+        f"mixed wns/slack (0 analyses, floor {QPS_FLOOR:.0f})",
+        f"  edit round-trip      : {round_trip_avg * 1e3:8.1f} ms "
+        f"(resize + incremental update + query; cone {retimed}/{nets} nets)",
+        f"  machine-readable     : {json_path.name}",
+    ]
+    report_writer("serve", "\n".join(lines))

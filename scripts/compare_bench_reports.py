@@ -14,8 +14,10 @@ Beyond the baseline diff, a few tracked fields are *required outright*
 (:data:`REQUIRED_TRACKED`): the dual-mode counters of the incremental
 benchmark — the zero-extra-solve guarantee and the hold-cone sizes — and the
 naive-subset facts, batch counters and uncached-speedup floor of the
-throughput benchmark, and the 100k-net workload plus throughput/memory gates
-of the scale benchmark must be present in every fresh report (with the pinned
+throughput benchmark, the 100k-net workload plus throughput/memory gates
+of the scale benchmark, and the serve daemon's read-path gates (warm queries
+re-run nothing; edit round-trips re-time only the dirty cone) must be present
+in every fresh report (with the pinned
 value, where one is given), so dual-mode, array-batching and scale-tier
 coverage cannot silently disappear even if the committed baseline is
 regenerated.  A few tracked fields are *volatile* (:data:`VOLATILE_TRACKED`):
@@ -55,6 +57,17 @@ REQUIRED_TRACKED = {
         "nets_per_second_floor": ...,
         "bytes_per_net_ceiling": ...,
         "compile_fraction": ...,
+    },
+    "BENCH_serve.json": {
+        # Warm queries are snapshot reads: zero analyses, zero re-timed nets.
+        "warm_query_analyses": 0,
+        "warm_query_retimed_nets": 0,
+        "warm_qps_floor": 50.0,
+        # A cold attach pays one full analysis of the whole workload...
+        "attach_retimed_nets": 1024,
+        # ...while an edit round-trip re-times only the edit's dirty cone.
+        "round_trip.retimed_nets": 2,
+        "round_trip.dirty_nets": 2,
     },
     "BENCH_graph_throughput.json": {
         "naive_subset_events": ...,  # the naive baseline is measured, not skipped

@@ -11,6 +11,7 @@ Four subcommands cover the stack end to end::
     python -m repro report timing.json            # pretty-print a saved report
     python -m repro report timing.json --hold     # per-endpoint hold slacks
     python -m repro report --diff old.json new.json  # exit 1 on WNS/WHS regression
+    python -m repro serve --port 8400 --case chain3  # resident timing daemon
 
 Every subcommand builds one :class:`~.session.TimingSession` from the documented
 environment layer (``REPRO_CACHE_DIR``, ``REPRO_JOBS``,
@@ -219,6 +220,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json is not None:
         args.json.write_text(json.dumps(payload, indent=1) + "\n")
         print(f"benchmark payload written to {args.json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..serve.codec import AttachRequest
+    from ..serve.server import TimingServer
+
+    if args.hold_margin is not None and args.clock is None:
+        raise ReproError("--hold-margin requires --clock")
+    log = None
+    if args.verbose:
+        log = lambda line: print(line, file=sys.stderr)  # noqa: E731
+    server = TimingServer(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        config=_session_config(args),
+        log=log,
+    )
+    for case in args.case or ():
+        design = server.registry.attach(
+            AttachRequest(
+                name=case,
+                case=case,
+                input_slew_ps=args.input_slew,
+                depth=args.depth,
+                nets=args.nets,
+                clock_ps=args.clock,
+                hold_margin_ps=args.hold_margin,
+            )
+        )
+        print(
+            f"attached {case!r}: {len(design.graph)} nets "
+            f"({design.snapshot.report.meta.elapsed * 1e3:.0f} ms)",
+            file=sys.stderr,
+        )
+    print(f"serving on {server.describe()}", flush=True)
+    server.serve_forever()
     return 0
 
 
@@ -459,6 +498,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="also list every solved (net, transition) event",
     )
     shower.set_defaults(func=_cmd_report)
+
+    from ..experiments.graph_cases import BUILTIN_CASES
+
+    server = commands.add_parser(
+        "serve",
+        help="run the resident timing daemon (JSON over local HTTP)",
+    )
+    bind = server.add_mutually_exclusive_group()
+    bind.add_argument(
+        "--port",
+        type=int,
+        default=8400,
+        help="TCP port on --host to serve on; 0 picks a free port (default: 8400)",
+    )
+    bind.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve on a unix domain socket at PATH instead of TCP",
+    )
+    server.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    server.add_argument(
+        "--case",
+        action="append",
+        choices=BUILTIN_CASES,
+        default=None,
+        metavar="NAME",
+        help="pre-attach a built-in design under its case name (repeatable); "
+        f"one of: {', '.join(BUILTIN_CASES)}",
+    )
+    server.add_argument(
+        "--input-slew",
+        type=float,
+        default=100.0,
+        metavar="PS",
+        help="pre-attached cases: primary-input slew in ps (default: 100)",
+    )
+    server.add_argument(
+        "--depth", type=int, default=3, help="case 'tree': depth (default: 3)"
+    )
+    server.add_argument(
+        "--nets",
+        type=int,
+        default=128,
+        help="cases 'bench'/'soc': net count (default: 128)",
+    )
+    server.add_argument(
+        "--clock",
+        type=float,
+        default=None,
+        metavar="PS",
+        help="pre-attached cases: clock period in ps",
+    )
+    server.add_argument(
+        "--hold-margin",
+        type=float,
+        default=None,
+        metavar="PS",
+        help="pre-attached cases: hold margin in ps (requires --clock)",
+    )
+    server.add_argument("--verbose", action="store_true", help="log each request to stderr")
+    _add_session_flags(
+        server, jobs_help="worker processes per graph level (default: $REPRO_JOBS or 1)"
+    )
+    server.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -468,6 +574,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # A foreground daemon dies by Ctrl-C; exit like a signal-terminated
+        # process (128 + SIGINT) instead of dumping a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -15,6 +15,8 @@ variable                      meaning
 ``REPRO_CACHE_DIR``           persistent cache root (cells + ``stages/``)
 ``REPRO_JOBS``                default worker-process count (``0`` = one per CPU)
 ``REPRO_PERSISTENT_STAGES``   ``1`` turns on the persistent stage-solution store
+``REPRO_COMPILE_THRESHOLD``   net count above which graphs take the compiled
+                              struct-of-arrays path (``0`` disables compilation)
 ============================  =====================================================
 
 (The characterization cache resolves ``REPRO_CACHE_DIR`` itself when
@@ -42,6 +44,7 @@ __all__ = ["SessionConfig"]
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_JOBS = "REPRO_JOBS"
 ENV_PERSISTENT_STAGES = "REPRO_PERSISTENT_STAGES"
+ENV_COMPILE_THRESHOLD = "REPRO_COMPILE_THRESHOLD"
 
 _TRUTHY = ("1", "true", "True", "yes", "on")
 
@@ -177,6 +180,15 @@ class SessionConfig:
             seeded["jobs"] = max(os.cpu_count() or 1, 1) if parsed == 0 else parsed
         if environ.get(ENV_PERSISTENT_STAGES, "") in _TRUTHY:
             seeded["persistent_stages"] = True
+        threshold = environ.get(ENV_COMPILE_THRESHOLD)
+        if threshold:
+            try:
+                parsed = int(threshold)
+            except ValueError:
+                raise ModelingError(
+                    f"{ENV_COMPILE_THRESHOLD} must be an integer, got {threshold!r}"
+                ) from None
+            seeded["compile_threshold"] = None if parsed == 0 else parsed
         seeded.update(overrides)
         return cls(**seeded)
 

@@ -4,9 +4,9 @@ from .comparison import CaseComparison
 from .figures import (figure1_driver_waveform, figure3_single_ceff_comparison,
                       figure4_two_ramp_construction, figure5_model_vs_reference,
                       figure6_single_ramp_and_far_end)
-from .graph_cases import (benchmark_graph, fanout_tree, global_route_path,
-                          parallel_chains, race_graph, reconvergent_graph,
-                          soc_graph, standard_lines)
+from .graph_cases import (BUILTIN_CASES, benchmark_graph, case_graph, fanout_tree,
+                          global_route_path, parallel_chains, race_graph,
+                          reconvergent_graph, soc_graph, standard_lines)
 from .paper_cases import (FIGURE1_CASE, FIGURE3_CASE, FIGURE5_CASES,
                           FIGURE6_FAR_END_CASE, FIGURE6_SINGLE_RAMP_CASE,
                           TABLE1_CASES, PaperCase, Table1Row, find_table1_row)
@@ -39,6 +39,8 @@ __all__ = [
     "figure4_two_ramp_construction",
     "figure5_model_vs_reference",
     "figure6_single_ramp_and_far_end",
+    "BUILTIN_CASES",
+    "case_graph",
     "standard_lines",
     "global_route_path",
     "parallel_chains",

@@ -42,7 +42,12 @@ from ..units import mm, nH, pF, ps
 
 __all__ = ["standard_lines", "global_route_path", "parallel_chains",
            "fanout_tree", "reconvergent_graph", "race_graph",
-           "benchmark_graph", "soc_graph"]
+           "benchmark_graph", "soc_graph", "case_graph", "BUILTIN_CASES"]
+
+#: The named built-in designs shared by ``python -m repro time --case`` and
+#: the serve daemon's attach-by-case path (:func:`case_graph`).
+BUILTIN_CASES: Tuple[str, ...] = ("chain3", "diamond", "race", "tree", "bench",
+                                  "soc")
 
 #: Driver sizes shipped with the repository's cell library.
 LIBRARY_SIZES: Tuple[float, ...] = (25.0, 50.0, 75.0, 100.0, 125.0)
@@ -281,3 +286,33 @@ def soc_graph(n_nets: int = 100_000, *,
             nets.append(GraphNet(f"{prefix}e{m}", 50.0, lines[m % 2],
                                  receiver_size=25.0))
     return TimingGraph(nets, inputs)
+
+
+def case_graph(case: str, *, input_slew: float = ps(100.0), depth: int = 3,
+               nets: int = 128) -> TimingGraph:
+    """The named built-in design as a :class:`TimingGraph` (one shared table).
+
+    This is the case registry behind the CLI's ``time --case`` *and* the serve
+    daemon's ``POST /designs`` attach-by-case path, so the two front doors can
+    never drift apart.  ``depth`` parameterizes ``tree``; ``nets`` sizes
+    ``bench`` and ``soc``.  ``chain3`` is materialized as the chain-shaped
+    graph of :func:`global_route_path` (needed because attached designs are
+    edited and re-timed in place, which is a graph-only contract).
+    """
+    from ..sta.graph import chain_graph
+
+    if case == "chain3":
+        graph, _ = chain_graph(global_route_path(input_slew=input_slew))
+        return graph
+    if case == "diamond":
+        return reconvergent_graph(input_slew=input_slew)
+    if case == "race":
+        return race_graph(input_slew=input_slew)
+    if case == "tree":
+        return fanout_tree(depth, input_slew=input_slew)
+    if case == "bench":
+        return benchmark_graph(nets, input_slew=input_slew)
+    if case == "soc":
+        return soc_graph(nets, input_slew=input_slew)
+    raise ModelingError(
+        f"unknown case {case!r}; built-in cases: {', '.join(BUILTIN_CASES)}")

@@ -1,0 +1,187 @@
+"""A thin stdlib client for the serve daemon (tests, benchmark, CI smoke).
+
+:class:`ServeClient` wraps one keep-alive ``http.client.HTTPConnection`` —
+each instance is a single connection and is **not** thread-safe; concurrent
+callers create one client per thread (cheap: the daemon is local).  Error
+responses raise :class:`ServeError` carrying the HTTP status and the daemon's
+``error`` / ``message`` fields, so a test can assert
+``exc.status == 422`` instead of parsing text.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """A non-2xx daemon response (status + the JSON error body)."""
+
+    def __init__(self, status: int, error: str, message: str) -> None:
+        super().__init__(f"HTTP {status} [{error}]: {message}")
+        self.status = status
+        self.error = error
+        self.message = message
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``HTTPConnection`` over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: float) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+class ServeClient:
+    """One connection to a running serve daemon (TCP port or unix socket)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        *,
+        socket_path: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if (port is None) == (socket_path is None):
+            raise ReproError(
+                "ServeClient needs exactly one of port (TCP) or socket_path (unix)"
+            )
+        self._host = host
+        self._port = port
+        self._socket_path = socket_path
+        self._timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # --- plumbing ---------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            if self._socket_path is not None:
+                self._connection = _UnixHTTPConnection(self._socket_path,
+                                                       self._timeout)
+            else:
+                assert self._port is not None
+                self._connection = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self._timeout)
+        return self._connection
+
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One round-trip; retries once on a dropped keep-alive connection."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        parsed = json.loads(data.decode("utf-8")) if data else {}
+        if response.status >= 400:
+            raise ServeError(response.status,
+                             str(parsed.get("error", "error")),
+                             str(parsed.get("message", data.decode("utf-8",
+                                                                   "replace"))))
+        return parsed
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # --- liveness ---------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def wait_until_up(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the daemon answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (OSError, http.client.HTTPException, ValueError):
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"serve daemon did not come up within {timeout:g}s"
+                    ) from None
+                self.close()
+                time.sleep(0.05)
+
+    # --- lifecycle --------------------------------------------------------------------
+    def attach(self, name: str, *, case: Optional[str] = None,
+               spec: Optional[Dict[str, Any]] = None,
+               **options: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"name": name}
+        if case is not None:
+            payload["case"] = case
+        if spec is not None:
+            payload["spec"] = spec
+        payload.update(options)
+        return self.request("POST", "/designs", payload)
+
+    def detach(self, name: str) -> Dict[str, Any]:
+        return self.request("DELETE", f"/designs/{name}")
+
+    def designs(self) -> List[Dict[str, Any]]:
+        return self.request("GET", "/designs")["designs"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("POST", "/shutdown", {})
+
+    # --- queries ----------------------------------------------------------------------
+    def wns(self, name: str) -> Dict[str, Any]:
+        return self.request("GET", f"/designs/{name}/wns")
+
+    def slack(self, name: str, *, mode: str = "setup",
+              limit: int = 20) -> Dict[str, Any]:
+        return self.request("GET",
+                            f"/designs/{name}/slack?mode={mode}&limit={limit}")
+
+    def report(self, name: str) -> Dict[str, Any]:
+        return self.request("GET", f"/designs/{name}/report")
+
+    def events(self, name: str, net: str) -> Dict[str, Any]:
+        return self.request("GET", f"/designs/{name}/events/{net}")
+
+    def diff(self, name: str, *, limit: int = 20) -> Dict[str, Any]:
+        return self.request("GET", f"/designs/{name}/diff?limit={limit}")
+
+    def design_stats(self, name: str) -> Dict[str, Any]:
+        return self.request("GET", f"/designs/{name}/stats")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    # --- edits ------------------------------------------------------------------------
+    def edit(self, name: str, edits: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Apply one atomic batch of edit verbs; returns summary + diff."""
+        return self.request("POST", f"/designs/{name}/edits", {"edits": edits})
+
+    def resize(self, name: str, net: str, driver_size: float) -> Dict[str, Any]:
+        return self.edit(name, [
+            {"op": "resize_driver", "net": net, "driver_size": driver_size}
+        ])

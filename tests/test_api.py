@@ -96,6 +96,27 @@ class TestSessionConfig:
         with pytest.raises(ModelingError):
             SessionConfig.from_env({"REPRO_JOBS": "many"})
 
+    def test_from_env_compile_threshold(self):
+        assert SessionConfig.from_env(
+            {"REPRO_COMPILE_THRESHOLD": "512"}).compile_threshold == 512
+        # 0 disables compilation entirely (the documented sentinel).
+        assert SessionConfig.from_env(
+            {"REPRO_COMPILE_THRESHOLD": "0"}).compile_threshold is None
+        assert SessionConfig.from_env({}).compile_threshold == 4096
+        assert SessionConfig.from_env(
+            {"REPRO_COMPILE_THRESHOLD": "512"},
+            compile_threshold=64).compile_threshold == 64
+
+    def test_from_env_rejects_bad_compile_threshold(self):
+        with pytest.raises(ModelingError):
+            SessionConfig.from_env({"REPRO_COMPILE_THRESHOLD": "lots"})
+        with pytest.raises(ModelingError):
+            SessionConfig.from_env({"REPRO_COMPILE_THRESHOLD": "-3"})
+
+    def test_from_env_compile_threshold_serializes(self):
+        config = SessionConfig.from_env({"REPRO_COMPILE_THRESHOLD": "512"})
+        assert SessionConfig.from_dict(config.to_dict()) == config
+
     def test_dict_round_trip(self, tmp_path):
         config = SessionConfig(cache_dir=tmp_path, jobs=2, slew_quantum=ps(1.0),
                                persistent_stages=True)

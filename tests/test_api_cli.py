@@ -19,7 +19,7 @@ class TestParser:
             main(["--help"])
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
-        for command in ("time", "characterize", "bench", "report"):
+        for command in ("time", "characterize", "bench", "report", "serve"):
             assert command in out
 
     def test_version_flag(self, capsys):
@@ -28,6 +28,34 @@ class TestParser:
             main(["--version"])
         assert excinfo.value.code == 0
         assert __version__ in capsys.readouterr().out
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--case", "chain3", "--case", "bench",
+             "--nets", "32", "--clock", "900", "--jobs", "2"])
+        assert args.port == 0 and args.socket is None
+        assert args.case == ["chain3", "bench"]
+        assert args.clock == 900.0
+        assert args.jobs == 2
+
+    def test_serve_port_and_socket_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--port", "1", "--socket", "/tmp/s"])
+        assert "not allowed" in capsys.readouterr().err
+
+    def test_serve_hold_margin_requires_clock(self, capsys):
+        assert main(["serve", "--hold-margin", "30"]) == 2
+        assert "--clock" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        from repro.api import cli
+
+        def interrupt(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_time", interrupt)
+        assert main(["time", "--case", "chain3"]) == 130
+        assert "interrupted" in capsys.readouterr().err
 
     def test_characterize_flags_parse(self):
         args = build_parser().parse_args(
