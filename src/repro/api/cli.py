@@ -394,7 +394,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the TimingReport as JSON",
     )
     _add_session_flags(
-        timer, jobs_help="worker processes per graph level (default: $REPRO_JOBS or 1)"
+        timer,
+        jobs_help="worker processes per graph level; on the compiled path, "
+        "shards every level's sweep across N processes, bit-identical to "
+        "--jobs 1 (default: $REPRO_JOBS or 1; 0 = cpu count)",
     )
     timer.set_defaults(func=_cmd_time)
 

@@ -76,8 +76,9 @@ class SessionConfig:
     ``library_dir`` / ``cache_dir`` default to the shipped characterization data
     and the standard cache-resolution chain (``REPRO_CACHE_DIR``,
     ``$XDG_CACHE_HOME/repro/cells``, ``~/.cache/repro/cells``); ``jobs`` is the
-    worker-process count shared by graph timing and characterization (``1`` =
-    serial); ``persistent_stages`` additionally persists scalar stage solutions
+    worker-process count shared by graph timing, compiled sharded sweeps, and
+    characterization (``1`` = serial; ``REPRO_JOBS=0`` resolves to the cpu
+    count); ``persistent_stages`` additionally persists scalar stage solutions
     under the cache's ``stages/`` subdirectory; ``slew_quantum`` (seconds) trades
     bit-exactness for memo hit rate by snapping input slews onto a grid.
     """

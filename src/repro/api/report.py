@@ -227,6 +227,10 @@ class RunInfo:
     report_events_rebuilt: Optional[int] = None  #: warm updates: events re-flattened
     compile_seconds: Optional[float] = None  #: compiled runs: graph freeze time [s]
     peak_rss_bytes: Optional[int] = None  #: process peak RSS at report build [bytes]
+    shards: Optional[int] = None  #: sharded sweeps: worker count (None = single-shard)
+    #: sharded sweeps: BoundaryEvents captured + injected across shard frontiers
+    boundary_events_exchanged: Optional[int] = None
+    parallel_sweep: bool = False  #: True when the multi-process sharded driver ran
 
     @property
     def requests(self) -> int:
@@ -266,6 +270,9 @@ class RunInfo:
             "report_events_rebuilt": self.report_events_rebuilt,
             "compile_seconds": self.compile_seconds,
             "peak_rss_bytes": self.peak_rss_bytes,
+            "shards": self.shards,
+            "boundary_events_exchanged": self.boundary_events_exchanged,
+            "parallel_sweep": self.parallel_sweep,
         }
 
     @classmethod
@@ -829,9 +836,10 @@ class StreamingTimingReport(TimingReport):
             else []
         )
         stats = analysis.stats
+        shards = getattr(analysis, "shards", None)
         meta = RunInfo(
             elapsed=analysis.elapsed,
-            jobs=1,
+            jobs=shards if shards is not None else 1,
             memo_hits=stats.memo_hits,
             persistent_hits=stats.persistent_hits,
             computed=stats.computed,
@@ -841,6 +849,10 @@ class StreamingTimingReport(TimingReport):
             mode=mode,
             compile_seconds=compile_seconds,
             peak_rss_bytes=_peak_rss_bytes(),
+            shards=shards,
+            boundary_events_exchanged=getattr(
+                analysis, "boundary_events_exchanged", None),
+            parallel_sweep=bool(getattr(analysis, "parallel_sweep", False)),
         )
         return cls(
             design=design,

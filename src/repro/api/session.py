@@ -224,7 +224,14 @@ class TimingSession:
         ``kind="path"``), a :class:`TimingGraph`, or a :class:`DesignBuilder`
         (built first).  ``jobs`` overrides the session's worker count for graph
         analyses; paths always run serially (a chain has one net per level, so
-        there is nothing to fan out) and report ``meta.jobs == 1``.
+        there is nothing to fan out) and report ``meta.jobs == 1``.  On the
+        compiled path, ``jobs > 1`` runs the forward sweep through the
+        multi-process sharded driver (bit-identical results; the worker fleet
+        persists for the session's ``with`` block) and the report's
+        ``meta.shards`` / ``meta.boundary_events_exchanged`` /
+        ``meta.parallel_sweep`` record what actually ran; an explicit
+        ``jobs=1`` pins the single-shard baseline even when ``config.jobs``
+        is higher.
         ``memoize=False`` bypasses every cache layer (the naive baseline
         benchmarks compare against); ``name`` overrides the report's design
         label; ``corner`` times the design under that configured corner's
@@ -288,7 +295,8 @@ class TimingSession:
         if compiled:
             compiled_graph, fresh = self._compiled_for(graph)
             analysis = self._engine.analyze_compiled(
-                graph, compiled=compiled_graph, options=options, mode=mode
+                graph, compiled=compiled_graph, options=options, mode=mode,
+                jobs=jobs if jobs is not None else self.config.jobs
             )
             return StreamingTimingReport.from_compiled(
                 analysis,

@@ -25,6 +25,12 @@ Layering, bottom up:
   backward passes as whole-level numpy sweeps, bit-compatible with the object
   engine.  :meth:`CompiledGraph.partition` exposes a levelized-region seam with
   explicit :class:`BoundaryEvents` exchange.
+* :mod:`repro.sta.parallel` — multi-core sharded sweeps: with ``jobs > 1``
+  the compiled forward sweep cuts every level into per-worker net slices
+  over :mod:`multiprocessing.shared_memory` planes, exchanges cross-shard
+  fanout through :class:`BoundaryEvents` at each level barrier, and keeps
+  stage solving in the parent so results stay bit-identical to the
+  single-shard sweep (any worker failure falls back to it automatically).
 
 The recommended front door to all of this is :class:`repro.api.TimingSession`,
 which owns the cell library, the caches and the worker pool, accepts
@@ -42,6 +48,8 @@ from .engine import PathTimer, PathTimingReport, StageTiming
 from .graph import (ANALYSIS_MODES, CHECK_MODES, GraphNet, GraphTimingReport,
                     IncrementalStats, NetEventTiming, PrimaryInput,
                     TimingGraph, chain_graph, check_mode, flip_transition)
+from .parallel import (ShardedSweepDriver, ShardedSweepError, ShardPlan,
+                       build_shard_plan, effective_shards)
 from .stage import TimingPath, TimingStage
 from .validation import PathReference, simulate_path_reference
 
@@ -74,4 +82,9 @@ __all__ = [
     "SweepState",
     "BoundaryEvents",
     "compile_graph",
+    "ShardedSweepDriver",
+    "ShardedSweepError",
+    "ShardPlan",
+    "build_shard_plan",
+    "effective_shards",
 ]

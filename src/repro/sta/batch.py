@@ -77,7 +77,10 @@ from ..tech.technology import Technology, generic_180nm
 from ._deprecation import warn_deprecated_once
 from .compiled import (TRANSITIONS, BoundaryEvents, CompiledAnalysis,
                        CompiledGraph, SweepState, backward_required,
-                       compile_graph, constraint_seeds, merge_level)
+                       compile_graph, constraint_seeds, level_solve_keys,
+                       merge_level, scatter_level_solutions)
+from .parallel import (ShardedSweepDriver, ShardedSweepError,
+                       effective_shards)
 from .graph import (GraphNet, GraphTimingReport, IncrementalStats,
                     NetEventTiming, TimingGraph, check_mode, flip_transition)
 
@@ -157,6 +160,7 @@ class GraphEngine:
         self.jobs = resolve_jobs(jobs)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_jobs = 0
+        self._shard_driver: Optional[ShardedSweepDriver] = None
         self._persistent_pool = False
 
     # --- worker-pool lifecycle -------------------------------------------------------
@@ -172,11 +176,29 @@ class GraphEngine:
         self.close()
 
     def close(self) -> None:
-        """Shut down the engine's worker pool (idempotent)."""
+        """Shut down the engine's worker pools (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
             self._executor_jobs = 0
+        if self._shard_driver is not None:
+            self._shard_driver.close()
+            self._shard_driver = None
+
+    def _get_shard_driver(self, n_shards: int) -> ShardedSweepDriver:
+        """The persistent sharded-sweep driver, resized to ``n_shards``."""
+        if (self._shard_driver is not None
+                and self._shard_driver.n_shards != n_shards):
+            self._shard_driver.close()
+            self._shard_driver = None
+        if self._shard_driver is None:
+            self._shard_driver = ShardedSweepDriver(n_shards)
+        return self._shard_driver
+
+    def _close_shard_driver(self) -> None:
+        if self._shard_driver is not None:
+            self._shard_driver.close()
+            self._shard_driver = None
 
     def _get_executor(self, jobs: int) -> Optional[ProcessPoolExecutor]:
         """The shared worker pool sized for ``jobs``, or None when pools can't start."""
@@ -578,18 +600,26 @@ class GraphEngine:
         bottleneck ``BENCH_incremental`` flags, which is where most of the
         compiled path's warm speedup comes from.
         """
-        slews = state.merged_slew[events]
-        quantum = self.solver.slew_quantum
-        if quantum is not None:
-            # Vectorized twin of quantize_slew(): round() and np.rint are
-            # both half-even, so the grid snap is bit-identical.
-            slews = np.maximum(np.rint(slews / quantum), 1.0) * quantum
-        state.in_slew[events] = slews
-        keys = np.empty((events.size, 3), dtype=np.float64)
-        keys[:, 0] = cg.config_id[events >> 1]
-        keys[:, 1] = events & 1
-        keys[:, 2] = slews
-        unique, inverse = np.unique(keys, axis=0, return_inverse=True)
+        unique, inverse = level_solve_keys(cg, state, events,
+                                           self.solver.slew_quantum)
+        base, delays, prop_slews = self._solve_unique_keys(
+            cg, unique, options_pair, fp_cache, solutions)
+        scatter_level_solutions(state, events, base + inverse, delays[inverse],
+                                prop_slews[inverse])
+
+    def _solve_unique_keys(self, cg: CompiledGraph, unique: np.ndarray,
+                           options_pair: Dict[int, ModelingOptions],
+                           fp_cache: Dict[Tuple[int, int, float], str],
+                           solutions: List[StageSolution]
+                           ) -> Tuple[int, np.ndarray, np.ndarray]:
+        """Solve one level's unique keys; returns (base index, delays, slews).
+
+        Split out of :meth:`_solve_compiled_level` because the sharded driver
+        needs exactly this piece in the parent process: ``solve_batch``
+        results are composition-sensitive at the ~1 ULP level, so the level's
+        globally-unique keys must be solved as one batch no matter how many
+        shards contributed them.
+        """
         requests: List[StageRequest] = []
         for config_key, t_key, slew in unique.tolist():
             config, t = int(config_key), int(t_key)
@@ -613,18 +643,14 @@ class GraphEngine:
                              dtype=np.float64, count=len(solved))
         prop_slews = np.fromiter((s.propagated_slew for s in solved),
                                  dtype=np.float64, count=len(solved))
-        state.sol_idx[events] = base + inverse
-        delay = delays[inverse]
-        state.delay[events] = delay
-        state.prop_slew[events] = prop_slews[inverse]
-        state.out_arr[events] = state.in_arr[events] + delay
-        state.early_out[events] = state.early_in[events] + delay
+        return base, delays, prop_slews
 
     def analyze_compiled(self, graph: TimingGraph, *,
                          compiled: Optional[CompiledGraph] = None,
                          options: Optional[ModelingOptions] = None,
                          mode: str = "both",
-                         partitions: Optional[int] = None) -> CompiledAnalysis:
+                         partitions: Optional[int] = None,
+                         jobs: Optional[int] = None) -> CompiledAnalysis:
         """Time ``graph`` through the struct-of-arrays path.
 
         Equivalent to :meth:`analyze` — same merges, same stage solves through
@@ -636,11 +662,28 @@ class GraphEngine:
         :attr:`~.graph.TimingGraph.version`); ``partitions`` routes the
         forward sweep through ``partitions`` contiguous level regions with
         explicit :class:`~.compiled.BoundaryEvents` exchange — bit-identical
-        to the monolithic sweep, exercising the multi-process seam.
+        to the monolithic sweep, exercising the multi-process seam serially.
+
+        ``jobs`` (default: the engine's ``jobs``) with a value above 1 runs
+        the forward sweep through the multi-process sharded driver
+        (:mod:`repro.sta.parallel`): each level is cut into up to ``jobs``
+        net slices swept concurrently over shared-memory planes, with stage
+        solving kept in this process so the result — planes, solution list,
+        required times — is bit-identical to the single-shard sweep.  The
+        driver degrades automatically: graphs whose widest level is narrower
+        than ``jobs`` use fewer shards (or none), and any worker failure
+        falls back to the serial sweep with a :class:`RuntimeWarning`, like
+        the object engine's pool.  An explicit ``jobs=1`` pins the
+        single-shard baseline regardless of the engine default.
         """
         if not isinstance(graph, TimingGraph):
             raise ModelingError("analyze_compiled() expects a TimingGraph")
         check_mode(mode, allow_both=True)
+        jobs = self.jobs if jobs is None else resolve_jobs(jobs)
+        if partitions is not None and jobs > 1:
+            raise ModelingError(
+                "partitions= exercises the serial region seam; it cannot be "
+                "combined with jobs > 1 (sharded sweeps are level-sliced)")
         cg = compiled if compiled is not None else self.compile(graph)
         if cg.version != graph.version:
             raise ModelingError(
@@ -656,8 +699,39 @@ class GraphEngine:
         fp_cache = cg.fingerprints.setdefault(
             _options_fingerprint(base_options), {})
         solutions: List[StageSolution] = []
-        state = SweepState.empty(2 * cg.n_nets)
-        if partitions is None:
+        state: Optional[SweepState] = None
+        shards: Optional[int] = None
+        boundary_exchanged: Optional[int] = None
+        n_shards = effective_shards(cg, jobs) if partitions is None else 1
+        if n_shards > 1:
+            driver = self._get_shard_driver(n_shards)
+
+            def solve_unique(unique: np.ndarray):
+                return self._solve_unique_keys(cg, unique, options_pair,
+                                               fp_cache, solutions)
+
+            try:
+                state, counters = driver.sweep(
+                    cg, graph, solve_unique=solve_unique,
+                    quantum=self.solver.slew_quantum)
+            except ShardedSweepError as exc:
+                warnings.warn(
+                    f"sharded compiled sweep unavailable ({exc!s}); "
+                    "finishing the analysis single-shard", RuntimeWarning,
+                    stacklevel=2)
+                self._close_shard_driver()
+                # Discard partial solves: the single-shard rerun rebuilds the
+                # solution list from scratch (the memo keeps them warm).
+                solutions = []
+                state = None
+            else:
+                shards = n_shards
+                boundary_exchanged = counters["boundary_events_exchanged"]
+            finally:
+                if not self._persistent_pool:
+                    self._close_shard_driver()
+        if state is None and partitions is None:
+            state = SweepState.empty(2 * cg.n_nets)
             self._seed_primary_inputs(cg, graph, state)
             for level in range(cg.n_levels):
                 net_lo = int(cg.level_ptr[level])
@@ -666,12 +740,13 @@ class GraphEngine:
                 if events.size:
                     self._solve_compiled_level(cg, state, events, options_pair,
                                                fp_cache, solutions)
-        else:
+        elif state is None:
             # Partitioned sweep: each region runs on a fresh state seeded only
             # with its boundary packet (plus the primary inputs, which live in
             # the first region's level 0), then copies its net span back into
             # the master state.  Regions communicate through BoundaryEvents
             # only — the explicit seam a multi-process fan-out would ship.
+            state = SweepState.empty(2 * cg.n_nets)
             for region in cg.partition(partitions):
                 region_state = SweepState.empty(2 * cg.n_nets)
                 if region.level_lo == 0:
@@ -707,7 +782,8 @@ class GraphEngine:
             graph=cg, state=state, required=required,
             hold_required=hold_required, solutions=solutions, stats=stats,
             elapsed=time.perf_counter() - started, mode=mode,
-            partitions=partitions)
+            partitions=partitions, shards=shards,
+            boundary_events_exchanged=boundary_exchanged)
 
 
 class IncrementalEngine(GraphEngine):

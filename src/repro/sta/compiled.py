@@ -477,6 +477,48 @@ def merge_level(cg: CompiledGraph, state: SweepState,
     return np.flatnonzero(span) + net_lo * 2
 
 
+def level_solve_keys(cg: CompiledGraph, state: SweepState, events: np.ndarray,
+                     quantum: Optional[float]
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse a level's events to unique (config, transition, slew) keys.
+
+    Quantizes the merged slews onto the solver grid (bit-identical to
+    ``quantize_slew()``: ``round()`` and ``np.rint`` are both half-even),
+    records them in ``state.in_slew``, and returns ``(unique, inverse)`` from
+    a lexicographic row sort — so the unique order is a pure function of the
+    key *set*, which is what lets sharded sweeps reassemble the exact
+    single-shard request order from per-shard subsets.  ``cg`` only needs a
+    ``config_id`` array, so slim worker-side structures qualify.
+    """
+    slews = state.merged_slew[events]
+    if quantum is not None:
+        slews = np.maximum(np.rint(slews / quantum), 1.0) * quantum
+    state.in_slew[events] = slews
+    keys = np.empty((events.size, 3), dtype=np.float64)
+    keys[:, 0] = cg.config_id[events >> 1]
+    keys[:, 1] = events & 1
+    keys[:, 2] = slews
+    unique, inverse = np.unique(keys, axis=0, return_inverse=True)
+    return unique, inverse
+
+
+def scatter_level_solutions(state: SweepState, events: np.ndarray,
+                            sol_ids: np.ndarray, delays: np.ndarray,
+                            prop_slews: np.ndarray) -> None:
+    """Scatter per-event solution results back into the sweep planes.
+
+    ``sol_ids`` / ``delays`` / ``prop_slews`` are already expanded per event
+    (the caller indexes its solved uniques by the inverse map).  Output
+    arrivals are computed here so the float-add order is identical wherever
+    the scatter runs — single-shard, partitioned, or sharded worker.
+    """
+    state.sol_idx[events] = sol_ids
+    state.delay[events] = delays
+    state.prop_slew[events] = prop_slews
+    state.out_arr[events] = state.in_arr[events] + delays
+    state.early_out[events] = state.early_in[events] + delays
+
+
 def constraint_seeds(cg: CompiledGraph, graph: TimingGraph,
                      mode: str) -> np.ndarray:
     """Per-event constraint seeds of ``mode``, read live from ``graph``.
@@ -601,7 +643,9 @@ class CompiledAnalysis:
     def __init__(self, *, graph: CompiledGraph, state: SweepState,
                  required: np.ndarray, hold_required: np.ndarray,
                  solutions: List[StageSolution], stats, elapsed: float,
-                 mode: str, partitions: Optional[int] = None) -> None:
+                 mode: str, partitions: Optional[int] = None,
+                 shards: Optional[int] = None,
+                 boundary_events_exchanged: Optional[int] = None) -> None:
         self.graph = graph
         self.state = state
         self.required = required
@@ -611,6 +655,15 @@ class CompiledAnalysis:
         self.elapsed = elapsed
         self.mode = mode
         self.partitions = partitions
+        #: Worker count of the sharded forward sweep (None = single-shard).
+        self.shards = shards
+        #: BoundaryEvents captured + injected across shard frontiers.
+        self.boundary_events_exchanged = boundary_events_exchanged
+
+    @property
+    def parallel_sweep(self) -> bool:
+        """True when the multi-process sharded driver produced the planes."""
+        return self.shards is not None and self.shards > 1
 
     # --- event enumeration --------------------------------------------------------
     @property

@@ -1,0 +1,372 @@
+"""Multi-core sharded compiled sweeps vs the single-shard sweep.
+
+The contract under test:
+
+* a sharded forward sweep (``analyze_compiled(jobs=N)``) is **bit-identical**
+  to the single-shard run — every state plane, required-time plane, and the
+  solution list itself, across random DAGs, every analysis mode, and every
+  shard count (the driver re-uniques all shards' solve keys in the parent, so
+  even ``solve_batch``'s composition sensitivity cannot leak in);
+* :meth:`CompiledGraph.partition` and :class:`BoundaryEvents` — the seam the
+  driver is built on — keep their cover/disjointness and round-trip
+  invariants on their own;
+* the :class:`ShardPlan` accounts for every cross-shard edge exactly once on
+  each side (publish at the producer, inject at the consumer);
+* failure paths degrade, never corrupt: worker death (between or during
+  sweeps) falls back to the serial sweep with a ``RuntimeWarning`` and the
+  same bits; graphs too narrow to shard run single-shard silently;
+* the session layer routes ``config.jobs > 1`` + compiled through the driver
+  (the pre-PR-9 silent no-op), while an explicit ``jobs=1`` pins the
+  single-shard baseline.
+"""
+
+import random
+import warnings
+
+import numpy as np
+import pytest
+from test_sta_dual_mode import random_dag
+
+from repro.api import TimingSession
+from repro.api.report import RunInfo
+from repro.core import StageSolver
+from repro.errors import ModelingError
+from repro.experiments import soc_graph
+from repro.interconnect import RLCLine
+from repro.sta import (GraphEngine, GraphNet, PrimaryInput, SweepState,
+                       TimingGraph)
+from repro.sta.compiled import BoundaryEvents
+from repro.sta.parallel import (CompiledStructure, ShardedSweepDriver,
+                                ShardedSweepError, build_shard_plan,
+                                effective_shards)
+from repro.units import mm, nH, pF, ps
+
+from test_sta_compiled import constrain_randomly
+
+
+@pytest.fixture(scope="module")
+def lines():
+    return [RLCLine(resistance=20.0, inductance=nH(1.05), capacitance=pF(0.22),
+                    length=mm(1)),
+            RLCLine(resistance=38.0, inductance=nH(2.1), capacitance=pF(0.42),
+                    length=mm(2))]
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return StageSolver()
+
+
+@pytest.fixture(scope="module")
+def engine(library, solver):
+    return GraphEngine(library=library, solver=solver)
+
+
+def assert_bit_identical(single, sharded):
+    """Every plane, required time, and solution of the two analyses is equal."""
+    for a, b in zip(single.state.planes(), sharded.state.planes()):
+        assert np.array_equal(a, b)
+    assert np.array_equal(single.required, sharded.required, equal_nan=True)
+    assert np.array_equal(single.hold_required, sharded.hold_required,
+                          equal_nan=True)
+    assert ([s.fingerprint for s in single.solutions]
+            == [s.fingerprint for s in sharded.solutions])
+
+
+def narrow_graph(line, width=3):
+    """One root fanning to ``width`` mids, each driving its own sink."""
+    nets = [GraphNet("root", 25.0, line,
+                     fanout=tuple(f"m{i}" for i in range(width)))]
+    for i in range(width):
+        nets.append(GraphNet(f"m{i}", 25.0, line, fanout=(f"s{i}",)))
+        nets.append(GraphNet(f"s{i}", 25.0, line, receiver_size=25.0))
+    return TimingGraph(nets, {"root": PrimaryInput(slew=ps(100),
+                                                   transition="rise")})
+
+
+class TestShardedBitIdentity:
+    @pytest.mark.parametrize("seed", [3, 14, 23])
+    def test_random_dags_all_shard_counts(self, engine, lines, seed):
+        rng = random.Random(seed)
+        graph = random_dag(rng, lines, n_nets=rng.choice([12, 16, 20]))
+        constrain_randomly(rng, graph)
+        cg = engine.compile(graph)
+        single = engine.analyze_compiled(graph, compiled=cg, jobs=1)
+        with engine:
+            for jobs in (2, 3, 4, 5):
+                sharded = engine.analyze_compiled(graph, compiled=cg,
+                                                  jobs=jobs)
+                assert sharded.shards == effective_shards(cg, jobs)
+                assert sharded.parallel_sweep
+                assert_bit_identical(single, sharded)
+
+    @pytest.mark.parametrize("mode", ["setup", "hold", "both"])
+    def test_every_mode(self, engine, lines, mode):
+        rng = random.Random(47)
+        graph = random_dag(rng, lines, n_nets=16)
+        constrain_randomly(rng, graph)
+        cg = engine.compile(graph)
+        single = engine.analyze_compiled(graph, compiled=cg, mode=mode,
+                                         jobs=1)
+        sharded = engine.analyze_compiled(graph, compiled=cg, mode=mode,
+                                          jobs=3)
+        assert sharded.parallel_sweep
+        assert_bit_identical(single, sharded)
+
+    def test_soc_graph_and_solver_stats(self, engine):
+        graph = soc_graph(500)
+        graph.set_clock_period(ps(900), hold_margin=0.0)
+        cg = engine.compile(graph)
+        engine.analyze_compiled(graph, compiled=cg, jobs=1)  # warm the memo
+        warm_single = engine.analyze_compiled(graph, compiled=cg, jobs=1)
+        with engine:
+            sharded = engine.analyze_compiled(graph, compiled=cg, jobs=4)
+        assert sharded.shards == 4
+        assert sharded.boundary_events_exchanged is not None
+        assert_bit_identical(warm_single, sharded)
+        # Identical keys batched identically: not just the same answers, but
+        # the same number of memo hits / computed / batched solves.
+        assert sharded.stats == warm_single.stats
+
+    def test_driver_persists_inside_with_block(self, library, solver):
+        graph = soc_graph(250)
+        with GraphEngine(library=library, solver=solver, jobs=2) as engine:
+            first = engine.analyze_compiled(graph)
+            driver = engine._shard_driver
+            assert isinstance(driver, ShardedSweepDriver)
+            second = engine.analyze_compiled(graph)
+            assert engine._shard_driver is driver
+            assert first.parallel_sweep and second.parallel_sweep
+        assert engine._shard_driver is None  # torn down with the block
+
+    def test_unmanaged_engine_cleans_up_per_call(self, library, solver):
+        graph = soc_graph(250)
+        engine = GraphEngine(library=library, solver=solver)
+        analysis = engine.analyze_compiled(graph, jobs=2)
+        assert analysis.parallel_sweep
+        assert engine._shard_driver is None
+
+
+class TestShardPlanAndBoundary:
+    @pytest.mark.parametrize("n_regions", [1, 2, 3, 5, 50])
+    def test_partition_covers_levels_and_nets(self, engine, lines, n_regions):
+        rng = random.Random(5)
+        graph = random_dag(rng, lines, n_nets=20)
+        cg = engine.compile(graph)
+        regions = cg.partition(n_regions)
+        assert 1 <= len(regions) <= min(n_regions, cg.n_levels)
+        assert regions[0].level_lo == 0 and regions[-1].level_hi == cg.n_levels
+        for prev, region in zip(regions, regions[1:]):
+            assert region.level_lo == prev.level_hi  # contiguous, disjoint
+        for region in regions:
+            assert region.net_lo == int(cg.level_ptr[region.level_lo])
+            assert region.net_hi == int(cg.level_ptr[region.level_hi])
+            fanin = cg.fi_indices[int(cg.fi_indptr[region.net_lo]):
+                                  int(cg.fi_indptr[region.net_hi])]
+            expected = np.unique(fanin[fanin < region.net_lo])
+            assert np.array_equal(region.boundary_nets, expected)
+            assert (region.boundary_nets < region.net_lo).all()
+
+    def test_partition_rejects_zero_regions(self, engine, lines):
+        rng = random.Random(6)
+        cg = engine.compile(random_dag(rng, lines, n_nets=12))
+        with pytest.raises(ModelingError):
+            cg.partition(0)
+
+    @pytest.mark.parametrize("n_shards", [2, 3, 4, 7])
+    def test_shard_plan_accounts_for_every_cross_edge(self, engine, lines,
+                                                      n_shards):
+        rng = random.Random(7)
+        cg = engine.compile(random_dag(rng, lines, n_nets=24))
+        structure = CompiledStructure.from_compiled(cg)
+        plan = build_shard_plan(structure, n_shards)
+        assert plan.owner.shape == (cg.n_nets,)
+        assert ((plan.owner >= 0) & (plan.owner < n_shards)).all()
+        for level in range(cg.n_levels):  # slices tile each level in order
+            lo, hi = int(cg.level_ptr[level]), int(cg.level_ptr[level + 1])
+            assert (np.diff(plan.owner[lo:hi]) >= 0).all()
+        for target in range(cg.n_nets):
+            level = int(np.searchsorted(cg.level_ptr, target, side="right")) - 1
+            for source in cg.fi_indices[int(cg.fi_indptr[target]):
+                                        int(cg.fi_indptr[target + 1])]:
+                source = int(source)
+                if plan.owner[source] == plan.owner[target]:
+                    continue
+                src_level = int(np.searchsorted(cg.level_ptr, source,
+                                                side="right")) - 1
+                assert source in plan.inject_nets[plan.owner[target]][level]
+                assert source in plan.publish_nets[plan.owner[source]][src_level]
+
+    def test_boundary_capture_inject_round_trip(self):
+        rng = np.random.default_rng(11)
+        n_events = 16
+        state = SweepState.empty(n_events)
+        exists = np.zeros(n_events, dtype=bool)
+        exists[[0, 3, 4, 5, 9]] = True  # net 0: fall only; net 2: both; ...
+        state.exists[:] = exists
+        state.out_arr[:] = rng.normal(size=n_events)
+        state.early_out[:] = rng.normal(size=n_events)
+        state.prop_slew[:] = rng.normal(size=n_events)
+        nets = np.array([0, 1, 2, 4], dtype=np.int64)
+        packet = BoundaryEvents.capture(state, nets)
+        assert packet.events.tolist() == [0, 3, 4, 5, 9]  # existing only
+        fresh = SweepState.empty(n_events)
+        packet.inject(fresh)
+        assert np.array_equal(fresh.exists, exists)
+        for plane in ("out_arr", "early_out", "prop_slew"):
+            moved = getattr(fresh, plane)
+            original = getattr(state, plane)
+            assert np.array_equal(moved[exists], original[exists])
+            assert (moved[~exists] == 0.0).all()  # untouched elsewhere
+        # Unsolved planes stay at their empty defaults — a boundary packet
+        # carries exactly the three planes downstream merges read.
+        assert (fresh.sol_idx == -1).all()
+        assert (fresh.in_arr == 0.0).all()
+
+    def test_capture_of_unsolved_nets_is_empty(self):
+        state = SweepState.empty(8)
+        packet = BoundaryEvents.capture(state, np.array([0, 1, 2],
+                                                        dtype=np.int64))
+        assert packet.events.size == 0
+        fresh = SweepState.empty(8)
+        packet.inject(fresh)
+        assert not fresh.exists.any()
+
+
+class TestDegradeAndFailure:
+    def test_jobs_wider_than_widest_level_degrades(self, engine, lines):
+        graph = narrow_graph(lines[0], width=3)
+        cg = engine.compile(graph)
+        assert effective_shards(cg, 8) == 3  # capped by the widest level
+        single = engine.analyze_compiled(graph, compiled=cg, jobs=1)
+        sharded = engine.analyze_compiled(graph, compiled=cg, jobs=8)
+        assert sharded.shards == 3
+        assert_bit_identical(single, sharded)
+
+    def test_chain_runs_single_shard_without_warning(self, engine, lines):
+        line = lines[0]
+        nets = [GraphNet(f"n{i}", 25.0, line,
+                         fanout=(f"n{i + 1}",) if i < 4 else (),
+                         receiver_size=25.0 if i == 4 else None)
+                for i in range(5)]
+        graph = TimingGraph(nets, {"n0": PrimaryInput(slew=ps(100),
+                                                      transition="rise")})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            analysis = engine.analyze_compiled(graph, jobs=8)
+        assert analysis.shards is None
+        assert not analysis.parallel_sweep
+
+    def test_partitions_and_jobs_are_mutually_exclusive(self, engine, lines):
+        rng = random.Random(9)
+        graph = random_dag(rng, lines, n_nets=12)
+        with pytest.raises(ModelingError):
+            engine.analyze_compiled(graph, partitions=2, jobs=2)
+        # partitions with an explicit single shard stays supported
+        analysis = engine.analyze_compiled(graph, partitions=2, jobs=1)
+        assert analysis.partitions == 2
+
+    def test_worker_death_between_sweeps_falls_back(self, library, solver,
+                                                    lines):
+        rng = random.Random(31)
+        graph = random_dag(rng, lines, n_nets=16)
+        constrain_randomly(rng, graph)
+        with GraphEngine(library=library, solver=solver, jobs=2) as engine:
+            cg = engine.compile(graph)
+            baseline = engine.analyze_compiled(graph, compiled=cg, jobs=1)
+            first = engine.analyze_compiled(graph, compiled=cg)
+            assert first.parallel_sweep
+            victim = engine._shard_driver._workers[0].process
+            victim.kill()
+            victim.join()
+            with pytest.warns(RuntimeWarning, match="sharded compiled sweep"):
+                fallback = engine.analyze_compiled(graph, compiled=cg)
+            assert not fallback.parallel_sweep
+            assert fallback.shards is None
+            assert_bit_identical(baseline, fallback)
+            # The driver was torn down; the next analysis starts a fresh
+            # fleet and shards again.
+            recovered = engine.analyze_compiled(graph, compiled=cg)
+            assert recovered.parallel_sweep
+            assert_bit_identical(baseline, recovered)
+
+    def test_worker_death_mid_level_falls_back(self, library, solver, lines,
+                                               monkeypatch):
+        rng = random.Random(37)
+        graph = random_dag(rng, lines, n_nets=16)
+        constrain_randomly(rng, graph)
+        original = ShardedSweepDriver.sweep
+
+        def killing_sweep(self, cg, graph, *, solve_unique, quantum):
+            def kill_then_solve(unique):
+                worker = self._workers[0].process
+                worker.kill()
+                worker.join()
+                return solve_unique(unique)
+            return original(self, cg, graph, solve_unique=kill_then_solve,
+                            quantum=quantum)
+
+        monkeypatch.setattr(ShardedSweepDriver, "sweep", killing_sweep)
+        with GraphEngine(library=library, solver=solver) as engine:
+            cg = engine.compile(graph)
+            baseline = engine.analyze_compiled(graph, compiled=cg, jobs=1)
+            with pytest.warns(RuntimeWarning, match="sharded compiled sweep"):
+                fallback = engine.analyze_compiled(graph, compiled=cg, jobs=2)
+            assert not fallback.parallel_sweep
+            assert_bit_identical(baseline, fallback)
+
+    def test_driver_start_failure_falls_back(self, library, solver, lines,
+                                             monkeypatch):
+        rng = random.Random(41)
+        graph = random_dag(rng, lines, n_nets=12)
+
+        def refuse(self, cg, graph, *, solve_unique, quantum):
+            raise ShardedSweepError("simulated: no processes today")
+
+        monkeypatch.setattr(ShardedSweepDriver, "sweep", refuse)
+        monkeypatch.setattr(ShardedSweepDriver, "close", lambda self: None)
+        with GraphEngine(library=library, solver=solver) as engine:
+            cg = engine.compile(graph)
+            baseline = engine.analyze_compiled(graph, compiled=cg, jobs=1)
+            with pytest.warns(RuntimeWarning, match="no processes today"):
+                fallback = engine.analyze_compiled(graph, compiled=cg, jobs=4)
+        assert not fallback.parallel_sweep
+        assert_bit_identical(baseline, fallback)
+
+
+class TestSessionRouting:
+    def test_config_jobs_reaches_the_compiled_path(self, solver):
+        from test_sta_compiled import shared_session
+
+        graph = soc_graph(250)
+        graph.set_clock_period(ps(900), hold_margin=0.0)
+        with shared_session(solver, jobs=2, compile_threshold=100) as session:
+            report = session.time(graph)
+            assert report.meta.parallel_sweep  # was a silent no-op pre-PR-9
+            assert report.meta.shards == 2
+            assert report.meta.jobs == 2
+            assert report.meta.boundary_events_exchanged is not None
+            pinned = session.time(graph, jobs=1)
+            assert not pinned.meta.parallel_sweep
+            assert pinned.meta.shards is None
+            assert pinned.meta.jobs == 1
+            assert_bit_identical(pinned.analysis, report.analysis)
+            # A per-call override can also raise the session default.
+            boosted = session.time(graph, jobs=3)
+            assert boosted.meta.shards == 3
+            assert_bit_identical(pinned.analysis, boosted.analysis)
+
+    def test_runinfo_round_trips_and_tolerates_old_payloads(self):
+        meta = RunInfo(elapsed=1.0, jobs=4, shards=4,
+                       boundary_events_exchanged=123, parallel_sweep=True)
+        payload = meta.to_dict()
+        assert payload["shards"] == 4
+        assert payload["boundary_events_exchanged"] == 123
+        assert payload["parallel_sweep"] is True
+        assert RunInfo.from_dict(payload) == meta
+        old = {key: value for key, value in payload.items()
+               if key not in ("shards", "boundary_events_exchanged",
+                              "parallel_sweep")}
+        loaded = RunInfo.from_dict(old)
+        assert loaded.shards is None
+        assert loaded.parallel_sweep is False
