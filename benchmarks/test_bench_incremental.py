@@ -26,6 +26,18 @@ acceptance criterion of the min/max refactor), and a single-net dual-mode edit
 reports its hold cone (the backward region whose hold requirements were
 refreshed) alongside the setup cone.
 
+A final *compiled* phase takes the same claim to the scale tier, in a fresh
+subprocess: on the 100k-net SoC graph (above ``compile_threshold``, so
+``update()`` routes through :class:`~repro.sta.incremental_compiled.
+CompiledIncrementalEngine`) it drives ``COMPILED_EDIT_CYCLES`` sequential
+``resize_driver`` + ``update()`` cycles and gates three facts — parameter
+edits never recompile (``compile_seconds`` sums to exactly zero across every
+cycle), the cone stays a vanishing fraction of the graph, and the mean
+per-edit update beats a warm full compiled re-sweep by
+``COMPILED_SPEEDUP_FLOOR`` — then checks the final incremental state against
+a from-scratch compiled analysis plane by plane, exactly (``sol_idx`` aside,
+compared by solution fingerprint).
+
 Results land in ``benchmarks/reports/incremental.txt`` and
 ``benchmarks/reports/BENCH_incremental.json``.  The JSON is split into a
 ``tracked`` section (machine-independent: graph shape, cone sizes, the
@@ -35,7 +47,10 @@ run to run).
 """
 
 import json
+import os
 import statistics
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -44,9 +59,98 @@ from repro.experiments import benchmark_graph
 from repro.units import ps
 
 REPORT_DIRECTORY = Path(__file__).resolve().parent / "reports"
+SRC_DIRECTORY = Path(__file__).resolve().parents[1] / "src"
 
 #: Required speedup of a single-net-edit update over full re-analysis.
 SPEEDUP_FLOOR = 5.0
+
+#: The compiled phase's workload size and edit-loop length.
+COMPILED_NETS = 100_000
+COMPILED_EDIT_CYCLES = 200
+
+#: Required mean speedup of a compiled incremental update over a warm full
+#: compiled re-sweep at 100k nets (measured ~30x on the reference machine).
+COMPILED_SPEEDUP_FLOOR = 10.0
+
+#: Runs in a fresh interpreter (the scale-tier pattern: a hermetic process,
+#: exactly how CI runs it).  Prints one JSON object on stdout.
+_COMPILED_SUBPROCESS_SCRIPT = """
+import json, time
+import numpy as np
+from repro.api import TimingSession
+from repro.experiments import soc_graph
+from repro.units import ps
+
+nets, cycles = {nets}, {cycles}
+graph = soc_graph(nets)
+graph.set_clock_period(ps(1500), hold_margin=0.0)
+# Edit sites in distinct clusters, each toggling its chain-stage driver; the
+# SoC template repeats the same stage configurations everywhere, so one warm
+# lap per site memoizes every stage solve both toggle states can request.
+sites = ["k0c0s2", "k40c3s2", "k199c7s2", "k420c11s2"]
+with TimingSession() as session:
+    attach = session.update(graph)
+    assert attach.meta.compile_seconds > 0.0  # the one and only compile
+    assert attach.meta.retimed_nets == nets
+    originals = {{net: graph.nets[net].driver_size for net in sites}}
+    # Toggle upward: chain stages prove 75X/125X on every line flavor, while
+    # a 50X driver cannot swing the long interconnect flavors at all.
+    toggles = {{net: 125.0 if originals[net] != 125.0 else 75.0
+               for net in sites}}
+    for net in sites:  # warm both toggle states of every site
+        for size in (toggles[net], originals[net]):
+            graph.resize_driver(net, size)
+            session.update(graph)
+    laps = []
+    for _ in range(3):  # warm full compiled re-sweep: the baseline
+        started = time.perf_counter()
+        full = session.time(graph)
+        laps.append(time.perf_counter() - started)
+    full_seconds = min(laps)
+    patch_compile_seconds = 0.0
+    patched = dirty = retimed = cone = required = 0
+    started = time.perf_counter()
+    for cycle in range(cycles):
+        net = sites[cycle % len(sites)]
+        size = (toggles if (cycle // len(sites)) % 2 == 0 else originals)[net]
+        graph.resize_driver(net, size)
+        report = session.update(graph)
+        meta = report.meta
+        patch_compile_seconds += meta.compile_seconds
+        patched, dirty = meta.patched_nets, meta.dirty_nets
+        retimed, cone = meta.retimed_nets, meta.cone_nets
+        required = meta.required_nets
+    incremental_seconds = (time.perf_counter() - started) / cycles
+    last = report.analysis
+    scratch = session.time(graph).analysis  # same engine: bit-identity holds
+    planes = ("exists", "in_arr", "early_in", "merged_slew", "in_slew",
+              "src", "early_src", "out_arr", "early_out", "delay",
+              "prop_slew")
+    fp_last = np.array([s.fingerprint for s in last.solutions] + [""])
+    fp_scratch = np.array([s.fingerprint for s in scratch.solutions] + [""])
+    equivalence_exact = bool(
+        all(np.array_equal(getattr(last.state, p), getattr(scratch.state, p))
+            for p in planes)
+        and np.array_equal(fp_last[last.state.sol_idx],
+                           fp_scratch[scratch.state.sol_idx])
+        and np.array_equal(last.required, scratch.required, equal_nan=True)
+        and np.array_equal(last.hold_required, scratch.hold_required,
+                           equal_nan=True))
+    print(json.dumps({{
+        "nets": len(graph),
+        "edit_cycles": cycles,
+        "patch_compile_seconds": patch_compile_seconds,
+        "patched_nets": patched,
+        "dirty_nets": dirty,
+        "retimed_nets": retimed,
+        "cone_nets": cone,
+        "required_nets": required,
+        "report_events_rebuilt": report.meta.report_events_rebuilt,
+        "equivalence_exact": equivalence_exact,
+        "full_seconds": full_seconds,
+        "incremental_seconds": incremental_seconds,
+    }}))
+"""
 
 #: Edit sites on the 64x16-chain benchmark graph, shallowest cone first.
 #: (label, net, toggle size) — the net's driver toggles between its original
@@ -158,6 +262,34 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
             "hold_cone_nets": dual_incr.meta.hold_required_nets,
         }
 
+    # --- compiled phase: the scale tier, in a hermetic subprocess ------------
+    # 100k nets is far above compile_threshold, so update() routes through the
+    # CSR incremental engine: parameter edits patch the compiled arrays in
+    # place (never recompile) and re-time only the dirty cone.
+    script = _COMPILED_SUBPROCESS_SCRIPT.format(
+        nets=COMPILED_NETS, cycles=COMPILED_EDIT_CYCLES)
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC_DIRECTORY) + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    result = subprocess.run([sys.executable, "-c", script],
+                            capture_output=True, text=True, env=env,
+                            timeout=600)
+    assert result.returncode == 0, result.stderr
+    compiled = json.loads(result.stdout.strip().splitlines()[-1])
+    compiled_speedup = round(
+        compiled["full_seconds"] / compiled["incremental_seconds"], 2)
+
+    assert compiled["nets"] == COMPILED_NETS
+    # Parameter edits must never recompile: exactly zero compile seconds
+    # across all edit cycles (patching bumps no clock).
+    assert compiled["patch_compile_seconds"] == 0.0
+    # The cone stays vanishing: a chain-stage resize re-times its cluster's
+    # downstream slice, never a meaningful fraction of the graph.
+    assert 0 < compiled["retimed_nets"] < COMPILED_NETS // 100
+    assert 0 < compiled["report_events_rebuilt"] < COMPILED_NETS // 50
+    # The incremental planes are the full re-sweep's planes, exactly.
+    assert compiled["equivalence_exact"]
+
     single = rows[0]
     payload = {
         "benchmark": "incremental",
@@ -177,6 +309,19 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
                 "dual_mode_extra_solves": extra_solves,
                 "single_edit": hold_edit,
             },
+            "compiled": {
+                "nets": compiled["nets"],
+                "edit_cycles": compiled["edit_cycles"],
+                "speedup_floor": COMPILED_SPEEDUP_FLOOR,
+                "patch_compile_seconds": compiled["patch_compile_seconds"],
+                "patched_nets": compiled["patched_nets"],
+                "dirty_nets": compiled["dirty_nets"],
+                "retimed_nets": compiled["retimed_nets"],
+                "cone_nets": compiled["cone_nets"],
+                "required_nets": compiled["required_nets"],
+                "report_events_rebuilt": compiled["report_events_rebuilt"],
+                "equivalence_exact": compiled["equivalence_exact"],
+            },
         },
         "machine": {
             "jobs": attach.meta.jobs,
@@ -187,6 +332,12 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
                        "speedup": row["speedup"]} for row in rows],
             "single_net_edit_speedup": single["speedup"],
             "dual_incremental_seconds": round(dual_incr_seconds, 5),
+            "compiled": {
+                "full_seconds": round(compiled["full_seconds"], 5),
+                "incremental_seconds": round(
+                    compiled["incremental_seconds"], 5),
+                "speedup": compiled_speedup,
+            },
         },
     }
     REPORT_DIRECTORY.mkdir(exist_ok=True)
@@ -209,6 +360,13 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
                  f"{hold_edit['retimed_nets']} fwd / "
                  f"{hold_edit['hold_cone_nets']} hold "
                  f"({dual_incr_seconds * 1e3:.1f} ms)")
+    lines.append(
+        f"  compiled tier ({compiled['nets']} nets, "
+        f"{compiled['edit_cycles']} resize+update cycles): "
+        f"cone {compiled['retimed_nets']} nets, "
+        f"{compiled['full_seconds'] * 1e3:.0f} ms full vs "
+        f"{compiled['incremental_seconds'] * 1e3:.1f} ms/edit "
+        f"({compiled_speedup:.1f}x, 0.0 s recompiled, exact)")
     lines.append(f"  machine-readable     : {json_path.name}")
     report_writer("incremental", "\n".join(lines))
 
@@ -216,3 +374,6 @@ def test_incremental_retime_vs_full_reanalysis(library, report_writer):
     # pass.  The cone there is 2 of 1024 nets, so the measured headroom over
     # 5x is typically an order of magnitude.
     assert single["speedup"] >= SPEEDUP_FLOOR
+    # And at the scale tier: patched parameter edits beat warm full compiled
+    # re-sweeps by an order of magnitude, with exact plane equivalence.
+    assert compiled_speedup >= COMPILED_SPEEDUP_FLOOR

@@ -51,6 +51,16 @@ REQUIRED_TRACKED = {
         # Report reuse: warm updates must re-flatten a cone's worth of
         # events, and the count must stay tracked.
         "edits[0].report_events_rebuilt": ...,
+        # Compiled scale tier: parameter edits patch the CSR arrays in
+        # place — never a recompile — and the final incremental planes
+        # equal a from-scratch compiled analysis bit for bit.
+        "compiled.nets": 100000,
+        "compiled.edit_cycles": 200,
+        "compiled.speedup_floor": 10.0,
+        "compiled.patch_compile_seconds": 0.0,
+        "compiled.equivalence_exact": True,
+        "compiled.retimed_nets": ...,
+        "compiled.report_events_rebuilt": ...,
     },
     "BENCH_scale.json": {
         "nets": 100000,  # the scale tier really runs at 100k nets

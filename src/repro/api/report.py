@@ -231,6 +231,11 @@ class RunInfo:
     #: sharded sweeps: BoundaryEvents captured + injected across shard frontiers
     boundary_events_exchanged: Optional[int] = None
     parallel_sweep: bool = False  #: True when the multi-process sharded driver ran
+    #: compiled runs: nets whose struct-of-arrays entries were patched in place
+    patched_nets: Optional[int] = None
+    cone_nets: Optional[int] = None  #: compiled incremental: masked-sweep cone size
+    #: compiled incremental: cone nets whose outputs converged bit-identical
+    cone_converged_early: Optional[int] = None
 
     @property
     def requests(self) -> int:
@@ -273,6 +278,9 @@ class RunInfo:
             "shards": self.shards,
             "boundary_events_exchanged": self.boundary_events_exchanged,
             "parallel_sweep": self.parallel_sweep,
+            "patched_nets": self.patched_nets,
+            "cone_nets": self.cone_nets,
+            "cone_converged_early": self.cone_converged_early,
         }
 
     @classmethod
@@ -827,16 +835,43 @@ class StreamingTimingReport(TimingReport):
         version: str = "",
         mode: str = "both",
         compile_seconds: Optional[float] = None,
+        patched_nets: Optional[int] = None,
+        reuse: Optional["StreamingTimingReport"] = None,
+        changed_nets: Optional[FrozenSet[str]] = None,
     ) -> "StreamingTimingReport":
-        """Wrap one :meth:`GraphEngine.analyze_compiled` result."""
+        """Wrap one :meth:`GraphEngine.analyze_compiled` result.
+
+        ``reuse`` with ``changed_nets`` enables the warm incremental path:
+        event records the previous report already materialized are carried
+        over for every net *outside* ``changed_nets`` (their planes are
+        bitwise unchanged, so the records are identical), and
+        ``meta.report_events_rebuilt`` counts the events on changed nets —
+        the rebuild work bounded by the cone, not the graph.
+        ``changed_nets=None`` means "potentially everything changed" and
+        disables the carry-over.
+        """
         check_mode(mode, allow_both=True)
         critical = (
             [analysis.key_of(event) for event in analysis.critical_path_ids()]
             if analysis.n_events
             else []
         )
+        events = _LazyEvents(analysis)
+        rebuilt: Optional[int] = None
+        if reuse is not None and changed_nets is not None:
+            cached = getattr(reuse.events, "_cache", None)
+            if cached is not None:
+                for net, per_net in cached.items():
+                    if net not in changed_nets:
+                        events._cache[net] = per_net
+            index = analysis.graph.index
+            ids = [index[net] for net in changed_nets if net in index]
+            exists = analysis.state.exists
+            rebuilt = int(sum(
+                int(exists[i * 2]) + int(exists[i * 2 + 1]) for i in ids))
         stats = analysis.stats
         shards = getattr(analysis, "shards", None)
+        incremental = getattr(analysis, "incremental", None)
         meta = RunInfo(
             elapsed=analysis.elapsed,
             jobs=shards if shards is not None else 1,
@@ -853,11 +888,27 @@ class StreamingTimingReport(TimingReport):
             boundary_events_exchanged=getattr(
                 analysis, "boundary_events_exchanged", None),
             parallel_sweep=bool(getattr(analysis, "parallel_sweep", False)),
+            dirty_nets=(incremental.dirty_nets
+                        if incremental is not None else None),
+            retimed_nets=(incremental.retimed_nets
+                          if incremental is not None else None),
+            required_nets=(incremental.required_nets
+                           if incremental is not None else None),
+            hold_required_nets=(incremental.hold_required_nets
+                                if incremental is not None else None),
+            report_events_rebuilt=rebuilt,
+            patched_nets=(patched_nets if patched_nets is not None
+                          else (incremental.patched_nets
+                                if incremental is not None else None)),
+            cone_nets=(incremental.cone_nets
+                       if incremental is not None else None),
+            cone_converged_early=(incremental.cone_converged_early
+                                  if incremental is not None else None),
         )
         return cls(
             design=design,
             kind="graph",
-            events=_LazyEvents(analysis),
+            events=events,
             levels=analysis.graph.level_names(),
             critical_path=critical,
             meta=meta,
@@ -876,7 +927,7 @@ class StreamingTimingReport(TimingReport):
         analysis = self.analysis
         import numpy as np  # local: keep report import light for plain loads
 
-        mask = np.repeat(analysis.graph.is_endpoint, 2) & analysis.state.exists
+        mask = np.repeat(analysis.is_endpoint, 2) & analysis.state.exists
         return {analysis.key_of(int(e)) for e in np.flatnonzero(mask)}
 
     @property

@@ -29,6 +29,7 @@ pool the session created.  Results are bit-identical to the legacy entry points
 
 from __future__ import annotations
 
+import weakref
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
@@ -46,6 +47,7 @@ from ..core.stage_solver import SolverStats, StageSolver
 from ..errors import ModelingError
 from ..sta.batch import GraphEngine, IncrementalEngine
 from ..sta.graph import TimingGraph, chain_graph, check_mode
+from ..sta.incremental_compiled import CompiledIncrementalEngine
 from ..sta.stage import TimingPath
 from ..tech.inverter import InverterSpec
 from ..sta.compiled import CompiledGraph
@@ -115,13 +117,16 @@ class TimingSession:
             jobs=cfg.jobs,
         )
         self._incremental: Optional[IncrementalEngine] = None
+        self._compiled_incremental: Optional[CompiledIncrementalEngine] = None
         self._runner: Optional[CharacterizationRunner] = None
         self._managed = False
         self._closed = False
-        # Single-slot compiled-graph cache: (graph identity, version, compiled).
+        # Single-slot compiled-graph cache: (graph weakref, compiled).  The
+        # weak reference keeps the slot from pinning a graph (and its CSR
+        # arrays) alive after the session moves on to a different one.
         self._compiled_cache: Optional[tuple] = None
         # The previous update()'s unified report, for warm event reuse.
-        self._update_report: Optional[TimingReport] = None
+        self._update_report: "Optional[TimingReport | StreamingTimingReport]" = None
 
     # --- lifecycle --------------------------------------------------------------------
     def __enter__(self) -> "TimingSession":
@@ -293,7 +298,7 @@ class TimingSession:
             threshold = self.config.compile_threshold
             compiled = memoize and threshold is not None and len(graph) >= threshold
         if compiled:
-            compiled_graph, fresh = self._compiled_for(graph)
+            compiled_graph, fresh, patched = self._compiled_for(graph)
             analysis = self._engine.analyze_compiled(
                 graph, compiled=compiled_graph, options=options, mode=mode,
                 jobs=jobs if jobs is not None else self.config.jobs
@@ -304,6 +309,7 @@ class TimingSession:
                 version=__version__,
                 mode=mode,
                 compile_seconds=compiled_graph.compile_seconds if fresh else 0.0,
+                patched_nets=patched,
             )
         report = self._engine.analyze(
             graph, jobs=jobs, memoize=memoize, options=options, mode=mode
@@ -316,20 +322,34 @@ class TimingSession:
             mode=mode,
         )
 
-    def _compiled_for(self, graph: TimingGraph) -> "tuple[CompiledGraph, bool]":
-        """The cached compiled twin of ``graph`` (recompiled when stale).
+    def _compiled_for(self, graph: TimingGraph) -> "tuple[CompiledGraph, bool, int]":
+        """The cached compiled twin of ``graph``, patched or recompiled as needed.
 
-        Returns ``(compiled, fresh)`` where ``fresh`` says a compile actually
-        ran.  The single-slot cache is keyed on graph identity and version:
-        constraint and primary-input changes are read live at analyze time and
-        never invalidate it, structural edits bump the version and do.
+        Returns ``(compiled, fresh, patched)`` where ``fresh`` says a full
+        compile actually ran and ``patched`` counts nets rewritten in place.
+        The single-slot cache is keyed on graph identity (held weakly, so the
+        slot never pins an abandoned graph alive):
+
+        * constraint and primary-input changes are read live at analyze time
+          and never invalidate it,
+        * parameter edits (``resize_driver`` / ``set_line`` /
+          ``set_extra_load`` / ``set_receiver``) are caught up in O(edits) by
+          :meth:`~repro.sta.compiled.CompiledGraph.patch`,
+        * only topology edits (``add_fanout`` / ``remove_fanout``) or a new
+          graph force a recompile.
         """
         cached = self._compiled_cache
-        if cached is not None and cached[0] is graph and cached[1] == graph.version:
-            return cached[2], False
+        if cached is not None and cached[0]() is graph:
+            compiled_graph = cached[1]
+            if compiled_graph.version == graph.version:
+                return compiled_graph, False, 0
+            if compiled_graph.topology_version == graph.topology_version:
+                patched = compiled_graph.patch(
+                    graph, library=self.library, tech=self.library.tech)
+                return compiled_graph, False, patched
         compiled_graph = self._engine.compile(graph)
-        self._compiled_cache = (graph, graph.version, compiled_graph)
-        return compiled_graph, True
+        self._compiled_cache = (weakref.ref(graph), compiled_graph)
+        return compiled_graph, True, 0
 
     def time_corners(
         self,
@@ -368,7 +388,7 @@ class TimingSession:
         *,
         jobs: Optional[int] = None,
         name: Optional[str] = None,
-    ) -> TimingReport:
+    ) -> "TimingReport | StreamingTimingReport":
         """Incrementally re-time a graph after in-place edits.
 
         The first call for a graph performs (and caches) a full analysis;
@@ -387,35 +407,59 @@ class TimingSession:
         in full with ``time(design, corner=...)``.  Builders build a *fresh*
         graph per ``build()``; call update on the built :class:`TimingGraph`
         itself.
+
+        Graphs at or above ``config.compile_threshold`` update through the
+        *compiled* incremental tier (:class:`repro.sta.incremental_compiled.
+        CompiledIncrementalEngine`) and return a
+        :class:`~.report.StreamingTimingReport`: parameter edits patch the
+        compiled snapshot in place (``meta.compile_seconds == 0``) and masked
+        sweeps re-time only the dirty cone over the persistent array planes —
+        always single-shard, so a ``jobs > 1`` session churns no worker pool
+        per edit.  Below the threshold the object-engine path (the
+        reference oracle) runs as before.
         """
         self._closed = False
         if design is None:
-            if self._incremental is None:
+            engine = self._compiled_incremental or self._incremental
+            if engine is None:
                 raise ModelingError(
                     "update() without a design needs a previously attached "
                     "graph; call update(graph) first"
                 )
-            engine = self._incremental
         elif isinstance(design, TimingGraph):
-            engine = self._incremental
-            if engine is None or engine.graph is not design:
-                if engine is not None:
-                    engine.close()
-                cfg = self.config
-                engine = IncrementalEngine(
-                    design,
-                    library=self.library,
-                    tech=self.library.tech,
-                    options=cfg.options,
-                    slew_low=cfg.slew_low,
-                    slew_high=cfg.slew_high,
-                    solver=self.solver,
-                    jobs=cfg.jobs,
-                )
-                if self._managed:
-                    engine.__enter__()
-                self._incremental = engine
-                self._update_report = None  # stale: belongs to the old graph
+            threshold = self.config.compile_threshold
+            if threshold is not None and len(design) >= threshold:
+                engine = self._compiled_incremental
+                if engine is None or engine.graph is not design:
+                    if self._incremental is not None:
+                        # The dirty set has exactly one consumer per graph.
+                        self._incremental.close()
+                        self._incremental = None
+                    engine = CompiledIncrementalEngine(
+                        self._engine, design, mode="both")
+                    self._compiled_incremental = engine
+                    self._update_report = None  # stale: belongs to the old graph
+            else:
+                engine = self._incremental
+                if engine is None or engine.graph is not design:
+                    if engine is not None:
+                        engine.close()
+                    self._compiled_incremental = None
+                    cfg = self.config
+                    engine = IncrementalEngine(
+                        design,
+                        library=self.library,
+                        tech=self.library.tech,
+                        options=cfg.options,
+                        slew_low=cfg.slew_low,
+                        slew_high=cfg.slew_high,
+                        solver=self.solver,
+                        jobs=cfg.jobs,
+                    )
+                    if self._managed:
+                        engine.__enter__()
+                    self._incremental = engine
+                    self._update_report = None  # stale: belongs to the old graph
         elif isinstance(design, DesignBuilder):
             raise ModelingError(
                 "update() needs the TimingGraph itself — a DesignBuilder "
@@ -426,13 +470,35 @@ class TimingSession:
             raise ModelingError(
                 f"update() expects a TimingGraph, got {type(design).__name__}"
             )
+        if isinstance(engine, CompiledIncrementalEngine):
+            compiled_graph, fresh, patched = self._compiled_for(engine.graph)
+            analysis = engine.update(compiled_graph, patched_nets=patched,
+                                     jobs=jobs)
+            reuse = (self._update_report
+                     if isinstance(self._update_report, StreamingTimingReport)
+                     else None)
+            streaming = StreamingTimingReport.from_compiled(
+                analysis,
+                design=name if name is not None else "graph",
+                version=__version__,
+                mode=analysis.mode,
+                compile_seconds=compiled_graph.compile_seconds if fresh else 0.0,
+                patched_nets=patched,
+                reuse=reuse,
+                changed_nets=engine.last_changed_nets,
+            )
+            self._update_report = streaming
+            return streaming
         report = engine.update(jobs=jobs)
         unified = TimingReport.from_graph_report(
             report,
             design=name if name is not None else "graph",
             kind="graph",
             version=__version__,
-            reuse=self._update_report,
+            reuse=(self._update_report
+                   if (isinstance(self._update_report, TimingReport)
+                       and not isinstance(self._update_report,
+                                          StreamingTimingReport)) else None),
             changed_nets=engine.last_changed_nets,
             changed_events=engine.last_changed_events,
         )

@@ -42,7 +42,11 @@ dirty nets' transitive fanout for arrivals, and the transitive fanin of the
 affected nets for required times — reusing the cached events everywhere else.
 Because stage solves are memoized by content fingerprint, an incremental update
 is bit-identical to a from-scratch analysis, just proportional to the size of
-the edit instead of the size of the graph.
+the edit instead of the size of the graph.  (Above
+``TimingSession(compile_threshold=...)`` the same contract is served by
+:class:`repro.sta.incremental_compiled.CompiledIncrementalEngine`, which runs
+masked dirty-cone sweeps over the compiled struct-of-arrays planes instead of
+per-object propagation.)
 
 The engine owns its worker pool: the pool is created lazily on the first parallel
 analysis, reused by every later one, and closed deterministically by

@@ -193,6 +193,10 @@ class TimingGraph:
         self._dirty: Set[str] = set()
         self._constraints_dirty = False
         self._version = 0
+        self._topology_version = 0
+        #: net name -> version at which its parameters (driver, line, load,
+        #: receiver) last changed — the delta a compiled snapshot patches from.
+        self._param_edits: Dict[str, int] = {}
 
     @property
     def version(self) -> int:
@@ -205,6 +209,33 @@ class TimingGraph:
         only goes stale on edits that change drivers, lines, loads or topology.
         """
         return self._version
+
+    @property
+    def topology_version(self) -> int:
+        """Connectivity edit counter: bumps only on :meth:`add_fanout` /
+        :meth:`remove_fanout`.
+
+        Parameter edits (driver sizes, lines, loads, receivers) bump
+        :attr:`version` but not this — a compiled snapshot whose topology
+        version still matches can be *patched* in place
+        (:meth:`repro.sta.compiled.CompiledGraph.patch`) instead of recompiled.
+        """
+        return self._topology_version
+
+    def param_edits_since(self, version: int) -> Set[str]:
+        """Names whose parameters changed after graph version ``version``.
+
+        The set a compiled snapshot taken at ``version`` must re-intern to
+        catch up; bounded by the net count (one entry per net, however many
+        times it was edited).  Topology edits are *not* reported here — check
+        :attr:`topology_version` first.
+        """
+        return {name for name, edited in self._param_edits.items()
+                if edited > version}
+
+    def _mark_param_edit(self, *names: str) -> None:
+        for name in names:
+            self._param_edits[name] = self._version
 
     # --- structure ----------------------------------------------------------------
     def _levelize(self) -> List[List[str]]:
@@ -446,6 +477,7 @@ class TimingGraph:
         if name not in self.nets:
             raise ModelingError(f"cannot resize unknown net {name!r}")
         self._replace_net(name, driver_size=driver_size)  # GraphNet validates
+        self._mark_param_edit(name, *self._fanin[name])
         self._dirty.add(name)
         self._dirty.update(self._fanin[name])
 
@@ -456,6 +488,7 @@ class TimingGraph:
         if not isinstance(line, RLCLine):
             raise ModelingError("set_line() expects an RLCLine")
         self._replace_net(name, line=line)
+        self._mark_param_edit(name)
         self._dirty.add(name)
 
     def set_extra_load(self, name: str, extra_load: float) -> None:
@@ -463,6 +496,7 @@ class TimingGraph:
         if name not in self.nets:
             raise ModelingError(f"cannot re-load unknown net {name!r}")
         self._replace_net(name, extra_load=extra_load)
+        self._mark_param_edit(name)
         self._dirty.add(name)
 
     def set_receiver(self, name: str, receiver_size: Optional[float]) -> None:
@@ -475,6 +509,7 @@ class TimingGraph:
                 f"net {name!r} has no fanout; removing its receiver would leave "
                 "a floating sink")
         self._replace_net(name, receiver_size=receiver_size)
+        self._mark_param_edit(name)
         self._dirty.add(name)
 
     def set_input(self, name: str, primary_input: PrimaryInput) -> None:
@@ -517,6 +552,7 @@ class TimingGraph:
             self.nets[driver] = old
             self._fanin[sink].remove(driver)
             raise
+        self._topology_version += 1
         self._dirty.update((driver, sink))
 
     def remove_fanout(self, driver: str, sink: str) -> None:
@@ -540,6 +576,7 @@ class TimingGraph:
             driver, fanout=tuple(n for n in old.fanout if n != sink))
         self._fanin[sink].remove(driver)
         self._levels = self._levelize()
+        self._topology_version += 1
         self._dirty.update((driver, sink))
 
 
@@ -669,13 +706,19 @@ class IncrementalStats:
     retimed_events: int  #: (net, transition) events re-solved or re-merged
     required_nets: int  #: backward region: nets whose required times were refreshed
     hold_required_nets: int = 0  #: hold cone: nets whose hold requirements were refreshed
+    patched_nets: int = 0  #: compiled entries rewritten in place (no recompile)
+    cone_nets: int = 0  #: compiled dirty cone: nets the masked sweep visited
+    cone_converged_early: int = 0  #: cone nets whose outputs converged bit-identical
 
     def describe(self) -> str:
         hold = (f" ({self.hold_required_nets} hold)"
                 if self.hold_required_nets else "")
+        compiled = (f", {self.patched_nets} patched / {self.cone_nets} cone"
+                    f" ({self.cone_converged_early} converged early)"
+                    if self.cone_nets or self.patched_nets else "")
         return (f"incremental: {self.dirty_nets} dirty -> {self.retimed_nets} "
                 f"retimed nets ({self.retimed_events} events), "
-                f"{self.required_nets} required-time refreshes{hold}")
+                f"{self.required_nets} required-time refreshes{hold}{compiled}")
 
 
 @dataclass(frozen=True)

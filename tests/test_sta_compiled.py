@@ -257,8 +257,16 @@ class TestSessionRouting:
         assert third.meta.compile_seconds == 0.0
         assert third.worst_slack < first.worst_slack  # new constraints apply
         graph.resize_driver("k0c0s3", 125.0)
-        fourth = session.time(graph)  # structural edit forces a recompile
-        assert fourth.meta.compile_seconds > 0.0
+        fourth = session.time(graph)  # parameter edit patches in place
+        assert fourth.meta.compile_seconds == 0.0
+        assert fourth.meta.patched_nets == 2  # the net and its fanin driver
+        arrivals = lambda report: {t: e.output_arrival  # noqa: E731
+                                   for t, e in report.events["k0c0s4"].items()}
+        assert arrivals(fourth) != arrivals(third)  # the resize took effect
+        graph.add_fanout("k0c0s3", "k0e0")
+        fifth = session.time(graph)  # topology edit forces a recompile
+        assert fifth.meta.compile_seconds > 0.0
+        assert not fifth.meta.patched_nets
 
     def test_config_round_trip_carries_threshold(self):
         config = SessionConfig(compile_threshold=777)
